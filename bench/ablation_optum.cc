@@ -1,0 +1,102 @@
+// Ablation bench for the design choices called out in DESIGN.md §5:
+//   1. pairwise vs triple-wise ERO (paper §4.2.2 extension)
+//   2. marginal vs literal-Eq.-11 interference scoring
+//   3. node-sampling fraction (the POP/scalability knob, §4.3.4)
+// All variants run the same workload against the same reference profiles;
+// rows report utilization, violations, and placement completeness.
+#include "bench/bench_common.h"
+
+using namespace optum;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::OptumConfig config;
+  bool triple_profiles = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintFigureHeader("Ablation", "Optum design choices (DESIGN.md §5)");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(96, 8 * kTicksPerHour)).Generate();
+  const SimConfig sim_config = bench::DefaultSimConfig();
+
+  AlibabaBaseline reference = bench::MakeReferenceScheduler();
+  const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+  const double ref_util = ref_result.MeanCpuUtilNonIdle();
+
+  // Two profile sets: pairwise-only and with triple-wise ERO.
+  core::OfflineProfilerConfig pairwise_config;
+  pairwise_config.max_train_samples = 1000;
+  core::OfflineProfilerConfig triple_config = pairwise_config;
+  triple_config.enable_triple_ero = true;
+  const core::OptumProfiles pairwise_profiles =
+      core::OfflineProfiler(pairwise_config).BuildProfiles(ref_result.trace);
+  const core::OptumProfiles triple_profiles =
+      core::OfflineProfiler(triple_config).BuildProfiles(ref_result.trace);
+  std::printf("profiles: %zu ERO pairs, %zu ERO triples (top-%zu apps per host sample)\n",
+              triple_profiles.ero.size(), triple_profiles.ero.triple_size(),
+              triple_config.triple_top_k);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"pairwise + marginal (default)", {}, false};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"triple-wise ERO", {}, true};
+    v.config.use_triple_ero = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"literal Eq. 11 (absolute RI)", {}, false};
+    v.config.score_mode = core::ScoreMode::kPaperAbsolute;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"sampling 100% (no POP)", {}, false};
+    v.config.sample_fraction = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"sampling 5%, min 8 (paper)", {}, false};
+    v.config.sample_fraction = 0.05;
+    v.config.min_candidates = 8;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no interference term (w=0)", {}, false};
+    v.config.omega_o = 0.0;
+    v.config.omega_b = 0.0;
+    variants.push_back(v);
+  }
+
+  TablePrinter table({"variant", "cpu util", "improve(%)", "violation", "pending@end"});
+  table.AddRow({std::string("Alibaba reference"), FormatDouble(ref_util, 4),
+                std::string("+0.0"), FormatDouble(ref_result.violation_rate(), 3),
+                FormatDouble(ref_result.never_scheduled_pods, 9)});
+  for (const Variant& variant : variants) {
+    core::OptumScheduler optum(
+        variant.triple_profiles ? triple_profiles : pairwise_profiles, variant.config);
+    SimConfig run_config = sim_config;
+    run_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+      optum.ObserveColocation(cluster, now);
+    };
+    const SimResult result = Simulator(workload, run_config, optum).Run();
+    const double util = result.MeanCpuUtilNonIdle();
+    table.AddRow({variant.name, FormatDouble(util, 4),
+                  FormatDouble((util / ref_util - 1.0) * 100.0, 3),
+                  FormatDouble(result.violation_rate(), 3),
+                  FormatDouble(result.never_scheduled_pods, 9)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading guide: triple-wise ERO tightens POC and should match or edge out\n"
+      "pairwise utilization; disabling the interference term shows the guardrail\n"
+      "cost; 100%% sampling shows placement quality with no POP scalability cut.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Robustness ablation: does the headline result (Optum's utilization gain
+// at zero violations, paper Fig. 19) survive perturbations of the workload
+// calibration? Runs the reference scheduler and Optum across the named
+// scenarios of src/trace/scenarios.h.
+#include "bench/bench_common.h"
+#include "src/trace/scenarios.h"
+
+using namespace optum;
+
+int main() {
+  bench::PrintFigureHeader("Ablation", "Workload-calibration robustness (Fig. 19 claim)");
+
+  TablePrinter table({"scenario", "ref util", "optum util", "improve(%)",
+                      "ref viol", "optum viol", "ref pending", "optum pending"});
+
+  for (const Scenario scenario : AllScenarios()) {
+    const WorkloadConfig config =
+        MakeScenarioConfig(scenario, /*num_hosts=*/64, /*horizon=*/8 * kTicksPerHour);
+    const Workload workload = WorkloadGenerator(config).Generate();
+    const SimConfig sim_config = bench::DefaultSimConfig();
+
+    AlibabaBaseline reference = bench::MakeReferenceScheduler();
+    const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+
+    core::OptumProfiles profiles = bench::BuildProfiles(ref_result.trace, 800);
+    core::OptumScheduler optum(std::move(profiles));
+    SimConfig optum_config = sim_config;
+    optum_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+      optum.ObserveColocation(cluster, now);
+    };
+    const SimResult optum_result = Simulator(workload, optum_config, optum).Run();
+
+    const double ref_util = ref_result.MeanCpuUtilNonIdle();
+    const double optum_util = optum_result.MeanCpuUtilNonIdle();
+    table.AddRow({ToString(scenario), FormatDouble(ref_util, 4),
+                  FormatDouble(optum_util, 4),
+                  FormatDouble((optum_util / std::max(1e-9, ref_util) - 1.0) * 100.0, 3),
+                  FormatDouble(ref_result.violation_rate(), 3),
+                  FormatDouble(optum_result.violation_rate(), 3),
+                  FormatDouble(ref_result.never_scheduled_pods, 9),
+                  FormatDouble(optum_result.never_scheduled_pods, 9)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading guide: the gain is largest under LS-heavy request pressure\n"
+      "(the reference cannot over-commit LS at all) and persists in every\n"
+      "scenario except be-saturated, where an unbounded batch backlog rewards\n"
+      "the reference's usage-based BE packing over Optum's peak-bounded POC —\n"
+      "the safety/throughput trade Fig. 11 prices. Optum's violation rate\n"
+      "stays at or below the reference's everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared setup for the figure-reproduction benches. Every bench prints the
+// rows/series of one paper figure; the workload scale is reduced from the
+// paper's ~6,000-host cluster to a laptop-sized cluster (the distributions
+// driving each figure are scale-free, see DESIGN.md).
+#ifndef OPTUM_BENCH_BENCH_COMMON_H_
+#define OPTUM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table_printer.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/stats/cdf.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum::bench {
+
+// Standard bench scale: 64 hosts, one simulated day. Figures that need
+// longer horizons or more hosts override locally.
+inline WorkloadConfig DefaultWorkloadConfig(int hosts = 64, Tick horizon = kTicksPerDay) {
+  WorkloadConfig config;
+  config.num_hosts = hosts;
+  config.horizon = horizon;
+  config.seed = 42;
+  return config;
+}
+
+inline SimConfig DefaultSimConfig() {
+  SimConfig config;
+  config.pod_usage_period = 5;
+  config.node_usage_period = 2;
+  config.max_attempts_per_tick = 1500;
+  return config;
+}
+
+// The production-like reference scheduler (paper: "original Alibaba
+// unified scheduler").
+inline AlibabaBaseline MakeReferenceScheduler() { return AlibabaBaseline{}; }
+
+// Profiles Optum from a reference-scheduler trace (paper trains on the
+// first seven days; benches profile on the first simulated day).
+inline core::OptumProfiles BuildProfiles(const TraceBundle& trace,
+                                         size_t max_train_samples = 1500) {
+  core::OfflineProfilerConfig config;
+  config.max_train_samples = max_train_samples;
+  return core::OfflineProfiler(config).BuildProfiles(trace);
+}
+
+inline void PrintFigureHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+// Prints a CDF as a quantile table row set.
+inline void PrintCdfRow(TablePrinter& table, const std::string& label,
+                        const EmpiricalCdf& cdf, const std::vector<double>& quantiles,
+                        int precision = 4) {
+  std::vector<std::string> row{label};
+  for (double q : quantiles) {
+    row.push_back(cdf.empty() ? "-" : FormatDouble(cdf.ValueAtPercentile(q), precision));
+  }
+  table.AddRow(std::move(row));
+}
+
+inline std::vector<std::string> QuantileHeaders(const std::string& first,
+                                                const std::vector<double>& quantiles) {
+  std::vector<std::string> headers{first};
+  for (double q : quantiles) {
+    headers.push_back("p" + FormatDouble(q, 4));
+  }
+  return headers;
+}
+
+}  // namespace optum::bench
+
+#endif  // OPTUM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 2(b): the distribution of pod SLO classes among
+// pods deployed in the data center. Expected shape: BE + LS + LSR account
+// for ~70% of pods, LS + LSR alone exceed 35%, and the rest are
+// Unknown/System/VMEnv pods without explicit SLO requirements.
+//
+// The trace counts deployed pods, so this bench samples the running pod
+// population hourly from a reference-scheduler run (submission counts would
+// be dominated by short-lived BE churn).
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace optum;
+
+int main() {
+  bench::PrintFigureHeader("Fig. 2(b)", "Pod SLO distribution (deployed pods)");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(64, kTicksPerDay)).Generate();
+  AlibabaBaseline scheduler = bench::MakeReferenceScheduler();
+  SimConfig sim_config = bench::DefaultSimConfig();
+
+  std::map<SloClass, int64_t> counts;
+  int64_t total = 0;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    if (now % kTicksPerHour != 0) {
+      return;
+    }
+    for (const Host& host : cluster.hosts()) {
+      for (const PodRuntime* pod : host.pods) {
+        ++counts[pod->spec.slo];
+        ++total;
+      }
+    }
+  };
+  Simulator(workload, sim_config, scheduler).Run();
+
+  TablePrinter table({"SLO type", "pod samples", "share (%)"});
+  double explicit_share = 0.0, ls_share = 0.0;
+  for (const SloClass slo : {SloClass::kUnknown, SloClass::kSystem, SloClass::kVmEnv,
+                             SloClass::kLsr, SloClass::kLs, SloClass::kBe}) {
+    const double share = 100.0 * counts[slo] / static_cast<double>(total);
+    table.AddRow({ToString(slo), FormatDouble(counts[slo], 9), FormatDouble(share, 3)});
+    if (slo == SloClass::kBe || slo == SloClass::kLs || slo == SloClass::kLsr) {
+      explicit_share += share;
+    }
+    if (slo == SloClass::kLs || slo == SloClass::kLsr) {
+      ls_share += share;
+    }
+  }
+  table.Print();
+  std::printf("\nBE+LS+LSR share of deployed pods: %.1f%% (paper: ~70%%)\n",
+              explicit_share);
+  std::printf("LS+LSR share of deployed pods:    %.1f%% (paper: >35%%)\n", ls_share);
+  return 0;
+}

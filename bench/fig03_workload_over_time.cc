@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 3: (a) numbers of submitted pods over time (BE much
+// larger and bursty, LS near-constant) and (b) the periodic average QPS of
+// LS pods.
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/stats/descriptive.h"
+
+using namespace optum;
+
+int main() {
+  bench::PrintFigureHeader("Fig. 3", "Workloads over time");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(64, 2 * kTicksPerDay)).Generate();
+
+  // (a) submissions per 10-minute interval.
+  const Tick bin = 20;  // 10 minutes
+  const size_t num_bins = static_cast<size_t>(workload.config.horizon / bin);
+  std::vector<double> be(num_bins, 0.0), ls(num_bins, 0.0);
+  for (const PodSpec& pod : workload.pods) {
+    if (pod.submit_tick == 0) {
+      continue;  // initial fleet, not part of the arrival process
+    }
+    const size_t b = static_cast<size_t>(pod.submit_tick / bin);
+    if (pod.slo == SloClass::kBe) {
+      ++be[b];
+    } else if (IsLatencySensitive(pod.slo)) {
+      ++ls[b];
+    }
+  }
+
+  std::printf("(a) Submitted pods per 10-minute interval (2 simulated days)\n");
+  TablePrinter submissions({"class", "mean", "p50", "p95", "max", "CoV"});
+  for (const auto& [label, series] : {std::pair<const char*, std::vector<double>&>{
+                                          "BE", be},
+                                      {"LS+LSR", ls}}) {
+    submissions.AddRow({std::string(label), FormatDouble(Mean(series), 4),
+                        FormatDouble(Percentile(series, 50), 4),
+                        FormatDouble(Percentile(series, 95), 4),
+                        FormatDouble(Max(series), 4),
+                        FormatDouble(CoefficientOfVariation(series), 3)});
+  }
+  submissions.Print();
+  std::printf("Shape check: BE mean >> LS mean; BE bursty (heavy tail), LS steady.\n\n");
+
+  // (b) average QPS of LS pods per hour, from the application QPS model.
+  std::printf("(b) Average QPS across LS applications, hourly (day 1)\n");
+  TablePrinter qps({"hour", "avg QPS"});
+  double qps_min = 1e18, qps_max = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    const Tick t = hour * kTicksPerHour;
+    double acc = 0.0;
+    int n = 0;
+    for (const AppProfile& app : workload.apps) {
+      if (IsLatencySensitive(app.slo) && app.qps_base > 0) {
+        acc += app.qps_base * app.qps_pattern.At(t);
+        ++n;
+      }
+    }
+    const double avg = acc / n;
+    qps_min = std::min(qps_min, avg);
+    qps_max = std::max(qps_max, avg);
+    qps.AddRow({FormatDouble(hour, 3), FormatDouble(avg, 5)});
+  }
+  qps.Print();
+  std::printf("Diurnal peak/trough ratio: %.2f (paper Fig. 3b: ~2-3x swing)\n",
+              qps_max / qps_min);
+  return 0;
+}

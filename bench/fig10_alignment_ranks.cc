@@ -1,0 +1,91 @@
+// Reproduces paper Fig. 10: the rank (by multi-resource alignment score) of
+// the host the scheduler actually selected, under two over-commitment
+// lenses — (a) scoring hosts by actual usage, (b) scoring hosts by resource
+// requests. Expected: BE placements rank high under the usage lens and low
+// under the request lens; LS placements show the opposite, revealing that
+// the production scheduler over-commits BE on usage but LS on requests.
+#include "bench/bench_common.h"
+#include "src/sched/common.h"
+
+using namespace optum;
+
+namespace {
+
+// Decorator that records the alignment rank of every accepted placement.
+class RankProbe : public PlacementPolicy {
+ public:
+  explicit RankProbe(PlacementPolicy& inner) : inner_(inner) {}
+
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override {
+    const PlacementDecision d = inner_.Place(pod, app, cluster);
+    if (d.placed() && (pod.slo == SloClass::kBe || IsLatencySensitive(pod.slo))) {
+      std::vector<Resources> usage_loads, request_loads;
+      usage_loads.reserve(cluster.num_hosts());
+      request_loads.reserve(cluster.num_hosts());
+      for (const Host& h : cluster.hosts()) {
+        usage_loads.push_back(h.usage);
+        request_loads.push_back(h.request_sum);
+      }
+      const double n = static_cast<double>(cluster.num_hosts());
+      const double usage_rank =
+          static_cast<double>(AlignmentRank(pod.request, usage_loads, d.host)) / n;
+      const double request_rank =
+          static_cast<double>(AlignmentRank(pod.request, request_loads, d.host)) / n;
+      if (pod.slo == SloClass::kBe) {
+        be_usage_rank.Add(usage_rank);
+        be_request_rank.Add(request_rank);
+      } else {
+        ls_usage_rank.Add(usage_rank);
+        ls_request_rank.Add(request_rank);
+      }
+    }
+    return d;
+  }
+  std::string name() const override { return inner_.name(); }
+
+  EmpiricalCdf be_usage_rank, be_request_rank, ls_usage_rank, ls_request_rank;
+
+ private:
+  PlacementPolicy& inner_;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintFigureHeader("Fig. 10", "Rank of selected hosts by alignment score");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(64, kTicksPerDay)).Generate();
+  AlibabaBaseline inner = bench::MakeReferenceScheduler();
+  RankProbe probe(inner);
+  Simulator(workload, bench::DefaultSimConfig(), probe).Run();
+  probe.be_usage_rank.Finalize();
+  probe.be_request_rank.Finalize();
+  probe.ls_usage_rank.Finalize();
+  probe.ls_request_rank.Finalize();
+
+  auto top_quarter = [](const EmpiricalCdf& cdf) {
+    return cdf.empty() ? 0.0 : cdf.FractionAtOrBelow(0.25);
+  };
+
+  const std::vector<double> quantiles = {25, 50, 75, 90};
+  std::printf("(a) Rank by actual resource usage (normalized rank, lower = better)\n");
+  TablePrinter usage_table(bench::QuantileHeaders("class", quantiles));
+  bench::PrintCdfRow(usage_table, "BE", probe.be_usage_rank, quantiles, 3);
+  bench::PrintCdfRow(usage_table, "LS", probe.ls_usage_rank, quantiles, 3);
+  usage_table.Print();
+  std::printf("Fraction of placements in the top 1/4: BE %.2f (paper: >0.60), LS %.2f\n\n",
+              top_quarter(probe.be_usage_rank), top_quarter(probe.ls_usage_rank));
+
+  std::printf("(b) Rank by resource requests\n");
+  TablePrinter request_table(bench::QuantileHeaders("class", quantiles));
+  bench::PrintCdfRow(request_table, "BE", probe.be_request_rank, quantiles, 3);
+  bench::PrintCdfRow(request_table, "LS", probe.ls_request_rank, quantiles, 3);
+  request_table.Print();
+  std::printf("Fraction of placements in the top 1/4: BE %.2f (paper: ~0.20), LS %.2f\n",
+              top_quarter(probe.be_request_rank), top_quarter(probe.ls_request_rank));
+  std::printf("Shape check: BE ranks high under the usage lens, LS under the request\n"
+              "lens — the production policy over-commits BE but hardly LS.\n");
+  return 0;
+}

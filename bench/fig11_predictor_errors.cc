@@ -1,0 +1,117 @@
+// Reproduces paper Fig. 11: CPU usage prediction errors of the five
+// predictors — Borg Default, Resource Central, N-sigma, Max Predictor, and
+// the Optum (pairwise-ERO) predictor — against the realized peak usage.
+// Expected shape: Borg Default and Max Predictor over-estimate severely;
+// N-sigma under-estimates; Resource Central and Optum are both accurate on
+// average but Optum has smaller error tails on both sides.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/core/resource_usage_predictor.h"
+#include "src/predict/predictor_eval.h"
+#include "src/predict/usage_predictor.h"
+
+using namespace optum;
+
+int main() {
+  bench::PrintFigureHeader("Fig. 11", "CPU usage prediction error by predictor");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(64, 2 * kTicksPerDay)).Generate();
+
+  // Pass 1: profiling run (builds the ERO table and memory profiles from
+  // trace records, as the Offline Profiler does in production).
+  SimConfig sim_config = bench::DefaultSimConfig();
+  core::OptumProfiles profiles;
+  {
+    AlibabaBaseline scheduler = bench::MakeReferenceScheduler();
+    const SimResult result = Simulator(workload, sim_config, scheduler).Run();
+    core::OfflineProfilerConfig prof_config;
+    prof_config.max_train_samples = 500;
+    prof_config.evaluate_holdout = false;  // only ERO/memory needed here
+    profiles = core::OfflineProfiler(prof_config).BuildProfiles(result.trace);
+  }
+
+  // Pass 2: identical (deterministic) run; snapshot predictions hourly and
+  // record the dense usage series for the peak oracle.
+  std::vector<std::unique_ptr<UsagePredictor>> predictors;
+  predictors.push_back(std::make_unique<BorgDefaultPredictor>(0.9));
+  predictors.push_back(std::make_unique<ResourceCentralPredictor>(99.0));
+  predictors.push_back(std::make_unique<NSigmaPredictor>(5.0));
+  predictors.push_back(std::make_unique<MaxPredictor>());
+  predictors.push_back(std::make_unique<core::OptumUsagePredictorAdapter>(&profiles));
+
+  std::vector<std::vector<PredictionSample>> samples(predictors.size());
+  std::vector<std::vector<double>> usage_series(64);
+
+  SimConfig eval_config = sim_config;
+  eval_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    for (const Host& host : cluster.hosts()) {
+      usage_series[static_cast<size_t>(host.id)].push_back(host.usage.cpu);
+    }
+    // Hourly snapshots after a warmup day (N-sigma needs history).
+    if (now < kTicksPerDay || now % kTicksPerHour != 0) {
+      return;
+    }
+    for (const Host& host : cluster.hosts()) {
+      if (host.IsIdle()) {
+        continue;
+      }
+      for (size_t p = 0; p < predictors.size(); ++p) {
+        samples[p].push_back(
+            PredictionSample{host.id, now, predictors[p]->PredictHostCpu(host)});
+      }
+    }
+  };
+  AlibabaBaseline scheduler = bench::MakeReferenceScheduler();
+  Simulator(workload, eval_config, scheduler).Run();
+
+  const PeakOracle oracle(std::move(usage_series), /*period=*/1);
+  const Tick window = kTicksPerDay;  // predicted peak over the next day (§3.2.2)
+
+  const std::vector<double> over_quantiles = {50, 75, 90, 99};
+  const std::vector<double> under_quantiles = {1, 10, 25, 50};
+  std::printf("(a) Over-estimation error (%%), P(over), and tails\n");
+  TablePrinter over_table({"predictor", "P(over)", "median", "p90", "max over"});
+  std::printf("(collected %zu prediction samples per predictor)\n", samples[0].size());
+  std::vector<PredictorErrorSummary> summaries;
+  for (size_t p = 0; p < predictors.size(); ++p) {
+    summaries.push_back(
+        ScorePredictions(predictors[p]->name(), samples[p], oracle, window));
+  }
+  for (const auto& s : summaries) {
+    const double total = static_cast<double>(s.over_errors.size() + s.under_errors.size());
+    over_table.AddRow(
+        {s.predictor, FormatDouble(s.over_errors.size() / std::max(1.0, total), 3),
+         s.over_errors.empty() ? "-" : FormatDouble(s.over_errors.ValueAtPercentile(50), 4),
+         s.over_errors.empty() ? "-" : FormatDouble(s.over_errors.ValueAtPercentile(90), 4),
+         FormatDouble(s.max_over, 4)});
+  }
+  over_table.Print();
+
+  std::printf("\n(b) Under-estimation error (%%) and tails\n");
+  TablePrinter under_table(
+      {"predictor", "P(under)", "median", "p10 (deep)", "max under", "P(under<-10%)"});
+  for (const auto& s : summaries) {
+    const double total = static_cast<double>(s.over_errors.size() + s.under_errors.size());
+    under_table.AddRow(
+        {s.predictor, FormatDouble(s.under_errors.size() / std::max(1.0, total), 3),
+         s.under_errors.empty() ? "-"
+                                : FormatDouble(s.under_errors.ValueAtPercentile(50), 4),
+         s.under_errors.empty() ? "-"
+                                : FormatDouble(s.under_errors.ValueAtPercentile(10), 4),
+         FormatDouble(s.max_under, 4), FormatDouble(s.frac_under_below_minus_10, 4)});
+  }
+  under_table.Print();
+
+  std::printf(
+      "\nShape checks vs the paper:\n"
+      " * Borg Default: severe over-estimation (paper: >=50%% with prob 0.5).\n"
+      " * Max Predictor: the highest over-estimation of all predictors.\n"
+      " * N-sigma: carries an under-estimation tail (paper: up to ~-25%%).\n"
+      " * Optum vs Resource Central: both accurate on average; Optum's\n"
+      "   dangerous side is markedly safer — smaller max under-estimation and\n"
+      "   a lower P(under < -10%%) (paper: 3x lower; see EXPERIMENTS.md for\n"
+      "   the over-estimation-tail deviation).\n");
+  return 0;
+}

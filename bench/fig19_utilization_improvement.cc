@@ -1,0 +1,101 @@
+// Reproduces paper Fig. 19: (a) the improvement of resource utilization of
+// each scheduler over the original (Alibaba-like) unified scheduler, and
+// (b) the resource usage violation rate. Expected shape: Optum improves the
+// most (paper: up to ~15%) with a violation rate at or below everyone
+// else's; the other baselines land in the ~±5% band; all violation rates
+// stay below 0.01.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/sched/medea.h"
+
+using namespace optum;
+
+int main() {
+  bench::PrintFigureHeader("Fig. 19", "Utilization improvement and violation rate");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(96, 8 * kTicksPerHour)).Generate();
+  const SimConfig sim_config = bench::DefaultSimConfig();
+
+  // Reference run + profiling for Optum.
+  AlibabaBaseline reference = bench::MakeReferenceScheduler();
+  const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+  core::OptumProfiles profiles = bench::BuildProfiles(ref_result.trace);
+
+  struct Row {
+    std::string name;
+    SimResult result;
+  };
+  std::vector<Row> rows;
+  {
+    auto p = MakeBorgLike();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    auto p = MakeNSigmaScheduler();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    auto p = MakeResourceCentralLike();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    Medea medea;
+    rows.push_back({medea.name(), Simulator(workload, sim_config, medea).Run()});
+  }
+  core::OptumScheduler optum(std::move(profiles));
+  SimConfig optum_config = sim_config;
+  optum_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+    optum.ObserveColocation(cluster, now);
+  };
+  rows.push_back({optum.name(), Simulator(workload, optum_config, optum).Run()});
+
+  const double ref_util = ref_result.MeanCpuUtilNonIdle();
+  std::printf("(a) Average CPU utilization and improvement over the reference\n");
+  TablePrinter util_table(
+      {"scheduler", "avg CPU util", "improvement (%)", "scheduled", "pending@end"});
+  util_table.AddRow({std::string("Alibaba (ref)"), FormatDouble(ref_util, 4),
+                     std::string("+0.0"), FormatDouble(ref_result.scheduled_pods, 9),
+                     FormatDouble(ref_result.never_scheduled_pods, 9)});
+  for (const Row& row : rows) {
+    const double util = row.result.MeanCpuUtilNonIdle();
+    util_table.AddRow({row.name, FormatDouble(util, 4),
+                       FormatDouble((util / ref_util - 1.0) * 100.0, 3),
+                       FormatDouble(row.result.scheduled_pods, 9),
+                       FormatDouble(row.result.never_scheduled_pods, 9)});
+  }
+  util_table.Print();
+
+  // Improvement over time (Optum vs reference), hourly.
+  std::printf("\nOptum utilization improvement over time (stabilizes, paper: up to 15%%)\n");
+  TablePrinter series({"hour", "improvement (%)"});
+  const auto& optum_series = rows.back().result.util_series;
+  const auto& ref_series = ref_result.util_series;
+  const size_t n = std::min(optum_series.size(), ref_series.size());
+  const size_t per_hour = static_cast<size_t>(kTicksPerHour / sim_config.node_usage_period);
+  for (size_t start = 0; start + per_hour <= n; start += 2 * per_hour) {
+    double optum_acc = 0, ref_acc = 0;
+    for (size_t i = start; i < start + per_hour; ++i) {
+      optum_acc += optum_series[i].avg_cpu_nonidle;
+      ref_acc += ref_series[i].avg_cpu_nonidle;
+    }
+    series.AddRow({FormatDouble(start / per_hour, 3),
+                   FormatDouble((optum_acc / std::max(1e-9, ref_acc) - 1.0) * 100.0, 3)});
+  }
+  series.Print();
+
+  std::printf("\n(b) Resource usage violation rate (host CPU demand above capacity)\n");
+  TablePrinter violation_table({"scheduler", "violation rate", "OOM kills"});
+  violation_table.AddRow({std::string("Alibaba (ref)"),
+                          FormatDouble(ref_result.violation_rate(), 4),
+                          FormatDouble(ref_result.oom_kills, 9)});
+  for (const Row& row : rows) {
+    violation_table.AddRow({row.name, FormatDouble(row.result.violation_rate(), 4),
+                            FormatDouble(row.result.oom_kills, 9)});
+  }
+  violation_table.Print();
+  std::printf("Shape check: all rates below 0.01 (paper Fig. 19b); Optum among the\n"
+              "lowest while achieving the highest utilization.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Reproduces paper Fig. 20: per-pod performance under each new scheduler
+// relative to the reference scheduler — (a) the CDF of the relative PSI
+// increase for LS pods (paper: >=97% of LS pods see no degradation under
+// Optum; ~98% within +40%), and (b) the per-application violation rate of
+// BE completion times (fraction of pods finishing later than under the
+// reference; paper: Optum lowest at ~0.0013). Also reports the §5.4
+// scheduling-delay claim (<10 s for all pods under Optum).
+#include <memory>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "src/sched/medea.h"
+#include "src/stats/descriptive.h"
+
+using namespace optum;
+
+namespace {
+
+struct PerfBaseline {
+  std::unordered_map<PodId, double> ls_max_psi;
+  std::unordered_map<PodId, double> be_ct;
+  std::unordered_map<PodId, AppId> be_app;
+};
+
+PerfBaseline ExtractPerf(const SimResult& result) {
+  PerfBaseline out;
+  for (const auto& rec : result.trace.lifecycles) {
+    if (IsLatencySensitive(rec.slo) && rec.schedule_tick >= 0) {
+      out.ls_max_psi[rec.pod_id] = rec.max_cpu_psi;
+    } else if (rec.slo == SloClass::kBe && rec.finish_tick >= 0) {
+      out.be_ct[rec.pod_id] = rec.actual_completion_ticks;
+      out.be_app[rec.pod_id] = rec.app_id;
+    }
+  }
+  return out;
+}
+
+struct Comparison {
+  double frac_no_degradation = 0.0;  // PSI(new) <= PSI(ref)
+  double frac_within_40pct = 0.0;
+  double be_violation_rate = 0.0;        // share of pods >5% slower
+  double be_violation_rate_severe = 0.0;  // share of pods >20% slower
+  double max_wait_seconds = 0.0;
+  int64_t compared_ls = 0;
+  int64_t compared_be = 0;
+};
+
+Comparison Compare(const PerfBaseline& ref, const SimResult& result) {
+  Comparison out;
+  int64_t no_degradation = 0, within_40 = 0;
+  struct BeCount {
+    int64_t slower = 0;
+    int64_t much_slower = 0;
+    int64_t total = 0;
+  };
+  std::unordered_map<AppId, BeCount> be_counts;
+  for (const auto& rec : result.trace.lifecycles) {
+    out.max_wait_seconds = std::max(
+        out.max_wait_seconds, rec.schedule_tick >= 0 ? rec.waiting_seconds : 0.0);
+    if (IsLatencySensitive(rec.slo) && rec.schedule_tick >= 0) {
+      const auto it = ref.ls_max_psi.find(rec.pod_id);
+      if (it == ref.ls_max_psi.end()) {
+        continue;
+      }
+      ++out.compared_ls;
+      // Tolerance of one discretization bucket (the scheduler's own PSI
+      // resolution, 25 buckets over [0,1]).
+      if (rec.max_cpu_psi <= it->second + 0.04) {
+        ++no_degradation;
+      }
+      if (rec.max_cpu_psi <= it->second * 1.4 + 0.04) {
+        ++within_40;
+      }
+    } else if (rec.slo == SloClass::kBe && rec.finish_tick >= 0) {
+      const auto it = ref.be_ct.find(rec.pod_id);
+      if (it == ref.be_ct.end()) {
+        continue;
+      }
+      ++out.compared_be;
+      auto& counts = be_counts[rec.app_id];
+      // Violations beyond the 30 s tick quantization, at two severities.
+      counts.slower += rec.actual_completion_ticks > it->second * 1.05 + 1.0 ? 1 : 0;
+      counts.much_slower +=
+          rec.actual_completion_ticks > it->second * 1.20 + 1.0 ? 1 : 0;
+      ++counts.total;
+    }
+  }
+  if (out.compared_ls > 0) {
+    out.frac_no_degradation = static_cast<double>(no_degradation) / out.compared_ls;
+    out.frac_within_40pct = static_cast<double>(within_40) / out.compared_ls;
+  }
+  double acc = 0.0, acc_severe = 0.0;
+  int napps = 0;
+  for (const auto& [app, counts] : be_counts) {
+    if (counts.total >= 10) {
+      acc += static_cast<double>(counts.slower) / counts.total;
+      acc_severe += static_cast<double>(counts.much_slower) / counts.total;
+      ++napps;
+    }
+  }
+  out.be_violation_rate = napps > 0 ? acc / napps : 0.0;
+  out.be_violation_rate_severe = napps > 0 ? acc_severe / napps : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintFigureHeader("Fig. 20", "Pod performance relative to the reference");
+
+  const Workload workload =
+      WorkloadGenerator(bench::DefaultWorkloadConfig(96, 8 * kTicksPerHour)).Generate();
+  const SimConfig sim_config = bench::DefaultSimConfig();
+
+  AlibabaBaseline reference = bench::MakeReferenceScheduler();
+  const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+  const PerfBaseline ref_perf = ExtractPerf(ref_result);
+  core::OptumProfiles profiles = bench::BuildProfiles(ref_result.trace);
+
+  struct Row {
+    std::string name;
+    Comparison comparison;
+  };
+  std::vector<Row> rows;
+  {
+    auto p = MakeResourceCentralLike();
+    rows.push_back({p->name(), Compare(ref_perf, Simulator(workload, sim_config, *p).Run())});
+  }
+  {
+    auto p = MakeBorgLike();
+    rows.push_back({p->name(), Compare(ref_perf, Simulator(workload, sim_config, *p).Run())});
+  }
+  {
+    auto p = MakeNSigmaScheduler();
+    rows.push_back({p->name(), Compare(ref_perf, Simulator(workload, sim_config, *p).Run())});
+  }
+  {
+    Medea medea;
+    rows.push_back({medea.name(), Compare(ref_perf, Simulator(workload, sim_config, medea).Run())});
+  }
+  core::OptumScheduler optum(std::move(profiles));
+  SimConfig optum_config = sim_config;
+  optum_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+    optum.ObserveColocation(cluster, now);
+  };
+  rows.push_back({optum.name(), Compare(ref_perf, Simulator(workload, optum_config, optum).Run())});
+
+  std::printf("(a) LS pod PSI relative to the reference scheduler\n");
+  TablePrinter ls_table({"scheduler", "LS pods compared", "P(no degradation)",
+                         "P(increase <= 40%)"});
+  for (const Row& row : rows) {
+    ls_table.AddRow({row.name, FormatDouble(row.comparison.compared_ls, 9),
+                     FormatDouble(row.comparison.frac_no_degradation, 4),
+                     FormatDouble(row.comparison.frac_within_40pct, 4)});
+  }
+  ls_table.Print();
+  std::printf("Shape check (paper): under Optum >=97%% of LS pods see no degradation\n"
+              "and ~98%% stay within +40%%.\n\n");
+
+  std::printf("(b) BE completion-time violation rate (per-app average)\n");
+  TablePrinter be_table(
+      {"scheduler", "BE pods compared", ">5% slower", ">20% slower"});
+  for (const Row& row : rows) {
+    be_table.AddRow({row.name, FormatDouble(row.comparison.compared_be, 9),
+                     FormatDouble(row.comparison.be_violation_rate, 4),
+                     FormatDouble(row.comparison.be_violation_rate_severe, 4)});
+  }
+  be_table.Print();
+  std::printf(
+      "Shape check (paper): Optum's violation rate is the lowest (~1e-3). Our\n"
+      "live simulation exposes causal slowdowns on densely packed hosts that\n"
+      "the paper's trace-replay lookup cannot produce, so Optum (and N-sigma,\n"
+      "the other dense packer) shows mild (<20%%) slowdowns on a fraction of BE\n"
+      "pods; severe slowdowns stay rare. See EXPERIMENTS.md.\n\n");
+
+  std::printf("Scheduling delay under Optum (paper §5.4: < 10 s for all pods):\n"
+              "  max waiting time of scheduled pods = %.1f s\n",
+              rows.back().comparison.max_wait_seconds);
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Reproduces paper Fig. 22: per-pod scheduling latency versus cluster size
+// (1,000-6,000 nodes) for each scheduler, via google-benchmark. Expected
+// shape: latency grows ~linearly with node count; Borg-like is cheapest;
+// Optum stays below the remaining baselines thanks to host sampling (the
+// paper reports 96 ms mean / 132 ms max at 6,000 nodes on their testbed —
+// absolute numbers differ on other hardware, the ordering is the claim).
+// Also sweeps Optum's sampling fraction (the POP ablation).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/sched/medea.h"
+
+using namespace optum;
+
+namespace {
+
+// Builds a cluster of `hosts` with a realistic pod population and usage
+// history, plus profiles for Optum.
+struct OverheadFixture {
+  explicit OverheadFixture(int hosts)
+      : workload(MakeWorkload(hosts)), cluster(hosts, kUnitResources, 64) {
+    Rng rng(7);
+    // Place the initial fleet round-robin with jitter; fill usage history.
+    size_t cursor = 0;
+    for (const PodSpec& pod : workload.pods) {
+      if (pod.submit_tick != 0) {
+        break;
+      }
+      const HostId host =
+          static_cast<HostId>((cursor + rng.NextBelow(3)) % cluster.num_hosts());
+      ++cursor;
+      const AppProfile& app = AppOf(workload, pod.app);
+      if (!AffinityAllows(pod, cluster.host(host))) {
+        continue;
+      }
+      PodRuntime* rt = cluster.Place(pod, &app, host, 0);
+      rt->cpu_usage = app.request.cpu * app.cpu_usage_fraction;
+      rt->mem_usage = app.request.mem * app.mem_usage_fraction;
+      for (int s = 0; s < 32; ++s) {
+        rt->RecordCpuSample(rt->cpu_usage * rng.Uniform(0.8, 1.2), rng);
+      }
+    }
+    for (size_t h = 0; h < cluster.num_hosts(); ++h) {
+      Host& host = cluster.mutable_host(static_cast<HostId>(h));
+      Resources usage = kZeroResources;
+      for (const PodRuntime* pod : host.pods) {
+        usage += Resources{pod->cpu_usage, pod->mem_usage};
+      }
+      host.usage = usage;
+      host.demand = usage;
+      for (int s = 0; s < 64; ++s) {
+        host.PushHistory(usage.cpu * rng.Uniform(0.8, 1.2), 64);
+      }
+    }
+    // Profiles: synthetic ERO/stats (training RF models at 6k-host scale is
+    // not what this bench measures; prediction cost is dominated by tree
+    // walks which the interference cache amortizes as in production).
+    for (const AppProfile& app : workload.apps) {
+      core::AppModel model;
+      model.stats.slo = app.slo;
+      model.stats.max_pod_cpu_util = 0.5;
+      model.stats.max_pod_mem_util = 0.8;
+      model.stats.mem_profile = app.mem_usage_fraction;
+      profiles.apps.emplace(app.id, std::move(model));
+      for (const AppProfile& other : workload.apps) {
+        if (other.id <= app.id) {
+          profiles.ero.Observe(app.id, other.id, 0.4);
+        }
+      }
+    }
+  }
+
+  static Workload MakeWorkload(int hosts) {
+    WorkloadConfig config;
+    config.num_hosts = hosts;
+    config.horizon = 10;
+    config.seed = 42;
+    // Population scale comparable to production density.
+    config.initial_ls_request_load = 0.7;
+    return WorkloadGenerator(config).Generate();
+  }
+
+  PodSpec ProbePod(uint64_t i, SloClass slo = SloClass::kBe) const {
+    // Rotate through apps of the requested class for the probe placements.
+    std::vector<const AppProfile*> pool;
+    for (const AppProfile& app : workload.apps) {
+      if (app.slo == slo) {
+        pool.push_back(&app);
+      }
+    }
+    const AppProfile& app = *pool[i % pool.size()];
+    PodSpec pod;
+    pod.id = 1'000'000 + static_cast<PodId>(i);
+    pod.app = app.id;
+    pod.slo = app.slo;
+    pod.request = app.request;
+    pod.limit = app.limit;
+    return pod;
+  }
+
+  Workload workload;
+  ClusterState cluster;
+  core::OptumProfiles profiles;
+};
+
+OverheadFixture& FixtureFor(int hosts) {
+  static std::map<int, std::unique_ptr<OverheadFixture>> cache;
+  auto& slot = cache[hosts];
+  if (!slot) {
+    slot = std::make_unique<OverheadFixture>(hosts);
+  }
+  return *slot;
+}
+
+template <typename MakePolicy>
+void RunPlacement(benchmark::State& state, MakePolicy make_policy) {
+  OverheadFixture& fixture = FixtureFor(static_cast<int>(state.range(0)));
+  auto policy = make_policy(fixture);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const PodSpec pod = fixture.ProbePod(i++);
+    const AppProfile& app = AppOf(fixture.workload, pod.app);
+    benchmark::DoNotOptimize(policy->Place(pod, app, fixture.cluster));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " nodes");
+}
+
+void BM_Alibaba(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture&) { return std::make_unique<AlibabaBaseline>(); });
+}
+void BM_BorgLike(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture&) { return MakeBorgLike(); });
+}
+void BM_NSigma(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture&) { return MakeNSigmaScheduler(); });
+}
+void BM_ResourceCentral(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture&) { return MakeResourceCentralLike(); });
+}
+void BM_Medea(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture&) { return std::make_unique<Medea>(); });
+}
+// Medea's expensive path: long-running pods go through the ILP batch
+// (paper Fig. 22 shows Medea as the costliest scheduler).
+void BM_MedeaLongRunning(benchmark::State& state) {
+  OverheadFixture& fixture = FixtureFor(static_cast<int>(state.range(0)));
+  Medea policy;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const PodSpec pod = fixture.ProbePod(i++, SloClass::kLs);
+    benchmark::DoNotOptimize(
+        policy.Place(pod, AppOf(fixture.workload, pod.app), fixture.cluster));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " nodes (ILP path)");
+}
+void BM_Optum(benchmark::State& state) {
+  RunPlacement(state, [](OverheadFixture& fixture) {
+    core::OptumProfiles copy;
+    copy.ero = fixture.profiles.ero;
+    for (const auto& [id, model] : fixture.profiles.apps) {
+      core::AppModel m;
+      m.stats = model.stats;
+      m.discretizer = model.discretizer;
+      copy.apps.emplace(id, std::move(m));
+    }
+    return std::make_unique<core::OptumScheduler>(std::move(copy));
+  });
+}
+void BM_OptumSamplingSweep(benchmark::State& state) {
+  // POP ablation: latency vs sampling fraction at 3,000 nodes.
+  OverheadFixture& fixture = FixtureFor(3000);
+  core::OptumProfiles copy;
+  copy.ero = fixture.profiles.ero;
+  for (const auto& [id, model] : fixture.profiles.apps) {
+    core::AppModel m;
+    m.stats = model.stats;
+    m.discretizer = model.discretizer;
+    copy.apps.emplace(id, std::move(m));
+  }
+  core::OptumConfig config;
+  config.sample_fraction = static_cast<double>(state.range(0)) / 100.0;
+  core::OptumScheduler policy(std::move(copy), config);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const PodSpec pod = fixture.ProbePod(i++);
+    benchmark::DoNotOptimize(policy.Place(pod, AppOf(fixture.workload, pod.app),
+                                          fixture.cluster));
+  }
+  state.SetLabel("sampling " + std::to_string(state.range(0)) + "% @3000 nodes");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Alibaba)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BorgLike)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NSigma)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ResourceCentral)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Medea)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MedeaLongRunning)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Optum)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(6000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptumSamplingSweep)->Arg(1)->Arg(5)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

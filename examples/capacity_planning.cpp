@@ -1,0 +1,119 @@
+// Capacity planning: how many hosts does a fixed workload need under each
+// scheduler? Sweeps the cluster size downward and reports the smallest
+// cluster on which the workload still runs with every pod scheduled and a
+// bounded violation rate — the "save up to 15% of resources" claim viewed
+// from the other side.
+//
+// Usage: capacity_planning [max_hosts]
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+#include "src/common/table_printer.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+using namespace optum;
+
+namespace {
+
+struct Attempt {
+  bool feasible = false;
+  double util = 0.0;
+  double violation = 0.0;
+  int64_t pending = 0;
+};
+
+// Runs the workload (generated for `workload_hosts`) on a cluster of
+// `cluster_hosts` and checks whether it fits.
+Attempt TryCluster(const Workload& workload, int cluster_hosts,
+                   const std::function<std::unique_ptr<PlacementPolicy>()>& make_policy) {
+  Workload shrunk = workload;
+  shrunk.config.num_hosts = cluster_hosts;
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 8;
+  auto policy = make_policy();
+  const SimResult result = Simulator(shrunk, sim_config, *policy).Run();
+  Attempt a;
+  a.util = result.MeanCpuUtilNonIdle();
+  a.violation = result.violation_rate();
+  a.pending = result.never_scheduled_pods;
+  // Feasible: (almost) everything scheduled — a handful of stragglers
+  // submitted right before the horizon is tolerated — and violations
+  // bounded.
+  const int64_t straggler_budget =
+      std::max<int64_t>(5, static_cast<int64_t>(workload.pods.size() / 200));
+  a.feasible = result.never_scheduled_pods <= straggler_budget && a.violation < 0.01;
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_hosts = argc > 1 ? std::atoi(argv[1]) : 64;
+
+  WorkloadConfig config;
+  config.num_hosts = max_hosts;
+  config.horizon = kTicksPerDay / 2;
+  config.seed = 21;
+  const Workload workload = WorkloadGenerator(config).Generate();
+  std::printf("capacity planning: workload sized for %d hosts (%zu pods)\n", max_hosts,
+              workload.pods.size());
+
+  // Profile once from a reference run at full size.
+  AlibabaBaseline reference;
+  SimConfig ref_config;
+  ref_config.pod_usage_period = 5;
+  const SimResult ref_result = Simulator(workload, ref_config, reference).Run();
+  core::OfflineProfilerConfig prof_config;
+  prof_config.max_train_samples = 800;
+
+  TablePrinter table({"scheduler", "min hosts", "saving vs ref (%)", "util @ min",
+                      "violation @ min"});
+  int reference_min = -1;
+
+  struct Candidate {
+    std::string name;
+    std::function<std::unique_ptr<PlacementPolicy>()> make;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"Alibaba", [] { return std::make_unique<AlibabaBaseline>(); }});
+  candidates.push_back({"Borg-like", [] { return MakeBorgLike(); }});
+  candidates.push_back(
+      {"Optum", [&] {
+         core::OptumProfiles profiles =
+             core::OfflineProfiler(prof_config).BuildProfiles(ref_result.trace);
+         return std::make_unique<core::OptumScheduler>(std::move(profiles));
+       }});
+
+  for (const Candidate& candidate : candidates) {
+    int best = -1;
+    Attempt best_attempt;
+    // Downward sweep in 10% steps.
+    for (int hosts = max_hosts; hosts >= max_hosts / 2; hosts -= max_hosts / 10) {
+      const Attempt attempt = TryCluster(workload, hosts, candidate.make);
+      if (!attempt.feasible) {
+        break;
+      }
+      best = hosts;
+      best_attempt = attempt;
+    }
+    if (candidate.name == "Alibaba" && best > 0) {
+      reference_min = best;
+    }
+    const double saving = reference_min > 0 && best > 0
+                              ? (1.0 - static_cast<double>(best) / reference_min) * 100.0
+                              : 0.0;
+    table.AddRow({candidate.name, best < 0 ? "-" : FormatDouble(best, 4),
+                  FormatDouble(saving, 3), FormatDouble(best_attempt.util, 3),
+                  FormatDouble(best_attempt.violation, 3)});
+  }
+  table.Print();
+  std::printf("\nA scheduler that packs better runs the same workload on fewer hosts;\n"
+              "the paper reports Optum saving up to 15%% of resources.\n");
+  return 0;
+}

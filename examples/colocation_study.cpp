@@ -1,0 +1,108 @@
+// Colocation study: runs the same unified workload through every scheduler
+// in the library and compares utilization, violations, queueing, and pod
+// performance — a miniature of the paper's §5 evaluation.
+//
+// Usage: colocation_study [hosts] [hours]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/common/table_printer.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sched/medea.h"
+#include "src/sim/simulator.h"
+#include "src/stats/descriptive.h"
+#include "src/trace/workload_generator.h"
+
+using namespace optum;
+
+namespace {
+
+struct StudyRow {
+  std::string name;
+  SimResult result;
+};
+
+void Report(TablePrinter& table, const StudyRow& row, double ref_util) {
+  std::vector<double> be_waits;
+  double max_psi_sum = 0;
+  int64_t ls_pods = 0;
+  for (const auto& rec : row.result.trace.lifecycles) {
+    if (rec.slo == SloClass::kBe && rec.schedule_tick >= 0) {
+      be_waits.push_back(rec.waiting_seconds);
+    } else if (IsLatencySensitive(rec.slo) && rec.schedule_tick >= 0) {
+      max_psi_sum += rec.max_cpu_psi;
+      ++ls_pods;
+    }
+  }
+  const double util = row.result.MeanCpuUtilNonIdle();
+  table.AddRow({row.name, FormatDouble(util, 4),
+                FormatDouble((util / ref_util - 1.0) * 100.0, 3),
+                FormatDouble(row.result.violation_rate(), 3),
+                FormatDouble(be_waits.empty() ? 0.0 : Percentile(be_waits, 95), 4),
+                FormatDouble(ls_pods > 0 ? max_psi_sum / ls_pods : 0.0, 3),
+                FormatDouble(row.result.never_scheduled_pods, 9)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int hosts = argc > 1 ? std::atoi(argv[1]) : 64;
+  const Tick horizon = (argc > 2 ? std::atoi(argv[2]) : 12) * kTicksPerHour;
+
+  WorkloadConfig config;
+  config.num_hosts = hosts;
+  config.horizon = horizon;
+  config.seed = 42;
+  const Workload workload = WorkloadGenerator(config).Generate();
+  std::printf("colocation study: %d hosts, %lld ticks, %zu pods\n", hosts,
+              static_cast<long long>(horizon), workload.pods.size());
+
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+  sim_config.max_attempts_per_tick = 1500;
+
+  std::vector<StudyRow> rows;
+  AlibabaBaseline reference;
+  rows.push_back({"Alibaba (ref)", Simulator(workload, sim_config, reference).Run()});
+  {
+    auto p = MakeBorgLike();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    auto p = MakeNSigmaScheduler();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    auto p = MakeResourceCentralLike();
+    rows.push_back({p->name(), Simulator(workload, sim_config, *p).Run()});
+  }
+  {
+    Medea medea;
+    rows.push_back({medea.name(), Simulator(workload, sim_config, medea).Run()});
+  }
+  {
+    core::OfflineProfilerConfig prof_config;
+    prof_config.max_train_samples = 1000;
+    core::OptumProfiles profiles =
+        core::OfflineProfiler(prof_config).BuildProfiles(rows.front().result.trace);
+    auto optum = std::make_unique<core::OptumScheduler>(std::move(profiles));
+    SimConfig optum_config = sim_config;
+    core::OptumScheduler* raw = optum.get();
+    optum_config.on_tick_end = [raw](const ClusterState& cluster, Tick now) {
+      raw->ObserveColocation(cluster, now);
+    };
+    rows.push_back({optum->name(), Simulator(workload, optum_config, *optum).Run()});
+  }
+
+  TablePrinter table({"scheduler", "cpu util", "improve(%)", "violation", "BE wait p95(s)",
+                      "LS mean maxPSI", "pending@end"});
+  const double ref_util = rows.front().result.MeanCpuUtilNonIdle();
+  for (const StudyRow& row : rows) {
+    Report(table, row, ref_util);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Distributed unified scheduling (paper §4.4): several Online Schedulers
+// decide in parallel over one burst of pods; the Deployment Module commits
+// only the highest-scoring pod per contended host and re-dispatches the
+// rest. This example schedules one arrival burst with 1, 2, 4, and 8
+// parallel schedulers and reports conflicts, rounds, and placement quality.
+//
+// Usage: distributed_schedulers [hosts] [burst_size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table_printer.h"
+#include "src/core/distributed.h"
+#include "src/core/offline_profiler.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+using namespace optum;
+
+int main(int argc, char** argv) {
+  const int hosts = argc > 1 ? std::atoi(argv[1]) : 64;
+  const size_t burst = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 400;
+
+  // Profile from a short reference run, as usual.
+  WorkloadConfig config;
+  config.num_hosts = hosts;
+  config.horizon = kTicksPerDay / 4;
+  config.seed = 17;
+  const Workload workload = WorkloadGenerator(config).Generate();
+  AlibabaBaseline reference;
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+  const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+  core::OfflineProfilerConfig prof_config;
+  prof_config.max_train_samples = 600;
+  const core::OptumProfiles profiles =
+      core::OfflineProfiler(prof_config).BuildProfiles(ref_result.trace);
+
+  // The burst: the first `burst` BE pods of the workload.
+  std::vector<const PodSpec*> batch;
+  for (const PodSpec& pod : workload.pods) {
+    if (pod.slo == SloClass::kBe) {
+      batch.push_back(&pod);
+      if (batch.size() == burst) {
+        break;
+      }
+    }
+  }
+  std::printf("distributed scheduling: %d hosts, burst of %zu BE pods\n", hosts,
+              batch.size());
+
+  TablePrinter table({"schedulers", "placed", "unplaced", "conflicts", "rounds",
+                      "max pods on one host"});
+  for (const size_t k : {1u, 2u, 4u, 8u}) {
+    // Fresh cluster per configuration, pre-loaded with the LS fleet.
+    ClusterState cluster(hosts, kUnitResources, 32);
+    Rng spread(3);
+    for (const PodSpec& pod : workload.pods) {
+      if (pod.submit_tick != 0 || pod.slo == SloClass::kBe) {
+        continue;
+      }
+      const AppProfile& app = AppOf(workload, pod.app);
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const HostId host = static_cast<HostId>(spread.NextBelow(hosts));
+        if (AffinityAllows(pod, cluster.host(host)) &&
+            cluster.host(host).request_sum.cpu + pod.request.cpu <= 1.2) {
+          PodRuntime* rt = cluster.Place(pod, &app, host, 0);
+          rt->cpu_usage = app.request.cpu * app.cpu_usage_fraction;
+          rt->mem_usage = app.request.mem * app.mem_usage_fraction;
+          break;
+        }
+      }
+    }
+
+    core::DistributedConfig dist_config;
+    dist_config.num_schedulers = k;
+    core::DistributedCoordinator coordinator(profiles, dist_config);
+    const core::DistributedOutcome outcome = coordinator.ScheduleBatch(
+        batch, cluster, [&](const core::ScheduleProposal& winner) {
+          // Apply the placement so the next round sees the new state.
+          const PodSpec* pod = nullptr;
+          for (const PodSpec* candidate : batch) {
+            if (candidate->id == winner.pod) {
+              pod = candidate;
+              break;
+            }
+          }
+          cluster.Place(*pod, &AppOf(workload, pod->app), winner.host, 1);
+        });
+
+    size_t max_on_host = 0;
+    for (const Host& h : cluster.hosts()) {
+      max_on_host = std::max(max_on_host, h.pods.size());
+    }
+    table.AddRow({FormatDouble(k, 3), FormatDouble(outcome.placed.size(), 9),
+                  FormatDouble(outcome.unplaced.size(), 9),
+                  FormatDouble(outcome.conflicts_resolved, 9),
+                  FormatDouble(outcome.rounds_used, 9), FormatDouble(max_on_host, 9)});
+  }
+  table.Print();
+  std::printf("\nWith more parallel schedulers, same-round conflicts appear (several\n"
+              "shards pick the same high-scoring host) and are resolved by the\n"
+              "Deployment Module: the best-scoring pod commits, losers re-dispatch\n"
+              "to the next round (paper §4.4).\n");
+  return 0;
+}

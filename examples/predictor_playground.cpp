@@ -1,0 +1,114 @@
+// Predictor playground: generates a trace, persists it to CSV, reloads it,
+// profiles applications offline (ERO table + interference models), and
+// inspects the resulting profiles — the full offline half of Optum.
+//
+// Usage: predictor_playground [trace_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/table_printer.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/resource_usage_predictor.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/workload_generator.h"
+
+using namespace optum;
+
+int main(int argc, char** argv) {
+  const std::string trace_dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() / "optum_playground").string();
+
+  // 1) Generate a workload and record a trace under the reference scheduler.
+  WorkloadConfig config;
+  config.num_hosts = 48;
+  config.horizon = kTicksPerDay / 2;
+  config.seed = 7;
+  const Workload workload = WorkloadGenerator(config).Generate();
+  AlibabaBaseline scheduler;
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+  const SimResult result = Simulator(workload, sim_config, scheduler).Run();
+  std::printf("simulated %zu pods; %zu pod-usage records\n", workload.pods.size(),
+              result.trace.pod_usage.size());
+
+  // 2) Persist and reload the trace (the CSV layout mirrors the Alibaba
+  //    trace fields, so real trace data can be dropped in here).
+  if (!WriteTraceBundle(result.trace, trace_dir)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", trace_dir.c_str());
+    return 1;
+  }
+  TraceBundle loaded;
+  if (!ReadTraceBundle(trace_dir, &loaded)) {
+    std::fprintf(stderr, "failed to reload trace from %s\n", trace_dir.c_str());
+    return 1;
+  }
+  std::printf("trace persisted to %s and reloaded (%zu usage records)\n",
+              trace_dir.c_str(), loaded.pod_usage.size());
+
+  // 3) Offline profiling on the reloaded trace.
+  core::OfflineProfilerConfig prof_config;
+  prof_config.max_train_samples = 1000;
+  core::OfflineProfiler profiler(prof_config);
+  const core::OptumProfiles profiles = profiler.BuildProfiles(loaded);
+
+  // 4) Inspect: ERO distribution and a few application profiles.
+  double ero_sum = 0;
+  double ero_min = 1.0;
+  int ero_n = 0;
+  for (const AppProfile& a : workload.apps) {
+    for (const AppProfile& b : workload.apps) {
+      if (a.id <= b.id && profiles.ero.Contains(a.id, b.id)) {
+        const double v = profiles.ero.Get(a.id, b.id);
+        ero_sum += v;
+        ero_min = std::min(ero_min, v);
+        ++ero_n;
+      }
+    }
+  }
+  std::printf("\nERO table: %d observed pairs, mean %.3f, min %.3f "
+              "(unseen pairs default to 1.0)\n",
+              ero_n, ero_sum / ero_n, ero_min);
+
+  TablePrinter table({"app", "class", "samples", "mem profile", "holdout MAPE",
+                      "has model"});
+  int shown = 0;
+  for (const AppProfile& app : workload.apps) {
+    const core::AppModel* model = profiles.Find(app.id);
+    if (model == nullptr || shown >= 12) {
+      continue;
+    }
+    ++shown;
+    table.AddRow({FormatDouble(app.id, 4), ToString(app.slo),
+                  FormatDouble(model->stats.sample_count, 9),
+                  FormatDouble(model->stats.mem_profile, 3),
+                  model->holdout_mape < 0 ? "-" : FormatDouble(model->holdout_mape, 3),
+                  model->usable() ? "yes" : "no"});
+  }
+  table.Print();
+
+  // 5) Demonstrate the pairwise usage predictor on a synthetic host.
+  ClusterState cluster(1, kUnitResources, 16);
+  core::ResourceUsagePredictor predictor(&profiles);
+  double request_sum = 0.0;
+  std::printf("\nPacking pods onto one host; POC vs sum(requests):\n");
+  for (int i = 0; i < 12; ++i) {
+    const AppProfile& app = workload.apps[static_cast<size_t>(i * 7 % workload.apps.size())];
+    PodSpec pod;
+    pod.id = 1000 + i;
+    pod.app = app.id;
+    pod.slo = app.slo;
+    pod.request = app.request;
+    pod.limit = app.limit;
+    cluster.Place(pod, &app, 0, 0);
+    request_sum += app.request.cpu;
+    const Resources poc = predictor.PredictHost(cluster.host(0), nullptr);
+    std::printf("  pods=%2d  sum(requests)=%.3f  POC=%.3f  (saves %.0f%%)\n", i + 1,
+                request_sum, poc.cpu, (1.0 - poc.cpu / request_sum) * 100.0);
+  }
+  std::printf("\nEq. 3 in action: the pairwise peak estimate stays well below the\n"
+              "request sum, which is the headroom Optum converts into utilization.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Lightweight CHECK macros. Failures abort with file/line context; these are
+// programmer-error assertions, not recoverable error handling, so they stay
+// enabled in release builds (Core Guidelines I.6 / E.12 spirit: contracts
+// that must not be silently violated in a scheduler controlling placement).
+#ifndef OPTUM_SRC_COMMON_CHECK_H_
+#define OPTUM_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OPTUM_CHECK(cond)                                                               \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__);   \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#define OPTUM_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg, __FILE__,    \
+                   __LINE__);                                                           \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#define OPTUM_CHECK_GE(a, b) OPTUM_CHECK((a) >= (b))
+#define OPTUM_CHECK_GT(a, b) OPTUM_CHECK((a) > (b))
+#define OPTUM_CHECK_LE(a, b) OPTUM_CHECK((a) <= (b))
+#define OPTUM_CHECK_LT(a, b) OPTUM_CHECK((a) < (b))
+#define OPTUM_CHECK_EQ(a, b) OPTUM_CHECK((a) == (b))
+#define OPTUM_CHECK_NE(a, b) OPTUM_CHECK((a) != (b))
+
+#endif  // OPTUM_SRC_COMMON_CHECK_H_

@@ -1,0 +1,78 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace optum {
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    if (body.empty()) {
+      return false;
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --name value form, unless the next token is another flag (then it is
+    // a boolean switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+  return true;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string FlagParser::GetString(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end != it->second.c_str() && *end == '\0' ? static_cast<int64_t>(v) : def;
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() && *end == '\0' ? v : def;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    return false;
+  }
+  return def;
+}
+
+}  // namespace optum

@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the CLI tools: --name=value and
+// --name value forms, with typed accessors and an auto-generated usage
+// string. Deliberately tiny — no registry globals, no abbreviations.
+#ifndef OPTUM_SRC_COMMON_FLAGS_H_
+#define OPTUM_SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optum {
+
+class FlagParser {
+ public:
+  // Parses argv. Unrecognized tokens that do not start with "--" are kept
+  // as positional arguments. Returns false on malformed input ("--" with
+  // no name, or a value-less flag at the end used with --name value form
+  // is treated as boolean true).
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed accessors with defaults; malformed numbers return the default.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // All parsed flags, for diagnostics.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_COMMON_FLAGS_H_

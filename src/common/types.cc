@@ -1,0 +1,31 @@
+#include "src/common/types.h"
+
+#include <cstdio>
+
+namespace optum {
+
+const char* ToString(SloClass slo) {
+  switch (slo) {
+    case SloClass::kBe:
+      return "BE";
+    case SloClass::kLs:
+      return "LS";
+    case SloClass::kLsr:
+      return "LSR";
+    case SloClass::kSystem:
+      return "SYSTEM";
+    case SloClass::kVmEnv:
+      return "VMEnv";
+    case SloClass::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+std::string Resources::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{cpu=%.4f, mem=%.4f}", cpu, mem);
+  return buf;
+}
+
+}  // namespace optum

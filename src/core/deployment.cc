@@ -1,0 +1,36 @@
+#include "src/core/deployment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace optum::core {
+
+DeploymentOutcome DeploymentModule::Resolve(
+    std::vector<ScheduleProposal> proposals) const {
+  // Winner per host: highest score, ties to the lowest pod id.
+  std::unordered_map<HostId, size_t> winner;
+  winner.reserve(proposals.size());
+  for (size_t i = 0; i < proposals.size(); ++i) {
+    const auto [it, inserted] = winner.try_emplace(proposals[i].host, i);
+    if (inserted) {
+      continue;
+    }
+    const ScheduleProposal& incumbent = proposals[it->second];
+    const ScheduleProposal& challenger = proposals[i];
+    if (challenger.score > incumbent.score ||
+        (challenger.score == incumbent.score && challenger.pod < incumbent.pod)) {
+      it->second = i;
+    }
+  }
+  DeploymentOutcome out;
+  for (size_t i = 0; i < proposals.size(); ++i) {
+    if (winner.at(proposals[i].host) == i) {
+      out.committed.push_back(proposals[i]);
+    } else {
+      out.redispatched.push_back(proposals[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace optum::core

@@ -1,0 +1,35 @@
+// Deployment Module (paper §4.4). When several distributed Online
+// Schedulers place pods in parallel, two pods can land on the same host in
+// the same round; the Deployment Module commits only the pod with the
+// highest Eq. 11 score per host and re-dispatches the rest.
+#ifndef OPTUM_SRC_CORE_DEPLOYMENT_H_
+#define OPTUM_SRC_CORE_DEPLOYMENT_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace optum::core {
+
+struct ScheduleProposal {
+  PodId pod = kInvalidPodId;
+  HostId host = kInvalidHostId;
+  double score = 0.0;
+};
+
+struct DeploymentOutcome {
+  std::vector<ScheduleProposal> committed;    // at most one per host
+  std::vector<ScheduleProposal> redispatched; // losers, back to schedulers
+};
+
+class DeploymentModule {
+ public:
+  // Resolves one round of proposals. Proposals targeting distinct hosts all
+  // commit; for each contended host only the highest score commits (ties
+  // break toward the lower pod id for determinism).
+  DeploymentOutcome Resolve(std::vector<ScheduleProposal> proposals) const;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_DEPLOYMENT_H_

@@ -1,0 +1,127 @@
+#include "src/core/distributed.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/check.h"
+
+namespace optum::core {
+
+DistributedCoordinator::DistributedCoordinator(const OptumProfiles& profiles,
+                                               DistributedConfig config)
+    : pool_(std::max<size_t>(1, config.num_schedulers)),
+      max_attempts_per_pod_(std::max<size_t>(1, config.max_attempts_per_pod)) {
+  OPTUM_CHECK_GE(config.num_schedulers, 1u);
+  shards_.reserve(config.num_schedulers);
+  for (size_t i = 0; i < config.num_schedulers; ++i) {
+    OptumConfig shard_config = config.scheduler_config;
+    // Salt the sampling seed so shards examine different host subsets —
+    // conflicts stay possible (hot hosts score high for everyone) but the
+    // shards do not trivially collide on every decision.
+    shard_config.seed = config.scheduler_config.seed + 0x9e3779b9u * (i + 1);
+    // Scoring inside a shard is already parallelized across its candidates
+    // only when requested; shards themselves run concurrently here.
+    shard_config.num_threads = 0;
+    shards_.push_back(std::make_unique<OptumScheduler>(profiles, shard_config));
+  }
+}
+
+DistributedCoordinator::~DistributedCoordinator() = default;
+
+DistributedOutcome DistributedCoordinator::ScheduleBatch(
+    const std::vector<const PodSpec*>& pods, const ClusterState& cluster,
+    const std::function<void(const ScheduleProposal&)>& commit) {
+  DistributedOutcome outcome;
+
+  struct PendingEntry {
+    const PodSpec* pod = nullptr;
+    size_t attempts = 0;
+    WaitReason last_reason = WaitReason::kOther;
+  };
+  // Per-shard FIFO queues: round-robin split of the batch.
+  const size_t num_shards = shards_.size();
+  std::vector<std::deque<PendingEntry>> queues(num_shards);
+  for (size_t i = 0; i < pods.size(); ++i) {
+    OPTUM_CHECK(pods[i] != nullptr);
+    queues[i % num_shards].push_back(PendingEntry{pods[i]});
+  }
+
+  auto any_pending = [&queues] {
+    for (const auto& q : queues) {
+      if (!q.empty()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (any_pending()) {
+    ++outcome.rounds_used;
+
+    // Phase 1 (parallel): each shard decides for the pod at the head of
+    // its own queue, all against the same cluster snapshot — the moment a
+    // conflict can occur in a fleet of parallel schedulers.
+    struct ShardDecision {
+      bool active = false;
+      PendingEntry entry;
+      PlacementDecision decision;
+      double score = 0.0;
+    };
+    std::vector<ShardDecision> decisions(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (queues[s].empty()) {
+        continue;
+      }
+      decisions[s].active = true;
+      decisions[s].entry = queues[s].front();
+      queues[s].pop_front();
+      pool_.Submit([&, s] {
+        decisions[s].decision =
+            shards_[s]->PlaceScored(*decisions[s].entry.pod, cluster, &decisions[s].score);
+      });
+    }
+    pool_.Wait();
+
+    // Phase 2 (sequential): conflict resolution, commits, re-dispatch.
+    std::vector<ScheduleProposal> proposals;
+    for (const ShardDecision& d : decisions) {
+      if (d.active && d.decision.placed()) {
+        proposals.push_back(ScheduleProposal{d.entry.pod->id, d.decision.host, d.score});
+      }
+    }
+    const DeploymentOutcome resolved = deployment_.Resolve(std::move(proposals));
+    for (const ScheduleProposal& winner : resolved.committed) {
+      commit(winner);
+      outcome.placed.push_back(winner);
+    }
+    outcome.conflicts_resolved += static_cast<int64_t>(resolved.redispatched.size());
+
+    auto requeue = [&](size_t shard, PendingEntry entry, WaitReason reason) {
+      entry.last_reason = reason;
+      if (++entry.attempts >= max_attempts_per_pod_) {
+        outcome.unplaced.emplace_back(entry.pod, entry.last_reason);
+        return;
+      }
+      queues[shard].push_back(entry);
+    };
+    for (size_t s = 0; s < num_shards; ++s) {
+      const ShardDecision& d = decisions[s];
+      if (!d.active) {
+        continue;
+      }
+      if (!d.decision.placed()) {
+        requeue(s, d.entry, d.decision.reason);
+        continue;
+      }
+      const bool committed = std::any_of(
+          resolved.committed.begin(), resolved.committed.end(),
+          [&](const ScheduleProposal& p) { return p.pod == d.entry.pod->id; });
+      if (!committed) {
+        requeue(s, d.entry, WaitReason::kOther);  // lost the conflict
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace optum::core

@@ -1,0 +1,76 @@
+// Distributed unified scheduling (paper §4.4): "When the data center scale
+// is very large, the resource management system may include multiple
+// distributed unified schedulers that work in parallel, and each scheduler
+// is responsible for scheduling a portion of submitted pods." Decisions can
+// conflict — pods landing on the same host simultaneously invalidate each
+// other's usage/interference predictions — so the Deployment Module commits
+// only the highest-scoring pod per host and re-dispatches the rest.
+//
+// DistributedCoordinator shards a batch of pending pods round-robin across
+// K independent OptumScheduler instances, runs their decisions in parallel
+// against a shared read-only cluster snapshot, resolves conflicts, and
+// loops re-dispatched pods until the batch is placed or stably rejected.
+#ifndef OPTUM_SRC_CORE_DISTRIBUTED_H_
+#define OPTUM_SRC_CORE_DISTRIBUTED_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/deployment.h"
+#include "src/core/optum_scheduler.h"
+
+namespace optum::core {
+
+struct DistributedConfig {
+  // Number of parallel Online Schedulers.
+  size_t num_schedulers = 4;
+  // Placement attempts per pod (rejections and lost conflicts both count)
+  // before the pod is returned as unplaced.
+  size_t max_attempts_per_pod = 4;
+  // Configuration template for each shard scheduler; the seed is salted
+  // per shard so the shards sample different host subsets.
+  OptumConfig scheduler_config;
+};
+
+struct DistributedOutcome {
+  // One entry per pod placed this batch, in commit order.
+  std::vector<ScheduleProposal> placed;
+  // Pods no shard could place (resource shortage), with the last reason.
+  std::vector<std::pair<const PodSpec*, WaitReason>> unplaced;
+  // Conflicts resolved across all rounds (re-dispatched proposals).
+  int64_t conflicts_resolved = 0;
+  int64_t rounds_used = 0;
+};
+
+class DistributedCoordinator {
+ public:
+  // Each shard receives its own copy of `profiles` (trained models are
+  // shared immutably), so shard decisions are safely parallel.
+  DistributedCoordinator(const OptumProfiles& profiles, DistributedConfig config);
+  ~DistributedCoordinator();
+
+  // Schedules a batch. Each shard works through its own slice of the batch
+  // one pod at a time — exactly one in-flight decision per shard per round,
+  // as in a real fleet of parallel schedulers — and `commit` is invoked for
+  // every winning proposal, in order; it must apply the placement to the
+  // cluster so the next round's decisions see the updated state. The
+  // coordinator never mutates the cluster itself.
+  DistributedOutcome ScheduleBatch(
+      const std::vector<const PodSpec*>& pods, const ClusterState& cluster,
+      const std::function<void(const ScheduleProposal&)>& commit);
+
+  size_t num_schedulers() const { return shards_.size(); }
+  OptumScheduler& shard(size_t i) { return *shards_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<OptumScheduler>> shards_;
+  DeploymentModule deployment_;
+  ThreadPool pool_;
+  size_t max_attempts_per_pod_;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_DISTRIBUTED_H_

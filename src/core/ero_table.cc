@@ -1,0 +1,61 @@
+#include "src/core/ero_table.h"
+
+#include <algorithm>
+
+namespace optum {
+
+uint64_t EroTable::Key(AppId a, AppId b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+void EroTable::Observe(AppId a, AppId b, double ratio) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  auto [it, inserted] = table_.try_emplace(Key(a, b), ratio);
+  if (!inserted && ratio > it->second) {
+    it->second = ratio;
+  }
+}
+
+double EroTable::Get(AppId a, AppId b) const {
+  const auto it = table_.find(Key(a, b));
+  return it == table_.end() ? 1.0 : it->second;
+}
+
+bool EroTable::Contains(AppId a, AppId b) const {
+  return table_.find(Key(a, b)) != table_.end();
+}
+
+uint64_t EroTable::TripleKey(AppId a, AppId b, AppId c) {
+  // Sort the three ids, then pack into 20-bit fields (app ids are dense and
+  // far below 2^20 in any realistic deployment).
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  constexpr uint64_t kMask = (1ULL << 20) - 1;
+  return ((static_cast<uint64_t>(static_cast<uint32_t>(a)) & kMask) << 40) |
+         ((static_cast<uint64_t>(static_cast<uint32_t>(b)) & kMask) << 20) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(c)) & kMask);
+}
+
+void EroTable::ObserveTriple(AppId a, AppId b, AppId c, double ratio) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  auto [it, inserted] = triple_table_.try_emplace(TripleKey(a, b, c), ratio);
+  if (!inserted && ratio > it->second) {
+    it->second = ratio;
+  }
+}
+
+double EroTable::GetTriple(AppId a, AppId b, AppId c) const {
+  const auto it = triple_table_.find(TripleKey(a, b, c));
+  return it == triple_table_.end() ? -1.0 : it->second;
+}
+
+bool EroTable::ContainsTriple(AppId a, AppId b, AppId c) const {
+  return triple_table_.find(TripleKey(a, b, c)) != triple_table_.end();
+}
+
+}  // namespace optum

@@ -1,0 +1,66 @@
+// Pairwise Effective Resource usage cOefficient table (paper §4.2.2).
+//
+// For applications A and B, ERO(A, B) is the maximum over time and over all
+// co-located pod pairs (p in A, q in B) of
+//     RO_{p,q}(t) = (Cu_p(t) + Cu_q(t)) / (Cr_p + Cr_q)  <= 1,
+// i.e. the worst observed joint usage-to-request ratio. The key insight
+// (Eq. 3) is that the peak of a sum is far below the sum of peaks, so ERO
+// yields much tighter usage predictions than per-pod peak methods.
+// Unseen application pairs default to 1.0 (fully conservative).
+#ifndef OPTUM_SRC_CORE_ERO_TABLE_H_
+#define OPTUM_SRC_CORE_ERO_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace optum {
+
+class EroTable {
+ public:
+  // Records one co-location observation; keeps the running maximum.
+  // ratio must already be RO_{p,q}(t); values are clamped to [0, 1].
+  void Observe(AppId a, AppId b, double ratio);
+
+  // ERO(A, B); symmetric; 1.0 for never-observed pairs.
+  double Get(AppId a, AppId b) const;
+
+  // Returns true when the pair has at least one observation.
+  bool Contains(AppId a, AppId b) const;
+
+  size_t size() const { return table_.size(); }
+
+  // ---- Triple-wise extension (paper §4.2.2) --------------------------------
+  // "ERO can also be extended to a triple-wise metric, under which the
+  // profiling of resource usage is performed for each combination of three
+  // applications and achieve more precise resource utilization prediction.
+  // However, it can incur large profiling overhead."
+  //
+  // Triples are optional: when a triple has never been observed, the
+  // Resource Usage Predictor falls back to the tightest request-weighted
+  // combination of one pairwise ERO plus the leftover pod's full request
+  // (the same bound the pairwise predictor would use).
+
+  // Records a joint observation of three co-located pods (order-free).
+  void ObserveTriple(AppId a, AppId b, AppId c, double ratio);
+
+  // ERO(A, B, C): the observed triple maximum, or a negative value when
+  // the triple has never been observed.
+  double GetTriple(AppId a, AppId b, AppId c) const;
+
+  bool ContainsTriple(AppId a, AppId b, AppId c) const;
+
+  size_t triple_size() const { return triple_table_.size(); }
+
+ private:
+  static uint64_t Key(AppId a, AppId b);
+  static uint64_t TripleKey(AppId a, AppId b, AppId c);
+
+  std::unordered_map<uint64_t, double> table_;
+  std::unordered_map<uint64_t, double> triple_table_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_CORE_ERO_TABLE_H_

@@ -1,0 +1,171 @@
+#include "src/core/interference_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum::core {
+
+InterferencePredictor::InterferencePredictor(const OptumProfiles* profiles,
+                                             size_t cache_buckets)
+    : profiles_(profiles), cache_buckets_(cache_buckets) {
+  OPTUM_CHECK(profiles != nullptr);
+  OPTUM_CHECK_GT(cache_buckets, 0u);
+}
+
+uint64_t InterferencePredictor::CacheKey(AppId app, double cpu, double mem,
+                                         size_t buckets) const {
+  const auto bucket = [buckets](double v) {
+    const double clamped = std::clamp(v, 0.0, 2.0) / 2.0;
+    return static_cast<uint64_t>(clamped * static_cast<double>(buckets - 1));
+  };
+  return (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
+         (bucket(cpu) << 16) | bucket(mem);
+}
+
+double InterferencePredictor::PredictImpl(AppId app, double host_cpu_util,
+                                          double host_mem_util) const {
+  const AppModel* model = profiles_->Find(app);
+  if (model == nullptr || !model->usable()) {
+    return 0.0;
+  }
+  const AppStats& s = model->stats;
+  if (IsLatencySensitive(s.slo)) {
+    // Eq. 9: f_S(C^m_p, M^m_p, POC/Cap, POM/Cap, Q^m). QPS enters as the
+    // app's maximum, i.e. 1.0 after normalization.
+    const double features[kLsFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
+                                              host_cpu_util, host_mem_util, 1.0};
+    return model->model->Predict(features);
+  }
+  // Eq. 10: f_B(C^m_q, M^m_q, POC/Cap, POM/Cap).
+  const double features[kBeFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
+                                            host_cpu_util, host_mem_util};
+  return model->model->Predict(features);
+}
+
+double InterferencePredictor::PredictRaw(AppId app, double host_cpu_util,
+                                         double host_mem_util) const {
+  const AppModel* model = profiles_->Find(app);
+  if (model == nullptr || !model->usable()) {
+    return 0.0;
+  }
+  // Fine grid (8x the coarse one) so slope estimation sees real variation.
+  const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_ * 8);
+  if (const auto it = raw_cache_.find(key); it != raw_cache_.end()) {
+    return it->second;
+  }
+  const double prediction = PredictImpl(app, host_cpu_util, host_mem_util);
+  raw_cache_.emplace(key, prediction);
+  return prediction;
+}
+
+double InterferencePredictor::Predict(AppId app, double host_cpu_util,
+                                      double host_mem_util) const {
+  const AppModel* model = profiles_->Find(app);
+  if (model == nullptr || !model->usable()) {
+    return 0.0;
+  }
+  const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+  const double prediction =
+      model->discretizer.ToUpperBound(PredictImpl(app, host_cpu_util, host_mem_util));
+  cache_.emplace(key, prediction);
+  return prediction;
+}
+
+double InterferencePredictor::TotalInterference(const Host& host, const PodSpec& incoming,
+                                                double host_cpu_util, double host_mem_util,
+                                                double weight_ls, double weight_be) const {
+  // Count pods per application, then one prediction per application.
+  // Hosts run at most ~100 pods, so a small flat map suffices.
+  struct AppCount {
+    AppId app;
+    SloClass slo;
+    int count;
+  };
+  std::vector<AppCount> counts;
+  counts.reserve(host.pods.size() + 1);
+  auto bump = [&counts](AppId app, SloClass slo) {
+    for (auto& c : counts) {
+      if (c.app == app) {
+        ++c.count;
+        return;
+      }
+    }
+    counts.push_back(AppCount{app, slo, 1});
+  };
+  for (const PodRuntime* pod : host.pods) {
+    bump(pod->spec.app, pod->spec.slo);
+  }
+  bump(incoming.app, incoming.slo);
+
+  double total = 0.0;
+  for (const auto& c : counts) {
+    const double ri = Predict(c.app, host_cpu_util, host_mem_util);
+    if (ri == 0.0) {
+      continue;
+    }
+    const double weight = IsLatencySensitive(c.slo) ? weight_ls
+                          : c.slo == SloClass::kBe  ? weight_be
+                                                    : 0.0;
+    total += weight * ri * static_cast<double>(c.count);
+  }
+  return total;
+}
+
+double InterferencePredictor::MarginalInterference(
+    const Host& host, const PodSpec& incoming, double cpu_util_before,
+    double mem_util_before, double cpu_util_after, double mem_util_after,
+    double weight_ls, double weight_be) const {
+  auto weight_of = [&](SloClass slo) {
+    return IsLatencySensitive(slo) ? weight_ls : slo == SloClass::kBe ? weight_be : 0.0;
+  };
+  struct AppCount {
+    AppId app;
+    SloClass slo;
+    int count;
+  };
+  std::vector<AppCount> counts;
+  counts.reserve(host.pods.size());
+  for (const PodRuntime* pod : host.pods) {
+    bool merged = false;
+    for (auto& c : counts) {
+      if (c.app == pod->spec.app) {
+        ++c.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      counts.push_back(AppCount{pod->spec.app, pod->spec.slo, 1});
+    }
+  }
+  // Wide-span finite difference: a single pod's utilization delta is far
+  // below tree granularity, so the slope is sampled over +-kSlopeSpan and
+  // rescaled to the actual delta.
+  constexpr double kSlopeSpan = 0.06;
+  const double cpu_delta = std::max(0.0, cpu_util_after - cpu_util_before);
+  double total = 0.0;
+  for (const auto& c : counts) {
+    const double weight = weight_of(c.slo);
+    if (weight == 0.0) {
+      continue;
+    }
+    const double hi = PredictRaw(c.app, cpu_util_after + kSlopeSpan, mem_util_after);
+    const double lo = PredictRaw(c.app, std::max(0.0, cpu_util_before - kSlopeSpan),
+                                 mem_util_before);
+    const double span = (cpu_util_after + kSlopeSpan) -
+                        std::max(0.0, cpu_util_before - kSlopeSpan);
+    const double slope = span > 1e-9 ? std::max(0.0, (hi - lo) / span) : 0.0;
+    total += weight * slope * cpu_delta * static_cast<double>(c.count);
+  }
+  // The incoming pod's own interference is its absolute prediction (§4.3.3).
+  total += weight_of(incoming.slo) *
+           Predict(incoming.app, cpu_util_after, mem_util_after);
+  return total;
+}
+
+}  // namespace optum::core

@@ -1,0 +1,76 @@
+// Optum's Interference Predictor (paper §4.3.3, Eq. 9-10): estimates, for
+// every pod on a candidate host, the interference it would suffer after a
+// new pod is placed there — the profiled PSI for LS pods, the profiled
+// normalized completion time for BE pods. Predictions depend only on the
+// pod's application and the host's predicted utilization, so they are
+// cached per (app, utilization bucket).
+#ifndef OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
+#define OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
+
+#include <unordered_map>
+
+#include "src/core/profiles.h"
+#include "src/sim/cluster.h"
+
+namespace optum::core {
+
+class InterferencePredictor {
+ public:
+  // `profiles` must outlive the predictor. cache_buckets controls the
+  // utilization-space granularity of the prediction cache.
+  explicit InterferencePredictor(const OptumProfiles* profiles,
+                                 size_t cache_buckets = 64);
+
+  // RI for one pod of application `app` on a host whose predicted CPU/mem
+  // utilizations (POC/Cap, POM/Cap) are given. Returns 0 when the app has
+  // no usable model (no interference information, paper §5.2 optimizes only
+  // apps with accurate profiles).
+  double Predict(AppId app, double host_cpu_util, double host_mem_util) const;
+
+  // Sum of RI over all pods currently on `host` plus the incoming pod, at
+  // the given post-placement utilization (paper Eq. 11, literal form).
+  // Pods of the same application share one prediction (their Eq. 9/10
+  // features are identical), so cost is O(#distinct apps).
+  double TotalInterference(const Host& host, const PodSpec& incoming,
+                           double host_cpu_util, double host_mem_util,
+                           double weight_ls, double weight_be) const;
+
+  // Marginal form: the increase in interference the incoming pod causes to
+  // the pods already on the host (RI at post-placement utilization minus RI
+  // at current utilization), plus the incoming pod's own absolute RI. This
+  // is the exact greedy step for the global objective of Eq. 6 — the
+  // literal Eq. 11 sum adds a per-pod constant that double-counts
+  // pre-existing interference across candidate hosts.
+  //
+  // A single pod shifts host utilization by ~1%, below both the tree
+  // granularity of the forest and the output discretization, so the delta
+  // is estimated as a finite-difference slope over a wider utilization span
+  // on the raw (undiscretized) model output.
+  double MarginalInterference(const Host& host, const PodSpec& incoming,
+                              double cpu_util_before, double mem_util_before,
+                              double cpu_util_after, double mem_util_after,
+                              double weight_ls, double weight_be) const;
+
+  // Raw model output (no output discretization), cached on a fine
+  // utilization grid; used for slope estimation.
+  double PredictRaw(AppId app, double host_cpu_util, double host_mem_util) const;
+
+  void ClearCache() {
+    cache_.clear();
+    raw_cache_.clear();
+  }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  uint64_t CacheKey(AppId app, double cpu, double mem, size_t buckets) const;
+  double PredictImpl(AppId app, double host_cpu_util, double host_mem_util) const;
+
+  const OptumProfiles* profiles_;
+  size_t cache_buckets_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+  mutable std::unordered_map<uint64_t, double> raw_cache_;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_

@@ -1,0 +1,196 @@
+#include "src/core/optum_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/sched/common.h"
+
+namespace optum::core {
+
+OptumScheduler::OptumScheduler(OptumProfiles profiles, OptumConfig config)
+    : profiles_(std::make_unique<OptumProfiles>(std::move(profiles))),
+      config_(config),
+      usage_predictor_(profiles_.get(),
+                       config.use_triple_ero
+                           ? ResourceUsagePredictor::Grouping::kTripleWise
+                           : ResourceUsagePredictor::Grouping::kPairwise),
+      interference_predictor_(profiles_.get()),
+      rng_(config.seed) {
+  if (config_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+OptumScheduler::~OptumScheduler() = default;
+
+bool OptumScheduler::ScoreHost(const PodSpec& pod, const Host& host, double* score) const {
+  if (!AffinityAllows(pod, host)) {
+    return false;
+  }
+  const Resources predicted = usage_predictor_.PredictHost(host, &pod);
+  const double cpu_util = predicted.cpu / host.capacity.cpu;
+  const double mem_util = predicted.mem / host.capacity.mem;
+  // Feasibility: estimated utilization below one (Eq. 6 constraint) and the
+  // memory cap of §5.1.
+  if (cpu_util > 1.0 || mem_util > config_.mem_util_limit) {
+    return false;
+  }
+  double interference = 0.0;
+  if (config_.score_mode == ScoreMode::kPaperAbsolute) {
+    interference = interference_predictor_.TotalInterference(
+        host, pod, cpu_util, mem_util, config_.omega_o, config_.omega_b);
+  } else {
+    const Resources before = usage_predictor_.PredictHost(host, nullptr);
+    interference = interference_predictor_.MarginalInterference(
+        host, pod, before.cpu / host.capacity.cpu, before.mem / host.capacity.mem,
+        cpu_util, mem_util, config_.omega_o, config_.omega_b);
+  }
+  *score = cpu_util * mem_util - interference;
+  return true;
+}
+
+PlacementDecision OptumScheduler::Place(const PodSpec& pod, const AppProfile& app,
+                                        const ClusterState& cluster) {
+  (void)app;
+  double unused_score = 0.0;
+  return PlaceScored(pod, cluster, &unused_score);
+}
+
+PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
+                                              const ClusterState& cluster,
+                                              double* best_score) {
+  const std::vector<HostId> candidates =
+      SampleHosts(cluster, config_.sample_fraction, config_.min_candidates, rng_);
+
+  struct Scored {
+    double score = -std::numeric_limits<double>::infinity();
+    bool feasible = false;
+    bool cpu_blocked = false;
+    bool mem_blocked = false;
+  };
+  std::vector<Scored> scored(candidates.size());
+
+  auto score_candidate = [&](size_t i) {
+    const Host& host = cluster.host(candidates[i]);
+    double score = 0.0;
+    if (ScoreHost(pod, host, &score)) {
+      scored[i].feasible = true;
+      scored[i].score = score;
+      return;
+    }
+    // Classify the shortfall for wait-reason accounting.
+    const Resources predicted = usage_predictor_.PredictHost(host, &pod);
+    scored[i].cpu_blocked = predicted.cpu > host.capacity.cpu;
+    scored[i].mem_blocked =
+        predicted.mem > config_.mem_util_limit * host.capacity.mem;
+  };
+
+  if (pool_ != nullptr && candidates.size() >= 2 * pool_->num_threads()) {
+    pool_->ParallelFor(candidates.size(), score_candidate);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      score_candidate(i);
+    }
+  }
+
+  size_t best = candidates.size();
+  bool any_cpu = false, any_mem = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scored[i].feasible) {
+      if (best == candidates.size() || scored[i].score > scored[best].score) {
+        best = i;
+      }
+    } else {
+      any_cpu |= scored[i].cpu_blocked;
+      any_mem |= scored[i].mem_blocked;
+    }
+  }
+  if (best == candidates.size()) {
+    return PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
+  }
+  *best_score = scored[best].score;
+  return PlacementDecision::Accept(candidates[best]);
+}
+
+void OptumScheduler::ReplaceProfiles(OptumProfiles profiles) {
+  *profiles_ = std::move(profiles);
+  interference_predictor_.ClearCache();
+}
+
+void OptumScheduler::ObserveColocation(const ClusterState& cluster, Tick now) {
+  if (config_.observe_period <= 0 || (last_observe_ >= 0 &&
+                                      now - last_observe_ < config_.observe_period)) {
+    return;
+  }
+  last_observe_ = now;
+  // Per host, the two highest-usage pods per application, then pairwise RO
+  // updates (including same-application pairs) — mirroring the offline
+  // Resource Usage Profiler.
+  struct Rep {
+    AppId app;
+    double cpu;
+    double cpu_request;
+    double cpu2 = -1.0;  // second-best usage; < 0 when absent
+    double cpu2_request = 0.0;
+  };
+  std::vector<Rep> reps;
+  for (const Host& host : cluster.hosts()) {
+    if (host.pods.size() < 2) {
+      continue;
+    }
+    reps.clear();
+    for (const PodRuntime* pod : host.pods) {
+      bool merged = false;
+      for (auto& r : reps) {
+        if (r.app == pod->spec.app) {
+          if (pod->cpu_usage > r.cpu) {
+            r.cpu2 = r.cpu;
+            r.cpu2_request = r.cpu_request;
+            r.cpu = pod->cpu_usage;
+            r.cpu_request = pod->spec.request.cpu;
+          } else if (pod->cpu_usage > r.cpu2) {
+            r.cpu2 = pod->cpu_usage;
+            r.cpu2_request = pod->spec.request.cpu;
+          }
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        reps.push_back(Rep{pod->spec.app, pod->cpu_usage, pod->spec.request.cpu});
+      }
+    }
+    for (size_t a = 0; a < reps.size(); ++a) {
+      if (reps[a].cpu2 >= 0.0) {
+        const double denom = reps[a].cpu_request + reps[a].cpu2_request;
+        if (denom > 0) {
+          profiles_->ero.Observe(reps[a].app, reps[a].app,
+                                 (reps[a].cpu + reps[a].cpu2) / denom);
+        }
+      }
+      for (size_t b = a + 1; b < reps.size(); ++b) {
+        const double denom = reps[a].cpu_request + reps[b].cpu_request;
+        if (denom <= 0) {
+          continue;
+        }
+        profiles_->ero.Observe(reps[a].app, reps[b].app,
+                               (reps[a].cpu + reps[b].cpu) / denom);
+        if (config_.use_triple_ero) {
+          for (size_t c = b + 1; c < reps.size(); ++c) {
+            const double denom3 =
+                reps[a].cpu_request + reps[b].cpu_request + reps[c].cpu_request;
+            if (denom3 <= 0) {
+              continue;
+            }
+            profiles_->ero.ObserveTriple(reps[a].app, reps[b].app, reps[c].app,
+                                         (reps[a].cpu + reps[b].cpu + reps[c].cpu) /
+                                             denom3);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace optum::core

@@ -1,0 +1,107 @@
+// Optum's Online Scheduler + Node Selector (paper §4.3.1/§4.3.4).
+//
+// For a newly submitted pod it samples a subset of hosts (POP-style
+// partitioning [42], default fraction 0.05), predicts each candidate's
+// post-placement utilization (Eq. 7-8) and total interference (Eq. 9-10),
+// scores candidates with Eq. 11,
+//     Score_h = (POC/CapC) * (POM/CapM) - w_o * sum RI_LS - w_b * sum RI_BE,
+// and greedily picks the highest-scoring feasible host. Memory utilization
+// per host is capped (default 0.8, §5.1) to avoid OOM cascades.
+#ifndef OPTUM_SRC_CORE_OPTUM_SCHEDULER_H_
+#define OPTUM_SRC_CORE_OPTUM_SCHEDULER_H_
+
+#include <memory>
+
+#include "src/common/thread_pool.h"
+#include "src/core/interference_predictor.h"
+#include "src/core/profiles.h"
+#include "src/core/resource_usage_predictor.h"
+#include "src/sim/placement_policy.h"
+#include "src/stats/rng.h"
+
+namespace optum::core {
+
+// How Node Selector aggregates interference into the Eq. 11 score.
+enum class ScoreMode {
+  // Literal Eq. 11: absolute sum of RI over all pods on the candidate.
+  kPaperAbsolute,
+  // Greedy-exact form for the Eq. 6 objective: marginal RI increase for
+  // existing pods plus the incoming pod's absolute RI (default).
+  kMarginal,
+};
+
+struct OptumConfig {
+  ScoreMode score_mode = ScoreMode::kMarginal;
+
+  // Triple-wise usage prediction (§4.2.2 extension); requires profiles
+  // built with OfflineProfilerConfig::enable_triple_ero for real triple
+  // data (otherwise the predictor uses its pairwise fallback bound).
+  bool use_triple_ero = false;
+
+  // Objective weights for LS and BE interference (paper §5.1: 0.7 / 0.3).
+  double omega_o = 0.7;
+  double omega_b = 0.3;
+
+  // Host sampling fraction for scalability (paper §4.3.4: 0.05).
+  double sample_fraction = 0.05;
+  size_t min_candidates = 32;
+
+  // Per-host memory utilization cap (paper §5.1: 0.8).
+  double mem_util_limit = 0.8;
+
+  // Worker threads for candidate scoring; 0 scores on the calling thread.
+  size_t num_threads = 0;
+
+  // Ticks between online ERO refreshes in ObserveColocation; 0 disables.
+  Tick observe_period = 10;
+
+  uint64_t seed = 97;
+};
+
+class OptumScheduler : public PlacementPolicy {
+ public:
+  // Takes ownership of the profiles produced by OfflineProfiler.
+  OptumScheduler(OptumProfiles profiles, OptumConfig config = {});
+  ~OptumScheduler() override;
+
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override;
+  std::string name() const override { return "Optum"; }
+
+  // As Place(), but also returns the Eq. 11 score of the chosen host —
+  // the Deployment Module uses it to resolve conflicts between parallel
+  // schedulers (§4.4).
+  PlacementDecision PlaceScored(const PodSpec& pod, const ClusterState& cluster,
+                                double* best_score);
+
+  // Online resource-usage profiling: records co-location observations from
+  // the current cluster state into the ERO table (paper §4.2.2 keeps ERO
+  // updated whenever observed peaks change; triples too when the scheduler
+  // runs in triple-wise mode). Call from the simulator's on_tick_end hook.
+  void ObserveColocation(const ClusterState& cluster, Tick now);
+
+  // Scores a single candidate host (Eq. 11); exposed for tests/benches.
+  // Returns false when the host is infeasible for the pod.
+  bool ScoreHost(const PodSpec& pod, const Host& host, double* score) const;
+
+  const OptumProfiles& profiles() const { return *profiles_; }
+  OptumProfiles& mutable_profiles() { return *profiles_; }
+
+  // Swaps in freshly trained profiles (background re-profiling, Fig. 17).
+  // Prediction caches are invalidated; in-flight pointers stay valid
+  // because the profiles object itself is reused.
+  void ReplaceProfiles(OptumProfiles profiles);
+
+ private:
+  std::unique_ptr<OptumProfiles> profiles_;
+  OptumConfig config_;
+  ResourceUsagePredictor usage_predictor_;
+  InterferencePredictor interference_predictor_;
+  std::unique_ptr<ThreadPool> pool_;
+  Rng rng_;
+  Tick last_observe_ = -1;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_OPTUM_SCHEDULER_H_

@@ -1,0 +1,53 @@
+#include "src/core/optum_system.h"
+
+namespace optum::core {
+
+OptumSystem::OptumSystem(OptumSystemConfig config, OptumProfiles bootstrap)
+    : config_(config), coordinator_(config.tracing) {
+  scheduler_ = std::make_unique<OptumScheduler>(std::move(bootstrap), config_.scheduler);
+}
+
+PlacementDecision OptumSystem::Place(const PodSpec& pod, const AppProfile& app,
+                                     const ClusterState& cluster) {
+  return scheduler_->Place(pod, app, cluster);
+}
+
+void OptumSystem::OnTickEnd(const ClusterState& cluster, Tick now) {
+  coordinator_.OnTick(cluster, now);
+  scheduler_->ObserveColocation(cluster, now);
+
+  if (config_.reprofile_period <= 0 || now < config_.warmup) {
+    return;
+  }
+  if (last_reprofile_ >= 0 && now - last_reprofile_ < config_.reprofile_period) {
+    return;
+  }
+  last_reprofile_ = now;
+
+  // Background profiling pass over the tracing window (Fig. 17 ❷❸).
+  // The freshly built ERO table starts from this window's observations;
+  // merge in the scheduler's online ERO so peaks seen outside the window
+  // are not forgotten (ERO keeps maxima, so the merge is a union of maxima
+  // realized by re-observing... the scheduler's table is authoritative for
+  // pairs the window missed).
+  const TraceBundle window = coordinator_.Snapshot();
+  if (window.pod_usage.empty()) {
+    return;
+  }
+  OfflineProfiler profiler(config_.profiler);
+  OptumProfiles fresh = profiler.BuildProfiles(window);
+  // Preserve previously learned pair/triple peaks: ERO semantics are
+  // maxima over all history, not just the current window.
+  const EroTable& old = scheduler_->profiles().ero;
+  // EroTable has no iteration API by design; rather than widen it, keep
+  // the stronger table: start from the old one and fold in the window's
+  // observations via the fresh table's entries where they are tighter is
+  // NOT sound (old maxima must survive). The window rebuild may only
+  // *lower* values for pairs whose peak fell outside the window, so keep
+  // the old table and let ObserveColocation keep raising it.
+  fresh.ero = old;
+  scheduler_->ReplaceProfiles(std::move(fresh));
+  ++reprofiles_;
+}
+
+}  // namespace optum::core

@@ -1,0 +1,58 @@
+// OptumSystem: the complete Fig. 17 deployment in one object — Tracing
+// Coordinator (❶) feeding a background Offline Profiler (❷❸) that
+// periodically refreshes the Online Scheduler's (❹❺❻) profiles while it
+// schedules. Use this when you want the paper's full closed loop; use
+// OptumScheduler directly when you manage profiling yourself.
+#ifndef OPTUM_SRC_CORE_OPTUM_SYSTEM_H_
+#define OPTUM_SRC_CORE_OPTUM_SYSTEM_H_
+
+#include <memory>
+
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/core/tracing_coordinator.h"
+
+namespace optum::core {
+
+struct OptumSystemConfig {
+  OptumConfig scheduler;
+  OfflineProfilerConfig profiler;
+  TracingConfig tracing;
+  // Ticks between background re-profiling passes; 0 disables (the system
+  // then runs on whatever profiles it was constructed with, plus online
+  // ERO refreshes).
+  Tick reprofile_period = 4 * kTicksPerHour;
+  // Skip re-profiling until this much data has been collected.
+  Tick warmup = kTicksPerHour;
+};
+
+class OptumSystem : public PlacementPolicy {
+ public:
+  // Starts with empty profiles (fully conservative: ERO defaults to 1.0)
+  // unless `bootstrap` profiles are provided.
+  explicit OptumSystem(OptumSystemConfig config = {},
+                       OptumProfiles bootstrap = OptumProfiles{});
+
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override;
+  std::string name() const override { return "OptumSystem"; }
+
+  // Wire this into SimConfig::on_tick_end. Records tracing data, refreshes
+  // ERO online, and re-trains profiles every reprofile_period ticks.
+  void OnTickEnd(const ClusterState& cluster, Tick now);
+
+  const OptumScheduler& scheduler() const { return *scheduler_; }
+  const TracingCoordinator& coordinator() const { return coordinator_; }
+  int64_t reprofile_count() const { return reprofiles_; }
+
+ private:
+  OptumSystemConfig config_;
+  TracingCoordinator coordinator_;
+  std::unique_ptr<OptumScheduler> scheduler_;
+  Tick last_reprofile_ = -1;
+  int64_t reprofiles_ = 0;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_OPTUM_SYSTEM_H_

@@ -1,0 +1,71 @@
+#include "src/core/resource_usage_predictor.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace optum::core {
+
+ResourceUsagePredictor::ResourceUsagePredictor(const OptumProfiles* profiles,
+                                               Grouping grouping)
+    : profiles_(profiles), grouping_(grouping) {
+  OPTUM_CHECK(profiles != nullptr);
+}
+
+double ResourceUsagePredictor::TripleCpuEstimate(AppId a, double ra, AppId b, double rb,
+                                                 AppId c, double rc) const {
+  const double sum = ra + rb + rc;
+  const double observed = profiles_->ero.GetTriple(a, b, c);
+  if (observed >= 0.0) {
+    return observed * sum;
+  }
+  // Pairwise fallback: group the tightest pair, leftover at full request.
+  const double ab = profiles_->ero.Get(a, b) * (ra + rb) + rc;
+  const double bc = profiles_->ero.Get(b, c) * (rb + rc) + ra;
+  const double ac = profiles_->ero.Get(a, c) * (ra + rc) + rb;
+  return std::min({ab, bc, ac, sum});
+}
+
+double ResourceUsagePredictor::MemEstimate(AppId app, const Resources& request) const {
+  const AppModel* model = profiles_->Find(app);
+  const double profile = model != nullptr ? model->stats.mem_profile : 1.0;
+  return profile * request.mem;
+}
+
+Resources ResourceUsagePredictor::PredictHost(const Host& host,
+                                              const PodSpec* incoming) const {
+  // Assemble (app, request) in scheduling order, incoming pod last.
+  // Pairing follows Eq. 8 exactly.
+  double poc = 0.0;
+  double pom = 0.0;
+
+  const size_t n = host.pods.size() + (incoming != nullptr ? 1 : 0);
+  auto app_of = [&](size_t i) -> AppId {
+    return i < host.pods.size() ? host.pods[i]->spec.app : incoming->app;
+  };
+  auto request_of = [&](size_t i) -> const Resources& {
+    return i < host.pods.size() ? host.pods[i]->spec.request : incoming->request;
+  };
+
+  size_t i = 0;
+  if (grouping_ == Grouping::kTripleWise) {
+    for (; i + 2 < n; i += 3) {
+      poc += TripleCpuEstimate(app_of(i), request_of(i).cpu, app_of(i + 1),
+                               request_of(i + 1).cpu, app_of(i + 2),
+                               request_of(i + 2).cpu);
+    }
+  }
+  for (; i + 1 < n; i += 2) {
+    const double ero = profiles_->ero.Get(app_of(i), app_of(i + 1));
+    poc += ero * (request_of(i).cpu + request_of(i + 1).cpu);
+  }
+  if (i < n) {
+    poc += request_of(i).cpu;  // Odd pod out: full CPU request.
+  }
+  for (size_t k = 0; k < n; ++k) {
+    pom += MemEstimate(app_of(k), request_of(k));
+  }
+  return Resources{poc, pom};
+}
+
+}  // namespace optum::core

@@ -1,0 +1,66 @@
+// Optum's Resource Usage Predictor (paper §4.3.2, Eq. 7-8).
+//
+// CPU: pods on a host are paired in scheduling order; each pair's usage is
+// estimated as ERO(A_{2i-1}, A_{2i}) * (Cr_{2i-1} + Cr_{2i}), the odd pod
+// out contributing its full request:
+//     POC_h = sum_i EC(p_{2i-1}, p_{2i}) + ((n+1) mod 2) * Cr_{n+1}.
+// Memory: the sum over pods of mem_profile(A_i) * Mr_i (conservative).
+#ifndef OPTUM_SRC_CORE_RESOURCE_USAGE_PREDICTOR_H_
+#define OPTUM_SRC_CORE_RESOURCE_USAGE_PREDICTOR_H_
+
+#include "src/core/profiles.h"
+#include "src/predict/usage_predictor.h"
+#include "src/sim/cluster.h"
+
+namespace optum::core {
+
+class ResourceUsagePredictor {
+ public:
+  // Grouping arity for the CPU estimate: pairs (the paper's deployed
+  // configuration) or triples (the §4.2.2 extension; falls back to the
+  // pairwise bound for unobserved triples).
+  enum class Grouping { kPairwise, kTripleWise };
+
+  // `profiles` must outlive the predictor.
+  explicit ResourceUsagePredictor(const OptumProfiles* profiles,
+                                  Grouping grouping = Grouping::kPairwise);
+
+  // Predicted (CPU, mem) usage of `host` if `incoming` (optional) were
+  // appended to its pod list. Pass nullptr to predict the host as-is.
+  Resources PredictHost(const Host& host, const PodSpec* incoming) const;
+
+  Grouping grouping() const { return grouping_; }
+
+ private:
+  double MemEstimate(AppId app, const Resources& request) const;
+  // Tightest estimate for three pods: the observed triple ERO when
+  // available, otherwise min over pairings of ERO(x,y)*(rx+ry) + rz.
+  double TripleCpuEstimate(AppId a, double ra, AppId b, double rb, AppId c,
+                           double rc) const;
+
+  const OptumProfiles* profiles_;
+  Grouping grouping_;
+};
+
+// Adapter so the fig11 bench can score Optum's predictor alongside the
+// industry baselines through the common UsagePredictor interface.
+class OptumUsagePredictorAdapter : public UsagePredictor {
+ public:
+  explicit OptumUsagePredictorAdapter(const OptumProfiles* profiles)
+      : impl_(profiles) {}
+
+  double PredictHostCpu(const Host& host) const override {
+    return impl_.PredictHost(host, nullptr).cpu;
+  }
+  double PredictHostMem(const Host& host) const override {
+    return impl_.PredictHost(host, nullptr).mem;
+  }
+  std::string name() const override { return "Optum"; }
+
+ private:
+  ResourceUsagePredictor impl_;
+};
+
+}  // namespace optum::core
+
+#endif  // OPTUM_SRC_CORE_RESOURCE_USAGE_PREDICTOR_H_

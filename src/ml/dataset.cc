@@ -1,0 +1,103 @@
+#include "src/ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace optum::ml {
+
+Dataset::Dataset(size_t num_features, std::vector<std::string> feature_names)
+    : num_features_(num_features), feature_names_(std::move(feature_names)) {
+  OPTUM_CHECK_GT(num_features, 0u);
+  if (!feature_names_.empty()) {
+    OPTUM_CHECK_EQ(feature_names_.size(), num_features_);
+  }
+}
+
+void Dataset::Add(std::span<const double> features, double target) {
+  OPTUM_CHECK_EQ(features.size(), num_features_);
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+Dataset::Split Dataset::TrainTestSplit(double test_fraction, Rng& rng) const {
+  OPTUM_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Fisher-Yates with the deterministic Rng.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  const size_t test_count = std::max<size_t>(1, static_cast<size_t>(
+                                                    std::llround(test_fraction * size())));
+  Split out{Dataset(num_features_, feature_names_), Dataset(num_features_, feature_names_)};
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t idx = order[i];
+    if (i < test_count) {
+      out.test.Add(Features(idx), Target(idx));
+    } else {
+      out.train.Add(Features(idx), Target(idx));
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Bootstrap(Rng& rng) const {
+  Dataset out(num_features_, feature_names_);
+  for (size_t i = 0; i < size(); ++i) {
+    const size_t idx = rng.NextBelow(size());
+    out.Add(Features(idx), Target(idx));
+  }
+  return out;
+}
+
+std::vector<double> Dataset::Standardizer::Apply(std::span<const double> x) const {
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - mean[i]) / stddev[i];
+  }
+  return out;
+}
+
+Dataset::Standardizer Dataset::FitStandardizer() const {
+  Standardizer s;
+  s.mean.assign(num_features_, 0.0);
+  s.stddev.assign(num_features_, 1.0);
+  if (empty()) {
+    return s;
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    const auto row = Features(i);
+    for (size_t c = 0; c < num_features_; ++c) {
+      s.mean[c] += row[c];
+    }
+  }
+  for (double& m : s.mean) {
+    m /= static_cast<double>(size());
+  }
+  std::vector<double> var(num_features_, 0.0);
+  for (size_t i = 0; i < size(); ++i) {
+    const auto row = Features(i);
+    for (size_t c = 0; c < num_features_; ++c) {
+      const double d = row[c] - s.mean[c];
+      var[c] += d * d;
+    }
+  }
+  for (size_t c = 0; c < num_features_; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(size()));
+    s.stddev[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+Dataset Dataset::Standardized(const Standardizer& s) const {
+  Dataset out(num_features_, feature_names_);
+  for (size_t i = 0; i < size(); ++i) {
+    out.Add(s.Apply(Features(i)), Target(i));
+  }
+  return out;
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,64 @@
+// Feature-matrix/target datasets for the profilers (paper §4.2.1).
+#ifndef OPTUM_SRC_ML_DATASET_H_
+#define OPTUM_SRC_ML_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+
+// A dense supervised-learning dataset: row i has `num_features` inputs and
+// one target. Feature names are optional metadata for diagnostics.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t num_features, std::vector<std::string> feature_names = {});
+
+  size_t num_features() const { return num_features_; }
+  size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+
+  void Add(std::span<const double> features, double target);
+
+  std::span<const double> Features(size_t i) const {
+    return {features_.data() + i * num_features_, num_features_};
+  }
+  double Target(size_t i) const { return targets_[i]; }
+  std::span<const double> targets() const { return targets_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  // Deterministic shuffled split; test_fraction in (0, 1). Declared below.
+  struct Split;
+  Split TrainTestSplit(double test_fraction, Rng& rng) const;
+
+  // Bootstrap resample of the same size (sampling with replacement).
+  Dataset Bootstrap(Rng& rng) const;
+
+  // Column-wise standardization parameters (for MLP / SVR conditioning).
+  struct Standardizer {
+    std::vector<double> mean;
+    std::vector<double> stddev;  // >= epsilon, never zero
+    std::vector<double> Apply(std::span<const double> x) const;
+  };
+  Standardizer FitStandardizer() const;
+  Dataset Standardized(const Standardizer& s) const;
+
+ private:
+  size_t num_features_ = 0;
+  std::vector<double> features_;  // row-major, size() * num_features_
+  std::vector<double> targets_;
+  std::vector<std::string> feature_names_;
+};
+
+struct Dataset::Split {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_DATASET_H_

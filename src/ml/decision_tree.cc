@@ -1,0 +1,162 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace optum::ml {
+namespace {
+
+double MeanOf(const Dataset& data, const std::vector<size_t>& indices, size_t begin,
+              size_t end) {
+  double acc = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    acc += data.Target(indices[i]);
+  }
+  return acc / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params, uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+void DecisionTreeRegressor::Fit(const Dataset& data) {
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  FitOnIndices(data, std::move(indices));
+}
+
+void DecisionTreeRegressor::FitOnIndices(const Dataset& data, std::vector<size_t> indices) {
+  OPTUM_CHECK(!indices.empty());
+  nodes_.clear();
+  depth_ = 0;
+  Build(data, indices, 0, indices.size(), 0);
+}
+
+int32_t DecisionTreeRegressor::Build(const Dataset& data, std::vector<size_t>& indices,
+                                     size_t begin, size_t end, int depth) {
+  depth_ = std::max(depth_, depth);
+  const size_t n = end - begin;
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(data, indices, begin, end);
+
+  if (depth >= params_.max_depth || n < params_.min_samples_split) {
+    return node_id;
+  }
+
+  // Parent impurity (sum of squared deviations) for the gain test.
+  double parent_sse = 0.0;
+  {
+    const double mean = nodes_[node_id].value;
+    for (size_t i = begin; i < end; ++i) {
+      const double d = data.Target(indices[i]) - mean;
+      parent_sse += d * d;
+    }
+  }
+  if (parent_sse <= 1e-12) {
+    return node_id;  // Pure node.
+  }
+
+  const size_t num_features = data.num_features();
+  size_t features_to_try = params_.max_features == 0
+                               ? num_features
+                               : std::min(params_.max_features, num_features);
+
+  // Random feature order (supports forest-style feature subsampling).
+  std::vector<size_t> feature_order(num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0u);
+  for (size_t i = num_features; i > 1; --i) {
+    std::swap(feature_order[i - 1], feature_order[rng_.NextBelow(i)]);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_sse = parent_sse;
+
+  for (size_t fi = 0; fi < features_to_try; ++fi) {
+    const size_t f = feature_order[fi];
+    // Candidate thresholds from a quantile grid over this node's values.
+    double fmin = std::numeric_limits<double>::infinity();
+    double fmax = -std::numeric_limits<double>::infinity();
+    for (size_t i = begin; i < end; ++i) {
+      const double v = data.Features(indices[i])[f];
+      fmin = std::min(fmin, v);
+      fmax = std::max(fmax, v);
+    }
+    if (fmax - fmin <= 1e-12) {
+      continue;  // Constant feature at this node.
+    }
+    const size_t num_thresholds = std::max<size_t>(1, params_.num_thresholds);
+    for (size_t t = 0; t < num_thresholds; ++t) {
+      const double frac =
+          (static_cast<double>(t) + 1.0) / (static_cast<double>(num_thresholds) + 1.0);
+      const double threshold = fmin + frac * (fmax - fmin);
+      // One pass: accumulate left/right sums to compute the split SSE.
+      double left_sum = 0.0, left_sq = 0.0;
+      double right_sum = 0.0, right_sq = 0.0;
+      size_t left_n = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const double y = data.Target(indices[i]);
+        if (data.Features(indices[i])[f] <= threshold) {
+          left_sum += y;
+          left_sq += y * y;
+          ++left_n;
+        } else {
+          right_sum += y;
+          right_sq += y * y;
+        }
+      }
+      const size_t right_n = n - left_n;
+      if (left_n < params_.min_samples_leaf || right_n < params_.min_samples_leaf) {
+        continue;
+      }
+      const double left_sse = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse = right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double total = left_sse + right_sse;
+      if (total < best_sse - 1e-12) {
+        best_sse = total;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return node_id;
+  }
+
+  // Partition indices in place around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<ptrdiff_t>(begin),
+      indices.begin() + static_cast<ptrdiff_t>(end), [&](size_t idx) {
+        return data.Features(idx)[static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  OPTUM_CHECK(mid > begin && mid < end);
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left = Build(data, indices, begin, mid, depth + 1);
+  nodes_[node_id].left = left;
+  const int32_t right = Build(data, indices, mid, end, depth + 1);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::Predict(std::span<const double> features) const {
+  OPTUM_CHECK(!nodes_.empty());
+  int32_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.feature < 0) {
+      return n.value;
+    }
+    node = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,40 @@
+#include "src/ml/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum::ml {
+
+Discretizer::Discretizer(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), num_buckets_(num_buckets) {
+  OPTUM_CHECK_LT(lo, hi);
+  OPTUM_CHECK_GT(num_buckets, 0u);
+  width_ = (hi - lo) / static_cast<double>(num_buckets);
+}
+
+size_t Discretizer::BucketOf(double value) const {
+  const double clamped = std::clamp(value, lo_, hi_);
+  const double pos = (clamped - lo_) / width_;
+  // Bucket k covers (lo + k*w, lo + (k+1)*w]: boundary values belong to the
+  // lower bucket, which makes ToUpperBound idempotent on its own outputs.
+  double bucket = std::ceil(pos - 1e-9) - 1.0;
+  if (bucket < 0.0) {
+    bucket = 0.0;
+  }
+  return std::min(static_cast<size_t>(bucket), num_buckets_ - 1);
+}
+
+double Discretizer::ToUpperBound(double value) const {
+  const size_t bucket = BucketOf(value);
+  // The bottom bucket maps to the lower bound: values there mean "no
+  // measurable degradation", and flooring them at a positive upper bound
+  // would bias every interference sum by bucket_width * pod_count.
+  if (bucket == 0) {
+    return lo_;
+  }
+  return lo_ + static_cast<double>(bucket + 1) * width_;
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,35 @@
+// Target discretization per paper §4.2.1: "Optum divides the space of
+// prediction into multiple buckets, and then takes the upper bound of the
+// bucket as the final prediction" (e.g. a PSI prediction in [0.2, 0.3) maps
+// to 0.3). The evaluation uses 25 buckets (§5.2).
+#ifndef OPTUM_SRC_ML_DISCRETIZER_H_
+#define OPTUM_SRC_ML_DISCRETIZER_H_
+
+#include <cstddef>
+
+namespace optum::ml {
+
+class Discretizer {
+ public:
+  // Uniform buckets over [lo, hi]; values outside are clamped.
+  Discretizer(double lo, double hi, size_t num_buckets);
+
+  // Maps a raw value to the upper bound of its bucket.
+  double ToUpperBound(double value) const;
+
+  // Bucket index in [0, num_buckets).
+  size_t BucketOf(double value) const;
+
+  size_t num_buckets() const { return num_buckets_; }
+  double bucket_width() const { return width_; }
+
+ private:
+  double lo_;
+  double hi_;
+  size_t num_buckets_;
+  double width_;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_DISCRETIZER_H_

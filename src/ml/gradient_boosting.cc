@@ -1,0 +1,62 @@
+#include "src/ml/gradient_boosting.h"
+
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+
+namespace optum::ml {
+
+GradientBoostingRegressor::GradientBoostingRegressor(BoostingParams params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  OPTUM_CHECK_GT(params_.num_rounds, 0u);
+  OPTUM_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+}
+
+void GradientBoostingRegressor::Fit(const Dataset& data) {
+  OPTUM_CHECK(!data.empty());
+  trees_.clear();
+  base_prediction_ = Mean(data.targets());
+
+  // Current ensemble prediction per training row.
+  std::vector<double> prediction(data.size(), base_prediction_);
+
+  for (size_t round = 0; round < params_.num_rounds; ++round) {
+    // Least-squares boosting: fit the next tree to the residuals.
+    Dataset residuals(data.num_features(), data.feature_names());
+    for (size_t i = 0; i < data.size(); ++i) {
+      residuals.Add(data.Features(i), data.Target(i) - prediction[i]);
+    }
+    auto tree = std::make_unique<DecisionTreeRegressor>(params_.tree, rng_.NextU64());
+    if (params_.subsample < 1.0) {
+      std::vector<size_t> rows;
+      rows.reserve(data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (rng_.Bernoulli(params_.subsample)) {
+          rows.push_back(i);
+        }
+      }
+      if (rows.empty()) {
+        rows.push_back(rng_.NextBelow(data.size()));
+      }
+      tree->FitOnIndices(residuals, std::move(rows));
+    } else {
+      tree->Fit(residuals);
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      prediction[i] += params_.learning_rate * tree->Predict(data.Features(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostingRegressor::Predict(std::span<const double> features) const {
+  OPTUM_CHECK(!trees_.empty());
+  double acc = base_prediction_;
+  for (const auto& tree : trees_) {
+    acc += params_.learning_rate * tree->Predict(features);
+  }
+  return acc;
+}
+
+}  // namespace optum::ml

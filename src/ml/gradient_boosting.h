@@ -1,0 +1,43 @@
+// Gradient-boosted regression trees (least-squares boosting). Not part of
+// the paper's Fig. 18 model zoo — provided as a library extension and
+// compared against Random Forest in bench/ablation_models.
+#ifndef OPTUM_SRC_ML_GRADIENT_BOOSTING_H_
+#define OPTUM_SRC_ML_GRADIENT_BOOSTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/regressor.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+
+struct BoostingParams {
+  size_t num_rounds = 60;
+  double learning_rate = 0.1;
+  // Row subsampling per round (stochastic gradient boosting); 1.0 disables.
+  double subsample = 0.8;
+  TreeParams tree{.max_depth = 4, .min_samples_leaf = 4, .min_samples_split = 8};
+};
+
+class GradientBoostingRegressor : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(BoostingParams params = {}, uint64_t seed = 1);
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "GBT"; }
+
+  size_t num_rounds() const { return trees_.size(); }
+
+ private:
+  BoostingParams params_;
+  Rng rng_;
+  double base_prediction_ = 0.0;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_GRADIENT_BOOSTING_H_

@@ -1,0 +1,149 @@
+#include "src/ml/linalg.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum::ml {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Mul(const Matrix& other) const {
+  OPTUM_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto row = Row(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double xi = row[i];
+      if (xi == 0.0) {
+        continue;
+      }
+      for (size_t j = i; j < cols_; ++j) {
+        out(i, j) += xi * row[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      out(i, j) = out(j, i);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MulVec(std::span<const double> v) const {
+  OPTUM_CHECK_EQ(cols_, v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      acc += row[c] * v[c];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposedMulVec(std::span<const double> v) const {
+  OPTUM_CHECK_EQ(rows_, v.size());
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) {
+      continue;
+    }
+    const auto row = Row(r);
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += row[c] * vr;
+    }
+  }
+  return out;
+}
+
+bool CholeskySolveInPlace(Matrix& a, std::vector<double>& b) {
+  const size_t n = a.rows();
+  OPTUM_CHECK_EQ(a.cols(), n);
+  OPTUM_CHECK_EQ(b.size(), n);
+  // In-place lower Cholesky factorization.
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) {
+      diag -= a(j, k) * a(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return false;
+    }
+    a(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        v -= a(i, k) * a(j, k);
+      }
+      a(i, j) = v / a(j, j);
+    }
+  }
+  // Forward substitution: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) {
+      v -= a(i, k) * b[k];
+    }
+    b[i] = v / a(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) {
+      v -= a(k, ii) * b[k];
+    }
+    b[ii] = v / a(ii, ii);
+  }
+  return true;
+}
+
+std::vector<double> SolveSpd(const Matrix& a, std::span<const double> b, double ridge) {
+  double lambda = ridge;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    Matrix work = a;
+    for (size_t i = 0; i < work.rows(); ++i) {
+      work(i, i) += lambda;
+    }
+    std::vector<double> x(b.begin(), b.end());
+    if (CholeskySolveInPlace(work, x)) {
+      return x;
+    }
+    lambda = lambda == 0.0 ? 1e-10 : lambda * 10.0;
+  }
+  OPTUM_CHECK_MSG(false, "SolveSpd: matrix not positive definite even after regularization");
+  return {};
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,57 @@
+// Minimal dense linear algebra: just enough for closed-form linear/ridge
+// regression (normal equations + Cholesky) and MLP training. Row-major.
+#ifndef OPTUM_SRC_ML_LINALG_H_
+#define OPTUM_SRC_ML_LINALG_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace optum::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> Row(size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> Row(size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  Matrix Transposed() const;
+
+  // this * other.
+  Matrix Mul(const Matrix& other) const;
+
+  // this^T * this (Gram matrix), computed without forming the transpose.
+  Matrix Gram() const;
+
+  // this * v.
+  std::vector<double> MulVec(std::span<const double> v) const;
+
+  // this^T * v.
+  std::vector<double> TransposedMulVec(std::span<const double> v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b for symmetric positive-definite A via Cholesky. A is
+// modified in place (holds the factor afterwards). Returns false when A is
+// not positive definite (caller should regularize and retry).
+bool CholeskySolveInPlace(Matrix& a, std::vector<double>& b);
+
+// Convenience wrapper: solves (A + ridge*I) x = b, escalating the ridge term
+// until the factorization succeeds. A is copied.
+std::vector<double> SolveSpd(const Matrix& a, std::span<const double> b, double ridge = 0.0);
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_LINALG_H_

@@ -1,0 +1,41 @@
+#include "src/ml/linear.h"
+
+#include "src/common/check.h"
+#include "src/ml/linalg.h"
+
+namespace optum::ml {
+
+void RidgeRegressor::Fit(const Dataset& data) {
+  OPTUM_CHECK(!data.empty());
+  const size_t d = data.num_features();
+  // Design matrix with a trailing intercept column of ones.
+  Matrix x(data.size(), d + 1);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.Features(i);
+    for (size_t c = 0; c < d; ++c) {
+      x(i, c) = row[c];
+    }
+    x(i, d) = 1.0;
+  }
+  Matrix gram = x.Gram();
+  // Penalize weights but not the intercept.
+  for (size_t c = 0; c < d; ++c) {
+    gram(c, c) += alpha_;
+  }
+  const std::vector<double> xty = x.TransposedMulVec(data.targets());
+  std::vector<double> solution = SolveSpd(gram, xty, /*ridge=*/0.0);
+  intercept_ = solution[d];
+  solution.resize(d);
+  weights_ = std::move(solution);
+}
+
+double RidgeRegressor::Predict(std::span<const double> features) const {
+  OPTUM_CHECK_EQ(features.size(), weights_.size());
+  double acc = intercept_;
+  for (size_t i = 0; i < features.size(); ++i) {
+    acc += weights_[i] * features[i];
+  }
+  return acc;
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,39 @@
+// Ordinary least squares and ridge regression via normal equations.
+#ifndef OPTUM_SRC_ML_LINEAR_H_
+#define OPTUM_SRC_ML_LINEAR_H_
+
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace optum::ml {
+
+// Ridge regression; alpha == 0 reduces to ordinary least squares (with a
+// tiny numerical jitter added only if the Gram matrix is singular). The
+// intercept column is never penalized.
+class RidgeRegressor : public Regressor {
+ public:
+  explicit RidgeRegressor(double alpha = 1.0) : alpha_(alpha) {}
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return alpha_ == 0.0 ? "LR" : "Ridge"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double alpha_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+// Ordinary least squares is ridge with alpha = 0.
+class LinearRegressor : public RidgeRegressor {
+ public:
+  LinearRegressor() : RidgeRegressor(0.0) {}
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_LINEAR_H_

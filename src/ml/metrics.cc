@@ -1,0 +1,70 @@
+#include "src/ml/metrics.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+
+namespace optum::ml {
+
+double Mape(std::span<const double> truth, std::span<const double> predicted,
+            double floor_truth) {
+  OPTUM_CHECK_EQ(truth.size(), predicted.size());
+  OPTUM_CHECK(!truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::max(std::fabs(truth[i]), floor_truth);
+    acc += std::fabs(predicted[i] - truth[i]) / denom;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double MeanAbsoluteError(std::span<const double> truth, std::span<const double> predicted) {
+  OPTUM_CHECK_EQ(truth.size(), predicted.size());
+  OPTUM_CHECK(!truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::fabs(predicted[i] - truth[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(std::span<const double> truth,
+                            std::span<const double> predicted) {
+  OPTUM_CHECK_EQ(truth.size(), predicted.size());
+  OPTUM_CHECK(!truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double RSquared(std::span<const double> truth, std::span<const double> predicted) {
+  OPTUM_CHECK_EQ(truth.size(), predicted.size());
+  OPTUM_CHECK(!truth.empty());
+  const double mean = Mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double EvaluateMape(const Regressor& model, const Dataset& data) {
+  std::vector<double> truth, predicted;
+  truth.reserve(data.size());
+  predicted.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    truth.push_back(data.Target(i));
+    predicted.push_back(model.Predict(data.Features(i)));
+  }
+  return Mape(truth, predicted);
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,29 @@
+// Regression quality metrics. The paper evaluates profiling accuracy with
+// MAPE (§5.2) and predictor quality with signed relative error (§3.2.2).
+#ifndef OPTUM_SRC_ML_METRICS_H_
+#define OPTUM_SRC_ML_METRICS_H_
+
+#include <span>
+
+#include "src/ml/regressor.h"
+
+namespace optum::ml {
+
+// Mean absolute percentage error; ground-truth zeros are floored at
+// `floor_truth` to keep the metric finite (matching common practice).
+double Mape(std::span<const double> truth, std::span<const double> predicted,
+            double floor_truth = 1e-6);
+
+double MeanAbsoluteError(std::span<const double> truth, std::span<const double> predicted);
+
+double RootMeanSquaredError(std::span<const double> truth, std::span<const double> predicted);
+
+// Coefficient of determination; 1 is perfect, 0 matches predicting the mean.
+double RSquared(std::span<const double> truth, std::span<const double> predicted);
+
+// Runs `model` over a dataset and returns its MAPE against the targets.
+double EvaluateMape(const Regressor& model, const Dataset& data);
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_METRICS_H_

@@ -1,0 +1,181 @@
+#include "src/ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+
+namespace optum::ml {
+namespace {
+
+double Relu(double x) { return x > 0.0 ? x : 0.0; }
+double ReluGrad(double x) { return x > 0.0 ? 1.0 : 0.0; }
+
+}  // namespace
+
+MlpRegressor::MlpRegressor(MlpParams params, uint64_t seed)
+    : params_(std::move(params)), rng_(seed) {}
+
+std::vector<double> MlpRegressor::Forward(
+    std::span<const double> x, std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current(x.begin(), x.end());
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(current);
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool is_output = l + 1 == layers_.size();
+    std::vector<double> next(layer.biases.size());
+    for (size_t o = 0; o < next.size(); ++o) {
+      double acc = layer.biases[o];
+      const auto& w = layer.weights[o];
+      for (size_t i = 0; i < current.size(); ++i) {
+        acc += w[i] * current[i];
+      }
+      next[o] = is_output ? acc : Relu(acc);
+    }
+    current = std::move(next);
+    if (activations != nullptr) {
+      activations->push_back(current);
+    }
+  }
+  return current;
+}
+
+void MlpRegressor::Fit(const Dataset& raw) {
+  OPTUM_CHECK(!raw.empty());
+  input_standardizer_ = raw.FitStandardizer();
+  const Dataset data = raw.Standardized(input_standardizer_);
+
+  target_mean_ = Mean(data.targets());
+  const double sd = StdDev(data.targets());
+  target_scale_ = sd > 1e-9 ? sd : 1.0;
+
+  // Build layer dimensions: input -> hidden... -> 1.
+  std::vector<size_t> dims;
+  dims.push_back(data.num_features());
+  for (size_t h : params_.hidden) {
+    dims.push_back(h);
+  }
+  dims.push_back(1);
+
+  layers_.clear();
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    const size_t fan_in = dims[l];
+    const size_t fan_out = dims[l + 1];
+    const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    layer.weights.assign(fan_out, std::vector<double>(fan_in, 0.0));
+    layer.biases.assign(fan_out, 0.0);
+    for (auto& row : layer.weights) {
+      for (auto& w : row) {
+        w = rng_.Gaussian(0.0, scale);
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  // Adam state mirrors the layer structure.
+  struct AdamState {
+    std::vector<std::vector<double>> mw, vw;
+    std::vector<double> mb, vb;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].mw.assign(layers_[l].weights.size(),
+                      std::vector<double>(layers_[l].weights[0].size(), 0.0));
+    adam[l].vw = adam[l].mw;
+    adam[l].mb.assign(layers_[l].biases.size(), 0.0);
+    adam[l].vb = adam[l].mb;
+  }
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int64_t step = 0;
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextBelow(i)]);
+    }
+    for (size_t start = 0; start < order.size(); start += params_.batch_size) {
+      const size_t stop = std::min(order.size(), start + params_.batch_size);
+      const double batch_n = static_cast<double>(stop - start);
+
+      // Accumulated gradients.
+      std::vector<Layer> grads(layers_.size());
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        grads[l].weights.assign(layers_[l].weights.size(),
+                                std::vector<double>(layers_[l].weights[0].size(), 0.0));
+        grads[l].biases.assign(layers_[l].biases.size(), 0.0);
+      }
+
+      for (size_t bi = start; bi < stop; ++bi) {
+        const size_t idx = order[bi];
+        std::vector<std::vector<double>> acts;
+        const std::vector<double> out = Forward(data.Features(idx), &acts);
+        const double target = (data.Target(idx) - target_mean_) / target_scale_;
+        // dL/dout for squared loss (factor 2 folded into learning rate).
+        std::vector<double> delta = {out[0] - target};
+
+        for (size_t li = layers_.size(); li-- > 0;) {
+          const auto& input = acts[li];
+          auto& g = grads[li];
+          std::vector<double> prev_delta(input.size(), 0.0);
+          for (size_t o = 0; o < delta.size(); ++o) {
+            g.biases[o] += delta[o];
+            for (size_t i2 = 0; i2 < input.size(); ++i2) {
+              g.weights[o][i2] += delta[o] * input[i2];
+              prev_delta[i2] += layers_[li].weights[o][i2] * delta[o];
+            }
+          }
+          if (li > 0) {
+            // Backprop through the ReLU of the previous layer's output.
+            for (size_t i2 = 0; i2 < prev_delta.size(); ++i2) {
+              prev_delta[i2] *= ReluGrad(acts[li][i2]);
+            }
+            delta = std::move(prev_delta);
+          }
+        }
+      }
+
+      // Adam update.
+      ++step;
+      const double corr1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+      const double corr2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        for (size_t o = 0; o < layers_[l].weights.size(); ++o) {
+          for (size_t i2 = 0; i2 < layers_[l].weights[o].size(); ++i2) {
+            const double g =
+                grads[l].weights[o][i2] / batch_n + params_.l2 * layers_[l].weights[o][i2];
+            auto& m = adam[l].mw[o][i2];
+            auto& v = adam[l].vw[o][i2];
+            m = beta1 * m + (1.0 - beta1) * g;
+            v = beta2 * v + (1.0 - beta2) * g * g;
+            layers_[l].weights[o][i2] -=
+                params_.learning_rate * (m / corr1) / (std::sqrt(v / corr2) + eps);
+          }
+          const double gb = grads[l].biases[o] / batch_n;
+          auto& mb = adam[l].mb[o];
+          auto& vb = adam[l].vb[o];
+          mb = beta1 * mb + (1.0 - beta1) * gb;
+          vb = beta2 * vb + (1.0 - beta2) * gb * gb;
+          layers_[l].biases[o] -=
+              params_.learning_rate * (mb / corr1) / (std::sqrt(vb / corr2) + eps);
+        }
+      }
+    }
+  }
+}
+
+double MlpRegressor::Predict(std::span<const double> features) const {
+  OPTUM_CHECK(!layers_.empty());
+  const std::vector<double> x = input_standardizer_.Apply(features);
+  const std::vector<double> out = Forward(x, nullptr);
+  return out[0] * target_scale_ + target_mean_;
+}
+
+}  // namespace optum::ml

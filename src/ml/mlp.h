@@ -1,0 +1,49 @@
+// Multi-layer perceptron regressor trained with mini-batch Adam. Inputs are
+// standardized internally, so callers can feed raw features.
+#ifndef OPTUM_SRC_ML_MLP_H_
+#define OPTUM_SRC_ML_MLP_H_
+
+#include <vector>
+
+#include "src/ml/regressor.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+
+struct MlpParams {
+  std::vector<size_t> hidden = {32, 16};
+  size_t epochs = 60;
+  size_t batch_size = 32;
+  double learning_rate = 1e-2;
+  double l2 = 1e-5;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  explicit MlpRegressor(MlpParams params = {}, uint64_t seed = 1);
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  struct Layer {
+    // weights[out][in], biases[out].
+    std::vector<std::vector<double>> weights;
+    std::vector<double> biases;
+  };
+
+  std::vector<double> Forward(std::span<const double> x,
+                              std::vector<std::vector<double>>* activations) const;
+
+  MlpParams params_;
+  Rng rng_;
+  std::vector<Layer> layers_;
+  Dataset::Standardizer input_standardizer_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_MLP_H_

@@ -1,0 +1,40 @@
+// Bagged ensemble of regression trees with per-tree feature subsampling.
+#ifndef OPTUM_SRC_ML_RANDOM_FOREST_H_
+#define OPTUM_SRC_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/regressor.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+
+struct ForestParams {
+  size_t num_trees = 30;
+  TreeParams tree;
+  // When true each tree trains on a bootstrap resample; otherwise all trees
+  // see the full data (pure feature-subsampled ensemble).
+  bool bootstrap = true;
+};
+
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestParams params = {}, uint64_t seed = 1);
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "RF"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_RANDOM_FOREST_H_

@@ -1,0 +1,44 @@
+#include "src/ml/regressor.h"
+
+#include "src/common/check.h"
+#include "src/ml/linear.h"
+#include "src/ml/mlp.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/svr.h"
+
+namespace optum::ml {
+
+const char* ToString(RegressorKind kind) {
+  switch (kind) {
+    case RegressorKind::kLinear:
+      return "LR";
+    case RegressorKind::kRidge:
+      return "Ridge";
+    case RegressorKind::kRandomForest:
+      return "RF";
+    case RegressorKind::kMlp:
+      return "MLP";
+    case RegressorKind::kSvr:
+      return "SVR";
+  }
+  return "?";
+}
+
+std::unique_ptr<Regressor> MakeRegressor(RegressorKind kind, uint64_t seed) {
+  switch (kind) {
+    case RegressorKind::kLinear:
+      return std::make_unique<LinearRegressor>();
+    case RegressorKind::kRidge:
+      return std::make_unique<RidgeRegressor>(1.0);
+    case RegressorKind::kRandomForest:
+      return std::make_unique<RandomForestRegressor>(ForestParams{}, seed);
+    case RegressorKind::kMlp:
+      return std::make_unique<MlpRegressor>(MlpParams{}, seed);
+    case RegressorKind::kSvr:
+      return std::make_unique<LinearSvr>(SvrParams{}, seed);
+  }
+  OPTUM_CHECK_MSG(false, "unknown RegressorKind");
+  return nullptr;
+}
+
+}  // namespace optum::ml

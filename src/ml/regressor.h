@@ -1,0 +1,43 @@
+// Common interface for the regression models compared in paper Fig. 18
+// (RF, LR, Ridge, SVR, MLP) and used by Optum's Interference Profiler.
+#ifndef OPTUM_SRC_ML_REGRESSOR_H_
+#define OPTUM_SRC_ML_REGRESSOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/ml/dataset.h"
+
+namespace optum::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  // Fits the model to the dataset. Must be called before Predict.
+  virtual void Fit(const Dataset& data) = 0;
+
+  // Predicts the target for one feature vector.
+  virtual double Predict(std::span<const double> features) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class RegressorKind {
+  kLinear,
+  kRidge,
+  kRandomForest,
+  kMlp,
+  kSvr,
+};
+
+const char* ToString(RegressorKind kind);
+
+// Factory with the default hyperparameters used by the fig18 bench. The
+// seed controls every stochastic element (bootstrap, init weights).
+std::unique_ptr<Regressor> MakeRegressor(RegressorKind kind, uint64_t seed);
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_REGRESSOR_H_

@@ -1,0 +1,92 @@
+#include "src/ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+
+namespace optum::ml {
+
+LinearSvr::LinearSvr(SvrParams params, uint64_t seed) : params_(params), rng_(seed) {}
+
+void LinearSvr::Fit(const Dataset& raw) {
+  OPTUM_CHECK(!raw.empty());
+  input_standardizer_ = raw.FitStandardizer();
+  const Dataset data = raw.Standardized(input_standardizer_);
+
+  target_mean_ = Mean(data.targets());
+  const double sd = StdDev(data.targets());
+  target_scale_ = sd > 1e-9 ? sd : 1.0;
+
+  const size_t d = data.num_features();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  const double lambda = 1.0 / (params_.c * static_cast<double>(data.size()));
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  // Averaged SGD: per-epoch decaying step, tail-averaged iterates (the
+  // epsilon-insensitive subgradient has constant magnitude, so the raw
+  // final iterate oscillates around the optimum).
+  std::vector<double> avg_weights(d, 0.0);
+  double avg_bias = 0.0;
+  int64_t avg_count = 0;
+  const size_t tail_start_epoch = params_.epochs / 2;
+
+  int64_t t = 0;
+  for (size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double eta = 0.5 / (1.0 + static_cast<double>(epoch));
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextBelow(i)]);
+    }
+    for (size_t idx : order) {
+      ++t;
+      const auto x = data.Features(idx);
+      const double y = (data.Target(idx) - target_mean_) / target_scale_;
+      double pred = bias_;
+      for (size_t c = 0; c < d; ++c) {
+        pred += weights_[c] * x[c];
+      }
+      const double err = pred - y;
+      // Subgradient of epsilon-insensitive loss.
+      double g = 0.0;
+      if (err > params_.epsilon) {
+        g = 1.0;
+      } else if (err < -params_.epsilon) {
+        g = -1.0;
+      }
+      for (size_t c = 0; c < d; ++c) {
+        weights_[c] -= eta * (lambda * weights_[c] + g * x[c]);
+      }
+      bias_ -= eta * g;
+      if (epoch >= tail_start_epoch) {
+        for (size_t c = 0; c < d; ++c) {
+          avg_weights[c] += weights_[c];
+        }
+        avg_bias += bias_;
+        ++avg_count;
+      }
+    }
+  }
+  if (avg_count > 0) {
+    for (size_t c = 0; c < d; ++c) {
+      weights_[c] = avg_weights[c] / static_cast<double>(avg_count);
+    }
+    bias_ = avg_bias / static_cast<double>(avg_count);
+  }
+}
+
+double LinearSvr::Predict(std::span<const double> features) const {
+  OPTUM_CHECK_EQ(features.size(), weights_.size());
+  const std::vector<double> x = input_standardizer_.Apply(features);
+  double acc = bias_;
+  for (size_t c = 0; c < x.size(); ++c) {
+    acc += weights_[c] * x[c];
+  }
+  return acc * target_scale_ + target_mean_;
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,40 @@
+// Linear epsilon-insensitive support vector regression trained by
+// stochastic subgradient descent (Pegasos-style schedule). Inputs are
+// standardized internally.
+#ifndef OPTUM_SRC_ML_SVR_H_
+#define OPTUM_SRC_ML_SVR_H_
+
+#include <vector>
+
+#include "src/ml/regressor.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+
+struct SvrParams {
+  double epsilon = 0.01;  // insensitive-tube half-width
+  double c = 1.0;         // inverse regularization strength
+  size_t epochs = 40;
+};
+
+class LinearSvr : public Regressor {
+ public:
+  explicit LinearSvr(SvrParams params = {}, uint64_t seed = 1);
+
+  void Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "SVR"; }
+
+ private:
+  SvrParams params_;
+  Rng rng_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  Dataset::Standardizer input_standardizer_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_SVR_H_

@@ -1,0 +1,30 @@
+// Umbrella header for the Optum library.
+//
+// Typical downstream flow (see examples/quickstart.cpp):
+//   1. Generate or load a workload        -> trace/workload_generator.h
+//   2. Run the reference scheduler         -> sched/baselines.h + sim/simulator.h
+//   3. Profile its trace offline           -> core/offline_profiler.h
+//   4. Schedule with Optum                 -> core/optum_scheduler.h
+// or deploy the whole Fig. 17 closed loop  -> core/optum_system.h.
+#ifndef OPTUM_SRC_OPTUM_H_
+#define OPTUM_SRC_OPTUM_H_
+
+#include "src/common/flags.h"
+#include "src/common/table_printer.h"
+#include "src/common/types.h"
+#include "src/core/deployment.h"
+#include "src/core/distributed.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/core/optum_system.h"
+#include "src/predict/predictor_eval.h"
+#include "src/predict/usage_predictor.h"
+#include "src/sched/baselines.h"
+#include "src/sched/medea.h"
+#include "src/sim/simulator.h"
+#include "src/trace/scenarios.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload_generator.h"
+
+#endif  // OPTUM_SRC_OPTUM_H_

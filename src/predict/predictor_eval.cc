@@ -1,0 +1,64 @@
+#include "src/predict/predictor_eval.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+PeakOracle::PeakOracle(std::vector<std::vector<double>> usage, Tick period)
+    : usage_(std::move(usage)), period_(period) {
+  OPTUM_CHECK_GT(period_, 0);
+}
+
+double PeakOracle::PeakAfter(HostId host, Tick tick, Tick window) const {
+  if (host < 0 || static_cast<size_t>(host) >= usage_.size()) {
+    return -1.0;
+  }
+  const auto& series = usage_[static_cast<size_t>(host)];
+  const size_t begin = static_cast<size_t>(tick / period_) + 1;
+  const size_t end = static_cast<size_t>((tick + window) / period_) + 1;
+  if (begin >= series.size()) {
+    return -1.0;
+  }
+  double peak = 0.0;
+  for (size_t i = begin; i < std::min(end, series.size()); ++i) {
+    peak = std::max(peak, series[i]);
+  }
+  return peak;
+}
+
+PredictorErrorSummary ScorePredictions(const std::string& name,
+                                       const std::vector<PredictionSample>& samples,
+                                       const PeakOracle& oracle, Tick window) {
+  PredictorErrorSummary out;
+  out.predictor = name;
+  int64_t under_total = 0, under_below_10 = 0;
+  for (const auto& s : samples) {
+    const double truth = oracle.PeakAfter(s.host, s.tick, window);
+    if (truth <= 1e-6) {
+      continue;  // Idle or unknown host: relative error undefined.
+    }
+    const double error_pct = (s.predicted - truth) / truth * 100.0;
+    if (error_pct >= 0.0) {
+      out.over_errors.Add(error_pct);
+      out.max_over = std::max(out.max_over, error_pct);
+    } else {
+      out.under_errors.Add(error_pct);
+      out.max_under = std::min(out.max_under, error_pct);
+      ++under_total;
+      if (error_pct < -10.0) {
+        ++under_below_10;
+      }
+    }
+  }
+  out.over_errors.Finalize();
+  out.under_errors.Finalize();
+  const int64_t total =
+      static_cast<int64_t>(out.over_errors.size() + out.under_errors.size());
+  out.frac_under_below_minus_10 =
+      total > 0 ? static_cast<double>(under_below_10) / static_cast<double>(total) : 0.0;
+  return out;
+}
+
+}  // namespace optum

@@ -1,0 +1,52 @@
+// Predictor accuracy evaluation (paper §3.2.2, Fig. 11): signed relative
+// error between the predicted host peak usage and the realized peak over an
+// evaluation window,  Error = (pred - truth) / truth.
+#ifndef OPTUM_SRC_PREDICT_PREDICTOR_EVAL_H_
+#define OPTUM_SRC_PREDICT_PREDICTOR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/stats/cdf.h"
+
+namespace optum {
+
+struct PredictionSample {
+  HostId host = kInvalidHostId;
+  Tick tick = 0;
+  double predicted = 0.0;
+};
+
+// Realized peak usage per host over (tick, tick + window] given the dense
+// per-host usage series; hosts with zero realized usage are skipped.
+class PeakOracle {
+ public:
+  // usage[h] is the usage series of host h sampled every `period` ticks.
+  PeakOracle(std::vector<std::vector<double>> usage, Tick period);
+
+  // Peak over the window, or a negative value when unavailable.
+  double PeakAfter(HostId host, Tick tick, Tick window) const;
+
+ private:
+  std::vector<std::vector<double>> usage_;
+  Tick period_;
+};
+
+struct PredictorErrorSummary {
+  std::string predictor;
+  EmpiricalCdf over_errors;   // Error > 0 samples (percent)
+  EmpiricalCdf under_errors;  // Error < 0 samples (percent)
+  double max_over = 0.0;
+  double max_under = 0.0;  // most negative
+  double frac_under_below_minus_10 = 0.0;
+};
+
+// Scores prediction samples against the oracle.
+PredictorErrorSummary ScorePredictions(const std::string& name,
+                                       const std::vector<PredictionSample>& samples,
+                                       const PeakOracle& oracle, Tick window);
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_PREDICT_PREDICTOR_EVAL_H_

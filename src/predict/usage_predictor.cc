@@ -1,0 +1,36 @@
+#include "src/predict/usage_predictor.h"
+
+#include <algorithm>
+
+namespace optum {
+
+double UsagePredictor::PredictHostMem(const Host& host) const {
+  return host.request_sum.mem;
+}
+
+double BorgDefaultPredictor::PredictHostCpu(const Host& host) const {
+  return lambda_ * host.request_sum.cpu;
+}
+
+double ResourceCentralPredictor::PredictHostCpu(const Host& host) const {
+  double acc = 0.0;
+  for (const PodRuntime* pod : host.pods) {
+    acc += pod->CpuUsagePercentile(percentile_);
+  }
+  return acc;
+}
+
+double NSigmaPredictor::PredictHostCpu(const Host& host) const {
+  double mean = 0.0, stddev = 0.0;
+  host.HistoryStats(&mean, &stddev);
+  return (mean + n_ * stddev) * host.capacity.cpu;
+}
+
+MaxPredictor::MaxPredictor() : borg_(0.9), resource_central_(99.0), n_sigma_(5.0) {}
+
+double MaxPredictor::PredictHostCpu(const Host& host) const {
+  return std::max({borg_.PredictHostCpu(host), resource_central_.PredictHostCpu(host),
+                   n_sigma_.PredictHostCpu(host)});
+}
+
+}  // namespace optum

@@ -1,0 +1,83 @@
+// Host resource-usage predictors for over-commitment (paper §3.2.2).
+// Each predictor estimates the future peak CPU usage of a host (in capacity
+// units) from the host's current pods and history. The paper evaluates
+// Borg Default, Resource Central, N-sigma, Max Predictor, and Optum's
+// pairwise-ERO predictor (the last lives in src/core and implements this
+// same interface).
+#ifndef OPTUM_SRC_PREDICT_USAGE_PREDICTOR_H_
+#define OPTUM_SRC_PREDICT_USAGE_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/cluster.h"
+
+namespace optum {
+
+class UsagePredictor {
+ public:
+  virtual ~UsagePredictor() = default;
+
+  // Predicted peak CPU usage of the host (fraction-of-capacity * capacity
+  // units, i.e. comparable with Host::usage.cpu).
+  virtual double PredictHostCpu(const Host& host) const = 0;
+
+  // Predicted peak memory usage; defaults to the sum of requests.
+  virtual double PredictHostMem(const Host& host) const;
+
+  virtual std::string name() const = 0;
+};
+
+// Borg Default [Borg; Bashir et al.]: lambda * sum(requests). lambda = 1.0
+// is fully conservative; 0.9 is "widely used in many real systems".
+class BorgDefaultPredictor : public UsagePredictor {
+ public:
+  explicit BorgDefaultPredictor(double lambda = 0.9) : lambda_(lambda) {}
+  double PredictHostCpu(const Host& host) const override;
+  std::string name() const override { return "BorgDefault"; }
+
+ private:
+  double lambda_;
+};
+
+// Resource Central [Cortez et al., SOSP'17]: sum of each pod's k-th
+// percentile of observed usage (k = 99 by default).
+class ResourceCentralPredictor : public UsagePredictor {
+ public:
+  explicit ResourceCentralPredictor(double percentile = 99.0)
+      : percentile_(percentile) {}
+  double PredictHostCpu(const Host& host) const override;
+  std::string name() const override { return "ResourceCentral"; }
+
+ private:
+  double percentile_;
+};
+
+// N-sigma [Bashir et al., EuroSys'21]: mean + N * stddev of the host's
+// total usage over the trailing window (N = 5 by default).
+class NSigmaPredictor : public UsagePredictor {
+ public:
+  explicit NSigmaPredictor(double n = 5.0) : n_(n) {}
+  double PredictHostCpu(const Host& host) const override;
+  std::string name() const override { return "N-Sigma"; }
+
+ private:
+  double n_;
+};
+
+// Max Predictor [Bashir et al.]: max of the above three predictions.
+class MaxPredictor : public UsagePredictor {
+ public:
+  MaxPredictor();
+  double PredictHostCpu(const Host& host) const override;
+  std::string name() const override { return "MaxPredictor"; }
+
+ private:
+  BorgDefaultPredictor borg_;
+  ResourceCentralPredictor resource_central_;
+  NSigmaPredictor n_sigma_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_PREDICT_USAGE_PREDICTOR_H_

@@ -1,0 +1,154 @@
+#include "src/sched/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+AlibabaBaseline::AlibabaBaseline(BaselineOptions options)
+    : options_(options), rng_(options.seed) {}
+
+PlacementDecision AlibabaBaseline::Place(const PodSpec& pod, const AppProfile& app,
+                                         const ClusterState& cluster) {
+  (void)app;
+  const std::vector<HostId> candidates =
+      SampleHosts(cluster, options_.sample_fraction, options_.min_candidates, rng_);
+
+  HostId best = kInvalidHostId;
+  double best_score = -std::numeric_limits<double>::infinity();
+  bool any_cpu_short = false, any_mem_short = false;
+
+  bool any_affinity = false;
+  for (HostId id : candidates) {
+    const Host& h = cluster.host(id);
+    if (!AffinityAllows(pod, h)) {
+      any_affinity = true;
+      continue;
+    }
+    // Memory is always committed against requests (conservative).
+    const bool mem_ok =
+        h.request_sum.mem + pod.request.mem <= options_.mem_guard * h.capacity.mem;
+
+    bool cpu_ok;
+    Resources load;
+    if (pod.slo == SloClass::kBe) {
+      // BE: over-commit against the host's actual usage in the last
+      // scheduling interval (aggressive policy, §3.2.1 / Fig. 10a).
+      cpu_ok = h.usage.cpu + pod.request.cpu <=
+               options_.be_usage_budget * h.capacity.cpu;
+      load = h.usage;
+    } else {
+      // LS/LSR: request-based, effectively no over-commitment (Fig. 10b).
+      cpu_ok = h.request_sum.cpu + pod.request.cpu <= h.capacity.cpu;
+      load = h.request_sum;
+    }
+    if (!cpu_ok) {
+      any_cpu_short = true;
+    }
+    if (!mem_ok) {
+      any_mem_short = true;
+    }
+    if (!cpu_ok || !mem_ok) {
+      continue;
+    }
+    const double score = AlignmentScore(pod.request, load);
+    if (score > best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  if (best == kInvalidHostId) {
+    if (!any_cpu_short && !any_mem_short && any_affinity) {
+      return PlacementDecision::Reject(WaitReason::kOther);
+    }
+    return PlacementDecision::Reject(ClassifyShortfall(any_cpu_short, any_mem_short));
+  }
+  return PlacementDecision::Accept(best);
+}
+
+PredictorBestFit::PredictorBestFit(std::unique_ptr<UsagePredictor> predictor,
+                                   std::string policy_name, double cpu_budget,
+                                   double overcommit_cap, BaselineOptions options)
+    : predictor_(std::move(predictor)),
+      name_(std::move(policy_name)),
+      cpu_budget_(cpu_budget),
+      overcommit_cap_(overcommit_cap),
+      options_(options),
+      rng_(options.seed) {
+  OPTUM_CHECK(predictor_ != nullptr);
+}
+
+PlacementDecision PredictorBestFit::Place(const PodSpec& pod, const AppProfile& app,
+                                          const ClusterState& cluster) {
+  (void)app;
+  const std::vector<HostId> candidates =
+      SampleHosts(cluster, options_.sample_fraction, options_.min_candidates, rng_);
+
+  HostId best = kInvalidHostId;
+  double best_headroom = std::numeric_limits<double>::infinity();
+  bool any_cpu_short = false, any_mem_short = false;
+
+  bool any_affinity = false;
+  for (HostId id : candidates) {
+    const Host& h = cluster.host(id);
+    if (!AffinityAllows(pod, h)) {
+      any_affinity = true;
+      continue;
+    }
+    const double predicted = predictor_->PredictHostCpu(h);
+    const double cpu_cap = cpu_budget_ * h.capacity.cpu;
+    const bool cpu_ok = predicted + pod.request.cpu <= cpu_cap;
+    const bool ratio_ok =
+        overcommit_cap_ <= 0.0 ||
+        h.request_sum.cpu + pod.request.cpu <= overcommit_cap_ * h.capacity.cpu;
+    const bool mem_ok =
+        h.request_sum.mem + pod.request.mem <= options_.mem_guard * h.capacity.mem;
+    if (!cpu_ok || !ratio_ok) {
+      any_cpu_short = true;
+    }
+    if (!mem_ok) {
+      any_mem_short = true;
+    }
+    if (!cpu_ok || !ratio_ok || !mem_ok) {
+      continue;
+    }
+    // Best fit: minimize remaining headroom after placement.
+    const double headroom = cpu_cap - predicted - pod.request.cpu;
+    if (headroom < best_headroom) {
+      best_headroom = headroom;
+      best = id;
+    }
+  }
+  if (best == kInvalidHostId) {
+    if (!any_cpu_short && !any_mem_short && any_affinity) {
+      return PlacementDecision::Reject(WaitReason::kOther);
+    }
+    return PlacementDecision::Reject(ClassifyShortfall(any_cpu_short, any_mem_short));
+  }
+  return PlacementDecision::Accept(best);
+}
+
+std::unique_ptr<PlacementPolicy> MakeBorgLike(BaselineOptions options) {
+  return std::make_unique<PredictorBestFit>(std::make_unique<BorgDefaultPredictor>(0.9),
+                                            "Borg-like", /*cpu_budget=*/1.0,
+                                            /*overcommit_cap=*/0.0, options);
+}
+
+std::unique_ptr<PlacementPolicy> MakeNSigmaScheduler(BaselineOptions options) {
+  return std::make_unique<PredictorBestFit>(std::make_unique<NSigmaPredictor>(5.0),
+                                            "N-sigma", /*cpu_budget=*/1.0,
+                                            /*overcommit_cap=*/0.0, options);
+}
+
+std::unique_ptr<PlacementPolicy> MakeResourceCentralLike(BaselineOptions options) {
+  // Resource Central: sum of pod p99 usage below 0.8 * capacity and the
+  // over-commitment ratio capped at 1.2 (paper §5.1).
+  return std::make_unique<PredictorBestFit>(
+      std::make_unique<ResourceCentralPredictor>(99.0), "RC-like", /*cpu_budget=*/0.8,
+      /*overcommit_cap=*/1.2, options);
+}
+
+}  // namespace optum

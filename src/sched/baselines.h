@@ -1,0 +1,77 @@
+// Baseline schedulers evaluated in the paper (§5.1):
+//   * AlibabaBaseline — emulates the production unified scheduler as
+//     characterized in §3.2.1: over-commits BE pods against actual usage,
+//     is conservative (request-based) for LS/LSR, and ranks candidates by
+//     alignment score.
+//   * BorgLike — predicts host usage as 0.9 * sum(requests), best-fit.
+//   * NSigmaScheduler — mean + 5 sigma of host usage history, best-fit.
+//   * ResourceCentralLike — sum of per-pod p99 usage must stay below
+//     0.8 * capacity, with the over-commitment ratio capped at 1.2.
+#ifndef OPTUM_SRC_SCHED_BASELINES_H_
+#define OPTUM_SRC_SCHED_BASELINES_H_
+
+#include <string>
+
+#include "src/predict/usage_predictor.h"
+#include "src/sched/common.h"
+#include "src/sim/placement_policy.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+
+// Shared memory guard: all baselines treat memory conservatively
+// (request-based, hosts rarely over-commit memory — paper Fig. 5b).
+struct BaselineOptions {
+  double mem_guard = 1.0;  // max fraction of host memory committable
+  // Budget for usage-based BE over-commitment in AlibabaBaseline: BE pods
+  // fit while current_usage + request <= be_usage_budget * capacity.
+  double be_usage_budget = 0.85;
+  // Candidate sampling fraction; 1.0 scans every host (the production
+  // default for these baselines).
+  double sample_fraction = 1.0;
+  size_t min_candidates = 16;
+  uint64_t seed = 17;
+};
+
+class AlibabaBaseline : public PlacementPolicy {
+ public:
+  explicit AlibabaBaseline(BaselineOptions options = {});
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override;
+  std::string name() const override { return "Alibaba"; }
+
+ private:
+  BaselineOptions options_;
+  Rng rng_;
+};
+
+// Generic predictor-driven best-fit scheduler: feasible iff
+// predicted_cpu + pod.request.cpu <= cpu_budget * capacity, memory is
+// request-based; picks the feasible host with the least remaining budget
+// ("minimum available resources that can fit the pod", §3.2).
+class PredictorBestFit : public PlacementPolicy {
+ public:
+  PredictorBestFit(std::unique_ptr<UsagePredictor> predictor, std::string policy_name,
+                   double cpu_budget, double overcommit_cap, BaselineOptions options);
+
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::unique_ptr<UsagePredictor> predictor_;
+  std::string name_;
+  double cpu_budget_;      // fraction of capacity usable by predicted usage
+  double overcommit_cap_;  // max sum(requests)/capacity; <=0 disables
+  BaselineOptions options_;
+  Rng rng_;
+};
+
+// Factory helpers with the paper's parameterizations.
+std::unique_ptr<PlacementPolicy> MakeBorgLike(BaselineOptions options = {});
+std::unique_ptr<PlacementPolicy> MakeNSigmaScheduler(BaselineOptions options = {});
+std::unique_ptr<PlacementPolicy> MakeResourceCentralLike(BaselineOptions options = {});
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SCHED_BASELINES_H_

@@ -1,0 +1,63 @@
+#include "src/sched/common.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+WaitReason ClassifyShortfall(bool cpu_short, bool mem_short) {
+  if (cpu_short && mem_short) {
+    return WaitReason::kInsufficientCpuAndMem;
+  }
+  if (cpu_short) {
+    return WaitReason::kInsufficientCpu;
+  }
+  if (mem_short) {
+    return WaitReason::kInsufficientMem;
+  }
+  return WaitReason::kOther;
+}
+
+double AlignmentScore(const Resources& pod_request, const Resources& host_load) {
+  return pod_request.Dot(host_load);
+}
+
+size_t AlignmentRank(const Resources& pod_request, const std::vector<Resources>& loads,
+                     HostId selected) {
+  OPTUM_CHECK(selected >= 0 && static_cast<size_t>(selected) < loads.size());
+  const double selected_score =
+      AlignmentScore(pod_request, loads[static_cast<size_t>(selected)]);
+  size_t rank = 1;
+  for (size_t h = 0; h < loads.size(); ++h) {
+    if (static_cast<HostId>(h) == selected) {
+      continue;
+    }
+    if (AlignmentScore(pod_request, loads[h]) > selected_score) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+std::vector<HostId> SampleHosts(const ClusterState& cluster, double fraction,
+                                size_t min_count, Rng& rng) {
+  const size_t n = cluster.num_hosts();
+  size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
+  k = std::clamp(k, std::min(min_count, n), n);
+  std::vector<HostId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  if (k == n) {
+    return ids;  // Full scan: order does not matter to the callers.
+  }
+  // Partial Fisher-Yates over host indices.
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + rng.NextBelow(n - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace optum

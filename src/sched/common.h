@@ -1,0 +1,31 @@
+// Shared helpers for scheduler implementations.
+#ifndef OPTUM_SRC_SCHED_COMMON_H_
+#define OPTUM_SRC_SCHED_COMMON_H_
+
+#include <vector>
+
+#include "src/sim/placement_policy.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+
+// Classifies why a pod cannot fit, given per-dimension shortfalls.
+WaitReason ClassifyShortfall(bool cpu_short, bool mem_short);
+
+// Multi-resource alignment score (paper §3.2.1, following Tetris [21]):
+// inner product between the pod's request vector and the host's load
+// vector. Production schedulers pick the host with the largest score.
+double AlignmentScore(const Resources& pod_request, const Resources& host_load);
+
+// Rank (1 = best) of `selected` among all hosts when ordered by descending
+// alignment score against `loads`; used to reproduce Fig. 10.
+size_t AlignmentRank(const Resources& pod_request, const std::vector<Resources>& loads,
+                     HostId selected);
+
+// Samples `fraction` of all hosts (at least min_count) without replacement.
+std::vector<HostId> SampleHosts(const ClusterState& cluster, double fraction,
+                                size_t min_count, Rng& rng);
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SCHED_COMMON_H_

@@ -1,0 +1,141 @@
+#include "src/sched/medea.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+Medea::Medea(MedeaOptions options) : options_(options), rng_(options.seed) {}
+
+bool Medea::Fits(const PodSpec& pod, const Host& host) const {
+  return AffinityAllows(pod, host) &&
+         host.request_sum.cpu + pod.request.cpu <= host.capacity.cpu &&
+         host.request_sum.mem + pod.request.mem <=
+             options_.mem_guard * host.capacity.mem;
+}
+
+PlacementDecision Medea::PlaceShortRunning(const PodSpec& pod,
+                                           const ClusterState& cluster) {
+  // Traditional low-latency scheduler: request-based best fit (Medea is a
+  // YARN-style system — no usage prediction for either pod class).
+  HostId best = kInvalidHostId;
+  double best_headroom = std::numeric_limits<double>::infinity();
+  bool any_cpu = false, any_mem = false;
+  for (const Host& h : cluster.hosts()) {
+    if (!AffinityAllows(pod, h)) {
+      continue;
+    }
+    const bool cpu_ok = h.request_sum.cpu + pod.request.cpu <= h.capacity.cpu;
+    const bool mem_ok =
+        h.request_sum.mem + pod.request.mem <= options_.mem_guard * h.capacity.mem;
+    any_cpu |= !cpu_ok;
+    any_mem |= !mem_ok;
+    if (!cpu_ok || !mem_ok) {
+      continue;
+    }
+    const double headroom = h.capacity.cpu - h.request_sum.cpu - pod.request.cpu;
+    if (headroom < best_headroom) {
+      best_headroom = headroom;
+      best = h.id;
+    }
+  }
+  if (best == kInvalidHostId) {
+    return PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
+  }
+  return PlacementDecision::Accept(best);
+}
+
+void Medea::SolveBatch(const ClusterState& cluster) {
+  if (batch_.empty()) {
+    return;
+  }
+  // Candidate hosts: sample up to max_hosts, preferring non-idle hosts so
+  // the ILP can pack (idle hosts are trivially feasible anyway).
+  std::vector<HostId> hosts =
+      SampleHosts(cluster, 1.0, cluster.num_hosts(), rng_);  // shuffled all
+  if (hosts.size() > options_.max_hosts) {
+    hosts.resize(options_.max_hosts);
+  }
+
+  solver::AssignmentProblem problem;
+  problem.capacities.reserve(hosts.size());
+  for (HostId id : hosts) {
+    const Host& h = cluster.host(id);
+    problem.capacities.push_back(Resources{
+        std::max(0.0, h.capacity.cpu - h.request_sum.cpu),
+        std::max(0.0, options_.mem_guard * h.capacity.mem - h.request_sum.mem)});
+  }
+  constexpr double kForbidden = -1e18;
+  for (const BatchEntry& entry : batch_) {
+    problem.demands.push_back(entry.pod.request);
+    std::vector<double> row(hosts.size(), kForbidden);
+    for (size_t b = 0; b < hosts.size(); ++b) {
+      const Host& h = cluster.host(hosts[b]);
+      if (!Fits(entry.pod, h)) {
+        continue;
+      }
+      // Prefer packing onto loaded hosts: constant assignment reward plus
+      // the alignment score against committed requests.
+      row[b] = 1.0 + AlignmentScore(entry.pod.request, h.request_sum);
+    }
+    problem.scores.push_back(std::move(row));
+  }
+
+  const solver::AssignmentSolution solution =
+      solver::AssignmentSolver(options_.node_budget).Solve(problem);
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    if (solution.assignment[i] >= 0) {
+      solved_[batch_[i].pod.id] = hosts[static_cast<size_t>(solution.assignment[i])];
+    }
+  }
+  batch_.clear();
+}
+
+PlacementDecision Medea::Place(const PodSpec& pod, const AppProfile& app,
+                               const ClusterState& cluster) {
+  (void)app;
+  if (pod.slo == SloClass::kBe) {
+    return PlaceShortRunning(pod, cluster);
+  }
+
+  // Previously solved? Validate against the current state and commit.
+  if (const auto it = solved_.find(pod.id); it != solved_.end()) {
+    const HostId host = it->second;
+    solved_.erase(it);
+    if (Fits(pod, cluster.host(host))) {
+      return PlacementDecision::Accept(host);
+    }
+    // The solution went stale (conflicting placements since the solve);
+    // fall through and re-batch.
+  }
+
+  // Add to the batch unless already queued.
+  const bool queued = std::any_of(batch_.begin(), batch_.end(), [&](const BatchEntry& e) {
+    return e.pod.id == pod.id;
+  });
+  if (!queued) {
+    batch_.push_back(BatchEntry{pod, cluster.now()});
+  }
+
+  const bool batch_full = batch_.size() >= options_.max_pods;
+  const bool batch_aged =
+      !batch_.empty() && cluster.now() - batch_.front().added_at >= options_.max_batch_delay;
+  if (batch_full || batch_aged) {
+    SolveBatch(cluster);
+    if (const auto it = solved_.find(pod.id); it != solved_.end()) {
+      const HostId host = it->second;
+      solved_.erase(it);
+      if (Fits(pod, cluster.host(host))) {
+        return PlacementDecision::Accept(host);
+      }
+    }
+    // ILP could not place this pod: genuine resource shortage.
+    return PlacementDecision::Reject(WaitReason::kInsufficientCpuAndMem);
+  }
+  // Still batching: the pod waits one round for a better global solution.
+  return PlacementDecision::Reject(WaitReason::kOther);
+}
+
+}  // namespace optum

@@ -1,0 +1,56 @@
+// Medea [Garefalakis et al., EuroSys'18] baseline: long-running pods are
+// placed by an ILP-based scheduler (batched, solved exactly by branch and
+// bound over a bounded sub-problem of <= 40 hosts x 15 pods, paper §5.1);
+// short-running (BE) pods go through a traditional low-latency best-fit
+// scheduler.
+#ifndef OPTUM_SRC_SCHED_MEDEA_H_
+#define OPTUM_SRC_SCHED_MEDEA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/sched/common.h"
+#include "src/sim/placement_policy.h"
+#include "src/solver/assignment_solver.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+
+struct MedeaOptions {
+  size_t max_hosts = 40;    // ILP sub-problem width
+  size_t max_pods = 15;     // ILP batch size
+  Tick max_batch_delay = 1;  // force a solve after this many ticks
+  double mem_guard = 1.0;
+  int64_t node_budget = 200'000;
+  uint64_t seed = 23;
+};
+
+class Medea : public PlacementPolicy {
+ public:
+  explicit Medea(MedeaOptions options = {});
+
+  PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                          const ClusterState& cluster) override;
+  std::string name() const override { return "Medea"; }
+
+  // Exposed for the overhead bench: solves one ILP batch immediately.
+  void SolveBatch(const ClusterState& cluster);
+
+ private:
+  struct BatchEntry {
+    PodSpec pod;
+    Tick added_at = 0;
+  };
+
+  PlacementDecision PlaceShortRunning(const PodSpec& pod, const ClusterState& cluster);
+  bool Fits(const PodSpec& pod, const Host& host) const;
+
+  MedeaOptions options_;
+  Rng rng_;
+  std::vector<BatchEntry> batch_;
+  std::unordered_map<PodId, HostId> solved_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SCHED_MEDEA_H_

@@ -1,0 +1,148 @@
+#include "src/sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+namespace {
+// Reservoir size for per-pod CPU percentile queries.
+constexpr size_t kCpuReservoir = 128;
+}  // namespace
+
+double PodRuntime::CpuUsagePercentile(double q) const {
+  if (cpu_samples.empty()) {
+    return cpu_usage;
+  }
+  if (percentile_cache_q_ == q && percentile_cache_count_ == cpu_stats.count()) {
+    return percentile_cache_;
+  }
+  percentile_cache_ = Percentile(cpu_samples, q);
+  percentile_cache_q_ = q;
+  percentile_cache_count_ = cpu_stats.count();
+  return percentile_cache_;
+}
+
+void PodRuntime::RecordCpuSample(double value, Rng& reservoir_rng) {
+  cpu_stats.Add(value);
+  if (cpu_samples.size() < kCpuReservoir) {
+    cpu_samples.push_back(value);
+    return;
+  }
+  // Vitter's Algorithm R keeps a uniform sample of the whole stream.
+  const uint64_t seen = static_cast<uint64_t>(cpu_stats.count());
+  const uint64_t slot = reservoir_rng.NextBelow(seen);
+  if (slot < kCpuReservoir) {
+    cpu_samples[slot] = value;
+  }
+}
+
+void Host::PushHistory(double cpu_util, size_t window) {
+  if (cpu_history.size() < window) {
+    cpu_history.resize(window, 0.0);
+  }
+  if (history_count == window) {
+    const double evicted = cpu_history[history_next];
+    history_sum -= evicted;
+    history_sum_sq -= evicted * evicted;
+  } else {
+    ++history_count;
+  }
+  cpu_history[history_next] = cpu_util;
+  history_sum += cpu_util;
+  history_sum_sq += cpu_util * cpu_util;
+  history_next = (history_next + 1) % window;
+}
+
+void Host::HistoryStats(double* mean, double* stddev) const {
+  if (history_count == 0) {
+    *mean = 0.0;
+    *stddev = 0.0;
+    return;
+  }
+  const double n = static_cast<double>(history_count);
+  const double m = history_sum / n;
+  // Incremental sums can drift slightly negative near zero variance.
+  const double var = std::max(0.0, history_sum_sq / n - m * m);
+  *mean = m;
+  *stddev = std::sqrt(var);
+}
+
+bool Host::HasSloWorkload() const {
+  for (const PodRuntime* pod : pods) {
+    const SloClass slo = pod->spec.slo;
+    if (slo == SloClass::kBe || slo == SloClass::kLs || slo == SloClass::kLsr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AffinityAllows(const PodSpec& pod, const Host& host) {
+  if (pod.max_pods_per_host <= 0) {
+    return true;
+  }
+  int count = 0;
+  for (const PodRuntime* p : host.pods) {
+    if (p->spec.app == pod.app && ++count >= pod.max_pods_per_host) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClusterState::ClusterState(int num_hosts, Resources capacity, size_t history_window)
+    : history_window_(history_window) {
+  OPTUM_CHECK_GT(num_hosts, 0);
+  hosts_.resize(static_cast<size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    hosts_[static_cast<size_t>(h)].id = h;
+    hosts_[static_cast<size_t>(h)].capacity = capacity;
+  }
+}
+
+PodRuntime* ClusterState::Place(const PodSpec& spec, const AppProfile* app, HostId host,
+                                Tick at) {
+  OPTUM_CHECK(host >= 0 && static_cast<size_t>(host) < hosts_.size());
+  PodRuntime* pod;
+  if (!free_list_.empty()) {
+    pod = free_list_.back();
+    free_list_.pop_back();
+    *pod = PodRuntime{};
+  } else {
+    pods_.emplace_back();
+    pod = &pods_.back();
+  }
+  pod->spec = spec;
+  pod->app = app;
+  pod->host = host;
+  pod->scheduled_at = at;
+  pod->noise = Rng(0x9e3779b9u ^ static_cast<uint64_t>(spec.id) * 0x2545f4914f6cdd1dULL);
+
+  Host& h = mutable_host(host);
+  h.pods.push_back(pod);
+  h.request_sum += spec.request;
+  h.limit_sum += spec.limit;
+  ++num_running_;
+  return pod;
+}
+
+void ClusterState::Remove(PodRuntime* pod) {
+  OPTUM_CHECK(pod != nullptr && pod->host != kInvalidHostId);
+  Host& h = mutable_host(pod->host);
+  auto it = std::find(h.pods.begin(), h.pods.end(), pod);
+  OPTUM_CHECK(it != h.pods.end());
+  h.pods.erase(it);
+  h.request_sum -= pod->spec.request;
+  h.limit_sum -= pod->spec.limit;
+  // Numerical hygiene: sums drift toward zero, never below.
+  h.request_sum = h.request_sum.Max(kZeroResources);
+  h.limit_sum = h.limit_sum.Max(kZeroResources);
+  pod->host = kInvalidHostId;
+  --num_running_;
+  free_list_.push_back(pod);
+}
+
+}  // namespace optum

@@ -1,0 +1,142 @@
+// Cluster state: hosts, running pods, and the read view schedulers consume.
+#ifndef OPTUM_SRC_SIM_CLUSTER_H_
+#define OPTUM_SRC_SIM_CLUSTER_H_
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/rng.h"
+#include "src/trace/app_model.h"
+
+namespace optum {
+
+// Runtime state of one scheduled pod. Owned by ClusterState; schedulers see
+// const pointers only.
+struct PodRuntime {
+  PodSpec spec;
+  const AppProfile* app = nullptr;
+
+  HostId host = kInvalidHostId;
+  Tick scheduled_at = -1;
+  bool finished = false;
+
+  // Instantaneous state (updated every tick by the simulator).
+  double cpu_usage = 0.0;   // actual, after host capacity scaling
+  double cpu_demand = 0.0;  // raw demand before scaling
+  double mem_usage = 0.0;
+  double qps = 0.0;
+  double psi60 = 0.0;
+  double psi300 = 0.0;
+
+  // Aggregates over the pod lifetime.
+  double max_psi = 0.0;
+  double max_cpu_usage = 0.0;
+  double max_mem_usage = 0.0;
+  double progress = 0.0;  // BE work completed, in idle-host ticks
+
+  // Bounded reservoir of CPU usage samples for percentile queries
+  // (Resource Central's p99 predictor).
+  std::vector<double> cpu_samples;
+  OnlineStats cpu_stats;
+
+  // Per-pod deterministic noise stream.
+  Rng noise{1};
+
+  // Percentile of observed CPU usage; falls back to current usage when no
+  // samples have been collected yet. Cached per (q, sample count): the
+  // reservoir is queried by schedulers far more often than it changes.
+  double CpuUsagePercentile(double q) const;
+
+  mutable double percentile_cache_ = 0.0;
+  mutable double percentile_cache_q_ = -1.0;
+  mutable int64_t percentile_cache_count_ = -1;
+
+  void RecordCpuSample(double value, Rng& reservoir_rng);
+};
+
+// One physical host.
+struct Host {
+  HostId id = kInvalidHostId;
+  Resources capacity = kUnitResources;
+
+  // Pods in scheduling order (Optum's pairwise predictor consumes this
+  // order, paper §4.3.2).
+  std::vector<PodRuntime*> pods;
+
+  // Cached aggregates, maintained incrementally on place/remove and refreshed
+  // each tick for usage.
+  Resources request_sum;
+  Resources limit_sum;
+  Resources demand;  // raw demand this tick (can exceed capacity)
+  Resources usage;   // actual usage (CPU capped at capacity)
+
+  // Rolling window of host CPU usage (fraction of capacity) for N-sigma,
+  // with incremental sums so HistoryStats is O(1).
+  std::vector<double> cpu_history;
+  size_t history_next = 0;
+  size_t history_count = 0;
+  double history_sum = 0.0;
+  double history_sum_sq = 0.0;
+
+  void PushHistory(double cpu_util, size_t window);
+  // Mean and population stddev over the recorded window.
+  void HistoryStats(double* mean, double* stddev) const;
+
+  double CpuDemandRatio() const { return capacity.cpu > 0 ? demand.cpu / capacity.cpu : 0.0; }
+  double MemRatio() const { return capacity.mem > 0 ? demand.mem / capacity.mem : 0.0; }
+  bool IsIdle() const { return pods.empty(); }
+
+  // True when the host runs at least one pod with an explicit SLO
+  // (BE/LS/LSR). Hosts carrying only system daemons count as idle for the
+  // utilization metric (the paper's characterization focuses on pods with
+  // explicit SLO requirements, §2.2).
+  bool HasSloWorkload() const;
+};
+
+// Anti-affinity check: true when placing `pod` on `host` would not exceed
+// the pod's same-application per-host limit. Every scheduler (and the
+// simulator's preemption path) honors this — affinity requirements are part
+// of the unified request (paper §2.1).
+bool AffinityAllows(const PodSpec& pod, const Host& host);
+
+// Mutable cluster state; the simulator owns it, schedulers receive a const
+// reference.
+class ClusterState {
+ public:
+  ClusterState(int num_hosts, Resources capacity, size_t history_window);
+
+  size_t num_hosts() const { return hosts_.size(); }
+  const Host& host(HostId h) const { return hosts_[static_cast<size_t>(h)]; }
+  Host& mutable_host(HostId h) { return hosts_[static_cast<size_t>(h)]; }
+  std::span<const Host> hosts() const { return hosts_; }
+
+  Tick now() const { return now_; }
+  void set_now(Tick t) { now_ = t; }
+
+  // Places a pod; the caller guarantees `host` is valid. Returns the new
+  // runtime record.
+  PodRuntime* Place(const PodSpec& spec, const AppProfile* app, HostId host, Tick at);
+
+  // Removes a pod from its host (on completion, preemption, or OOM kill).
+  void Remove(PodRuntime* pod);
+
+  size_t num_running_pods() const { return num_running_; }
+  size_t history_window() const { return history_window_; }
+
+ private:
+  std::vector<Host> hosts_;
+  // Deque keeps PodRuntime addresses stable across growth.
+  std::deque<PodRuntime> pods_;
+  std::vector<PodRuntime*> free_list_;
+  size_t num_running_ = 0;
+  size_t history_window_;
+  Tick now_ = 0;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SIM_CLUSTER_H_

@@ -1,0 +1,58 @@
+// The interface every scheduler implements — baselines in src/sched and
+// Optum's online scheduler in src/core. The simulator calls Place() for
+// each pending pod in priority order and applies the returned decision.
+#ifndef OPTUM_SRC_SIM_PLACEMENT_POLICY_H_
+#define OPTUM_SRC_SIM_PLACEMENT_POLICY_H_
+
+#include <string>
+
+#include "src/sim/cluster.h"
+
+namespace optum {
+
+// Why a pod could not be placed this round (paper Fig. 9b taxonomy).
+enum class WaitReason : uint8_t {
+  kNone = 0,
+  kInsufficientCpu,
+  kInsufficientMem,
+  kInsufficientCpuAndMem,
+  kOther,  // affinity, temporary storage, conflicts, ...
+};
+
+const char* ToString(WaitReason reason);
+
+struct PlacementDecision {
+  HostId host = kInvalidHostId;
+  WaitReason reason = WaitReason::kNone;
+
+  static PlacementDecision Reject(WaitReason why) { return {kInvalidHostId, why}; }
+  static PlacementDecision Accept(HostId h) { return {h, WaitReason::kNone}; }
+  bool placed() const { return host != kInvalidHostId; }
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Chooses a host for the pod, or rejects with a reason. Must not mutate
+  // cluster state; the simulator applies the decision.
+  virtual PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
+                                  const ClusterState& cluster) = 0;
+
+  // Lifecycle hooks (optional): called after the simulator commits a
+  // placement or removes a pod, letting stateful policies update caches.
+  virtual void OnPodPlaced(const PodRuntime& pod, const ClusterState& cluster) {
+    (void)pod;
+    (void)cluster;
+  }
+  virtual void OnPodFinished(const PodRuntime& pod, const ClusterState& cluster) {
+    (void)pod;
+    (void)cluster;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SIM_PLACEMENT_POLICY_H_

@@ -1,0 +1,84 @@
+#include "src/sim/psi_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optum {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+double PsiModel::CpuContention(double host_cpu_demand_ratio) const {
+  const double excess = host_cpu_demand_ratio - params_.cpu_knee;
+  if (excess <= 0.0) {
+    return 0.0;
+  }
+  return excess / (1.0 - params_.cpu_knee);
+}
+
+double PsiModel::MemContention(double host_mem_ratio) const {
+  const double excess = host_mem_ratio - params_.mem_knee;
+  if (excess <= 0.0) {
+    return 0.0;
+  }
+  return Clamp01(excess / (1.0 - params_.mem_knee));
+}
+
+double PsiModel::CpuPsi60(const AppProfile& app, double host_cpu_demand_ratio,
+                          double pod_util, double qps_fraction, Rng& noise) const {
+  // Some scheduling pressure exists at any load (run-queue waits, cache
+  // interference); it saturates sharply past the knee. A pod only stalls if
+  // the host is loaded and the pod itself wants CPU; demanding pods at high
+  // QPS stall more (Fig. 15).
+  const double sub_knee = 0.1 * std::min(host_cpu_demand_ratio, 1.2);
+  const double contention = CpuContention(host_cpu_demand_ratio);
+  const double pod_factor = 0.3 + 0.7 * Clamp01(pod_util);
+  const double qps_factor = 0.4 + 0.6 * Clamp01(qps_fraction);
+  const double base =
+      app.psi_sensitivity * (sub_knee + contention) * pod_factor * qps_factor;
+  return Clamp01(base + noise.Gaussian(0.0, params_.psi_noise));
+}
+
+double PsiModel::CpuPsi10(double psi60, Rng& noise) const {
+  return Clamp01(psi60 * std::max(0.0, noise.Gaussian(1.0, 0.25)) +
+                 noise.Gaussian(0.0, params_.psi_noise));
+}
+
+double PsiModel::CpuPsi300(double previous_psi300, double psi60) const {
+  // EMA with the ~300 s/60 s window ratio.
+  constexpr double kAlpha = 0.2;
+  return Clamp01(previous_psi300 * (1.0 - kAlpha) + psi60 * kAlpha);
+}
+
+double PsiModel::MemPsiSome60(double host_mem_ratio, Rng& noise) const {
+  const double contention = MemContention(host_mem_ratio);
+  return Clamp01(0.5 * contention + noise.Gaussian(0.0, 0.5 * params_.psi_noise));
+}
+
+double PsiModel::MemPsiFull60(double mem_psi_some) const { return 0.4 * mem_psi_some; }
+
+double PsiModel::ResponseTime(const AppProfile& app, double psi60, double rt_scale,
+                              Rng& noise) const {
+  // Base service time scaled by stall pressure and the pod's persistent
+  // dependency-chain multiplier (calls fan out to other services, §3.3.1),
+  // plus light per-request jitter.
+  const double base_ms = 5.0 + 2000.0 / std::max(1.0, app.qps_base);
+  const double stall = 1.0 + 6.0 * psi60;
+  const double jitter = noise.LogNormal(0.0, 0.1);
+  return base_ms * stall * rt_scale * jitter;
+}
+
+double PsiModel::BeProgressRate(const AppProfile& app, double host_cpu_demand_ratio,
+                                double host_mem_ratio) const {
+  const double cpu_c = CpuContention(host_cpu_demand_ratio);
+  const double mem_c = MemContention(host_mem_ratio);
+  // Mild sub-knee slowdown (cache/scheduler interference grows with load
+  // well before saturation) plus the saturating contention terms.
+  const double pressure =
+      0.04 * std::min(1.5, host_cpu_demand_ratio) + 0.7 * cpu_c + 0.3 * mem_c;
+  return 1.0 / (1.0 + app.slowdown_sensitivity * pressure);
+}
+
+}  // namespace optum

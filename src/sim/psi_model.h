@@ -1,0 +1,77 @@
+// Ground-truth interference model of the simulated hosts.
+//
+// The paper treats PSI (Pressure Stall Information) as the performance proxy
+// for LS pods (§3.3.2) and completion-time inflation as the proxy for BE
+// pods (§3.3.3), and reports the correlation structure in Fig. 13-16:
+//   * CPU PSI correlates strongly with host CPU utilization and pod CPU
+//     utilization, and positively with QPS;
+//   * memory PSI is largely uncorrelated with response time;
+//   * BE completion time correlates with node CPU (r>0.5 for 75% of apps)
+//     and node memory utilization (r>0.25 for 50% of apps).
+// The functions below generate exactly that structure, so profilers trained
+// on simulator output face the same learning problem the paper's do.
+#ifndef OPTUM_SRC_SIM_PSI_MODEL_H_
+#define OPTUM_SRC_SIM_PSI_MODEL_H_
+
+#include "src/stats/rng.h"
+#include "src/trace/app_model.h"
+
+namespace optum {
+
+struct PsiModelParams {
+  // Host CPU demand ratio at which contention begins to build.
+  double cpu_knee = 0.55;
+  // Host memory ratio at which memory pressure begins.
+  double mem_knee = 0.85;
+  // Observation noise on PSI samples.
+  double psi_noise = 0.008;
+};
+
+class PsiModel {
+ public:
+  explicit PsiModel(PsiModelParams params = {}) : params_(params) {}
+
+  // Normalized CPU contention in [0, inf): 0 below the knee, then rising
+  // linearly with the host demand ratio (demand may exceed capacity).
+  double CpuContention(double host_cpu_demand_ratio) const;
+
+  // Memory contention in [0, 1].
+  double MemContention(double host_mem_ratio) const;
+
+  // "Some" CPU PSI over a 60 s window for an LS pod.
+  //   pod_util: pod cpu usage / pod cpu request (its own busyness)
+  //   qps_fraction: current QPS relative to the app peak, in [0, 1]
+  double CpuPsi60(const AppProfile& app, double host_cpu_demand_ratio, double pod_util,
+                  double qps_fraction, Rng& noise) const;
+
+  // The 10 s window is a noisier view of the same pressure; 300 s is an
+  // exponentially smoothed one (caller passes the previous smoothed value).
+  double CpuPsi10(double psi60, Rng& noise) const;
+  double CpuPsi300(double previous_psi300, double psi60) const;
+
+  // Memory PSI ("some"/"full" 60 s) — small and only driven by memory.
+  double MemPsiSome60(double host_mem_ratio, Rng& noise) const;
+  double MemPsiFull60(double mem_psi_some) const;
+
+  // Response time of an LS pod. `rt_scale` is the pod's persistent
+  // dependency-chain multiplier, so that RT is an unreliable per-pod
+  // performance indicator across pods (Fig. 12a: only ~40% of apps have RT
+  // CoV < 1) while still tracking PSI within one pod (Fig. 13).
+  double ResponseTime(const AppProfile& app, double psi60, double rt_scale,
+                      Rng& noise) const;
+
+  // Progress rate multiplier for BE pods in (0, 1]: 1 on an idle host,
+  // shrinking as CPU and memory contention rise. Completion time is
+  // work / mean-rate, which yields Fig. 16's correlations.
+  double BeProgressRate(const AppProfile& app, double host_cpu_demand_ratio,
+                        double host_mem_ratio) const;
+
+  const PsiModelParams& params() const { return params_; }
+
+ private:
+  PsiModelParams params_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SIM_PSI_MODEL_H_

@@ -1,0 +1,450 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+const char* ToString(WaitReason reason) {
+  switch (reason) {
+    case WaitReason::kNone:
+      return "None";
+    case WaitReason::kInsufficientCpu:
+      return "CPU";
+    case WaitReason::kInsufficientMem:
+      return "Mem";
+    case WaitReason::kInsufficientCpuAndMem:
+      return "CPU&Mem";
+    case WaitReason::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+double SimResult::MeanCpuUtilNonIdle() const {
+  if (util_series.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& s : util_series) {
+    acc += s.avg_cpu_nonidle;
+  }
+  return acc / static_cast<double>(util_series.size());
+}
+
+double SimResult::MeanMemUtilNonIdle() const {
+  if (util_series.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& s : util_series) {
+    acc += s.avg_mem_nonidle;
+  }
+  return acc / static_cast<double>(util_series.size());
+}
+
+Simulator::Simulator(const Workload& workload, SimConfig config, PlacementPolicy& policy)
+    : workload_(workload),
+      config_(config),
+      policy_(policy),
+      psi_model_(config.psi),
+      cluster_(workload.config.num_hosts, config.host_capacity,
+               config.nsigma_history_window),
+      rng_(config.seed) {
+  wait_by_pod_.resize(workload.pods.size());
+  result_.trace.nodes.reserve(static_cast<size_t>(workload.config.num_hosts));
+  for (int h = 0; h < workload.config.num_hosts; ++h) {
+    result_.trace.nodes.push_back(NodeMeta{h, config.host_capacity});
+  }
+}
+
+void Simulator::EnqueueArrivals() {
+  while (next_arrival_ < workload_.pods.size() &&
+         workload_.pods[next_arrival_].submit_tick <= now_) {
+    const PodSpec* spec = &workload_.pods[next_arrival_];
+    const int prio = SchedulingPriority(spec->slo);
+    pending_[prio].push_back(PendingPod{spec, now_});
+    ++next_arrival_;
+  }
+}
+
+void Simulator::NoteWaitReason(const PodSpec& pod, WaitReason reason) {
+  WaitSample& w = wait_by_pod_[static_cast<size_t>(pod.id)];
+  w.pod = pod.id;
+  w.slo = pod.slo;
+  w.request = pod.request;
+  w.reason = reason;
+}
+
+void Simulator::CommitPlacement(const PodSpec& spec, const AppProfile& app, HostId host) {
+  PodRuntime* pod = cluster_.Place(spec, &app, host, now_);
+  running_.push_back(pod);
+  ++result_.scheduled_pods;
+  policy_.OnPodPlaced(*pod, cluster_);
+
+  PodMeta meta;
+  meta.pod_id = spec.id;
+  meta.app_id = spec.app;
+  meta.slo = spec.slo;
+  meta.request = spec.request;
+  meta.limit = spec.limit;
+  meta.submit_tick = spec.submit_tick;
+  meta.original_machine_id = host;
+  result_.trace.pods.push_back(meta);
+}
+
+bool Simulator::TryPreemptForLsr(const PodSpec& pod, const AppProfile& app) {
+  // Find the host whose evictable BE request mass best covers the shortfall,
+  // then evict newest-first until the LSR pod's request fits the capacity.
+  HostId best = kInvalidHostId;
+  double best_score = -1.0;
+  for (const Host& h : cluster_.hosts()) {
+    if (!AffinityAllows(pod, h)) {
+      continue;
+    }
+    double be_request = 0.0;
+    for (const PodRuntime* p : h.pods) {
+      if (p->spec.slo == SloClass::kBe) {
+        be_request += p->spec.request.cpu;
+      }
+    }
+    const double after_cpu = h.request_sum.cpu - be_request + pod.request.cpu;
+    const double after_mem = h.demand.mem + pod.request.mem;  // conservative
+    if (after_cpu <= h.capacity.cpu && after_mem <= h.capacity.mem &&
+        be_request > best_score) {
+      best_score = be_request;
+      best = h.id;
+    }
+  }
+  if (best == kInvalidHostId) {
+    return false;
+  }
+  Host& h = cluster_.mutable_host(best);
+  // Evict newest BE pods until the request fits.
+  while (h.request_sum.cpu + pod.request.cpu > h.capacity.cpu) {
+    PodRuntime* victim = nullptr;
+    for (auto it = h.pods.rbegin(); it != h.pods.rend(); ++it) {
+      if ((*it)->spec.slo == SloClass::kBe) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      break;
+    }
+    ++result_.preemptions;
+    policy_.OnPodFinished(*victim, cluster_);
+    // Resubmit the victim: progress is lost, waiting restarts now.
+    PodSpec respawn = victim->spec;
+    pending_[SchedulingPriority(respawn.slo)].push_back(PendingPod{nullptr, now_});
+    pending_[SchedulingPriority(respawn.slo)].back().spec =
+        &workload_.pods[static_cast<size_t>(respawn.id)];
+    running_.erase(std::find(running_.begin(), running_.end(), victim));
+    cluster_.Remove(victim);
+  }
+  if (h.request_sum.cpu + pod.request.cpu > h.capacity.cpu) {
+    return false;  // Not enough evictable mass after all.
+  }
+  CommitPlacement(pod, app, best);
+  return true;
+}
+
+void Simulator::SchedulePending() {
+  size_t attempts = 0;
+  for (int prio = 3; prio >= 1; --prio) {
+    auto& queue = pending_[prio];
+    size_t remaining = queue.size();
+    while (remaining-- > 0 && attempts < config_.max_attempts_per_tick) {
+      PendingPod item = queue.front();
+      queue.pop_front();
+      ++attempts;
+      const PodSpec& spec = *item.spec;
+      const AppProfile& app = AppOf(workload_, spec.app);
+      const PlacementDecision decision = policy_.Place(spec, app, cluster_);
+      if (decision.placed()) {
+        CommitPlacement(spec, app, decision.host);
+        continue;
+      }
+      // LSR pods may preempt BE pods rather than wait (paper §3.1.3).
+      if (spec.slo == SloClass::kLsr && config_.enable_lsr_preemption &&
+          TryPreemptForLsr(spec, app)) {
+        continue;
+      }
+      NoteWaitReason(spec, decision.reason);
+      queue.push_back(item);  // Retry next tick.
+    }
+  }
+}
+
+void Simulator::UpdateUsageAndPerformance() {
+  // Phase 1: raw demands.
+  for (PodRuntime* pod : running_) {
+    const AppProfile& app = *pod->app;
+    double cpu = PodCpuDemand(app, pod->spec.behavior, now_, pod->noise);
+    double mem = PodMemDemand(app, pod->spec.behavior, now_, pod->noise);
+    cpu = std::min(cpu, pod->spec.limit.cpu);
+    mem = std::min(mem, pod->spec.limit.mem);
+    pod->cpu_demand = cpu;
+    pod->mem_usage = mem;
+    pod->qps = PodQps(app, pod->spec.behavior, now_, pod->noise);
+  }
+
+  for (size_t hi = 0; hi < cluster_.num_hosts(); ++hi) {
+    Host& host = cluster_.mutable_host(static_cast<HostId>(hi));
+    if (host.pods.empty()) {
+      host.demand = kZeroResources;
+      host.usage = kZeroResources;
+      host.PushHistory(0.0, config_.nsigma_history_window);
+      continue;
+    }
+    ++result_.nonidle_host_ticks;
+
+    Resources demand = kZeroResources;
+    for (const PodRuntime* pod : host.pods) {
+      demand += Resources{pod->cpu_demand, pod->mem_usage};
+    }
+
+    // Memory over-capacity triggers OOM kills of the newest BE pods
+    // ("running out-of-memory can kill all programs on the host", §3.1.2;
+    // we model the kernel killing best-effort victims first).
+    while (demand.mem > host.capacity.mem) {
+      PodRuntime* victim = nullptr;
+      for (auto it = host.pods.rbegin(); it != host.pods.rend(); ++it) {
+        if ((*it)->spec.slo == SloClass::kBe) {
+          victim = *it;
+          break;
+        }
+      }
+      if (victim == nullptr) {
+        victim = host.pods.back();  // Pathological: no BE to kill.
+      }
+      ++result_.oom_kills;
+      demand -= Resources{victim->cpu_demand, victim->mem_usage};
+      policy_.OnPodFinished(*victim, cluster_);
+      pending_[SchedulingPriority(victim->spec.slo)].push_back(
+          PendingPod{&workload_.pods[static_cast<size_t>(victim->spec.id)], now_});
+      running_.erase(std::find(running_.begin(), running_.end(), victim));
+      cluster_.Remove(victim);
+      if (host.pods.empty()) {
+        break;
+      }
+    }
+    if (host.pods.empty()) {
+      host.demand = kZeroResources;
+      host.usage = kZeroResources;
+      host.PushHistory(0.0, config_.nsigma_history_window);
+      continue;
+    }
+
+    host.demand = demand;
+    if (demand.cpu > host.capacity.cpu + 1e-9) {
+      ++result_.violation_host_ticks;
+    }
+
+    // CPU is work-conserving: when demand exceeds capacity every pod is
+    // throttled proportionally and contention (PSI) rises.
+    const double scale =
+        demand.cpu > host.capacity.cpu ? host.capacity.cpu / demand.cpu : 1.0;
+    const double demand_ratio = demand.cpu / host.capacity.cpu;
+    const double mem_ratio = demand.mem / host.capacity.mem;
+
+    Resources usage = kZeroResources;
+    for (PodRuntime* pod : host.pods) {
+      pod->cpu_usage = pod->cpu_demand * scale;
+      pod->max_cpu_usage = std::max(pod->max_cpu_usage, pod->cpu_usage);
+      pod->max_mem_usage = std::max(pod->max_mem_usage, pod->mem_usage);
+      pod->RecordCpuSample(pod->cpu_usage, rng_);
+      usage += Resources{pod->cpu_usage, pod->mem_usage};
+
+      const AppProfile& app = *pod->app;
+      if (IsLatencySensitive(app.slo)) {
+        const double pod_util =
+            pod->spec.request.cpu > 0 ? pod->cpu_usage / pod->spec.request.cpu : 0.0;
+        const double qps_fraction = app.qps_pattern.At(now_);
+        pod->psi60 = psi_model_.CpuPsi60(app, demand_ratio, pod_util, qps_fraction,
+                                         pod->noise);
+        pod->psi300 = psi_model_.CpuPsi300(pod->psi300, pod->psi60);
+        pod->max_psi = std::max(pod->max_psi, pod->psi60);
+      } else if (app.slo == SloClass::kBe) {
+        pod->progress += psi_model_.BeProgressRate(app, demand_ratio, mem_ratio);
+      }
+    }
+    host.usage = usage;
+    host.PushHistory(usage.cpu / host.capacity.cpu, config_.nsigma_history_window);
+  }
+}
+
+void Simulator::FinishPod(PodRuntime* pod, Tick finish_tick) {
+  PodLifecycleRecord rec;
+  rec.pod_id = pod->spec.id;
+  rec.app_id = pod->spec.app;
+  rec.slo = pod->spec.slo;
+  rec.submit_tick = pod->spec.submit_tick;
+  rec.schedule_tick = pod->scheduled_at;
+  rec.finish_tick = finish_tick;
+  rec.host = pod->host;
+  rec.waiting_seconds =
+      static_cast<double>(pod->scheduled_at - pod->spec.submit_tick) * kSecondsPerTick;
+  if (pod->spec.slo == SloClass::kBe) {
+    rec.ideal_completion_ticks = pod->spec.behavior.work_ticks;
+    rec.actual_completion_ticks = static_cast<double>(finish_tick - pod->scheduled_at);
+  }
+  rec.max_cpu_psi = pod->max_psi;
+  result_.trace.lifecycles.push_back(rec);
+
+  policy_.OnPodFinished(*pod, cluster_);
+  running_.erase(std::find(running_.begin(), running_.end(), pod));
+  cluster_.Remove(pod);
+}
+
+void Simulator::HandleCompletions() {
+  // Collect first: FinishPod mutates running_.
+  std::vector<PodRuntime*> done;
+  for (PodRuntime* pod : running_) {
+    if (pod->spec.slo == SloClass::kBe &&
+        pod->progress + 1e-9 >= pod->spec.behavior.work_ticks) {
+      done.push_back(pod);
+    }
+  }
+  for (PodRuntime* pod : done) {
+    FinishPod(pod, now_);
+  }
+}
+
+void Simulator::RecordRunningState() {
+  if (config_.node_usage_period > 0 && now_ % config_.node_usage_period == 0) {
+    double cpu_acc = 0.0, mem_acc = 0.0, cpu_max = 0.0;
+    int nonidle = 0;
+    for (const Host& host : cluster_.hosts()) {
+      const double cpu_util = host.usage.cpu / host.capacity.cpu;
+      const double mem_util = host.usage.mem / host.capacity.mem;
+      cpu_max = std::max(cpu_max, cpu_util);
+      if (host.HasSloWorkload()) {
+        ++nonidle;
+        cpu_acc += cpu_util;
+        mem_acc += mem_util;
+        result_.trace.node_usage.push_back(NodeUsageRecord{
+            host.id, now_, cpu_util, mem_util,
+            /*disk=*/0.3 * mem_util, /*net=*/0.2 * cpu_util});
+      }
+    }
+    UtilSample sample;
+    sample.tick = now_;
+    sample.avg_cpu_nonidle = nonidle > 0 ? cpu_acc / nonidle : 0.0;
+    sample.avg_mem_nonidle = nonidle > 0 ? mem_acc / nonidle : 0.0;
+    sample.max_cpu = cpu_max;
+    sample.frac_hosts_nonidle =
+        static_cast<double>(nonidle) / static_cast<double>(cluster_.num_hosts());
+    result_.util_series.push_back(sample);
+  }
+
+  if (config_.pod_usage_period > 0 && now_ % config_.pod_usage_period == 0) {
+    for (PodRuntime* pod : running_) {
+      PodUsageRecord rec;
+      rec.pod_id = pod->spec.id;
+      rec.host = pod->host;
+      rec.collect_tick = now_;
+      rec.cpu_usage = pod->cpu_usage;
+      rec.mem_usage = pod->mem_usage;
+      rec.disk_usage = 0.2 * pod->mem_usage;
+      rec.cpu_psi_60 = pod->psi60;
+      rec.cpu_psi_10 = psi_model_.CpuPsi10(pod->psi60, pod->noise);
+      rec.cpu_psi_300 = pod->psi300;
+      const Host& host = cluster_.host(pod->host);
+      rec.mem_psi_some_60 = psi_model_.MemPsiSome60(host.MemRatio(), pod->noise);
+      rec.mem_psi_full_60 = psi_model_.MemPsiFull60(rec.mem_psi_some_60);
+      if (IsLatencySensitive(pod->spec.slo)) {
+        rec.qps = pod->qps;
+        rec.response_time = psi_model_.ResponseTime(
+            *pod->app, pod->psi60, pod->spec.behavior.rt_scale, pod->noise);
+      }
+      result_.trace.pod_usage.push_back(rec);
+    }
+  }
+}
+
+void Simulator::FinalizeAtHorizon() {
+  // Long-running pods (and unfinished BE pods): record their lifecycle with
+  // finish_tick = -1.
+  std::vector<PodRuntime*> still_running = running_;
+  for (PodRuntime* pod : still_running) {
+    PodLifecycleRecord rec;
+    rec.pod_id = pod->spec.id;
+    rec.app_id = pod->spec.app;
+    rec.slo = pod->spec.slo;
+    rec.submit_tick = pod->spec.submit_tick;
+    rec.schedule_tick = pod->scheduled_at;
+    rec.finish_tick = -1;
+    rec.host = pod->host;
+    rec.waiting_seconds =
+        static_cast<double>(pod->scheduled_at - pod->spec.submit_tick) * kSecondsPerTick;
+    if (pod->spec.slo == SloClass::kBe) {
+      rec.ideal_completion_ticks = pod->spec.behavior.work_ticks;
+      rec.actual_completion_ticks = 0.0;  // unfinished
+    }
+    rec.max_cpu_psi = pod->max_psi;
+    result_.trace.lifecycles.push_back(rec);
+  }
+
+  // Never-scheduled pods.
+  for (int prio = 1; prio <= 3; ++prio) {
+    for (const PendingPod& item : pending_[prio]) {
+      const PodSpec& spec = *item.spec;
+      ++result_.never_scheduled_pods;
+      PodLifecycleRecord rec;
+      rec.pod_id = spec.id;
+      rec.app_id = spec.app;
+      rec.slo = spec.slo;
+      rec.submit_tick = spec.submit_tick;
+      rec.schedule_tick = -1;
+      rec.finish_tick = -1;
+      rec.waiting_seconds =
+          static_cast<double>(workload_.config.horizon - spec.submit_tick) *
+          kSecondsPerTick;
+      result_.trace.lifecycles.push_back(rec);
+    }
+  }
+
+  // Flush wait samples: every pod with a recorded reason waited >= 1 tick.
+  for (auto& w : wait_by_pod_) {
+    if (w.pod == kInvalidPodId) {
+      continue;
+    }
+    // Fill in the final waiting time from the lifecycle data later; here we
+    // approximate it from the recorded pod state (computed below).
+    result_.waits.push_back(w);
+  }
+  // Attach waiting durations from lifecycle records.
+  std::vector<double> waited(wait_by_pod_.size(), 0.0);
+  for (const auto& rec : result_.trace.lifecycles) {
+    if (rec.pod_id >= 0 && static_cast<size_t>(rec.pod_id) < waited.size()) {
+      waited[static_cast<size_t>(rec.pod_id)] = rec.waiting_seconds;
+    }
+  }
+  for (auto& w : result_.waits) {
+    w.waited_seconds = waited[static_cast<size_t>(w.pod)];
+  }
+}
+
+SimResult Simulator::Run() {
+  OPTUM_CHECK_MSG(!ran_, "Simulator::Run may only be called once");
+  ran_ = true;
+  const Tick horizon = workload_.config.horizon;
+  for (now_ = 0; now_ < horizon; ++now_) {
+    cluster_.set_now(now_);
+    EnqueueArrivals();
+    SchedulePending();
+    UpdateUsageAndPerformance();
+    HandleCompletions();
+    RecordRunningState();
+    if (config_.on_tick_end) {
+      config_.on_tick_end(cluster_, now_);
+    }
+  }
+  FinalizeAtHorizon();
+  return std::move(result_);
+}
+
+}  // namespace optum

@@ -1,0 +1,143 @@
+// Tick-driven cluster simulator. Plays a Workload against a PlacementPolicy
+// and produces a TraceBundle plus scheduling/performance aggregates. This is
+// the trace-driven testbed of paper §5.1, with ground-truth interference
+// supplied by PsiModel.
+#ifndef OPTUM_SRC_SIM_SIMULATOR_H_
+#define OPTUM_SRC_SIM_SIMULATOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/placement_policy.h"
+#include "src/sim/psi_model.h"
+#include "src/trace/schema.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+
+struct SimConfig {
+  Resources host_capacity = kUnitResources;
+
+  // Record cadence (in ticks) for node/pod running records; 0 disables.
+  Tick node_usage_period = 2;
+  Tick pod_usage_period = 10;
+
+  // LSR pods may preempt BE pods when no host fits (paper §3.1.3).
+  bool enable_lsr_preemption = true;
+
+  // N-sigma window: host usage history length (paper: last 24 hours).
+  size_t nsigma_history_window = static_cast<size_t>(kTicksPerDay);
+
+  // Upper bound on placement attempts per tick, to bound per-tick work when
+  // the pending queue is deep.
+  size_t max_attempts_per_tick = 4000;
+
+  // Stop draining a priority queue after this many consecutive rejections
+  // in one tick (head-of-line batching; bounds per-tick work when the
+  // cluster is saturated).
+  size_t max_consecutive_failures = 64;
+
+  PsiModelParams psi;
+  uint64_t seed = 7;
+
+  // Optional observer invoked at the end of every tick, after usage and
+  // performance updates. Benches use it to snapshot predictor inputs.
+  std::function<void(const ClusterState&, Tick)> on_tick_end;
+};
+
+// A pod that experienced scheduling delay, with the (final) blocking reason.
+struct WaitSample {
+  PodId pod = kInvalidPodId;
+  SloClass slo = SloClass::kUnknown;
+  Resources request;
+  WaitReason reason = WaitReason::kNone;
+  double waited_seconds = 0.0;
+};
+
+// Cluster-wide utilization snapshot.
+struct UtilSample {
+  Tick tick = 0;
+  double avg_cpu_nonidle = 0.0;  // mean CPU util over hosts with >=1 pod
+  double avg_mem_nonidle = 0.0;
+  double max_cpu = 0.0;  // max host CPU util this tick
+  double frac_hosts_nonidle = 0.0;
+};
+
+struct SimResult {
+  TraceBundle trace;
+
+  std::vector<WaitSample> waits;       // pods that waited at least one tick
+  std::vector<UtilSample> util_series;
+
+  int64_t oom_kills = 0;
+  int64_t preemptions = 0;
+  int64_t scheduled_pods = 0;
+  int64_t never_scheduled_pods = 0;
+  // Host-ticks where raw CPU demand exceeded capacity (usage violation,
+  // Fig. 19b), over all non-idle host-ticks.
+  int64_t violation_host_ticks = 0;
+  int64_t nonidle_host_ticks = 0;
+
+  double violation_rate() const {
+    return nonidle_host_ticks > 0
+               ? static_cast<double>(violation_host_ticks) /
+                     static_cast<double>(nonidle_host_ticks)
+               : 0.0;
+  }
+  // Time-averaged CPU utilization over non-idle hosts.
+  double MeanCpuUtilNonIdle() const;
+  double MeanMemUtilNonIdle() const;
+};
+
+class Simulator {
+ public:
+  // The workload must outlive the simulator.
+  Simulator(const Workload& workload, SimConfig config, PlacementPolicy& policy);
+
+  // Runs the whole horizon and returns the result. Call once.
+  SimResult Run();
+
+  const ClusterState& cluster() const { return cluster_; }
+
+ private:
+  struct PendingPod {
+    const PodSpec* spec = nullptr;
+    Tick enqueued_at = 0;
+  };
+
+  void EnqueueArrivals();
+  void SchedulePending();
+  bool TryPreemptForLsr(const PodSpec& pod, const AppProfile& app);
+  void CommitPlacement(const PodSpec& spec, const AppProfile& app, HostId host);
+  void UpdateUsageAndPerformance();
+  void HandleCompletions();
+  void RecordRunningState();
+  void FinalizeAtHorizon();
+  void NoteWaitReason(const PodSpec& pod, WaitReason reason);
+  void FinishPod(PodRuntime* pod, Tick finish_tick);
+
+  const Workload& workload_;
+  SimConfig config_;
+  PlacementPolicy& policy_;
+  PsiModel psi_model_;
+  ClusterState cluster_;
+  Rng rng_;
+
+  Tick now_ = 0;
+  size_t next_arrival_ = 0;
+  // Pending queues by scheduling priority (index = priority, 3 highest).
+  std::deque<PendingPod> pending_[4];
+  std::vector<PodRuntime*> running_;  // all currently running pods
+
+  // Final wait reason per pod id (kNone if the pod never waited).
+  std::vector<WaitSample> wait_by_pod_;
+  SimResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_SIM_SIMULATOR_H_

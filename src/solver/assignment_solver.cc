@@ -1,0 +1,124 @@
+#include "src/solver/assignment_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace optum::solver {
+namespace {
+
+struct SearchState {
+  const AssignmentProblem* problem = nullptr;
+  std::vector<size_t> item_order;      // items sorted by decreasing best score
+  std::vector<double> best_remaining;  // suffix sums of per-item best scores
+  std::vector<Resources> remaining;    // bin capacities during search
+  std::vector<int> current;            // working assignment (item -> bin)
+  std::vector<int> best_assignment;
+  double current_score = 0.0;
+  double best_score = 0.0;
+  int64_t nodes = 0;
+  int64_t budget = 0;
+  bool exhausted = false;
+};
+
+void Branch(SearchState& s, size_t depth) {
+  if (s.nodes >= s.budget) {
+    s.exhausted = true;
+    return;
+  }
+  ++s.nodes;
+
+  if (depth == s.item_order.size()) {
+    if (s.current_score > s.best_score) {
+      s.best_score = s.current_score;
+      s.best_assignment = s.current;
+    }
+    return;
+  }
+  // Upper bound: current + best possible for all remaining items.
+  if (s.current_score + s.best_remaining[depth] <= s.best_score + 1e-12) {
+    return;
+  }
+
+  const size_t item = s.item_order[depth];
+  const Resources& demand = s.problem->demands[item];
+  const auto& scores = s.problem->scores[item];
+
+  // Try bins in decreasing score order for fast incumbent improvement.
+  std::vector<size_t> bin_order(scores.size());
+  std::iota(bin_order.begin(), bin_order.end(), 0u);
+  std::sort(bin_order.begin(), bin_order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  for (size_t b : bin_order) {
+    const double score = scores[b];
+    if (!std::isfinite(score) || score <= -1e17) {
+      continue;  // Forbidden assignment.
+    }
+    if (!demand.FitsWithin(s.remaining[b])) {
+      continue;
+    }
+    s.remaining[b] -= demand;
+    s.current[item] = static_cast<int>(b);
+    s.current_score += score;
+    Branch(s, depth + 1);
+    s.current_score -= score;
+    s.current[item] = -1;
+    s.remaining[b] += demand;
+    if (s.exhausted) {
+      return;
+    }
+  }
+  // Leave the item unassigned.
+  Branch(s, depth + 1);
+}
+
+}  // namespace
+
+AssignmentSolution AssignmentSolver::Solve(const AssignmentProblem& problem) const {
+  const size_t n = problem.demands.size();
+  OPTUM_CHECK_EQ(problem.scores.size(), n);
+  for (const auto& row : problem.scores) {
+    OPTUM_CHECK_EQ(row.size(), problem.capacities.size());
+  }
+
+  SearchState s;
+  s.problem = &problem;
+  s.budget = node_budget_;
+  s.remaining = problem.capacities;
+  s.current.assign(n, -1);
+  s.best_assignment.assign(n, -1);
+
+  // Per-item best achievable score (>= 0 since unassigned scores 0).
+  std::vector<double> best_item(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (double v : problem.scores[i]) {
+      if (std::isfinite(v)) {
+        best_item[i] = std::max(best_item[i], v);
+      }
+    }
+  }
+  s.item_order.resize(n);
+  std::iota(s.item_order.begin(), s.item_order.end(), 0u);
+  std::sort(s.item_order.begin(), s.item_order.end(),
+            [&](size_t a, size_t b) { return best_item[a] > best_item[b]; });
+
+  s.best_remaining.assign(n + 1, 0.0);
+  for (size_t d = n; d-- > 0;) {
+    s.best_remaining[d] = s.best_remaining[d + 1] + best_item[s.item_order[d]];
+  }
+
+  Branch(s, 0);
+
+  AssignmentSolution out;
+  out.assignment = std::move(s.best_assignment);
+  out.objective = s.best_score;
+  out.optimal = !s.exhausted;
+  out.nodes_explored = s.nodes;
+  return out;
+}
+
+}  // namespace optum::solver

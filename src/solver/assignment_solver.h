@@ -1,0 +1,47 @@
+// Exact solver for small pod→host assignment problems, used by the Medea
+// baseline (paper §5.1 caps it at 40 hosts x 15 pods). Maximizes the sum of
+// per-assignment scores subject to 2-dimensional bin capacities; items may
+// remain unassigned (score 0). Branch-and-bound with a per-item greedy
+// upper bound and a node budget to keep worst-case latency bounded.
+#ifndef OPTUM_SRC_SOLVER_ASSIGNMENT_SOLVER_H_
+#define OPTUM_SRC_SOLVER_ASSIGNMENT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace optum::solver {
+
+struct AssignmentProblem {
+  // demand[i]: resource demand of item i.
+  std::vector<Resources> demands;
+  // capacity[b]: remaining capacity of bin b.
+  std::vector<Resources> capacities;
+  // score[i][b]: value of assigning item i to bin b. Use a large negative
+  // value (or -inf) to forbid the assignment.
+  std::vector<std::vector<double>> scores;
+};
+
+struct AssignmentSolution {
+  // bin index per item; -1 = unassigned.
+  std::vector<int> assignment;
+  double objective = 0.0;
+  bool optimal = false;     // false if the node budget was exhausted
+  int64_t nodes_explored = 0;
+};
+
+class AssignmentSolver {
+ public:
+  explicit AssignmentSolver(int64_t node_budget = 2'000'000)
+      : node_budget_(node_budget) {}
+
+  AssignmentSolution Solve(const AssignmentProblem& problem) const;
+
+ private:
+  int64_t node_budget_;
+};
+
+}  // namespace optum::solver
+
+#endif  // OPTUM_SRC_SOLVER_ASSIGNMENT_SOLVER_H_

@@ -1,0 +1,63 @@
+#include "src/stats/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/stats/descriptive.h"
+
+namespace optum {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  Finalize();
+}
+
+void EmpiricalCdf::Add(double x) {
+  samples_.push_back(x);
+  finalized_ = false;
+}
+
+void EmpiricalCdf::Finalize() {
+  if (!finalized_) {
+    std::sort(samples_.begin(), samples_.end());
+    finalized_ = true;
+  }
+}
+
+double EmpiricalCdf::FractionAtOrBelow(double x) const {
+  OPTUM_CHECK_MSG(finalized_, "call Finalize() first");
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::ValueAtPercentile(double q) const {
+  OPTUM_CHECK_MSG(finalized_, "call Finalize() first");
+  return PercentileSorted(samples_, q);
+}
+
+double EmpiricalCdf::min() const {
+  OPTUM_CHECK(finalized_ && !samples_.empty());
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  OPTUM_CHECK(finalized_ && !samples_.empty());
+  return samples_.back();
+}
+
+std::string EmpiricalCdf::Summary(std::span<const double> quantiles) const {
+  std::string out;
+  char buf[64];
+  for (double q : quantiles) {
+    std::snprintf(buf, sizeof(buf), "  p%-5.4g %.6g\n", q, ValueAtPercentile(q));
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<double> DefaultQuantiles() { return {1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9}; }
+
+}  // namespace optum

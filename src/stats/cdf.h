@@ -1,0 +1,49 @@
+// Empirical CDFs. Most of the paper's figures are CDF plots; benches use
+// this type to print the same series (value at chosen quantiles, or the
+// cumulative fraction at chosen values).
+#ifndef OPTUM_SRC_STATS_CDF_H_
+#define OPTUM_SRC_STATS_CDF_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace optum {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void Add(double x);
+  // Must be called after the last Add and before queries; idempotent.
+  void Finalize();
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  // P(X <= x).
+  double FractionAtOrBelow(double x) const;
+
+  // Inverse CDF; q in [0, 100].
+  double ValueAtPercentile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  // Prints "q%  value" rows for the provided quantiles.
+  std::string Summary(std::span<const double> quantiles) const;
+
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  bool finalized_ = false;
+};
+
+// Standard quantile grid used by bench output.
+std::vector<double> DefaultQuantiles();
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_STATS_CDF_H_

@@ -1,0 +1,136 @@
+#include "src/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double CoefficientOfVariation(std::span<const double> xs) {
+  const double m = Mean(xs);
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return StdDev(xs) / std::fabs(m);
+}
+
+double PercentileSorted(std::span<const double> sorted, double q) {
+  OPTUM_CHECK(!sorted.empty());
+  OPTUM_CHECK(q >= 0.0 && q <= 100.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::span<const double> xs, double q) {
+  OPTUM_CHECK(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, q);
+}
+
+double Min(std::span<const double> xs) {
+  OPTUM_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  OPTUM_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  OPTUM_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(std::span<const double> xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+      ++j;
+    }
+    // Average rank for the tie group [i, j].
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  OPTUM_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const std::vector<double> rx = FractionalRanks(xs);
+  const std::vector<double> ry = FractionalRanks(ys);
+  return PearsonCorrelation(rx, ry);
+}
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace optum

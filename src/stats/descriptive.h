@@ -1,0 +1,60 @@
+// Descriptive statistics used throughout the characterization benches:
+// mean, standard deviation, coefficient of variation (Fig. 12), percentiles
+// (Resource Central's p99), and Pearson/Spearman correlation (Fig. 13-16).
+#ifndef OPTUM_SRC_STATS_DESCRIPTIVE_H_
+#define OPTUM_SRC_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace optum {
+
+double Mean(std::span<const double> xs);
+
+// Population standard deviation (divides by n). Returns 0 for n < 2.
+double StdDev(std::span<const double> xs);
+
+// Coefficient of variation = stddev / mean; 0 when the mean is 0.
+double CoefficientOfVariation(std::span<const double> xs);
+
+// Linear-interpolated percentile; q in [0, 100]. xs need not be sorted.
+double Percentile(std::span<const double> xs, double q);
+
+// As above but for pre-sorted input (no copy).
+double PercentileSorted(std::span<const double> sorted, double q);
+
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+// Pearson product-moment correlation; 0 when either side is constant.
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Fractional ranks (1-based, ties averaged), helper for Spearman.
+std::vector<double> FractionalRanks(std::span<const double> xs);
+
+// Welford online accumulator for streaming mean/variance/extrema.
+class OnlineStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,27 @@
+#include "src/stats/patterns.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+DiurnalPattern::DiurnalPattern(double floor, double phase_fraction)
+    : floor_(floor), phase_radians_(phase_fraction * 2.0 * M_PI) {
+  OPTUM_CHECK(floor >= 0.0 && floor <= 1.0);
+}
+
+double DiurnalPattern::At(Tick t) const {
+  const double day_fraction =
+      static_cast<double>(t % kTicksPerDay) / static_cast<double>(kTicksPerDay);
+  // Raised cosine: 1 at peak, `floor_` at trough.
+  const double wave = 0.5 * (1.0 + std::cos(2.0 * M_PI * day_fraction + phase_radians_));
+  return floor_ + (1.0 - floor_) * wave;
+}
+
+AntiDiurnalPattern::AntiDiurnalPattern(double floor, double phase_fraction)
+    : shifted_(floor, phase_fraction + 0.5) {}
+
+double AntiDiurnalPattern::At(Tick t) const { return shifted_.At(t); }
+
+}  // namespace optum

@@ -1,0 +1,42 @@
+// Temporal load patterns. LS application QPS in the trace shows a strong
+// diurnal period driven by customer activity (paper Fig. 3b); BE pressure
+// moves opposite to LS utilization (Fig. 4a). These generators produce
+// those shapes deterministically as functions of the simulation tick.
+#ifndef OPTUM_SRC_STATS_PATTERNS_H_
+#define OPTUM_SRC_STATS_PATTERNS_H_
+
+#include "src/common/types.h"
+
+namespace optum {
+
+// Smooth diurnal multiplier in [floor, 1]: peaks once per day, with a
+// per-entity phase shift so applications do not peak simultaneously.
+class DiurnalPattern {
+ public:
+  DiurnalPattern(double floor, double phase_fraction);
+
+  // Multiplier at the given tick.
+  double At(Tick t) const;
+
+  double floor() const { return floor_; }
+
+ private:
+  double floor_;
+  double phase_radians_;
+};
+
+// Anti-diurnal pattern: high where the diurnal one is low (valley filling,
+// paper Implication 1). Equivalent to a diurnal pattern shifted by half a
+// day, exposed separately for readability at call sites.
+class AntiDiurnalPattern {
+ public:
+  AntiDiurnalPattern(double floor, double phase_fraction);
+  double At(Tick t) const;
+
+ private:
+  DiurnalPattern shifted_;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_STATS_PATTERNS_H_

@@ -1,0 +1,62 @@
+// Deterministic, splittable random number generation (xoshiro256**).
+//
+// Every stochastic component in the repository draws from an explicitly
+// seeded Rng so that workload generation, simulation, and model training are
+// bit-reproducible across runs — a requirement for trace-driven evaluation.
+#ifndef OPTUM_SRC_STATS_RNG_H_
+#define OPTUM_SRC_STATS_RNG_H_
+
+#include <cstdint>
+
+namespace optum {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached pair).
+  double NextGaussian();
+
+  // Gaussian with the given mean/stddev.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  // Lognormal: exp(Gaussian(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed; used for
+  // pod waiting times and arrival burst sizes per paper §3.1.3).
+  double Pareto(double x_m, double alpha);
+
+  // Bernoulli trial.
+  bool Bernoulli(double p);
+
+  // Derives an independent child stream; deterministic in (state, salt).
+  Rng Split(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_STATS_RNG_H_

@@ -1,0 +1,66 @@
+#include "src/trace/scenarios.h"
+
+namespace optum {
+
+const char* ToString(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kCalibrated:
+      return "calibrated";
+    case Scenario::kLsHeavy:
+      return "ls-heavy";
+    case Scenario::kBeSaturated:
+      return "be-saturated";
+    case Scenario::kBursty:
+      return "bursty";
+    case Scenario::kFlatDiurnal:
+      return "flat-diurnal";
+    case Scenario::kMemoryTight:
+      return "memory-tight";
+  }
+  return "?";
+}
+
+std::vector<Scenario> AllScenarios() {
+  return {Scenario::kCalibrated,  Scenario::kLsHeavy, Scenario::kBeSaturated,
+          Scenario::kBursty,      Scenario::kFlatDiurnal, Scenario::kMemoryTight};
+}
+
+WorkloadConfig MakeScenarioConfig(Scenario scenario, int num_hosts, Tick horizon,
+                                  uint64_t seed) {
+  WorkloadConfig config;
+  config.num_hosts = num_hosts;
+  config.horizon = horizon;
+  config.seed = seed;
+  switch (scenario) {
+    case Scenario::kCalibrated:
+      break;
+    case Scenario::kLsHeavy:
+      config.initial_ls_request_load = 1.15;
+      config.be_target_request_load = 0.15;
+      break;
+    case Scenario::kBeSaturated:
+      config.initial_ls_request_load = 0.6;
+      config.be_target_request_load = 1.2;
+      break;
+    case Scenario::kBursty:
+      config.be_target_request_load = 0.4;
+      config.be_burst_alpha = 1.35;  // much heavier burst tail
+      break;
+    case Scenario::kFlatDiurnal:
+      // The generator's diurnal floors live in the app models; squeezing
+      // the BE arrival modulation and raising LS load flattens the cluster
+      // pattern (per-app floors are drawn by the generator itself, so this
+      // scenario mainly removes the valley BE would fill).
+      config.initial_ls_request_load = 0.9;
+      config.be_target_request_load = 0.12;
+      break;
+    case Scenario::kMemoryTight:
+      config.initial_ls_request_load = 0.75;
+      config.be_target_request_load = 0.25;
+      config.mem_request_scale = 1.9;
+      break;
+  }
+  return config;
+}
+
+}  // namespace optum

@@ -1,0 +1,42 @@
+// Named workload scenarios: calibrated presets that perturb the default
+// (trace-matched) generator along the axes that matter for scheduling —
+// LS request pressure, BE backlog, burstiness, diurnal amplitude, memory
+// tightness. Used by the robustness ablation and available to users who
+// want to stress a scheduler beyond the paper's operating point.
+#ifndef OPTUM_SRC_TRACE_SCENARIOS_H_
+#define OPTUM_SRC_TRACE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+
+enum class Scenario {
+  // The trace-calibrated default (DESIGN.md §2).
+  kCalibrated,
+  // LS requests alone over-commit the cluster (Fig. 5's deep tail).
+  kLsHeavy,
+  // Sustained BE backlog: throughput-bound operation.
+  kBeSaturated,
+  // Heavier, burstier BE arrivals (Fig. 7's extreme minutes).
+  kBursty,
+  // Flatter diurnal pattern: less valley to fill.
+  kFlatDiurnal,
+  // Larger memory requests: memory becomes the binding dimension.
+  kMemoryTight,
+};
+
+const char* ToString(Scenario scenario);
+
+// All scenarios, in declaration order.
+std::vector<Scenario> AllScenarios();
+
+// Returns the generator configuration for a scenario at the given scale.
+WorkloadConfig MakeScenarioConfig(Scenario scenario, int num_hosts, Tick horizon,
+                                  uint64_t seed = 42);
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_TRACE_SCENARIOS_H_

@@ -1,0 +1,24 @@
+// CSV serialization for trace bundles. The column layout matches the record
+// structs in schema.h one-to-one, so real cluster traces can be massaged
+// into the same files and replayed through the benches.
+#ifndef OPTUM_SRC_TRACE_TRACE_IO_H_
+#define OPTUM_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/schema.h"
+
+namespace optum {
+
+// Writes the bundle as a set of CSVs under `directory` (created if needed):
+// nodes.csv, pods.csv, node_usage.csv, pod_usage.csv, lifecycles.csv.
+// Returns false (with errno intact) on I/O failure.
+bool WriteTraceBundle(const TraceBundle& bundle, const std::string& directory);
+
+// Reads a bundle previously written by WriteTraceBundle. Returns false on
+// missing files or malformed rows.
+bool ReadTraceBundle(const std::string& directory, TraceBundle* out);
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,157 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/stats/descriptive.h"
+
+namespace optum {
+
+PodIndex::PodIndex(const TraceBundle& trace) {
+  by_id_.reserve(trace.pods.size());
+  for (const PodMeta& meta : trace.pods) {
+    by_id_[meta.pod_id] = &meta;
+  }
+}
+
+const PodMeta* PodIndex::Find(PodId pod) const {
+  const auto it = by_id_.find(pod);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+SloClass PodIndex::SloOf(PodId pod) const {
+  const PodMeta* meta = Find(pod);
+  return meta == nullptr ? SloClass::kUnknown : meta->slo;
+}
+
+uint64_t HostUsageIndex::Key(HostId host, Tick tick) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(host)) << 40) |
+         static_cast<uint64_t>(tick & 0xffffffffffLL);
+}
+
+HostUsageIndex::HostUsageIndex(const TraceBundle& trace) {
+  by_key_.reserve(trace.node_usage.size());
+  for (const NodeUsageRecord& rec : trace.node_usage) {
+    by_key_[Key(rec.machine_id, rec.collect_tick)] = &rec;
+  }
+}
+
+const NodeUsageRecord* HostUsageIndex::Find(HostId host, Tick tick) const {
+  const auto it = by_key_.find(Key(host, tick));
+  return it == by_key_.end() ? nullptr : it->second;
+}
+
+TraceSummary Summarize(const TraceBundle& trace) {
+  TraceSummary out;
+  out.hosts = static_cast<int64_t>(trace.nodes.size());
+  out.pods = static_cast<int64_t>(trace.pods.size());
+  out.usage_records = static_cast<int64_t>(trace.pod_usage.size());
+
+  if (!trace.node_usage.empty()) {
+    out.first_tick = trace.node_usage.front().collect_tick;
+    out.last_tick = trace.node_usage.back().collect_tick;
+    double cpu = 0, mem = 0;
+    for (const auto& rec : trace.node_usage) {
+      cpu += rec.cpu_usage;
+      mem += rec.mem_usage;
+      out.max_host_cpu = std::max(out.max_host_cpu, rec.cpu_usage);
+      out.first_tick = std::min(out.first_tick, rec.collect_tick);
+      out.last_tick = std::max(out.last_tick, rec.collect_tick);
+    }
+    out.mean_host_cpu = cpu / static_cast<double>(trace.node_usage.size());
+    out.mean_host_mem = mem / static_cast<double>(trace.node_usage.size());
+  }
+
+  struct Acc {
+    int64_t pods = 0, scheduled = 0, finished = 0, usage_records = 0;
+    double cpu_request = 0, mem_request = 0, cpu_usage = 0;
+    std::vector<double> waits;
+  };
+  std::vector<Acc> acc(kNumSloClasses);
+
+  const PodIndex pods(trace);
+  for (const PodMeta& meta : trace.pods) {
+    Acc& a = acc[static_cast<size_t>(meta.slo)];
+    ++a.pods;
+    a.cpu_request += meta.request.cpu;
+    a.mem_request += meta.request.mem;
+  }
+  for (const PodUsageRecord& rec : trace.pod_usage) {
+    Acc& a = acc[static_cast<size_t>(pods.SloOf(rec.pod_id))];
+    a.cpu_usage += rec.cpu_usage;
+    ++a.usage_records;
+  }
+  for (const PodLifecycleRecord& rec : trace.lifecycles) {
+    Acc& a = acc[static_cast<size_t>(rec.slo)];
+    a.scheduled += rec.schedule_tick >= 0 ? 1 : 0;
+    a.finished += rec.finish_tick >= 0 ? 1 : 0;
+    a.waits.push_back(rec.waiting_seconds);
+  }
+
+  for (int s = 0; s < kNumSloClasses; ++s) {
+    const Acc& a = acc[static_cast<size_t>(s)];
+    ClassSummary summary;
+    summary.slo = static_cast<SloClass>(s);
+    summary.pods = a.pods;
+    summary.scheduled = a.scheduled;
+    summary.finished = a.finished;
+    if (a.pods > 0) {
+      summary.mean_cpu_request = a.cpu_request / static_cast<double>(a.pods);
+      summary.mean_mem_request = a.mem_request / static_cast<double>(a.pods);
+    }
+    if (a.usage_records > 0) {
+      summary.mean_cpu_usage = a.cpu_usage / static_cast<double>(a.usage_records);
+    }
+    if (!a.waits.empty()) {
+      summary.mean_waiting_seconds = Mean(a.waits);
+      summary.p99_waiting_seconds = Percentile(a.waits, 99);
+    }
+    out.classes.push_back(summary);
+  }
+  return out;
+}
+
+std::string RenderSummary(const TraceSummary& summary) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace: %lld hosts, %lld pods, %lld usage records, ticks [%lld, %lld]\n",
+                static_cast<long long>(summary.hosts),
+                static_cast<long long>(summary.pods),
+                static_cast<long long>(summary.usage_records),
+                static_cast<long long>(summary.first_tick),
+                static_cast<long long>(summary.last_tick));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "host utilization: mean cpu %.3f, mean mem %.3f, max cpu %.3f\n",
+                summary.mean_host_cpu, summary.mean_host_mem, summary.max_host_cpu);
+  out += buf;
+  out += "class     pods     sched    done     cpuReq   memReq   cpuUse   "
+         "waitMean  waitP99\n";
+  for (const ClassSummary& c : summary.classes) {
+    if (c.pods == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s  %-7lld  %-7lld  %-7lld  %.4f   %.4f   %.4f   %-8.4g  %.4g\n",
+                  ToString(c.slo), static_cast<long long>(c.pods),
+                  static_cast<long long>(c.scheduled), static_cast<long long>(c.finished),
+                  c.mean_cpu_request, c.mean_mem_request, c.mean_cpu_usage,
+                  c.mean_waiting_seconds, c.p99_waiting_seconds);
+    out += buf;
+  }
+  return out;
+}
+
+EmpiricalCdf WaitingTimeCdf(const TraceBundle& trace, SloClass slo) {
+  EmpiricalCdf cdf;
+  for (const PodLifecycleRecord& rec : trace.lifecycles) {
+    if (rec.slo == slo) {
+      cdf.Add(rec.waiting_seconds);
+    }
+  }
+  cdf.Finalize();
+  return cdf;
+}
+
+}  // namespace optum

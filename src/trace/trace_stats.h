@@ -1,0 +1,79 @@
+// Reusable trace-analysis helpers: the joins and aggregations every
+// characterization consumer needs (pod metadata lookup, host-usage lookup,
+// per-class summaries). Works on any TraceBundle — simulator output or a
+// converted real trace.
+#ifndef OPTUM_SRC_TRACE_TRACE_STATS_H_
+#define OPTUM_SRC_TRACE_TRACE_STATS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stats/cdf.h"
+#include "src/trace/schema.h"
+
+namespace optum {
+
+// O(1) pod-metadata lookup; the last record wins for rescheduled pods.
+class PodIndex {
+ public:
+  explicit PodIndex(const TraceBundle& trace);
+
+  const PodMeta* Find(PodId pod) const;
+  SloClass SloOf(PodId pod) const;  // kUnknown when absent
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::unordered_map<PodId, const PodMeta*> by_id_;
+};
+
+// O(1) (host, tick) -> node usage lookup.
+class HostUsageIndex {
+ public:
+  explicit HostUsageIndex(const TraceBundle& trace);
+
+  // Returns nullptr when the sample is absent.
+  const NodeUsageRecord* Find(HostId host, Tick tick) const;
+
+ private:
+  static uint64_t Key(HostId host, Tick tick);
+  std::unordered_map<uint64_t, const NodeUsageRecord*> by_key_;
+};
+
+// Aggregate summary of one trace, per SLO class.
+struct ClassSummary {
+  SloClass slo = SloClass::kUnknown;
+  int64_t pods = 0;
+  int64_t scheduled = 0;
+  int64_t finished = 0;
+  double mean_cpu_request = 0.0;
+  double mean_mem_request = 0.0;
+  double mean_cpu_usage = 0.0;  // over usage records
+  double mean_waiting_seconds = 0.0;
+  double p99_waiting_seconds = 0.0;
+};
+
+struct TraceSummary {
+  int64_t hosts = 0;
+  int64_t pods = 0;
+  int64_t usage_records = 0;
+  Tick first_tick = 0;
+  Tick last_tick = 0;
+  double mean_host_cpu = 0.0;
+  double mean_host_mem = 0.0;
+  double max_host_cpu = 0.0;
+  std::vector<ClassSummary> classes;  // in SloClass enum order
+};
+
+// Computes the full summary in two passes over the bundle.
+TraceSummary Summarize(const TraceBundle& trace);
+
+// Renders the summary as a human-readable report.
+std::string RenderSummary(const TraceSummary& summary);
+
+// Waiting-time CDF for one SLO class (scheduled and censored pods).
+EmpiricalCdf WaitingTimeCdf(const TraceBundle& trace, SloClass slo);
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_TRACE_TRACE_STATS_H_

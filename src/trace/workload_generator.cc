@@ -1,0 +1,235 @@
+#include "src/trace/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(config) {
+  OPTUM_CHECK_GT(config_.num_hosts, 0);
+  OPTUM_CHECK_GT(config_.horizon, 0);
+}
+
+AppProfile WorkloadGenerator::MakeLsApp(AppId id, bool reserved, Rng& rng) const {
+  AppProfile app;
+  app.id = id;
+  app.slo = reserved ? SloClass::kLsr : SloClass::kLs;
+  // LS request sizes: lognormal around a few percent of a host.
+  const double cpu_req = std::clamp(rng.LogNormal(std::log(0.04), 0.5), 0.01, 0.25);
+  const double mem_req = std::clamp(rng.LogNormal(std::log(0.028), 0.5), 0.005, 0.15);
+  app.request = {cpu_req, mem_req};
+  app.limit = {std::min(1.0, cpu_req * rng.Uniform(1.5, 2.5)),
+               std::min(1.0, mem_req * rng.Uniform(1.1, 1.5))};
+  // Fig. 6a: LS usage ~5x below request on average.
+  app.cpu_usage_fraction = std::clamp(rng.LogNormal(std::log(0.18), 0.35), 0.05, 0.5);
+  // Fig. 6b: LS memory under-utilized.
+  app.mem_usage_fraction = std::clamp(rng.LogNormal(std::log(0.45), 0.3), 0.1, 0.9);
+  app.cpu_usage_ceiling = std::min(1.0, app.cpu_usage_fraction * rng.Uniform(1.4, 2.0));
+  app.cpu_pod_cov = rng.Uniform(0.05, 0.35);  // consistent pods (Fig. 12a)
+  app.mem_pod_cov = rng.Uniform(0.0005, 0.015);
+  app.qps_base = rng.LogNormal(std::log(150.0), 0.6);  // Fig. 3b scale
+  // Shared diurnal phase with small per-app offsets; floors vary so some
+  // services are flatter than others.
+  app.qps_pattern = DiurnalPattern(rng.Uniform(0.3, 0.55), rng.Uniform(-0.15, 0.15));
+  app.psi_sensitivity = rng.Uniform(0.6, 1.6);
+  app.rt_dependency_sigma = rng.Uniform(0.4, 1.4);
+  app.max_pods_per_host = static_cast<int>(rng.UniformInt(2, 4));
+  return app;
+}
+
+AppProfile WorkloadGenerator::MakeBeApp(AppId id, Rng& rng) const {
+  AppProfile app;
+  app.id = id;
+  app.slo = SloClass::kBe;
+  // BE requests are small (Fig. 6a: ~0.03 normalized cores requested).
+  const double cpu_req = std::clamp(rng.LogNormal(std::log(0.03), 0.7), 0.005, 0.15);
+  const double mem_req = std::clamp(rng.LogNormal(std::log(0.008), 0.6), 0.001, 0.05);
+  app.request = {cpu_req, mem_req};
+  app.limit = {std::min(1.0, cpu_req * rng.Uniform(2.0, 4.0)),
+               std::min(1.0, mem_req * rng.Uniform(1.0, 1.2))};
+  // Fig. 6a: >75% of BE pods use <= ~1/3 of their CPU request.
+  app.cpu_usage_fraction = std::clamp(rng.LogNormal(std::log(0.28), 0.4), 0.05, 0.6);
+  // Fig. 6b: memory almost fully utilized by BE pods.
+  app.mem_usage_fraction = std::clamp(rng.LogNormal(std::log(0.9), 0.1), 0.5, 1.0);
+  // BE CPU varies more pod-to-pod than memory (Fig. 12b): data-dependent.
+  app.cpu_usage_ceiling = std::min(1.0, app.cpu_usage_fraction * rng.Uniform(1.3, 2.0));
+  app.cpu_pod_cov = rng.Uniform(0.15, 0.55);
+  app.mem_pod_cov = rng.Uniform(0.001, 0.02);
+  // Contention-free completion time: tens of minutes, lognormal.
+  app.work_mean_ticks = std::clamp(rng.LogNormal(std::log(30.0), 0.8), 2.0, 400.0);
+  app.work_cov = rng.Uniform(0.1, 0.6);
+  app.slowdown_sensitivity = rng.Uniform(0.8, 2.5);
+  return app;
+}
+
+AppProfile WorkloadGenerator::MakeAuxApp(AppId id, SloClass slo, Rng& rng) const {
+  AppProfile app;
+  app.id = id;
+  app.slo = slo;
+  const double cpu_req = std::clamp(rng.LogNormal(std::log(0.02), 0.5), 0.005, 0.1);
+  const double mem_req = std::clamp(rng.LogNormal(std::log(0.02), 0.5), 0.005, 0.1);
+  app.request = {cpu_req, mem_req};
+  app.limit = {cpu_req * 1.5, mem_req * 1.2};
+  app.cpu_usage_fraction = rng.Uniform(0.15, 0.4);
+  app.cpu_usage_ceiling = std::min(1.0, app.cpu_usage_fraction * 1.4);
+  app.mem_usage_fraction = rng.Uniform(0.3, 0.8);
+  // Daemon-like system pods: at most one per host.
+  app.max_pods_per_host = slo == SloClass::kUnknown ? 2 : 1;
+  app.cpu_pod_cov = 0.1;
+  app.mem_pod_cov = 0.02;
+  return app;
+}
+
+std::vector<AppProfile> WorkloadGenerator::GenerateApps(Rng& rng) const {
+  std::vector<AppProfile> apps;
+  AppId next = 0;
+  for (int i = 0; i < config_.num_ls_apps; ++i) {
+    apps.push_back(MakeLsApp(next++, /*reserved=*/false, rng));
+  }
+  for (int i = 0; i < config_.num_lsr_apps; ++i) {
+    apps.push_back(MakeLsApp(next++, /*reserved=*/true, rng));
+  }
+  for (int i = 0; i < config_.num_be_apps; ++i) {
+    apps.push_back(MakeBeApp(next++, rng));
+  }
+  for (int i = 0; i < config_.num_system_apps; ++i) {
+    apps.push_back(MakeAuxApp(next++, SloClass::kSystem, rng));
+  }
+  for (int i = 0; i < config_.num_vmenv_apps; ++i) {
+    apps.push_back(MakeAuxApp(next++, SloClass::kVmEnv, rng));
+  }
+  for (int i = 0; i < config_.num_unknown_apps; ++i) {
+    apps.push_back(MakeAuxApp(next++, SloClass::kUnknown, rng));
+  }
+  return apps;
+}
+
+Workload WorkloadGenerator::Generate() {
+  Rng rng(config_.seed);
+  Workload out;
+  out.config = config_;
+  out.apps = GenerateApps(rng);
+  if (config_.mem_request_scale != 1.0) {
+    for (AppProfile& app : out.apps) {
+      app.request.mem = std::min(1.0, app.request.mem * config_.mem_request_scale);
+      app.limit.mem = std::min(1.0, app.limit.mem * config_.mem_request_scale);
+    }
+  }
+
+  // Partition the app list by class for arrival generation.
+  std::vector<const AppProfile*> ls_apps, be_apps, aux_apps;
+  for (const auto& app : out.apps) {
+    if (IsLatencySensitive(app.slo)) {
+      ls_apps.push_back(&app);
+    } else if (app.slo == SloClass::kBe) {
+      be_apps.push_back(&app);
+    } else {
+      aux_apps.push_back(&app);
+    }
+  }
+  OPTUM_CHECK(!ls_apps.empty() && !be_apps.empty());
+
+  PodId next_pod = 0;
+  auto emit = [&](const AppProfile& app, Tick t) {
+    PodSpec pod;
+    pod.id = next_pod++;
+    pod.app = app.id;
+    pod.slo = app.slo;
+    pod.request = app.request;
+    pod.limit = app.limit;
+    pod.submit_tick = t;
+    pod.behavior = SamplePodBehavior(app, rng);
+    pod.long_running = app.slo != SloClass::kBe;
+    pod.max_pods_per_host = app.max_pods_per_host;
+    out.pods.push_back(pod);
+  };
+
+  // --- Initial LS/LSR fleet at t=0 -----------------------------------------
+  const double cluster_cpu = static_cast<double>(config_.num_hosts);
+  double placed_request = 0.0;
+  const double target = config_.initial_ls_request_load * cluster_cpu;
+  size_t ls_cursor = 0;
+  while (placed_request < target) {
+    const AppProfile& app = *ls_apps[ls_cursor % ls_apps.size()];
+    ++ls_cursor;
+    // Each application deploys a replica group (services run many pods).
+    const int replicas = static_cast<int>(rng.UniformInt(4, 24));
+    for (int r = 0; r < replicas && placed_request < target; ++r) {
+      emit(app, 0);
+      placed_request += app.request.cpu;
+    }
+  }
+
+  // Auxiliary pods (System/VMEnv/Unknown): a thin static layer per Fig. 2b.
+  for (const AppProfile* app : aux_apps) {
+    const int replicas = static_cast<int>(rng.UniformInt(
+        config_.num_hosts / 8 + 1, config_.num_hosts / 4 + 1));
+    for (int r = 0; r < replicas; ++r) {
+      emit(*app, 0);
+    }
+  }
+
+  // --- Ongoing arrivals -----------------------------------------------------
+  // LS: near-constant trickle (Fig. 3a).
+  const double ls_rate =
+      config_.ls_arrivals_per_tick_per_100_hosts * config_.num_hosts / 100.0;
+
+  // BE: arrival rate chosen so that instantaneous BE request load hovers at
+  // be_target_request_load; Little's law with the mean BE lifetime.
+  double mean_be_request = 0.0, mean_be_work = 0.0;
+  for (const AppProfile* app : be_apps) {
+    mean_be_request += app->request.cpu;
+    mean_be_work += app->work_mean_ticks;
+  }
+  mean_be_request /= static_cast<double>(be_apps.size());
+  mean_be_work /= static_cast<double>(be_apps.size());
+  const double be_rate_base = config_.be_target_request_load * cluster_cpu /
+                              (mean_be_request * mean_be_work);
+
+  // Anti-diurnal modulation: unified scheduling runs batch in LS valleys
+  // (paper Implication 1); the submission pipeline itself follows suit.
+  const AntiDiurnalPattern be_pressure(0.35, 0.0);
+
+  for (Tick t = 1; t < config_.horizon; ++t) {
+    // LS trickle: Poisson-thinned Bernoulli per tick.
+    double ls_expect = ls_rate;
+    while (ls_expect > 0.0) {
+      if (rng.NextDouble() < std::min(1.0, ls_expect)) {
+        const AppProfile& app = *ls_apps[rng.NextBelow(ls_apps.size())];
+        emit(app, t);
+      }
+      ls_expect -= 1.0;
+    }
+
+    // BE bursts: heavy-tailed burst sizes arriving at a modulated rate.
+    const double rate_now = be_rate_base * be_pressure.At(t);
+    // Expected pods this tick = rate_now; draw bursts until budget spent.
+    double budget = rate_now;
+    while (budget > 0.0) {
+      // Burst size ~ Pareto (heavy tail, Fig. 7); mean alpha/(alpha-1).
+      const double burst_mean = config_.be_burst_alpha / (config_.be_burst_alpha - 1.0);
+      const double p_burst = std::min(1.0, budget / burst_mean);
+      if (rng.NextDouble() >= p_burst) {
+        break;
+      }
+      int burst = static_cast<int>(
+          std::llround(rng.Pareto(1.0, config_.be_burst_alpha)));
+      burst = std::clamp(burst, 1, 500);
+      const AppProfile& app = *be_apps[rng.NextBelow(be_apps.size())];
+      for (int b = 0; b < burst; ++b) {
+        emit(app, t);
+      }
+      budget -= burst_mean;
+    }
+  }
+
+  std::stable_sort(out.pods.begin(), out.pods.end(),
+                   [](const PodSpec& a, const PodSpec& b) {
+                     return a.submit_tick < b.submit_tick;
+                   });
+  return out;
+}
+
+}  // namespace optum

@@ -1,0 +1,81 @@
+// Synthetic workload generator calibrated against the distributions the
+// paper reports for Alibaba's unified-scheduling trace:
+//   * SLO mix per Fig. 2b (BE/LS/LSR ~70% of pods; Unknown/System/VMEnv rest)
+//   * LS/LSR submissions near-constant; BE submissions bursty with a
+//     heavy-tailed per-minute count (Fig. 3a, Fig. 7)
+//   * diurnal LS QPS (Fig. 3b) and anti-diurnal BE pressure (Fig. 4a)
+//   * request >> usage gaps (Fig. 6): LS CPU ~5x, BE memory nearly full
+//   * per-application pod consistency (Fig. 12)
+#ifndef OPTUM_SRC_TRACE_WORKLOAD_GENERATOR_H_
+#define OPTUM_SRC_TRACE_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/trace/app_model.h"
+
+namespace optum {
+
+struct WorkloadConfig {
+  // Cluster scale; arrival volumes are proportional to this.
+  int num_hosts = 200;
+  Tick horizon = 2 * kTicksPerDay;
+
+  // Application population.
+  int num_ls_apps = 40;
+  int num_lsr_apps = 12;
+  int num_be_apps = 80;
+  int num_system_apps = 4;
+  int num_vmenv_apps = 3;
+  int num_unknown_apps = 20;
+
+  // Initial LS/LSR fleet: target total CPU *request* load as a fraction of
+  // cluster capacity at t=0 (over-commitment then comes from BE arrivals).
+  double initial_ls_request_load = 0.8;
+
+  // Steady-state LS replacement/scale-out submissions per tick per 100 hosts.
+  double ls_arrivals_per_tick_per_100_hosts = 0.08;
+
+  // BE pressure: target instantaneous CPU request load from BE pods as a
+  // fraction of cluster capacity (drives the Poisson/Pareto arrival mix).
+  double be_target_request_load = 0.25;
+
+  // Heavy-tail burst shape for BE arrivals (Pareto alpha; smaller = heavier).
+  double be_burst_alpha = 1.9;
+
+  // Multiplier on every application's memory request (and limit); > 1
+  // makes memory the binding scheduling dimension (scenario knob).
+  double mem_request_scale = 1.0;
+
+  uint64_t seed = 42;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  std::vector<AppProfile> apps;       // indexed by AppId
+  std::vector<PodSpec> pods;          // sorted by submit_tick
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  // Generates the full application population and pod arrival stream.
+  Workload Generate();
+
+ private:
+  std::vector<AppProfile> GenerateApps(Rng& rng) const;
+  AppProfile MakeLsApp(AppId id, bool reserved, Rng& rng) const;
+  AppProfile MakeBeApp(AppId id, Rng& rng) const;
+  AppProfile MakeAuxApp(AppId id, SloClass slo, Rng& rng) const;
+
+  WorkloadConfig config_;
+};
+
+// Returns the profile lookup for a workload (apps indexed by id).
+inline const AppProfile& AppOf(const Workload& w, AppId id) {
+  return w.apps[static_cast<size_t>(id)];
+}
+
+}  // namespace optum
+
+#endif  // OPTUM_SRC_TRACE_WORKLOAD_GENERATOR_H_

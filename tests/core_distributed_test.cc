@@ -1,0 +1,308 @@
+// Tests for the distributed scheduling coordinator (§4.4) and the
+// triple-wise ERO extension (§4.2.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/distributed.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/resource_usage_predictor.h"
+
+namespace optum::core {
+namespace {
+
+AppProfile MakeApp(AppId id, SloClass slo, Resources request) {
+  AppProfile app;
+  app.id = id;
+  app.slo = slo;
+  app.request = request;
+  app.limit = request * 2.0;
+  return app;
+}
+
+PodSpec MakePod(PodId id, const AppProfile& app) {
+  PodSpec pod;
+  pod.id = id;
+  pod.app = app.id;
+  pod.slo = app.slo;
+  pod.request = app.request;
+  pod.limit = app.limit;
+  return pod;
+}
+
+OptumProfiles SimpleProfiles() {
+  OptumProfiles profiles;
+  AppModel be;
+  be.stats.slo = SloClass::kBe;
+  be.stats.mem_profile = 0.9;
+  profiles.apps.emplace(0, std::move(be));
+  profiles.ero.Observe(0, 0, 0.4);
+  return profiles;
+}
+
+// --- Triple-wise ERO ---------------------------------------------------------
+
+TEST(EroTripleTest, ObserveAndGet) {
+  EroTable ero;
+  EXPECT_LT(ero.GetTriple(1, 2, 3), 0.0);  // unobserved
+  EXPECT_FALSE(ero.ContainsTriple(1, 2, 3));
+  ero.ObserveTriple(1, 2, 3, 0.35);
+  EXPECT_TRUE(ero.ContainsTriple(1, 2, 3));
+  EXPECT_DOUBLE_EQ(ero.GetTriple(1, 2, 3), 0.35);
+  // Keeps the maximum, order-free.
+  ero.ObserveTriple(3, 1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(ero.GetTriple(2, 3, 1), 0.5);
+  ero.ObserveTriple(2, 1, 3, 0.2);
+  EXPECT_DOUBLE_EQ(ero.GetTriple(1, 2, 3), 0.5);
+  EXPECT_EQ(ero.triple_size(), 1u);
+}
+
+TEST(EroTripleTest, TripleKeysDistinct) {
+  EroTable ero;
+  ero.ObserveTriple(1, 2, 3, 0.3);
+  ero.ObserveTriple(1, 2, 4, 0.6);
+  EXPECT_DOUBLE_EQ(ero.GetTriple(1, 2, 3), 0.3);
+  EXPECT_DOUBLE_EQ(ero.GetTriple(1, 2, 4), 0.6);
+  EXPECT_EQ(ero.triple_size(), 2u);
+}
+
+TEST(TripleUsagePredictorTest, UsesObservedTriple) {
+  OptumProfiles profiles;
+  for (AppId id = 0; id < 3; ++id) {
+    AppModel m;
+    m.stats.slo = SloClass::kBe;
+    m.stats.mem_profile = 1.0;
+    profiles.apps.emplace(id, std::move(m));
+  }
+  profiles.ero.Observe(0, 1, 0.5);
+  profiles.ero.Observe(1, 2, 0.5);
+  profiles.ero.Observe(0, 2, 0.5);
+  profiles.ero.ObserveTriple(0, 1, 2, 0.3);
+
+  ClusterState cluster(1, kUnitResources, 8);
+  const AppProfile a = MakeApp(0, SloClass::kBe, {0.1, 0.05});
+  const AppProfile b = MakeApp(1, SloClass::kBe, {0.1, 0.05});
+  const AppProfile c = MakeApp(2, SloClass::kBe, {0.1, 0.05});
+  cluster.Place(MakePod(1, a), &a, 0, 0);
+  cluster.Place(MakePod(2, b), &b, 0, 0);
+  cluster.Place(MakePod(3, c), &c, 0, 0);
+
+  ResourceUsagePredictor pairwise(&profiles);
+  ResourceUsagePredictor triple(&profiles,
+                                ResourceUsagePredictor::Grouping::kTripleWise);
+  // Pairwise: 0.5*(0.1+0.1) + 0.1 (odd) = 0.2.
+  EXPECT_NEAR(pairwise.PredictHost(cluster.host(0), nullptr).cpu, 0.2, 1e-12);
+  // Triple: 0.3 * 0.3 = 0.09 — strictly tighter.
+  EXPECT_NEAR(triple.PredictHost(cluster.host(0), nullptr).cpu, 0.09, 1e-12);
+}
+
+TEST(TripleUsagePredictorTest, FallbackUsesBestPairing) {
+  OptumProfiles profiles;
+  for (AppId id = 0; id < 3; ++id) {
+    AppModel m;
+    m.stats.slo = SloClass::kBe;
+    m.stats.mem_profile = 1.0;
+    profiles.apps.emplace(id, std::move(m));
+  }
+  // Only pair (1,2) is tight; the fallback should group it and leave app 0
+  // at its full request: 0.2 + 0.2*(0.1+0.1) = 0.24.
+  profiles.ero.Observe(1, 2, 0.2);
+
+  ClusterState cluster(1, kUnitResources, 8);
+  const AppProfile a = MakeApp(0, SloClass::kBe, {0.2, 0.05});
+  const AppProfile b = MakeApp(1, SloClass::kBe, {0.1, 0.05});
+  const AppProfile c = MakeApp(2, SloClass::kBe, {0.1, 0.05});
+  cluster.Place(MakePod(1, a), &a, 0, 0);
+  cluster.Place(MakePod(2, b), &b, 0, 0);
+  cluster.Place(MakePod(3, c), &c, 0, 0);
+
+  ResourceUsagePredictor triple(&profiles,
+                                ResourceUsagePredictor::Grouping::kTripleWise);
+  EXPECT_NEAR(triple.PredictHost(cluster.host(0), nullptr).cpu, 0.24, 1e-12);
+}
+
+TEST(TripleUsagePredictorTest, TripleNeverExceedsRequestSum) {
+  OptumProfiles profiles;  // empty: every pair/triple defaults conservative
+  ClusterState cluster(1, kUnitResources, 8);
+  std::vector<AppProfile> apps;
+  for (int i = 0; i < 5; ++i) {
+    apps.push_back(MakeApp(i, SloClass::kBe, {0.05 + 0.01 * i, 0.02}));
+  }
+  double request_sum = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    cluster.Place(MakePod(10 + i, apps[static_cast<size_t>(i)]),
+                  &apps[static_cast<size_t>(i)], 0, 0);
+    request_sum += apps[static_cast<size_t>(i)].request.cpu;
+  }
+  ResourceUsagePredictor triple(&profiles,
+                                ResourceUsagePredictor::Grouping::kTripleWise);
+  EXPECT_LE(triple.PredictHost(cluster.host(0), nullptr).cpu, request_sum + 1e-12);
+}
+
+TEST(OfflineProfilerTripleTest, CollectsTriplesWhenEnabled) {
+  // Craft a trace with three apps co-located on one host.
+  TraceBundle trace;
+  trace.nodes.push_back(NodeMeta{0, kUnitResources});
+  for (int p = 0; p < 3; ++p) {
+    PodMeta meta;
+    meta.pod_id = p;
+    meta.app_id = p;
+    meta.slo = SloClass::kBe;
+    meta.request = {0.1, 0.05};
+    meta.limit = {0.2, 0.1};
+    trace.pods.push_back(meta);
+  }
+  for (Tick t = 0; t < 50; ++t) {
+    trace.node_usage.push_back(NodeUsageRecord{0, t, 0.1, 0.1, 0, 0});
+    for (int p = 0; p < 3; ++p) {
+      PodUsageRecord rec;
+      rec.pod_id = p;
+      rec.host = 0;
+      rec.collect_tick = t;
+      rec.cpu_usage = 0.02 * (p + 1);
+      rec.mem_usage = 0.02;
+      trace.pod_usage.push_back(rec);
+    }
+  }
+  OfflineProfilerConfig config;
+  config.enable_triple_ero = true;
+  OfflineProfiler profiler(config);
+  const EroTable ero = profiler.BuildEroTable(trace);
+  ASSERT_TRUE(ero.ContainsTriple(0, 1, 2));
+  // (0.02 + 0.04 + 0.06) / 0.3 = 0.4.
+  EXPECT_NEAR(ero.GetTriple(0, 1, 2), 0.4, 1e-9);
+  // Disabled by default.
+  const EroTable no_triples = OfflineProfiler().BuildEroTable(trace);
+  EXPECT_EQ(no_triples.triple_size(), 0u);
+}
+
+// --- DistributedCoordinator ----------------------------------------------------
+
+TEST(DistributedTest, SingleShardPlacesWholeBatch) {
+  const OptumProfiles profiles = SimpleProfiles();
+  const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < 20; ++i) {
+    pods.push_back(MakePod(i, app));
+  }
+  std::vector<const PodSpec*> batch;
+  for (const auto& p : pods) {
+    batch.push_back(&p);
+  }
+  ClusterState cluster(8, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 1;
+  config.scheduler_config.sample_fraction = 1.0;
+  config.scheduler_config.min_candidates = 8;
+  DistributedCoordinator coordinator(profiles, config);
+  const DistributedOutcome outcome =
+      coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
+        cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);
+      });
+  EXPECT_EQ(outcome.placed.size(), 20u);
+  EXPECT_TRUE(outcome.unplaced.empty());
+  EXPECT_EQ(outcome.conflicts_resolved, 0);  // single scheduler: no conflicts
+  EXPECT_EQ(outcome.rounds_used, 20);
+}
+
+TEST(DistributedTest, ParallelShardsResolveConflicts) {
+  const OptumProfiles profiles = SimpleProfiles();
+  const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < 40; ++i) {
+    pods.push_back(MakePod(i, app));
+  }
+  std::vector<const PodSpec*> batch;
+  for (const auto& p : pods) {
+    batch.push_back(&p);
+  }
+  ClusterState cluster(8, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 4;
+  config.max_attempts_per_pod = 8;
+  config.scheduler_config.sample_fraction = 1.0;
+  config.scheduler_config.min_candidates = 8;
+  DistributedCoordinator coordinator(profiles, config);
+  int64_t commits = 0;
+  const DistributedOutcome outcome =
+      coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
+        ++commits;
+        cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);
+      });
+  EXPECT_EQ(static_cast<int64_t>(outcome.placed.size()), commits);
+  EXPECT_EQ(outcome.placed.size() + outcome.unplaced.size(), 40u);
+  // Identical pods against the same snapshot: conflicts must occur with
+  // 4 parallel shards (with full-scan scoring every shard picks the same
+  // best host, so the worst case degenerates to one commit per round).
+  EXPECT_GT(outcome.conflicts_resolved, 0);
+  EXPECT_LE(outcome.rounds_used, 40);
+  // No host may hold two commits from the same round: per-host commit
+  // uniqueness is per round, so total placed per host is bounded by rounds.
+  std::set<std::pair<int64_t, HostId>> seen;
+  for (const auto& p : outcome.placed) {
+    EXPECT_TRUE(seen.insert({p.pod, p.host}).second);
+  }
+}
+
+TEST(DistributedTest, UnplaceableBatchReturnsReasons) {
+  const OptumProfiles profiles = SimpleProfiles();
+  // Pod bigger than any host: nothing can place.
+  const AppProfile app = MakeApp(0, SloClass::kBe, {1.5, 0.02});
+  std::vector<PodSpec> pods = {MakePod(0, app), MakePod(1, app)};
+  std::vector<const PodSpec*> batch = {&pods[0], &pods[1]};
+  ClusterState cluster(4, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 2;
+  config.max_attempts_per_pod = 2;
+  DistributedCoordinator coordinator(profiles, config);
+  const DistributedOutcome outcome = coordinator.ScheduleBatch(
+      batch, cluster, [](const ScheduleProposal&) { FAIL() << "must not commit"; });
+  EXPECT_TRUE(outcome.placed.empty());
+  ASSERT_EQ(outcome.unplaced.size(), 2u);
+  for (const auto& [pod, reason] : outcome.unplaced) {
+    EXPECT_EQ(reason, WaitReason::kInsufficientCpu);
+  }
+}
+
+TEST(DistributedTest, CommitsVisibleToLaterRounds) {
+  const OptumProfiles profiles = SimpleProfiles();
+  // Each host fits exactly two pods by memory cap: 0.8 / 0.36 = 2.2.
+  AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.4});
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < 8; ++i) {
+    pods.push_back(MakePod(i, app));
+  }
+  std::vector<const PodSpec*> batch;
+  for (const auto& p : pods) {
+    batch.push_back(&p);
+  }
+  ClusterState cluster(4, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 2;
+  config.max_attempts_per_pod = 16;
+  config.scheduler_config.sample_fraction = 1.0;
+  config.scheduler_config.min_candidates = 4;
+  DistributedCoordinator coordinator(profiles, config);
+  const DistributedOutcome outcome =
+      coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
+        cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);
+      });
+  // Capacity is 4 hosts x 2 pods = 8: every pod fits only if later rounds
+  // saw earlier commits (otherwise the mem cap would be violated).
+  EXPECT_EQ(outcome.placed.size(), 8u);
+  for (const Host& h : cluster.hosts()) {
+    EXPECT_LE(h.pods.size(), 2u);
+  }
+}
+
+TEST(DistributedTest, ShardAccessors) {
+  const OptumProfiles profiles = SimpleProfiles();
+  DistributedConfig config;
+  config.num_schedulers = 3;
+  DistributedCoordinator coordinator(profiles, config);
+  EXPECT_EQ(coordinator.num_schedulers(), 3u);
+  EXPECT_EQ(coordinator.shard(0).name(), "Optum");
+}
+
+}  // namespace
+}  // namespace optum::core

@@ -1,0 +1,199 @@
+// Tests for the Fig. 17 closed loop: TracingCoordinator and OptumSystem.
+#include <gtest/gtest.h>
+
+#include "src/core/optum_system.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum::core {
+namespace {
+
+Workload SmallWorkload(Tick horizon = 300) {
+  WorkloadConfig config;
+  config.num_hosts = 16;
+  config.horizon = horizon;
+  config.num_ls_apps = 5;
+  config.num_lsr_apps = 2;
+  config.num_be_apps = 8;
+  config.num_system_apps = 1;
+  config.num_vmenv_apps = 1;
+  config.num_unknown_apps = 2;
+  config.seed = 13;
+  return WorkloadGenerator(config).Generate();
+}
+
+TEST(TracingCoordinatorTest, CollectsSamplesAtConfiguredCadence) {
+  const Workload workload = SmallWorkload(120);
+  TracingConfig config;
+  config.node_sample_period = 4;
+  config.pod_sample_period = 6;
+  config.window = 1000;
+  TracingCoordinator coordinator(config);
+  SimConfig sim_config;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    coordinator.OnTick(cluster, now);
+  };
+  AlibabaBaseline scheduler;
+  Simulator(workload, sim_config, scheduler).Run();
+
+  const TraceBundle snapshot = coordinator.Snapshot();
+  EXPECT_EQ(snapshot.nodes.size(), 16u);
+  ASSERT_FALSE(snapshot.node_usage.empty());
+  ASSERT_FALSE(snapshot.pod_usage.empty());
+  for (const auto& rec : snapshot.node_usage) {
+    EXPECT_EQ(rec.collect_tick % 4, 0);
+  }
+  for (const auto& rec : snapshot.pod_usage) {
+    EXPECT_EQ(rec.collect_tick % 6, 0);
+    EXPECT_GE(rec.host, 0);
+    // Metadata exists for every sampled pod.
+    bool found = false;
+    for (const auto& meta : snapshot.pods) {
+      if (meta.pod_id == rec.pod_id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "pod " << rec.pod_id;
+    if (!found) {
+      break;
+    }
+  }
+}
+
+TEST(TracingCoordinatorTest, WindowEvictsOldRecords) {
+  const Workload workload = SmallWorkload(240);
+  TracingConfig config;
+  config.window = 60;  // half an hour
+  TracingCoordinator coordinator(config);
+  SimConfig sim_config;
+  Tick last = 0;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    coordinator.OnTick(cluster, now);
+    last = now;
+  };
+  AlibabaBaseline scheduler;
+  Simulator(workload, sim_config, scheduler).Run();
+
+  const TraceBundle snapshot = coordinator.Snapshot();
+  for (const auto& rec : snapshot.node_usage) {
+    EXPECT_GE(rec.collect_tick, last - config.window);
+  }
+  for (const auto& rec : snapshot.pod_usage) {
+    EXPECT_GE(rec.collect_tick, last - config.window);
+  }
+}
+
+TEST(TracingCoordinatorTest, DetectsCompletions) {
+  const Workload workload = SmallWorkload(240);
+  TracingCoordinator coordinator(TracingConfig{.window = 10000});
+  SimConfig sim_config;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    coordinator.OnTick(cluster, now);
+  };
+  AlibabaBaseline scheduler;
+  const SimResult result = Simulator(workload, sim_config, scheduler).Run();
+
+  // The coordinator's completion count tracks the simulator's BE finishes
+  // (OOM/preemption churn can add extra exit events).
+  int64_t finished_be = 0;
+  for (const auto& rec : result.trace.lifecycles) {
+    if (rec.slo == SloClass::kBe && rec.finish_tick >= 0) {
+      ++finished_be;
+    }
+  }
+  EXPECT_GE(static_cast<int64_t>(coordinator.lifecycle_records()), finished_be);
+  const TraceBundle snapshot = coordinator.Snapshot();
+  for (const auto& rec : snapshot.lifecycles) {
+    EXPECT_GE(rec.finish_tick, rec.schedule_tick);
+    EXPECT_GT(rec.actual_completion_ticks, 0.0);
+  }
+}
+
+TEST(OptumSystemTest, ColdStartSchedulesSafely) {
+  const Workload workload = SmallWorkload(240);
+  OptumSystemConfig config;
+  config.reprofile_period = 0;  // no background profiling
+  OptumSystem system(config);
+  SimConfig sim_config;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    system.OnTickEnd(cluster, now);
+  };
+  const SimResult result = Simulator(workload, sim_config, system).Run();
+  EXPECT_GT(result.scheduled_pods, 0);
+  EXPECT_EQ(system.reprofile_count(), 0);
+  EXPECT_LE(result.violation_rate(), 0.01);
+}
+
+TEST(OptumSystemTest, BackgroundReprofilingFires) {
+  const Workload workload = SmallWorkload(360);
+  OptumSystemConfig config;
+  config.reprofile_period = 100;
+  config.warmup = 50;
+  config.profiler.max_train_samples = 200;
+  config.profiler.min_samples = 20;
+  OptumSystem system(config);
+  SimConfig sim_config;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    system.OnTickEnd(cluster, now);
+  };
+  Simulator(workload, sim_config, system).Run();
+  // Warmup 50, period 100, horizon 360 -> passes at ~50, 150, 250, 350.
+  EXPECT_GE(system.reprofile_count(), 3);
+  // Profiles now carry trained per-app entries.
+  EXPECT_GT(system.scheduler().profiles().apps.size(), 0u);
+}
+
+TEST(OptumSystemTest, ReprofilingPreservesEroMaxima) {
+  const Workload workload = SmallWorkload(300);
+  OptumSystemConfig config;
+  config.reprofile_period = 80;
+  config.warmup = 40;
+  config.profiler.min_samples = 1000000;  // models never train; ERO only
+  OptumSystem system(config);
+  SimConfig sim_config;
+  double ero_before = -1;
+  AppId a = -1, b = -1;
+  sim_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    system.OnTickEnd(cluster, now);
+    if (now == 200) {
+      // Pick any observed pair and remember its value.
+      for (const Host& host : cluster.hosts()) {
+        if (host.pods.size() >= 2) {
+          a = host.pods[0]->spec.app;
+          b = host.pods[1]->spec.app;
+          ero_before = system.scheduler().profiles().ero.Get(a, b);
+          break;
+        }
+      }
+    }
+  };
+  Simulator(workload, sim_config, system).Run();
+  ASSERT_GE(ero_before, 0.0);
+  // ERO keeps maxima across reprofiling: it can only rise afterwards.
+  EXPECT_GE(system.scheduler().profiles().ero.Get(a, b), ero_before - 1e-12);
+}
+
+TEST(OptumSystemTest, ReplaceProfilesInvalidatesPredictions) {
+  OptumProfiles initial;
+  AppModel be;
+  be.stats.slo = SloClass::kBe;
+  be.stats.mem_profile = 0.5;
+  initial.apps.emplace(0, std::move(be));
+  initial.ero.Observe(0, 0, 0.2);
+  OptumConfig config;
+  config.sample_fraction = 1.0;
+  config.min_candidates = 2;
+  OptumScheduler scheduler(std::move(initial), config);
+  EXPECT_DOUBLE_EQ(scheduler.profiles().ero.Get(0, 0), 0.2);
+
+  OptumProfiles fresh;
+  fresh.ero.Observe(0, 0, 0.7);
+  scheduler.ReplaceProfiles(std::move(fresh));
+  EXPECT_DOUBLE_EQ(scheduler.profiles().ero.Get(0, 0), 0.7);
+  EXPECT_EQ(scheduler.profiles().Find(0), nullptr);  // fresh had no models
+}
+
+}  // namespace
+}  // namespace optum::core

@@ -1,0 +1,116 @@
+// Guardrail for the paper's headline claims at a small, seed-pinned scale:
+// Optum must beat the reference scheduler's utilization by a clear margin
+// with zero capacity violations and no stranded pods. If a change breaks
+// the Fig. 19 result, this test fails before the bench suite runs.
+#include <gtest/gtest.h>
+
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+namespace {
+
+TEST(HeadlineRegressionTest, OptumBeatsReferenceUtilizationSafely) {
+  WorkloadConfig config;
+  config.num_hosts = 64;
+  config.horizon = 4 * kTicksPerHour;
+  config.seed = 42;
+  const Workload workload = WorkloadGenerator(config).Generate();
+
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+  sim_config.max_attempts_per_tick = 1500;
+
+  AlibabaBaseline reference;
+  const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+
+  core::OfflineProfilerConfig prof_config;
+  prof_config.max_train_samples = 800;
+  core::OptumProfiles profiles =
+      core::OfflineProfiler(prof_config).BuildProfiles(ref_result.trace);
+  core::OptumScheduler optum(std::move(profiles));
+  SimConfig optum_config = sim_config;
+  optum_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+    optum.ObserveColocation(cluster, now);
+  };
+  const SimResult optum_result = Simulator(workload, optum_config, optum).Run();
+
+  // The paper reports up to +15%; at this scale the margin is larger, so
+  // +5% is a conservative regression floor.
+  EXPECT_GT(optum_result.MeanCpuUtilNonIdle(),
+            1.05 * ref_result.MeanCpuUtilNonIdle())
+      << "optum=" << optum_result.MeanCpuUtilNonIdle()
+      << " reference=" << ref_result.MeanCpuUtilNonIdle();
+  EXPECT_DOUBLE_EQ(optum_result.violation_rate(), 0.0);
+  EXPECT_EQ(optum_result.never_scheduled_pods, 0);
+  // Performance discipline: Optum schedules at least as many pods.
+  EXPECT_GE(optum_result.scheduled_pods, ref_result.scheduled_pods);
+}
+
+TEST(HeadlineRegressionTest, OptumPredictorSaferThanResourceCentral) {
+  // Fig. 11's dangerous side: Optum's under-estimation tail must be
+  // smaller than Resource Central's on the same run (deterministic).
+  WorkloadConfig config;
+  config.num_hosts = 32;
+  config.horizon = 8 * kTicksPerHour;
+  config.seed = 7;
+  const Workload workload = WorkloadGenerator(config).Generate();
+
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+
+  AlibabaBaseline reference;
+  const SimResult profiling_run = Simulator(workload, sim_config, reference).Run();
+  core::OfflineProfilerConfig prof_config;
+  prof_config.max_train_samples = 300;
+  prof_config.evaluate_holdout = false;
+  const core::OptumProfiles profiles =
+      core::OfflineProfiler(prof_config).BuildProfiles(profiling_run.trace);
+
+  // Second identical run: snapshot both predictors hourly and compare the
+  // count of deep under-estimations against the realized 2-hour peak.
+  core::OptumUsagePredictorAdapter optum_predictor(&profiles);
+  ResourceCentralPredictor rc_predictor(99.0);
+  std::vector<std::vector<double>> usage(32);
+  struct Sample {
+    HostId host;
+    Tick tick;
+    double optum;
+    double rc;
+  };
+  std::vector<Sample> samples;
+  SimConfig eval_config = sim_config;
+  eval_config.on_tick_end = [&](const ClusterState& cluster, Tick now) {
+    for (const Host& host : cluster.hosts()) {
+      usage[static_cast<size_t>(host.id)].push_back(host.usage.cpu);
+      if (now % kTicksPerHour == 0 && now > 0 && !host.IsIdle()) {
+        samples.push_back(Sample{host.id, now, optum_predictor.PredictHostCpu(host),
+                                 rc_predictor.PredictHostCpu(host)});
+      }
+    }
+  };
+  AlibabaBaseline scheduler;
+  Simulator(workload, eval_config, scheduler).Run();
+
+  int optum_deep_under = 0, rc_deep_under = 0;
+  for (const Sample& s : samples) {
+    double peak = 0.0;
+    const auto& series = usage[static_cast<size_t>(s.host)];
+    const size_t begin = static_cast<size_t>(s.tick);
+    for (size_t i = begin; i < std::min(series.size(), begin + 2 * kTicksPerHour); ++i) {
+      peak = std::max(peak, series[i]);
+    }
+    if (peak <= 1e-6) {
+      continue;
+    }
+    optum_deep_under += s.optum < 0.9 * peak ? 1 : 0;
+    rc_deep_under += s.rc < 0.9 * peak ? 1 : 0;
+  }
+  EXPECT_LE(optum_deep_under, rc_deep_under);
+}
+
+}  // namespace
+}  // namespace optum

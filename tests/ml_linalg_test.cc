@@ -1,0 +1,311 @@
+// Tests for src/ml linear algebra, datasets, metrics, and the discretizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/ml/discretizer.h"
+#include "src/ml/linalg.h"
+#include "src/ml/metrics.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+namespace {
+
+TEST(MatrixTest, MulKnownValues) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;
+  b(0, 1) = 8;
+  b(1, 0) = 9;
+  b(1, 1) = 10;
+  b(2, 0) = 11;
+  b(2, 1) = 12;
+  const Matrix c = a.Mul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Rng rng(1);
+  Matrix a(5, 3);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.Gaussian(0, 1);
+    }
+  }
+  const Matrix g = a.Gram();
+  const Matrix expected = a.Transposed().Mul(a);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(g(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, MulVecAndTransposedMulVec) {
+  Matrix a(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  const std::vector<double> v = {1, 0, -1};
+  const std::vector<double> out = a.MulVec(v);
+  EXPECT_DOUBLE_EQ(out[0], 1 - 3);
+  EXPECT_DOUBLE_EQ(out[1], 4 - 6);
+  const std::vector<double> w = {1, 2};
+  const std::vector<double> tout = a.TransposedMulVec(w);
+  EXPECT_DOUBLE_EQ(tout[0], 1 + 8);
+  EXPECT_DOUBLE_EQ(tout[1], 2 + 10);
+  EXPECT_DOUBLE_EQ(tout[2], 3 + 12);
+}
+
+TEST(CholeskyTest, SolvesKnownSpdSystem) {
+  // A = [[4, 2], [2, 3]], b = [6, 5] -> x = [1, 1].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  std::vector<double> b = {6, 5};
+  ASSERT_TRUE(CholeskySolveInPlace(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // indefinite
+  std::vector<double> b = {1, 1};
+  EXPECT_FALSE(CholeskySolveInPlace(a, b));
+}
+
+TEST(CholeskyTest, SolveSpdRegularizesSingular) {
+  // Rank-deficient matrix; SolveSpd must still return a finite solution.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;
+  const std::vector<double> x = SolveSpd(a, std::vector<double>{2, 2});
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_TRUE(std::isfinite(x[1]));
+  // A x should be close to b despite regularization.
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+// Property sweep: random SPD systems solve accurately.
+class CholeskyRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CholeskyRandomSweep, RandomSpdSolve) {
+  Rng rng(GetParam());
+  const size_t n = 6;
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      m(r, c) = rng.Gaussian(0, 1);
+    }
+  }
+  Matrix a = m.Gram();  // SPD (a.s.)
+  for (size_t i = 0; i < n; ++i) {
+    a(i, i) += 0.5;
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) {
+    v = rng.Gaussian(0, 2);
+  }
+  const std::vector<double> b = a.MulVec(x_true);
+  const std::vector<double> x = SolveSpd(a, b);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyRandomSweep, ::testing::Range<uint64_t>(1, 9));
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d(2, {"a", "b"});
+  d.Add(std::vector<double>{1.0, 2.0}, 3.0);
+  d.Add(std::vector<double>{4.0, 5.0}, 6.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Features(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.Target(0), 3.0);
+  EXPECT_EQ(d.feature_names()[1], "b");
+}
+
+TEST(DatasetTest, TrainTestSplitProportionsAndDisjoint) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.Add(std::vector<double>{static_cast<double>(i)}, i);
+  }
+  Rng rng(4);
+  const auto split = d.TrainTestSplit(0.25, rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  // Disjoint and complete: targets are unique ids.
+  std::vector<bool> seen(100, false);
+  for (size_t i = 0; i < split.train.size(); ++i) {
+    seen[static_cast<size_t>(split.train.Target(i))] = true;
+  }
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    const size_t id = static_cast<size_t>(split.test.Target(i));
+    EXPECT_FALSE(seen[id]) << "duplicate sample " << id;
+    seen[id] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(DatasetTest, SplitDeterministicForSeed) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    d.Add(std::vector<double>{0.0}, i);
+  }
+  Rng r1(9), r2(9);
+  const auto s1 = d.TrainTestSplit(0.2, r1);
+  const auto s2 = d.TrainTestSplit(0.2, r2);
+  for (size_t i = 0; i < s1.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.test.Target(i), s2.test.Target(i));
+  }
+}
+
+TEST(DatasetTest, BootstrapPreservesSize) {
+  Dataset d(1);
+  for (int i = 0; i < 30; ++i) {
+    d.Add(std::vector<double>{1.0}, i);
+  }
+  Rng rng(2);
+  const Dataset b = d.Bootstrap(rng);
+  EXPECT_EQ(b.size(), d.size());
+}
+
+TEST(DatasetTest, StandardizerZeroMeanUnitVariance) {
+  Dataset d(2);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    d.Add(std::vector<double>{rng.Gaussian(10, 3), rng.Gaussian(-5, 0.5)}, 0.0);
+  }
+  const auto s = d.FitStandardizer();
+  const Dataset z = d.Standardized(s);
+  optum::OnlineStats col0, col1;
+  for (size_t i = 0; i < z.size(); ++i) {
+    col0.Add(z.Features(i)[0]);
+    col1.Add(z.Features(i)[1]);
+  }
+  EXPECT_NEAR(col0.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(col0.stddev(), 1.0, 1e-9);
+  EXPECT_NEAR(col1.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(col1.stddev(), 1.0, 1e-9);
+}
+
+TEST(DatasetTest, StandardizerConstantColumnSafe) {
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i) {
+    d.Add(std::vector<double>{7.0}, 0.0);
+  }
+  const auto s = d.FitStandardizer();
+  const auto z = s.Apply(std::vector<double>{7.0});
+  EXPECT_TRUE(std::isfinite(z[0]));
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(MetricsTest, MapeKnownValue) {
+  const std::vector<double> truth = {1.0, 2.0, 4.0};
+  const std::vector<double> pred = {1.1, 1.8, 5.0};
+  EXPECT_NEAR(Mape(truth, pred), (0.1 + 0.1 + 0.25) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MapeFloorsZeroTruth) {
+  const std::vector<double> truth = {0.0};
+  const std::vector<double> pred = {0.5};
+  const double m = Mape(truth, pred, 0.25);
+  EXPECT_DOUBLE_EQ(m, 2.0);  // 0.5/0.25
+}
+
+TEST(MetricsTest, MaeRmse) {
+  const std::vector<double> truth = {0, 0, 0, 0};
+  const std::vector<double> pred = {1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(truth, pred), 1.0);
+}
+
+TEST(MetricsTest, RSquared) {
+  const std::vector<double> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(truth, truth), 1.0);
+  const std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(RSquared(truth, mean_pred), 0.0);
+}
+
+TEST(DiscretizerTest, UpperBoundMapping) {
+  // Paper example (§4.2.1): ten buckets over [0,1], a prediction in the
+  // 0.2-0.3 bucket maps to 0.3.
+  const Discretizer d(0.0, 1.0, 10);
+  EXPECT_NEAR(d.ToUpperBound(0.25), 0.3, 1e-12);
+  EXPECT_NEAR(d.ToUpperBound(0.91), 1.0, 1e-12);
+}
+
+TEST(DiscretizerTest, BottomBucketMapsToZero) {
+  const Discretizer d(0.0, 1.0, 25);
+  EXPECT_DOUBLE_EQ(d.ToUpperBound(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.ToUpperBound(0.01), 0.0);
+}
+
+TEST(DiscretizerTest, ClampsOutOfRange) {
+  const Discretizer d(0.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(d.ToUpperBound(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.ToUpperBound(5.0), 1.0);
+  EXPECT_EQ(d.BucketOf(-5.0), 0u);
+  EXPECT_EQ(d.BucketOf(5.0), 9u);
+}
+
+TEST(DiscretizerTest, IdempotentOnUpperBounds) {
+  const Discretizer d(0.0, 1.0, 25);
+  for (double v = 0.0; v <= 1.0; v += 0.013) {
+    const double once = d.ToUpperBound(v);
+    EXPECT_DOUBLE_EQ(d.ToUpperBound(once), once);
+  }
+}
+
+class DiscretizerBucketSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DiscretizerBucketSweep, BucketsPartitionRange) {
+  const size_t buckets = GetParam();
+  const Discretizer d(0.0, 1.0, buckets);
+  for (double v = 0.0; v < 1.0; v += 0.001) {
+    const size_t b = d.BucketOf(v);
+    EXPECT_LT(b, buckets);
+    // Value lies inside its bucket.
+    EXPECT_GE(v, static_cast<double>(b) * d.bucket_width() - 1e-12);
+    EXPECT_LE(v, static_cast<double>(b + 1) * d.bucket_width() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, DiscretizerBucketSweep,
+                         ::testing::Values(1, 2, 5, 10, 25, 100));
+
+}  // namespace
+}  // namespace optum::ml

@@ -1,0 +1,340 @@
+// Tests for the regression model zoo (paper Fig. 18 families): linear,
+// ridge, decision tree, random forest, MLP, and linear SVR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/gradient_boosting.h"
+#include "src/ml/linear.h"
+#include "src/ml/metrics.h"
+#include "src/ml/mlp.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/svr.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+namespace {
+
+// y = 2 x0 - 3 x1 + 1 + noise.
+Dataset LinearData(size_t n, double noise_sd, uint64_t seed) {
+  Dataset d(2);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-2, 2);
+    const double x1 = rng.Uniform(-2, 2);
+    const double y = 2 * x0 - 3 * x1 + 1 + rng.Gaussian(0, noise_sd);
+    d.Add(std::vector<double>{x0, x1}, y);
+  }
+  return d;
+}
+
+// Step function: y = 1 when x0 > 0.5 else 0 (tree-friendly).
+Dataset StepData(size_t n, uint64_t seed) {
+  Dataset d(1);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1);
+    d.Add(std::vector<double>{x}, x > 0.5 ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+// Smooth nonlinear target with interaction.
+Dataset NonlinearData(size_t n, uint64_t seed) {
+  Dataset d(2);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(0, 1);
+    const double x1 = rng.Uniform(0, 1);
+    const double y = std::sin(3 * x0) + x0 * x1 + rng.Gaussian(0, 0.02);
+    d.Add(std::vector<double>{x0, x1}, y);
+  }
+  return d;
+}
+
+TEST(LinearRegressorTest, RecoversCoefficients) {
+  const Dataset d = LinearData(500, 0.0, 1);
+  LinearRegressor lr;
+  lr.Fit(d);
+  EXPECT_NEAR(lr.weights()[0], 2.0, 1e-9);
+  EXPECT_NEAR(lr.weights()[1], -3.0, 1e-9);
+  EXPECT_NEAR(lr.intercept(), 1.0, 1e-9);
+}
+
+TEST(LinearRegressorTest, PredictsNoiselessExactly) {
+  const Dataset d = LinearData(200, 0.0, 2);
+  LinearRegressor lr;
+  lr.Fit(d);
+  EXPECT_NEAR(lr.Predict(std::vector<double>{1.0, 1.0}), 0.0, 1e-9);
+  EXPECT_NEAR(lr.Predict(std::vector<double>{0.0, 0.0}), 1.0, 1e-9);
+}
+
+TEST(LinearRegressorTest, RobustToNoise) {
+  const Dataset d = LinearData(5000, 0.5, 3);
+  LinearRegressor lr;
+  lr.Fit(d);
+  EXPECT_NEAR(lr.weights()[0], 2.0, 0.1);
+  EXPECT_NEAR(lr.weights()[1], -3.0, 0.1);
+}
+
+TEST(RidgeRegressorTest, ShrinksWeights) {
+  const Dataset d = LinearData(100, 0.1, 4);
+  LinearRegressor lr;
+  lr.Fit(d);
+  RidgeRegressor heavy(100.0);
+  heavy.Fit(d);
+  EXPECT_LT(std::fabs(heavy.weights()[0]), std::fabs(lr.weights()[0]));
+  EXPECT_LT(std::fabs(heavy.weights()[1]), std::fabs(lr.weights()[1]));
+}
+
+TEST(RidgeRegressorTest, HandlesCollinearFeatures) {
+  // x1 = x0 duplicated: OLS normal equations are singular; ridge is stable.
+  Dataset d(2);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(-1, 1);
+    d.Add(std::vector<double>{x, x}, 3 * x);
+  }
+  RidgeRegressor ridge(0.01);
+  ridge.Fit(d);
+  EXPECT_NEAR(ridge.Predict(std::vector<double>{0.5, 0.5}), 1.5, 0.05);
+}
+
+TEST(DecisionTreeTest, LearnsStepFunction) {
+  const Dataset d = StepData(400, 6);
+  DecisionTreeRegressor tree;
+  tree.Fit(d);
+  EXPECT_NEAR(tree.Predict(std::vector<double>{0.1}), 0.0, 0.05);
+  EXPECT_NEAR(tree.Predict(std::vector<double>{0.9}), 1.0, 0.05);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  TreeParams params;
+  params.max_depth = 2;
+  DecisionTreeRegressor tree(params, 1);
+  tree.Fit(NonlinearData(500, 7));
+  EXPECT_LE(tree.depth(), 2);
+  EXPECT_LE(tree.node_count(), 7u);  // binary tree of depth 2
+}
+
+TEST(DecisionTreeTest, PureTargetsYieldSingleLeaf) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    d.Add(std::vector<double>{static_cast<double>(i)}, 5.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.Fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict(std::vector<double>{17.0}), 5.0);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafEnforced) {
+  TreeParams params;
+  params.min_samples_leaf = 20;
+  params.min_samples_split = 40;
+  DecisionTreeRegressor tree(params, 1);
+  const Dataset d = StepData(60, 8);
+  tree.Fit(d);
+  // With 60 samples, at most one split is possible.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, FitOnIndicesSubset) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.Add(std::vector<double>{static_cast<double>(i)}, i < 50 ? 0.0 : 1.0);
+  }
+  // Train only on the first half: predictions stay near 0 everywhere.
+  DecisionTreeRegressor tree;
+  std::vector<size_t> idx(50);
+  std::iota(idx.begin(), idx.end(), 0u);
+  tree.FitOnIndices(d, std::move(idx));
+  EXPECT_NEAR(tree.Predict(std::vector<double>{99.0}), 0.0, 1e-9);
+}
+
+TEST(RandomForestTest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  Dataset train = NonlinearData(800, 9);
+  Dataset test = NonlinearData(200, 10);
+  DecisionTreeRegressor tree(TreeParams{.max_depth = 10}, 1);
+  tree.Fit(train);
+  RandomForestRegressor forest([]{ ForestParams p; p.num_trees = 25; return p; }(), 1);
+  forest.Fit(train);
+  auto rmse = [&](const Regressor& m) {
+    std::vector<double> t, p;
+    for (size_t i = 0; i < test.size(); ++i) {
+      t.push_back(test.Target(i));
+      p.push_back(m.Predict(test.Features(i)));
+    }
+    return RootMeanSquaredError(t, p);
+  };
+  EXPECT_LE(rmse(forest), rmse(tree) * 1.15);
+  EXPECT_LT(rmse(forest), 0.12);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  const Dataset d = NonlinearData(300, 11);
+  RandomForestRegressor f1([]{ ForestParams p; p.num_trees = 10; return p; }(), 42);
+  RandomForestRegressor f2([]{ ForestParams p; p.num_trees = 10; return p; }(), 42);
+  f1.Fit(d);
+  f2.Fit(d);
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    const std::vector<double> features = {x, 1 - x};
+    EXPECT_DOUBLE_EQ(f1.Predict(features), f2.Predict(features));
+  }
+}
+
+TEST(RandomForestTest, NumTreesHonored) {
+  RandomForestRegressor forest([]{ ForestParams p; p.num_trees = 7; return p; }(), 1);
+  forest.Fit(StepData(100, 12));
+  EXPECT_EQ(forest.num_trees(), 7u);
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  const Dataset d = LinearData(1500, 0.05, 13);
+  MlpRegressor mlp(MlpParams{.hidden = {16}, .epochs = 80}, 1);
+  mlp.Fit(d);
+  const double mape = EvaluateMape(mlp, LinearData(200, 0.0, 14));
+  EXPECT_LT(MeanAbsoluteError(
+                std::vector<double>{mlp.Predict(std::vector<double>{1.0, 0.0})},
+                std::vector<double>{3.0}),
+            0.4);
+  (void)mape;
+}
+
+TEST(MlpTest, LearnsNonlinearInteraction) {
+  const Dataset train = NonlinearData(2000, 15);
+  MlpRegressor mlp(MlpParams{}, 2);
+  mlp.Fit(train);
+  const Dataset test = NonlinearData(300, 16);
+  std::vector<double> t, p;
+  for (size_t i = 0; i < test.size(); ++i) {
+    t.push_back(test.Target(i));
+    p.push_back(mlp.Predict(test.Features(i)));
+  }
+  EXPECT_LT(RootMeanSquaredError(t, p), 0.15);
+}
+
+TEST(SvrTest, LearnsLinearFunctionApproximately) {
+  const Dataset d = LinearData(2000, 0.05, 17);
+  LinearSvr svr(SvrParams{.epsilon = 0.01, .c = 10.0, .epochs = 60}, 1);
+  svr.Fit(d);
+  EXPECT_NEAR(svr.Predict(std::vector<double>{1.0, 1.0}), 0.0, 0.5);
+  EXPECT_NEAR(svr.Predict(std::vector<double>{-1.0, 1.0}), -4.0, 0.6);
+}
+
+TEST(SvrTest, InsensitiveToSmallNoiseInTube) {
+  // Constant target with tiny noise: SVR should predict near the constant.
+  Dataset d(1);
+  Rng rng(18);
+  for (int i = 0; i < 500; ++i) {
+    d.Add(std::vector<double>{rng.Uniform(0, 1)}, 5.0 + rng.Gaussian(0, 0.005));
+  }
+  LinearSvr svr(SvrParams{}, 1);
+  svr.Fit(d);
+  EXPECT_NEAR(svr.Predict(std::vector<double>{0.5}), 5.0, 0.2);
+}
+
+TEST(GradientBoostingTest, LearnsStepFunction) {
+  const Dataset d = StepData(400, 21);
+  GradientBoostingRegressor gbt(BoostingParams{}, 1);
+  gbt.Fit(d);
+  EXPECT_NEAR(gbt.Predict(std::vector<double>{0.1}), 0.0, 0.08);
+  EXPECT_NEAR(gbt.Predict(std::vector<double>{0.9}), 1.0, 0.08);
+  EXPECT_EQ(gbt.num_rounds(), BoostingParams{}.num_rounds);
+}
+
+TEST(GradientBoostingTest, LearnsNonlinearInteraction) {
+  const Dataset train = NonlinearData(800, 22);
+  const Dataset test = NonlinearData(200, 23);
+  GradientBoostingRegressor gbt(BoostingParams{}, 1);
+  gbt.Fit(train);
+  std::vector<double> t, p;
+  for (size_t i = 0; i < test.size(); ++i) {
+    t.push_back(test.Target(i));
+    p.push_back(gbt.Predict(test.Features(i)));
+  }
+  EXPECT_LT(RootMeanSquaredError(t, p), 0.1);
+}
+
+TEST(GradientBoostingTest, MoreRoundsReduceTrainingError) {
+  const Dataset d = NonlinearData(400, 24);
+  auto train_rmse = [&](size_t rounds) {
+    BoostingParams params;
+    params.num_rounds = rounds;
+    params.subsample = 1.0;
+    GradientBoostingRegressor gbt(params, 1);
+    gbt.Fit(d);
+    std::vector<double> t, p;
+    for (size_t i = 0; i < d.size(); ++i) {
+      t.push_back(d.Target(i));
+      p.push_back(gbt.Predict(d.Features(i)));
+    }
+    return RootMeanSquaredError(t, p);
+  };
+  EXPECT_LT(train_rmse(60), train_rmse(5));
+}
+
+TEST(GradientBoostingTest, DeterministicPerSeed) {
+  const Dataset d = NonlinearData(300, 25);
+  GradientBoostingRegressor a(BoostingParams{}, 9), b(BoostingParams{}, 9);
+  a.Fit(d);
+  b.Fit(d);
+  EXPECT_DOUBLE_EQ(a.Predict(std::vector<double>{0.4, 0.6}),
+                   b.Predict(std::vector<double>{0.4, 0.6}));
+}
+
+TEST(RegressorFactoryTest, AllKindsConstructAndFit) {
+  const Dataset d = LinearData(300, 0.1, 19);
+  for (const RegressorKind kind :
+       {RegressorKind::kLinear, RegressorKind::kRidge, RegressorKind::kRandomForest,
+        RegressorKind::kMlp, RegressorKind::kSvr}) {
+    auto model = MakeRegressor(kind, 7);
+    ASSERT_NE(model, nullptr) << ToString(kind);
+    model->Fit(d);
+    const double pred = model->Predict(std::vector<double>{0.5, -0.5});
+    EXPECT_TRUE(std::isfinite(pred)) << ToString(kind);
+    // Truth is 2*0.5 + 3*0.5 + 1 = 3.5; all families should be in range.
+    EXPECT_NEAR(pred, 3.5, 1.5) << ToString(kind);
+  }
+}
+
+TEST(RegressorFactoryTest, NamesMatchKinds) {
+  EXPECT_STREQ(ToString(RegressorKind::kRandomForest), "RF");
+  EXPECT_EQ(MakeRegressor(RegressorKind::kSvr, 1)->name(), "SVR");
+  EXPECT_EQ(MakeRegressor(RegressorKind::kLinear, 1)->name(), "LR");
+  EXPECT_EQ(MakeRegressor(RegressorKind::kRidge, 1)->name(), "Ridge");
+  EXPECT_EQ(MakeRegressor(RegressorKind::kMlp, 1)->name(), "MLP");
+}
+
+// Paper ordering sanity (Fig. 18): on contention-style data (piecewise
+// saturating response), RF should beat the linear families.
+TEST(ModelComparisonTest, ForestBeatsLinearOnSaturatingResponse) {
+  Dataset train(1);
+  Dataset test(1);
+  Rng rng(20);
+  auto target = [](double x) { return x < 0.55 ? 0.0 : (x - 0.55) / 0.45; };
+  for (int i = 0; i < 1200; ++i) {
+    const double x = rng.Uniform(0, 1);
+    Dataset& dst = i % 4 == 0 ? test : train;
+    dst.Add(std::vector<double>{x}, target(x) + rng.Gaussian(0, 0.01));
+  }
+  RandomForestRegressor forest(ForestParams{}, 1);
+  forest.Fit(train);
+  LinearRegressor lr;
+  lr.Fit(train);
+  auto rmse = [&](const Regressor& m) {
+    std::vector<double> t, p;
+    for (size_t i = 0; i < test.size(); ++i) {
+      t.push_back(test.Target(i));
+      p.push_back(m.Predict(test.Features(i)));
+    }
+    return RootMeanSquaredError(t, p);
+  };
+  EXPECT_LT(rmse(forest), rmse(lr) * 0.6);
+}
+
+}  // namespace
+}  // namespace optum::ml

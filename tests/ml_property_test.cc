@@ -1,0 +1,148 @@
+// Property-based sweeps over the ML layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear.h"
+#include "src/ml/metrics.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/svr.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+namespace {
+
+Dataset RandomDataset(uint64_t seed, size_t n, size_t features) {
+  Rng rng(seed);
+  Dataset d(features);
+  std::vector<double> x(features);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : x) {
+      v = rng.Uniform(-2, 2);
+    }
+    double y = rng.Gaussian(0, 0.1);
+    for (size_t f = 0; f < features; ++f) {
+      y += (f % 2 == 0 ? 1.0 : -0.5) * x[f];
+    }
+    d.Add(x, y);
+  }
+  return d;
+}
+
+class MlPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MlPropertySweep, TreePredictionsWithinTargetRange) {
+  // A regression tree averages training targets: predictions can never
+  // leave the observed target range.
+  const Dataset d = RandomDataset(GetParam(), 300, 3);
+  const double lo = Min(d.targets());
+  const double hi = Max(d.targets());
+  DecisionTreeRegressor tree(TreeParams{}, GetParam());
+  tree.Fit(d);
+  Rng rng(GetParam() + 99);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                                   rng.Uniform(-5, 5)};
+    const double pred = tree.Predict(x);
+    EXPECT_GE(pred, lo - 1e-9);
+    EXPECT_LE(pred, hi + 1e-9);
+  }
+}
+
+TEST_P(MlPropertySweep, ForestPredictionsWithinTargetRange) {
+  const Dataset d = RandomDataset(GetParam(), 200, 2);
+  const double lo = Min(d.targets());
+  const double hi = Max(d.targets());
+  RandomForestRegressor forest([]{ ForestParams p; p.num_trees = 8; return p; }(), GetParam());
+  forest.Fit(d);
+  Rng rng(GetParam() + 7);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> x = {rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const double pred = forest.Predict(x);
+    EXPECT_GE(pred, lo - 1e-9);
+    EXPECT_LE(pred, hi + 1e-9);
+  }
+}
+
+TEST_P(MlPropertySweep, RidgeShrinkageMonotonicInAlpha) {
+  const Dataset d = RandomDataset(GetParam(), 150, 3);
+  double prev_norm = 1e18;
+  for (double alpha : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+    RidgeRegressor ridge(alpha);
+    ridge.Fit(d);
+    double norm = 0.0;
+    for (double w : ridge.weights()) {
+      norm += w * w;
+    }
+    EXPECT_LE(norm, prev_norm + 1e-9);
+    prev_norm = norm;
+  }
+}
+
+TEST_P(MlPropertySweep, LinearFitResidualsOrthogonalToFeatures) {
+  // Normal equations: residuals are orthogonal to every feature column.
+  const Dataset d = RandomDataset(GetParam(), 120, 2);
+  LinearRegressor lr;
+  lr.Fit(d);
+  double dot0 = 0, dot1 = 0, sum = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const double r = d.Target(i) - lr.Predict(d.Features(i));
+    dot0 += r * d.Features(i)[0];
+    dot1 += r * d.Features(i)[1];
+    sum += r;
+  }
+  EXPECT_NEAR(dot0, 0.0, 1e-6);
+  EXPECT_NEAR(dot1, 0.0, 1e-6);
+  EXPECT_NEAR(sum, 0.0, 1e-6);  // intercept column
+}
+
+TEST_P(MlPropertySweep, MapeZeroIffExact) {
+  const Dataset d = RandomDataset(GetParam(), 40, 1);
+  std::vector<double> truth(d.targets().begin(), d.targets().end());
+  EXPECT_DOUBLE_EQ(Mape(truth, truth), 0.0);
+  std::vector<double> off(truth);
+  off[0] += 1.0;
+  EXPECT_GT(Mape(truth, off), 0.0);
+}
+
+TEST_P(MlPropertySweep, RSquaredNeverExceedsOneForFittedModels) {
+  const Dataset d = RandomDataset(GetParam(), 100, 2);
+  LinearRegressor lr;
+  lr.Fit(d);
+  std::vector<double> truth, pred;
+  for (size_t i = 0; i < d.size(); ++i) {
+    truth.push_back(d.Target(i));
+    pred.push_back(lr.Predict(d.Features(i)));
+  }
+  const double r2 = RSquared(truth, pred);
+  EXPECT_LE(r2, 1.0 + 1e-12);
+  EXPECT_GE(r2, 0.0);  // OLS cannot do worse than the mean on train data
+}
+
+TEST_P(MlPropertySweep, BootstrapDrawsFromOriginalRows) {
+  const Dataset d = RandomDataset(GetParam(), 50, 1);
+  Rng rng(GetParam() + 3);
+  const Dataset b = d.Bootstrap(rng);
+  // Every bootstrap target must exist in the original target multiset.
+  std::vector<double> originals(d.targets().begin(), d.targets().end());
+  std::sort(originals.begin(), originals.end());
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(originals.begin(), originals.end(), b.Target(i)));
+  }
+}
+
+TEST_P(MlPropertySweep, SvrDeterministicPerSeed) {
+  const Dataset d = RandomDataset(GetParam(), 200, 2);
+  LinearSvr a(SvrParams{}, 5), b(SvrParams{}, 5);
+  a.Fit(d);
+  b.Fit(d);
+  const std::vector<double> x = {0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.Predict(x), b.Predict(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlPropertySweep, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace optum::ml

@@ -1,0 +1,157 @@
+// Tests for src/predict: the four industry usage predictors (§3.2.2) and
+// the Fig. 11 error-scoring harness.
+#include <gtest/gtest.h>
+
+#include "src/predict/predictor_eval.h"
+#include "src/predict/usage_predictor.h"
+#include "src/sim/cluster.h"
+
+namespace optum {
+namespace {
+
+AppProfile TestApp() {
+  AppProfile app;
+  app.id = 0;
+  app.slo = SloClass::kBe;
+  app.request = {0.2, 0.1};
+  app.limit = {0.4, 0.15};
+  return app;
+}
+
+PodSpec TestPod(PodId id, const AppProfile& app) {
+  PodSpec pod;
+  pod.id = id;
+  pod.app = app.id;
+  pod.slo = app.slo;
+  pod.request = app.request;
+  pod.limit = app.limit;
+  return pod;
+}
+
+class PredictorFixture : public ::testing::Test {
+ protected:
+  PredictorFixture() : cluster_(1, kUnitResources, 32), app_(TestApp()) {
+    pod1_ = cluster_.Place(TestPod(1, app_), &app_, 0, 0);
+    pod2_ = cluster_.Place(TestPod(2, app_), &app_, 0, 0);
+  }
+
+  ClusterState cluster_;
+  AppProfile app_;
+  PodRuntime* pod1_;
+  PodRuntime* pod2_;
+};
+
+TEST_F(PredictorFixture, BorgDefaultScalesRequests) {
+  BorgDefaultPredictor borg(0.9);
+  // Two pods x 0.2 CPU request = 0.4; x 0.9 = 0.36.
+  EXPECT_NEAR(borg.PredictHostCpu(cluster_.host(0)), 0.36, 1e-12);
+  BorgDefaultPredictor conservative(1.0);
+  EXPECT_NEAR(conservative.PredictHostCpu(cluster_.host(0)), 0.4, 1e-12);
+}
+
+TEST_F(PredictorFixture, ResourceCentralSumsPodPercentiles) {
+  Rng rng(1);
+  // pod1 usage mostly 0.05 with occasional 0.15; pod2 flat 0.02.
+  for (int i = 0; i < 99; ++i) {
+    pod1_->RecordCpuSample(0.05, rng);
+  }
+  pod1_->RecordCpuSample(0.15, rng);
+  for (int i = 0; i < 100; ++i) {
+    pod2_->RecordCpuSample(0.02, rng);
+  }
+  ResourceCentralPredictor rc(99.0);
+  const double predicted = rc.PredictHostCpu(cluster_.host(0));
+  EXPECT_GT(predicted, 0.05 + 0.02 - 1e-9);
+  EXPECT_LT(predicted, 0.15 + 0.02 + 1e-9);
+}
+
+TEST_F(PredictorFixture, ResourceCentralFallsBackToCurrentUsage) {
+  pod1_->cpu_usage = 0.07;
+  pod2_->cpu_usage = 0.03;
+  ResourceCentralPredictor rc(99.0);
+  EXPECT_NEAR(rc.PredictHostCpu(cluster_.host(0)), 0.10, 1e-12);
+}
+
+TEST_F(PredictorFixture, NSigmaUsesHostHistory) {
+  Host& host = cluster_.mutable_host(0);
+  // Alternating utilization 0.2 / 0.4: mean 0.3, stddev 0.1.
+  for (int i = 0; i < 50; ++i) {
+    host.PushHistory(0.2, 100);
+    host.PushHistory(0.4, 100);
+  }
+  NSigmaPredictor nsigma(5.0);
+  EXPECT_NEAR(nsigma.PredictHostCpu(host), 0.3 + 5 * 0.1, 1e-9);
+}
+
+TEST_F(PredictorFixture, NSigmaEmptyHistoryPredictsZero) {
+  NSigmaPredictor nsigma(5.0);
+  EXPECT_DOUBLE_EQ(nsigma.PredictHostCpu(cluster_.host(0)), 0.0);
+}
+
+TEST_F(PredictorFixture, MaxPredictorTakesMaximum) {
+  Host& host = cluster_.mutable_host(0);
+  for (int i = 0; i < 100; ++i) {
+    host.PushHistory(0.01, 100);
+  }
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    pod1_->RecordCpuSample(0.02, rng);
+    pod2_->RecordCpuSample(0.02, rng);
+  }
+  MaxPredictor max_pred;
+  // Borg (0.36) dominates RC (0.04) and N-sigma (0.01).
+  EXPECT_NEAR(max_pred.PredictHostCpu(host), 0.36, 1e-9);
+}
+
+TEST_F(PredictorFixture, DefaultMemPredictionIsRequestSum) {
+  BorgDefaultPredictor borg;
+  EXPECT_NEAR(borg.PredictHostMem(cluster_.host(0)), 0.2, 1e-12);
+}
+
+TEST(PeakOracleTest, PeakOverWindow) {
+  // Host 0 usage series sampled every 2 ticks: 0.1, 0.5, 0.3, 0.2.
+  PeakOracle oracle({{0.1, 0.5, 0.3, 0.2}}, /*period=*/2);
+  // After tick 0, window 4 ticks -> samples at indices 1..2 -> peak 0.5.
+  EXPECT_DOUBLE_EQ(oracle.PeakAfter(0, 0, 4), 0.5);
+  // After tick 2 -> indices 2..3 -> peak 0.3.
+  EXPECT_DOUBLE_EQ(oracle.PeakAfter(0, 2, 4), 0.3);
+  // Unknown host or beyond series -> negative.
+  EXPECT_LT(oracle.PeakAfter(5, 0, 4), 0.0);
+  EXPECT_LT(oracle.PeakAfter(0, 100, 4), 0.0);
+}
+
+TEST(ScorePredictionsTest, SplitsOverAndUnderEstimation) {
+  PeakOracle oracle({{1.0, 1.0, 1.0, 1.0, 1.0}}, 1);
+  std::vector<PredictionSample> samples = {
+      {0, 0, 1.5},  // +50%
+      {0, 1, 0.8},  // -20%
+      {0, 2, 1.0},  // 0% -> counted as over (>= 0)
+  };
+  const PredictorErrorSummary summary = ScorePredictions("test", samples, oracle, 2);
+  EXPECT_EQ(summary.over_errors.size(), 2u);
+  EXPECT_EQ(summary.under_errors.size(), 1u);
+  EXPECT_NEAR(summary.max_over, 50.0, 1e-9);
+  EXPECT_NEAR(summary.max_under, -20.0, 1e-9);
+}
+
+TEST(ScorePredictionsTest, UnderestimationTailFraction) {
+  PeakOracle oracle({{1.0, 1.0, 1.0, 1.0, 1.0, 1.0}}, 1);
+  std::vector<PredictionSample> samples = {
+      {0, 0, 0.5},   // -50% (beyond -10%)
+      {0, 1, 0.95},  // -5% (within)
+      {0, 2, 1.2},   // +20%
+      {0, 3, 0.85},  // -15% (beyond)
+  };
+  const PredictorErrorSummary summary = ScorePredictions("test", samples, oracle, 1);
+  EXPECT_NEAR(summary.frac_under_below_minus_10, 0.5, 1e-9);
+}
+
+TEST(ScorePredictionsTest, SkipsIdleHosts) {
+  PeakOracle oracle({{0.0, 0.0, 0.0}}, 1);
+  std::vector<PredictionSample> samples = {{0, 0, 0.5}};
+  const PredictorErrorSummary summary = ScorePredictions("test", samples, oracle, 1);
+  EXPECT_EQ(summary.over_errors.size() + summary.under_errors.size(), 0u);
+}
+
+}  // namespace
+}  // namespace optum

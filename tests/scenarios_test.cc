@@ -1,0 +1,95 @@
+// Tests for the named workload scenarios and the generator knobs they use.
+#include <gtest/gtest.h>
+
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/scenarios.h"
+
+namespace optum {
+namespace {
+
+TEST(ScenariosTest, AllScenariosHaveNamesAndConfigs) {
+  for (const Scenario scenario : AllScenarios()) {
+    EXPECT_STRNE(ToString(scenario), "?");
+    const WorkloadConfig config = MakeScenarioConfig(scenario, 32, 120);
+    EXPECT_EQ(config.num_hosts, 32);
+    EXPECT_EQ(config.horizon, 120);
+    // Every scenario must generate a valid workload.
+    const Workload workload = WorkloadGenerator(config).Generate();
+    EXPECT_GT(workload.pods.size(), 100u);
+  }
+}
+
+TEST(ScenariosTest, LsHeavyRaisesLsRequestMass) {
+  const Workload calibrated = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kCalibrated, 32, 120)).Generate();
+  const Workload heavy = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kLsHeavy, 32, 120)).Generate();
+  auto ls_mass = [](const Workload& w) {
+    double mass = 0;
+    for (const PodSpec& pod : w.pods) {
+      if (pod.submit_tick == 0 && IsLatencySensitive(pod.slo)) {
+        mass += pod.request.cpu;
+      }
+    }
+    return mass;
+  };
+  EXPECT_GT(ls_mass(heavy), 1.3 * ls_mass(calibrated));
+}
+
+TEST(ScenariosTest, BurstyHasHeavierArrivalTail) {
+  const Workload calibrated = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kCalibrated, 48, kTicksPerDay / 2)).Generate();
+  const Workload bursty = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kBursty, 48, kTicksPerDay / 2)).Generate();
+  auto max_per_minute = [](const Workload& w) {
+    std::vector<int> bins(static_cast<size_t>(w.config.horizon / kTicksPerMinute) + 1, 0);
+    for (const PodSpec& pod : w.pods) {
+      if (pod.submit_tick > 0) {
+        ++bins[static_cast<size_t>(pod.submit_tick / kTicksPerMinute)];
+      }
+    }
+    return *std::max_element(bins.begin(), bins.end());
+  };
+  EXPECT_GT(max_per_minute(bursty), max_per_minute(calibrated));
+}
+
+TEST(ScenariosTest, MemoryTightScalesMemoryRequests) {
+  const Workload calibrated = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kCalibrated, 32, 120)).Generate();
+  const Workload tight = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kMemoryTight, 32, 120)).Generate();
+  // App populations are generated with the same seed: compare app-wise.
+  ASSERT_EQ(calibrated.apps.size(), tight.apps.size());
+  int larger = 0;
+  for (size_t i = 0; i < calibrated.apps.size(); ++i) {
+    EXPECT_GE(tight.apps[i].request.mem, calibrated.apps[i].request.mem - 1e-12);
+    larger += tight.apps[i].request.mem > calibrated.apps[i].request.mem ? 1 : 0;
+    EXPECT_GE(tight.apps[i].limit.mem, tight.apps[i].request.mem * 0.999);
+    EXPECT_LE(tight.apps[i].request.mem, 1.0);
+  }
+  EXPECT_GT(larger, static_cast<int>(calibrated.apps.size() / 2));
+}
+
+TEST(ScenariosTest, MemRequestScaleClampsAtHostCapacity) {
+  WorkloadConfig config = MakeScenarioConfig(Scenario::kCalibrated, 16, 60);
+  config.mem_request_scale = 100.0;
+  const Workload workload = WorkloadGenerator(config).Generate();
+  for (const AppProfile& app : workload.apps) {
+    EXPECT_LE(app.request.mem, 1.0);
+    EXPECT_LE(app.limit.mem, 1.0);
+  }
+}
+
+TEST(ScenariosTest, BeSaturatedKeepsReferenceBusy) {
+  const Workload workload = WorkloadGenerator(
+      MakeScenarioConfig(Scenario::kBeSaturated, 24, 240)).Generate();
+  AlibabaBaseline scheduler;
+  SimConfig config;
+  const SimResult result = Simulator(workload, config, scheduler).Run();
+  // Saturated: a backlog exists and utilization is well above calibrated.
+  EXPECT_GT(result.MeanCpuUtilNonIdle(), 0.3);
+}
+
+}  // namespace
+}  // namespace optum

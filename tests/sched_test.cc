@@ -1,0 +1,294 @@
+// Tests for src/sched: shared helpers, the baseline schedulers, and Medea.
+#include <gtest/gtest.h>
+
+#include "src/sched/baselines.h"
+#include "src/sched/common.h"
+#include "src/sched/medea.h"
+#include "src/sim/cluster.h"
+
+namespace optum {
+namespace {
+
+TEST(ClassifyShortfallTest, AllCombinations) {
+  EXPECT_EQ(ClassifyShortfall(true, true), WaitReason::kInsufficientCpuAndMem);
+  EXPECT_EQ(ClassifyShortfall(true, false), WaitReason::kInsufficientCpu);
+  EXPECT_EQ(ClassifyShortfall(false, true), WaitReason::kInsufficientMem);
+  EXPECT_EQ(ClassifyShortfall(false, false), WaitReason::kOther);
+}
+
+TEST(AlignmentScoreTest, InnerProduct) {
+  EXPECT_DOUBLE_EQ(AlignmentScore({0.5, 0.5}, {0.4, 0.2}), 0.3);
+  EXPECT_DOUBLE_EQ(AlignmentScore(kZeroResources, {1, 1}), 0.0);
+}
+
+TEST(AlignmentRankTest, RankOfSelectedHost) {
+  const Resources request{1.0, 0.0};
+  const std::vector<Resources> loads = {{0.9, 0}, {0.5, 0}, {0.7, 0}};
+  EXPECT_EQ(AlignmentRank(request, loads, 0), 1u);  // highest load
+  EXPECT_EQ(AlignmentRank(request, loads, 2), 2u);
+  EXPECT_EQ(AlignmentRank(request, loads, 1), 3u);
+}
+
+TEST(SampleHostsTest, FullFractionReturnsAll) {
+  ClusterState cluster(10, kUnitResources, 8);
+  Rng rng(1);
+  const auto ids = SampleHosts(cluster, 1.0, 1, rng);
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(SampleHostsTest, FractionWithMinimum) {
+  ClusterState cluster(100, kUnitResources, 8);
+  Rng rng(1);
+  const auto ids = SampleHosts(cluster, 0.05, 8, rng);
+  EXPECT_EQ(ids.size(), 8u);  // max(5, 8)
+  const auto ids2 = SampleHosts(cluster, 0.5, 8, rng);
+  EXPECT_EQ(ids2.size(), 50u);
+  // No duplicates.
+  std::vector<bool> seen(100, false);
+  for (HostId id : ids2) {
+    EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+    seen[static_cast<size_t>(id)] = true;
+  }
+}
+
+TEST(SampleHostsTest, MinCountAboveClusterIsClamped) {
+  ClusterState cluster(4, kUnitResources, 8);
+  Rng rng(1);
+  EXPECT_EQ(SampleHosts(cluster, 0.1, 100, rng).size(), 4u);
+}
+
+// --- Fixture with a small cluster --------------------------------------------
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  SchedulerFixture() : cluster_(4, kUnitResources, 32) {
+    ls_app_.id = 0;
+    ls_app_.slo = SloClass::kLs;
+    ls_app_.request = {0.2, 0.1};
+    ls_app_.limit = {0.3, 0.15};
+    be_app_.id = 1;
+    be_app_.slo = SloClass::kBe;
+    be_app_.request = {0.1, 0.05};
+    be_app_.limit = {0.2, 0.06};
+  }
+
+  PodSpec LsPod(PodId id) const {
+    PodSpec pod;
+    pod.id = id;
+    pod.app = ls_app_.id;
+    pod.slo = SloClass::kLs;
+    pod.request = ls_app_.request;
+    pod.limit = ls_app_.limit;
+    pod.long_running = true;
+    return pod;
+  }
+  PodSpec BePod(PodId id) const {
+    PodSpec pod;
+    pod.id = id;
+    pod.app = be_app_.id;
+    pod.slo = SloClass::kBe;
+    pod.request = be_app_.request;
+    pod.limit = be_app_.limit;
+    pod.behavior.work_ticks = 10;
+    return pod;
+  }
+
+  ClusterState cluster_;
+  AppProfile ls_app_;
+  AppProfile be_app_;
+};
+
+TEST_F(SchedulerFixture, AlibabaPlacesLsByRequestsAlignment) {
+  AlibabaBaseline sched;
+  // Preload host 2 with one LS pod: highest request alignment.
+  cluster_.Place(LsPod(100), &ls_app_, 2, 0);
+  const PlacementDecision d = sched.Place(LsPod(1), ls_app_, cluster_);
+  ASSERT_TRUE(d.placed());
+  EXPECT_EQ(d.host, 2);
+}
+
+TEST_F(SchedulerFixture, AlibabaLsRequestCapEnforced) {
+  AlibabaBaseline sched;
+  // Fill every host to request capacity with LS pods.
+  for (HostId h = 0; h < 4; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      cluster_.Place(LsPod(100 + h * 10 + i), &ls_app_, h, 0);
+    }
+  }
+  const PlacementDecision d = sched.Place(LsPod(1), ls_app_, cluster_);
+  EXPECT_FALSE(d.placed());
+  EXPECT_EQ(d.reason, WaitReason::kInsufficientCpu);
+}
+
+TEST_F(SchedulerFixture, AlibabaOvercommitsBeAgainstUsage) {
+  AlibabaBaseline sched;
+  // Hosts carry LS request mass 1.0 but near-zero usage: BE still fits.
+  for (HostId h = 0; h < 4; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      PodRuntime* pod = cluster_.Place(LsPod(100 + h * 10 + i), &ls_app_, h, 0);
+      pod->cpu_usage = 0.01;
+    }
+    cluster_.mutable_host(h).usage = {0.05, 0.3};
+  }
+  const PlacementDecision d = sched.Place(BePod(1), be_app_, cluster_);
+  EXPECT_TRUE(d.placed());
+}
+
+TEST_F(SchedulerFixture, AlibabaMemoryGuardBlocks) {
+  BaselineOptions options;
+  options.mem_guard = 0.5;
+  AlibabaBaseline sched(options);
+  // Memory requests at 0.45 per host: a 0.1-mem pod busts the 0.5 guard.
+  PodSpec big = LsPod(1);
+  big.request.mem = 0.45;
+  for (HostId h = 0; h < 4; ++h) {
+    cluster_.Place(big, &ls_app_, h, 0);
+  }
+  PodSpec pod = LsPod(2);
+  pod.request.mem = 0.1;
+  const PlacementDecision d = sched.Place(pod, ls_app_, cluster_);
+  EXPECT_FALSE(d.placed());
+  EXPECT_EQ(d.reason, WaitReason::kInsufficientMem);
+}
+
+TEST_F(SchedulerFixture, BorgLikeBestFitPicksTightestHost) {
+  auto sched = MakeBorgLike();
+  // Host 1 has more committed requests: best fit must choose it.
+  cluster_.Place(LsPod(100), &ls_app_, 1, 0);
+  cluster_.Place(LsPod(101), &ls_app_, 1, 0);
+  cluster_.Place(LsPod(102), &ls_app_, 3, 0);
+  const PlacementDecision d = sched->Place(LsPod(1), ls_app_, cluster_);
+  ASSERT_TRUE(d.placed());
+  EXPECT_EQ(d.host, 1);
+}
+
+TEST_F(SchedulerFixture, BorgLikeRejectsWhenPredictionExceedsCapacity) {
+  auto sched = MakeBorgLike();
+  // 0.9 * sum(requests) + request > 1.0 on every host.
+  for (HostId h = 0; h < 4; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      cluster_.Place(LsPod(100 + h * 10 + i), &ls_app_, h, 0);
+    }
+  }
+  const PlacementDecision d = sched->Place(LsPod(1), ls_app_, cluster_);
+  EXPECT_FALSE(d.placed());
+}
+
+TEST_F(SchedulerFixture, ResourceCentralRespectsOvercommitCap) {
+  auto sched = MakeResourceCentralLike();
+  // Host with tiny p99 usage but requests at 1.15: the 1.2 ratio cap blocks
+  // a 0.2-request pod.
+  for (int i = 0; i < 11; ++i) {
+    PodRuntime* pod = cluster_.Place(BePod(200 + i), &be_app_, 0, 0);
+    Rng rng(1);
+    for (int s = 0; s < 50; ++s) {
+      pod->RecordCpuSample(0.001, rng);
+    }
+  }
+  // Other hosts are empty; the pod must not land on host 0 once above cap.
+  PodSpec pod = LsPod(1);
+  pod.request.cpu = 0.2;
+  const PlacementDecision d = sched->Place(pod, ls_app_, cluster_);
+  ASSERT_TRUE(d.placed());
+  EXPECT_NE(d.host, 0);
+}
+
+TEST_F(SchedulerFixture, NSigmaUsesHistory) {
+  auto sched = MakeNSigmaScheduler();
+  // Host 0: volatile history -> high prediction; host 1: flat low usage.
+  Host& h0 = cluster_.mutable_host(0);
+  Host& h1 = cluster_.mutable_host(1);
+  for (int i = 0; i < 100; ++i) {
+    h0.PushHistory(i % 2 == 0 ? 0.1 : 0.9, 128);
+    h1.PushHistory(0.3, 128);
+  }
+  // Occupy hosts 2,3 fully by requests so best-fit focuses on 0 vs 1.
+  for (HostId h = 2; h < 4; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      cluster_.Place(LsPod(100 + h * 10 + i), &ls_app_, h, 0);
+    }
+    cluster_.mutable_host(h).PushHistory(1.0, 128);
+  }
+  const PlacementDecision d = sched->Place(LsPod(1), ls_app_, cluster_);
+  ASSERT_TRUE(d.placed());
+  // h1 prediction = 0.3; h0 = 0.5 + 5*0.4 = 2.5 (infeasible): choose 1.
+  EXPECT_EQ(d.host, 1);
+}
+
+TEST_F(SchedulerFixture, AffinityRespectedByBaselines) {
+  AlibabaBaseline alibaba;
+  PodSpec pod = LsPod(1);
+  pod.max_pods_per_host = 1;
+  // One replica already on every host.
+  for (HostId h = 0; h < 4; ++h) {
+    PodSpec existing = LsPod(100 + h);
+    existing.max_pods_per_host = 1;
+    cluster_.Place(existing, &ls_app_, h, 0);
+  }
+  const PlacementDecision d = alibaba.Place(pod, ls_app_, cluster_);
+  EXPECT_FALSE(d.placed());
+  EXPECT_EQ(d.reason, WaitReason::kOther);
+}
+
+// --- Medea -------------------------------------------------------------------
+
+TEST_F(SchedulerFixture, MedeaShortRunningPlacesImmediately) {
+  Medea medea;
+  const PlacementDecision d = medea.Place(BePod(1), be_app_, cluster_);
+  EXPECT_TRUE(d.placed());
+}
+
+TEST_F(SchedulerFixture, MedeaBatchesLongRunning) {
+  MedeaOptions options;
+  options.max_pods = 3;
+  Medea medea(options);
+  // First two long pods are batched (rejected with kOther).
+  EXPECT_FALSE(medea.Place(LsPod(1), ls_app_, cluster_).placed());
+  EXPECT_FALSE(medea.Place(LsPod(2), ls_app_, cluster_).placed());
+  // Third fills the batch: the ILP solves and this pod places.
+  const PlacementDecision d = medea.Place(LsPod(3), ls_app_, cluster_);
+  EXPECT_TRUE(d.placed());
+  // Earlier batch members get their solved hosts on retry.
+  EXPECT_TRUE(medea.Place(LsPod(1), ls_app_, cluster_).placed());
+  EXPECT_TRUE(medea.Place(LsPod(2), ls_app_, cluster_).placed());
+}
+
+TEST_F(SchedulerFixture, MedeaSolvesAgedBatch) {
+  Medea medea;  // max_batch_delay = 1 tick
+  cluster_.set_now(10);
+  EXPECT_FALSE(medea.Place(LsPod(1), ls_app_, cluster_).placed());
+  cluster_.set_now(11);
+  // One tick later the batch is aged: solve now.
+  EXPECT_TRUE(medea.Place(LsPod(1), ls_app_, cluster_).placed());
+}
+
+TEST_F(SchedulerFixture, MedeaIlpRespectsCapacity) {
+  MedeaOptions options;
+  options.max_pods = 2;
+  Medea medea(options);
+  // Fill hosts 1-3 completely; host 0 has room for two more pods with
+  // slack (2 x 0.2 committed, 2 x 0.2 incoming, capacity 1.0).
+  for (HostId h = 1; h < 4; ++h) {
+    for (int i = 0; i < 5; ++i) {
+      cluster_.Place(LsPod(100 + h * 10 + i), &ls_app_, h, 0);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    cluster_.Place(LsPod(200 + i), &ls_app_, 0, 0);
+  }
+  EXPECT_FALSE(medea.Place(LsPod(1), ls_app_, cluster_).placed());
+  const PlacementDecision d2 = medea.Place(LsPod(2), ls_app_, cluster_);
+  ASSERT_TRUE(d2.placed());
+  EXPECT_EQ(d2.host, 0);
+}
+
+TEST(WaitReasonTest, ToStringAll) {
+  EXPECT_STREQ(ToString(WaitReason::kNone), "None");
+  EXPECT_STREQ(ToString(WaitReason::kInsufficientCpu), "CPU");
+  EXPECT_STREQ(ToString(WaitReason::kInsufficientMem), "Mem");
+  EXPECT_STREQ(ToString(WaitReason::kInsufficientCpuAndMem), "CPU&Mem");
+  EXPECT_STREQ(ToString(WaitReason::kOther), "Other");
+}
+
+}  // namespace
+}  // namespace optum

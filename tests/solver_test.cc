@@ -1,0 +1,173 @@
+// Tests for the branch-and-bound assignment solver (Medea's ILP substrate),
+// including a parameterized comparison against brute force.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/solver/assignment_solver.h"
+#include "src/stats/rng.h"
+
+namespace optum::solver {
+namespace {
+
+TEST(AssignmentSolverTest, SingleItemPicksBestBin) {
+  AssignmentProblem p;
+  p.demands = {{0.5, 0.5}};
+  p.capacities = {{1, 1}, {1, 1}, {1, 1}};
+  p.scores = {{1.0, 3.0, 2.0}};
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  EXPECT_TRUE(s.optimal);
+  EXPECT_EQ(s.assignment[0], 1);
+  EXPECT_DOUBLE_EQ(s.objective, 3.0);
+}
+
+TEST(AssignmentSolverTest, CapacityForcesSplit) {
+  AssignmentProblem p;
+  p.demands = {{0.6, 0.1}, {0.6, 0.1}};
+  p.capacities = {{1, 1}, {1, 1}};
+  p.scores = {{5.0, 1.0}, {5.0, 1.0}};
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  EXPECT_TRUE(s.optimal);
+  // Both want bin 0 but cannot share it: optimal is 5 + 1.
+  EXPECT_DOUBLE_EQ(s.objective, 6.0);
+  EXPECT_NE(s.assignment[0], s.assignment[1]);
+}
+
+TEST(AssignmentSolverTest, UnassignedWhenNothingFits) {
+  AssignmentProblem p;
+  p.demands = {{2.0, 2.0}};
+  p.capacities = {{1, 1}};
+  p.scores = {{10.0}};
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  EXPECT_EQ(s.assignment[0], -1);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(AssignmentSolverTest, ForbiddenAssignmentsSkipped) {
+  AssignmentProblem p;
+  p.demands = {{0.1, 0.1}};
+  p.capacities = {{1, 1}, {1, 1}};
+  p.scores = {{-1e18, 2.0}};
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  EXPECT_EQ(s.assignment[0], 1);
+}
+
+TEST(AssignmentSolverTest, PrefersLeavingItemOutWhenScoreNegative) {
+  AssignmentProblem p;
+  p.demands = {{0.1, 0.1}};
+  p.capacities = {{1, 1}};
+  p.scores = {{-5.0}};
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  EXPECT_EQ(s.assignment[0], -1);  // unassigned scores 0 > -5
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(AssignmentSolverTest, BudgetExhaustionReported) {
+  // Many items and bins with a tiny node budget.
+  AssignmentProblem p;
+  Rng rng(1);
+  for (int i = 0; i < 12; ++i) {
+    p.demands.push_back({0.3, 0.3});
+  }
+  for (int b = 0; b < 10; ++b) {
+    p.capacities.push_back({1, 1});
+  }
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> row;
+    for (int b = 0; b < 10; ++b) {
+      row.push_back(rng.Uniform(0, 1));
+    }
+    p.scores.push_back(row);
+  }
+  const AssignmentSolution s = AssignmentSolver(/*node_budget=*/50).Solve(p);
+  EXPECT_FALSE(s.optimal);
+  EXPECT_LE(s.nodes_explored, 51);
+}
+
+TEST(AssignmentSolverTest, SolutionRespectsCapacities) {
+  AssignmentProblem p;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    p.demands.push_back({rng.Uniform(0.1, 0.5), rng.Uniform(0.1, 0.5)});
+  }
+  for (int b = 0; b < 4; ++b) {
+    p.capacities.push_back({1, 1});
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> row;
+    for (int b = 0; b < 4; ++b) {
+      row.push_back(rng.Uniform(0, 2));
+    }
+    p.scores.push_back(row);
+  }
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  std::vector<Resources> used(4);
+  for (size_t i = 0; i < p.demands.size(); ++i) {
+    if (s.assignment[i] >= 0) {
+      used[static_cast<size_t>(s.assignment[i])] += p.demands[i];
+    }
+  }
+  for (const auto& u : used) {
+    EXPECT_LE(u.cpu, 1.0 + 1e-9);
+    EXPECT_LE(u.mem, 1.0 + 1e-9);
+  }
+}
+
+// Brute force reference for small instances.
+double BruteForce(const AssignmentProblem& p) {
+  const size_t n = p.demands.size();
+  const size_t bins = p.capacities.size();
+  double best = 0.0;
+  std::vector<int> assignment(n, -1);
+  std::vector<Resources> remaining = p.capacities;
+  std::function<void(size_t, double)> rec = [&](size_t item, double score) {
+    if (item == n) {
+      best = std::max(best, score);
+      return;
+    }
+    rec(item + 1, score);  // leave out
+    for (size_t b = 0; b < bins; ++b) {
+      const double v = p.scores[item][b];
+      if (v <= -1e17 || !p.demands[item].FitsWithin(remaining[b])) {
+        continue;
+      }
+      remaining[b] -= p.demands[item];
+      rec(item + 1, score + v);
+      remaining[b] += p.demands[item];
+    }
+  };
+  rec(0, 0.0);
+  return best;
+}
+
+class SolverVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverVsBruteForce, MatchesOptimalOnRandomInstances) {
+  Rng rng(GetParam());
+  AssignmentProblem p;
+  const int items = static_cast<int>(rng.UniformInt(2, 6));
+  const int bins = static_cast<int>(rng.UniformInt(2, 4));
+  for (int i = 0; i < items; ++i) {
+    p.demands.push_back({rng.Uniform(0.1, 0.7), rng.Uniform(0.1, 0.7)});
+  }
+  for (int b = 0; b < bins; ++b) {
+    p.capacities.push_back({rng.Uniform(0.5, 1.5), rng.Uniform(0.5, 1.5)});
+  }
+  for (int i = 0; i < items; ++i) {
+    std::vector<double> row;
+    for (int b = 0; b < bins; ++b) {
+      row.push_back(rng.Bernoulli(0.15) ? -1e18 : rng.Uniform(-0.5, 2.0));
+    }
+    p.scores.push_back(row);
+  }
+  const AssignmentSolution s = AssignmentSolver().Solve(p);
+  ASSERT_TRUE(s.optimal);
+  EXPECT_NEAR(s.objective, BruteForce(p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverVsBruteForce,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace optum::solver

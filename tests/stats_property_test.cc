@@ -1,0 +1,156 @@
+// Property-based sweeps over the stats layer: invariants that must hold
+// for arbitrary (seeded) random inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/cdf.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/patterns.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+namespace {
+
+std::vector<double> RandomSamples(uint64_t seed, size_t n, double lo = -10, double hi = 10) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = rng.Uniform(lo, hi);
+  }
+  return xs;
+}
+
+class StatsPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPropertySweep, PercentileMonotonicInQ) {
+  const std::vector<double> xs = RandomSamples(GetParam(), 137);
+  double prev = -1e18;
+  for (double q = 0; q <= 100; q += 2.5) {
+    const double v = Percentile(xs, q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), Min(xs));
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), Max(xs));
+}
+
+TEST_P(StatsPropertySweep, MeanWithinMinMax) {
+  const std::vector<double> xs = RandomSamples(GetParam(), 64);
+  const double m = Mean(xs);
+  EXPECT_GE(m, Min(xs));
+  EXPECT_LE(m, Max(xs));
+}
+
+TEST_P(StatsPropertySweep, StdDevShiftInvariantScaleEquivariant) {
+  const std::vector<double> xs = RandomSamples(GetParam(), 80);
+  std::vector<double> shifted(xs), scaled(xs);
+  for (auto& v : shifted) {
+    v += 42.0;
+  }
+  for (auto& v : scaled) {
+    v *= -3.0;
+  }
+  EXPECT_NEAR(StdDev(shifted), StdDev(xs), 1e-9);
+  EXPECT_NEAR(StdDev(scaled), 3.0 * StdDev(xs), 1e-9);
+}
+
+TEST_P(StatsPropertySweep, CorrelationBounds) {
+  Rng rng(GetParam());
+  std::vector<double> xs(100), ys(100);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Gaussian(0, 1);
+    ys[i] = 0.5 * xs[i] + rng.Gaussian(0, 1);
+  }
+  const double pearson = PearsonCorrelation(xs, ys);
+  const double spearman = SpearmanCorrelation(xs, ys);
+  EXPECT_GE(pearson, -1.0 - 1e-12);
+  EXPECT_LE(pearson, 1.0 + 1e-12);
+  EXPECT_GE(spearman, -1.0 - 1e-12);
+  EXPECT_LE(spearman, 1.0 + 1e-12);
+  EXPECT_GT(pearson, 0.0);  // positive by construction
+}
+
+TEST_P(StatsPropertySweep, SpearmanInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam());
+  std::vector<double> xs(60), ys(60);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform(0.1, 5.0);
+    ys[i] = rng.Uniform(0.1, 5.0);
+  }
+  const double base = SpearmanCorrelation(xs, ys);
+  std::vector<double> exp_x(xs);
+  for (auto& v : exp_x) {
+    v = std::exp(v);  // strictly monotone
+  }
+  EXPECT_NEAR(SpearmanCorrelation(exp_x, ys), base, 1e-9);
+}
+
+TEST_P(StatsPropertySweep, CdfInverseConsistency) {
+  EmpiricalCdf cdf(RandomSamples(GetParam(), 211));
+  for (double q : {5.0, 25.0, 50.0, 75.0, 95.0}) {
+    const double v = cdf.ValueAtPercentile(q);
+    const double frac = cdf.FractionAtOrBelow(v);
+    // At least q% of the mass lies at or below the q-th percentile value.
+    EXPECT_GE(frac * 100.0, q - 1.0);
+  }
+}
+
+TEST_P(StatsPropertySweep, CdfFractionMonotonic) {
+  EmpiricalCdf cdf(RandomSamples(GetParam(), 99));
+  double prev = -1.0;
+  for (double x = -12; x <= 12; x += 0.5) {
+    const double f = cdf.FractionAtOrBelow(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_P(StatsPropertySweep, OnlineStatsOrderInvariant) {
+  std::vector<double> xs = RandomSamples(GetParam(), 50);
+  OnlineStats forward, backward;
+  for (double x : xs) {
+    forward.Add(x);
+  }
+  std::reverse(xs.begin(), xs.end());
+  for (double x : xs) {
+    backward.Add(x);
+  }
+  EXPECT_NEAR(forward.mean(), backward.mean(), 1e-9);
+  EXPECT_NEAR(forward.variance(), backward.variance(), 1e-9);
+}
+
+TEST_P(StatsPropertySweep, RngSplitStreamsDecorrelated) {
+  Rng parent(GetParam());
+  Rng a = parent.Split(1);
+  Rng b = parent.Split(2);
+  std::vector<double> xs(500), ys(500);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = a.NextDouble();
+    ys[i] = b.NextDouble();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(xs, ys)), 0.15);
+}
+
+TEST_P(StatsPropertySweep, DiurnalIntegralMatchesMeanOfFloorAndPeak) {
+  Rng rng(GetParam());
+  const double floor = rng.Uniform(0.0, 0.9);
+  const DiurnalPattern p(floor, rng.Uniform(0, 1));
+  double acc = 0.0;
+  for (Tick t = 0; t < kTicksPerDay; ++t) {
+    const double v = p.At(t);
+    EXPECT_GE(v, floor - 1e-9);
+    EXPECT_LE(v, 1.0 + 1e-9);
+    acc += v;
+  }
+  // Raised cosine averages to the midpoint of floor and 1.
+  EXPECT_NEAR(acc / kTicksPerDay, (floor + 1.0) / 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertySweep, ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace optum

@@ -1,0 +1,333 @@
+// Tests for src/stats: RNG, descriptive statistics, CDFs, and temporal
+// patterns. Includes parameterized property sweeps across seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/stats/cdf.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/patterns.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++seen[rng.NextBelow(10)];
+  }
+  for (int count : seen) {
+    EXPECT_GT(count, 800);  // ~1000 expected per bucket
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.Gaussian(2.0, 3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.02);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.LogNormal(1.0, 0.5));
+  }
+  // Median of lognormal(mu, sigma) is e^mu.
+  EXPECT_NEAR(Percentile(samples, 50), std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ParetoBoundsAndHeavyTail) {
+  Rng rng(42);
+  double max_seen = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Pareto(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 10.0);  // Heavy tail reaches far.
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Split(1);
+  Rng parent2(9);
+  Rng child2 = parent2.Split(1);
+  // Same lineage -> same child stream.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child.NextU64(), child2.NextU64());
+  }
+  // Different salt -> different stream.
+  Rng parent3(9);
+  Rng other = parent3.Split(2);
+  Rng parent4(9);
+  Rng ref = parent4.Split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += other.NextU64() == ref.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// Property sweep: distribution sanity across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UnitUniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double acc = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    acc += rng.NextDouble();
+  }
+  EXPECT_NEAR(acc / kN, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, GaussianSymmetry) {
+  Rng rng(GetParam());
+  int positive = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    positive += rng.NextGaussian() > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(positive / static_cast<double>(kN), 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345, 0xdeadbeef));
+
+TEST(DescriptiveTest, MeanAndStdDev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);  // classic example
+}
+
+TEST(DescriptiveTest, EmptyAndSingletonEdges) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(Mean(one), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(one), 0.0);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(xs), 2.0 / 5.0);
+  const std::vector<double> zeros = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(zeros), 0.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 1.75);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 5.0);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs = {3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 5.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs = {1, 1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(DescriptiveTest, SpearmanMonotonicNonlinear) {
+  // y = x^3 is monotonic: Spearman must be exactly 1, Pearson below 1.
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, 3));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(xs, ys), 1.0);
+}
+
+TEST(DescriptiveTest, FractionalRanksWithTies) {
+  const std::vector<double> xs = {10, 20, 20, 30};
+  const std::vector<double> ranks = FractionalRanks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(DescriptiveTest, OnlineStatsMatchesBatch) {
+  Rng rng(3);
+  std::vector<double> xs;
+  OnlineStats online;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    xs.push_back(v);
+    online.Add(v);
+  }
+  EXPECT_NEAR(online.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(online.stddev(), StdDev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(online.min(), Min(xs));
+  EXPECT_DOUBLE_EQ(online.max(), Max(xs));
+  EXPECT_EQ(online.count(), 1000);
+}
+
+TEST(CdfTest, FractionAtOrBelow) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(10.0), 1.0);
+}
+
+TEST(CdfTest, AddAndFinalize) {
+  EmpiricalCdf cdf;
+  cdf.Add(3.0);
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  cdf.Finalize();
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.ValueAtPercentile(50), 2.0);
+}
+
+TEST(CdfTest, SummaryContainsQuantiles) {
+  EmpiricalCdf cdf({1, 2, 3, 4, 5});
+  const std::string s = cdf.Summary(std::vector<double>{50.0});
+  EXPECT_NE(s.find("p50"), std::string::npos);
+}
+
+TEST(CdfTest, DefaultQuantilesSortedAndInRange) {
+  const auto qs = DefaultQuantiles();
+  EXPECT_TRUE(std::is_sorted(qs.begin(), qs.end()));
+  EXPECT_GE(qs.front(), 0.0);
+  EXPECT_LE(qs.back(), 100.0);
+}
+
+TEST(PatternsTest, DiurnalBounds) {
+  const DiurnalPattern p(0.4, 0.0);
+  for (Tick t = 0; t < kTicksPerDay; t += 7) {
+    const double v = p.At(t);
+    EXPECT_GE(v, 0.4 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(PatternsTest, DiurnalPeriodicity) {
+  const DiurnalPattern p(0.3, 0.17);
+  for (Tick t = 0; t < kTicksPerDay; t += 100) {
+    EXPECT_NEAR(p.At(t), p.At(t + kTicksPerDay), 1e-12);
+  }
+}
+
+TEST(PatternsTest, AntiDiurnalOpposesDiurnal) {
+  const DiurnalPattern day(0.0, 0.0);
+  const AntiDiurnalPattern night(0.0, 0.0);
+  // Where one peaks the other troughs.
+  EXPECT_NEAR(day.At(0), 1.0, 1e-9);
+  EXPECT_NEAR(night.At(0), 0.0, 1e-9);
+  EXPECT_NEAR(night.At(kTicksPerDay / 2), 1.0, 1e-9);
+}
+
+TEST(PatternsTest, PhaseShiftsPeak) {
+  const DiurnalPattern p(0.0, 0.25);  // peak shifted by a quarter day
+  double best = -1.0;
+  Tick best_t = 0;
+  for (Tick t = 0; t < kTicksPerDay; ++t) {
+    if (p.At(t) > best) {
+      best = p.At(t);
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(best_t), 0.75 * kTicksPerDay, 2.0);
+}
+
+}  // namespace
+}  // namespace optum

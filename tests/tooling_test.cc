@@ -1,0 +1,165 @@
+// Tests for the tooling layer: command-line flag parsing and the trace
+// analysis helpers used by tools/trace_summary and tools/runsim.
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+namespace {
+
+// --- FlagParser ----------------------------------------------------------------
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return argv;
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser flags;
+  const auto argv = Argv({"--hosts=64", "--name=optum"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetInt("hosts", 0), 64);
+  EXPECT_EQ(flags.GetString("name", ""), "optum");
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser flags;
+  const auto argv = Argv({"--hosts", "128", "--rate", "0.25"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetInt("hosts", 0), 128);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0), 0.25);
+}
+
+TEST(FlagParserTest, BooleanSwitches) {
+  FlagParser flags;
+  const auto argv = Argv({"--verbose", "--dry-run", "--enabled=false"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("dry-run", false));
+  EXPECT_FALSE(flags.GetBool("enabled", true));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags;
+  const auto argv = Argv({"input.csv", "--out", "dir", "more"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "more");
+  EXPECT_EQ(flags.GetString("out", ""), "dir");
+}
+
+TEST(FlagParserTest, MalformedNumbersFallBackToDefault) {
+  FlagParser flags;
+  const auto argv = Argv({"--hosts=abc", "--rate=1.5x"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetInt("hosts", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.5), 0.5);
+}
+
+TEST(FlagParserTest, EmptyFlagNameRejected) {
+  FlagParser flags;
+  const auto argv = Argv({"--"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags;
+  const auto argv = Argv({"--x=1", "--x=2"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetInt("x", 0), 2);
+}
+
+// --- Trace stats ----------------------------------------------------------------
+
+class TraceStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.num_hosts = 16;
+    config.horizon = 240;
+    config.seed = 5;
+    workload_ = new Workload(WorkloadGenerator(config).Generate());
+    AlibabaBaseline scheduler;
+    SimConfig sim_config;
+    sim_config.pod_usage_period = 4;
+    result_ = new SimResult(Simulator(*workload_, sim_config, scheduler).Run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete workload_;
+    result_ = nullptr;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+  static SimResult* result_;
+};
+
+Workload* TraceStatsTest::workload_ = nullptr;
+SimResult* TraceStatsTest::result_ = nullptr;
+
+TEST_F(TraceStatsTest, PodIndexResolvesEveryPod) {
+  const PodIndex index(result_->trace);
+  for (const PodMeta& meta : result_->trace.pods) {
+    const PodMeta* found = index.Find(meta.pod_id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->app_id, meta.app_id);
+    EXPECT_EQ(index.SloOf(meta.pod_id), meta.slo);
+  }
+  EXPECT_EQ(index.Find(999999), nullptr);
+  EXPECT_EQ(index.SloOf(999999), SloClass::kUnknown);
+}
+
+TEST_F(TraceStatsTest, HostUsageIndexMatchesRecords) {
+  const HostUsageIndex index(result_->trace);
+  int checked = 0;
+  for (const NodeUsageRecord& rec : result_->trace.node_usage) {
+    const NodeUsageRecord* found = index.Find(rec.machine_id, rec.collect_tick);
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->cpu_usage, rec.cpu_usage);
+    if (++checked > 500) {
+      break;
+    }
+  }
+  EXPECT_EQ(index.Find(0, 999999), nullptr);
+}
+
+TEST_F(TraceStatsTest, SummaryCountsConsistent) {
+  const TraceSummary summary = Summarize(result_->trace);
+  EXPECT_EQ(summary.hosts, 16);
+  int64_t class_pods = 0;
+  for (const ClassSummary& c : summary.classes) {
+    class_pods += c.pods;
+    EXPECT_GE(c.pods, c.scheduled >= c.pods ? c.pods : 0);  // sched <= pods
+    EXPECT_LE(c.finished, c.scheduled);
+  }
+  EXPECT_EQ(class_pods, summary.pods);
+  EXPECT_GE(summary.max_host_cpu, summary.mean_host_cpu);
+  EXPECT_GT(summary.last_tick, summary.first_tick);
+}
+
+TEST_F(TraceStatsTest, RenderSummaryMentionsEveryActiveClass) {
+  const std::string report = RenderSummary(Summarize(result_->trace));
+  EXPECT_NE(report.find("BE"), std::string::npos);
+  EXPECT_NE(report.find("LS"), std::string::npos);
+  EXPECT_NE(report.find("host utilization"), std::string::npos);
+}
+
+TEST_F(TraceStatsTest, WaitingTimeCdfPerClass) {
+  const EmpiricalCdf be = WaitingTimeCdf(result_->trace, SloClass::kBe);
+  EXPECT_FALSE(be.empty());
+  EXPECT_GE(be.min(), 0.0);
+  const EmpiricalCdf system_cdf = WaitingTimeCdf(result_->trace, SloClass::kSystem);
+  // System pods exist in the workload, so they have lifecycle records.
+  EXPECT_FALSE(system_cdf.empty());
+}
+
+}  // namespace
+}  // namespace optum

@@ -1,0 +1,294 @@
+// Tests for src/trace: application models, the calibrated workload
+// generator, and CSV trace I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "src/stats/descriptive.h"
+#include "src/trace/app_model.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.num_hosts = 24;
+  config.horizon = kTicksPerDay / 4;
+  config.seed = 7;
+  return config;
+}
+
+TEST(AppModelTest, PodBehaviorUnitMeanScales) {
+  AppProfile app;
+  app.slo = SloClass::kBe;
+  app.cpu_pod_cov = 0.3;
+  app.work_mean_ticks = 50;
+  app.work_cov = 0.2;
+  Rng rng(1);
+  OnlineStats cpu_scales, works;
+  for (int i = 0; i < 5000; ++i) {
+    const PodBehavior b = SamplePodBehavior(app, rng);
+    cpu_scales.Add(b.cpu_scale);
+    works.Add(b.work_ticks);
+  }
+  EXPECT_NEAR(cpu_scales.mean(), 1.0, 0.05);
+  EXPECT_NEAR(cpu_scales.stddev(), 0.3, 0.05);
+  EXPECT_NEAR(works.mean(), 50.0, 2.0);
+}
+
+TEST(AppModelTest, CpuDemandRespectsCeiling) {
+  AppProfile app;
+  app.slo = SloClass::kLs;
+  app.request = {0.1, 0.05};
+  app.cpu_usage_fraction = 0.3;
+  app.cpu_usage_ceiling = 0.5;
+  Rng rng(2);
+  PodBehavior b = SamplePodBehavior(app, rng);
+  b.cpu_scale = 10.0;  // extreme pod: ceiling must clamp
+  Rng noise(3);
+  for (Tick t = 0; t < 200; ++t) {
+    EXPECT_LE(PodCpuDemand(app, b, t, noise), 0.5 * 0.1 + 1e-12);
+  }
+}
+
+TEST(AppModelTest, LsCpuFollowsDiurnalQps) {
+  AppProfile app;
+  app.slo = SloClass::kLs;
+  app.request = {0.1, 0.05};
+  app.cpu_usage_fraction = 0.3;
+  app.cpu_usage_ceiling = 1.0;
+  app.qps_base = 100;
+  app.qps_pattern = DiurnalPattern(0.2, 0.0);
+  Rng rng(4);
+  const PodBehavior b = SamplePodBehavior(app, rng);
+  // Average demand at the peak vs the trough.
+  auto mean_demand = [&](Tick t) {
+    Rng noise(5);
+    double acc = 0;
+    for (int i = 0; i < 500; ++i) {
+      acc += PodCpuDemand(app, b, t, noise);
+    }
+    return acc / 500;
+  };
+  EXPECT_GT(mean_demand(0), 2.0 * mean_demand(kTicksPerDay / 2));
+}
+
+TEST(AppModelTest, MemoryIsStable) {
+  AppProfile app;
+  app.slo = SloClass::kBe;
+  app.request = {0.05, 0.04};
+  app.mem_usage_fraction = 0.9;
+  Rng rng(6);
+  const PodBehavior b = SamplePodBehavior(app, rng);
+  Rng noise(7);
+  std::vector<double> series;
+  for (Tick t = 0; t < 500; ++t) {
+    series.push_back(PodMemDemand(app, b, t, noise));
+  }
+  EXPECT_LT(CoefficientOfVariation(series), 0.02);
+}
+
+TEST(AppModelTest, QpsZeroForBatch) {
+  AppProfile app;
+  app.slo = SloClass::kBe;
+  Rng rng(8);
+  const PodBehavior b = SamplePodBehavior(app, rng);
+  Rng noise(9);
+  EXPECT_DOUBLE_EQ(PodQps(app, b, 100, noise), 0.0);
+}
+
+TEST(WorkloadGeneratorTest, PodsSortedBySubmitTick) {
+  const Workload w = WorkloadGenerator(SmallConfig()).Generate();
+  for (size_t i = 1; i < w.pods.size(); ++i) {
+    EXPECT_LE(w.pods[i - 1].submit_tick, w.pods[i].submit_tick);
+  }
+}
+
+TEST(WorkloadGeneratorTest, PodIdsDenseAndAppIdsValid) {
+  const Workload w = WorkloadGenerator(SmallConfig()).Generate();
+  std::vector<bool> seen(w.pods.size(), false);
+  for (const PodSpec& pod : w.pods) {
+    ASSERT_GE(pod.id, 0);
+    ASSERT_LT(static_cast<size_t>(pod.id), w.pods.size());
+    EXPECT_FALSE(seen[static_cast<size_t>(pod.id)]);
+    seen[static_cast<size_t>(pod.id)] = true;
+    ASSERT_GE(pod.app, 0);
+    ASSERT_LT(static_cast<size_t>(pod.app), w.apps.size());
+    EXPECT_EQ(AppOf(w, pod.app).id, pod.app);
+    EXPECT_EQ(AppOf(w, pod.app).slo, pod.slo);
+  }
+}
+
+TEST(WorkloadGeneratorTest, DeterministicForSeed) {
+  const Workload a = WorkloadGenerator(SmallConfig()).Generate();
+  const Workload b = WorkloadGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.pods.size(), b.pods.size());
+  for (size_t i = 0; i < a.pods.size(); i += 97) {
+    EXPECT_EQ(a.pods[i].app, b.pods[i].app);
+    EXPECT_EQ(a.pods[i].submit_tick, b.pods[i].submit_tick);
+    EXPECT_DOUBLE_EQ(a.pods[i].behavior.cpu_scale, b.pods[i].behavior.cpu_scale);
+  }
+}
+
+TEST(WorkloadGeneratorTest, SloMixMatchesFig2b) {
+  // BE+LS+LSR should dominate (~70% in Fig. 2b) and BE pods far outnumber
+  // LS pods (Fig. 3a).
+  WorkloadConfig config = SmallConfig();
+  config.horizon = kTicksPerDay;
+  const Workload w = WorkloadGenerator(config).Generate();
+  std::map<SloClass, int> counts;
+  for (const PodSpec& pod : w.pods) {
+    ++counts[pod.slo];
+  }
+  const double total = static_cast<double>(w.pods.size());
+  const double explicit_slo =
+      counts[SloClass::kBe] + counts[SloClass::kLs] + counts[SloClass::kLsr];
+  EXPECT_GT(explicit_slo / total, 0.6);
+  EXPECT_GT(counts[SloClass::kBe], 3 * (counts[SloClass::kLs] + counts[SloClass::kLsr]));
+  EXPECT_GT(counts[SloClass::kUnknown], 0);
+}
+
+TEST(WorkloadGeneratorTest, RequestsExceedTypicalUsage) {
+  // Fig. 6: requests are a multiple of actual usage.
+  const Workload w = WorkloadGenerator(SmallConfig()).Generate();
+  for (const AppProfile& app : w.apps) {
+    EXPECT_LE(app.cpu_usage_fraction, 0.75) << "app " << app.id;
+    EXPECT_GE(app.request.cpu, 0.0);
+    EXPECT_GE(app.limit.cpu, app.request.cpu);
+    EXPECT_GE(app.limit.mem, app.request.mem * 0.999);
+  }
+}
+
+TEST(WorkloadGeneratorTest, LsSubmissionRateNearConstantBeBursty) {
+  WorkloadConfig config = SmallConfig();
+  config.num_hosts = 48;
+  config.horizon = kTicksPerDay;
+  const Workload w = WorkloadGenerator(config).Generate();
+  // Per-10-minute bins, skipping the t=0 initial fleet.
+  const Tick bin = 20;
+  std::map<Tick, int> ls_bins, be_bins;
+  for (const PodSpec& pod : w.pods) {
+    if (pod.submit_tick == 0) {
+      continue;
+    }
+    if (IsLatencySensitive(pod.slo)) {
+      ++ls_bins[pod.submit_tick / bin];
+    } else if (pod.slo == SloClass::kBe) {
+      ++be_bins[pod.submit_tick / bin];
+    }
+  }
+  std::vector<double> ls_counts, be_counts;
+  for (Tick b = 0; b < config.horizon / bin; ++b) {
+    ls_counts.push_back(ls_bins.count(b) ? ls_bins[b] : 0);
+    be_counts.push_back(be_bins.count(b) ? be_bins[b] : 0);
+  }
+  EXPECT_GT(Mean(be_counts), 10 * Mean(ls_counts));
+  // BE is burstier than LS in relative terms.
+  EXPECT_GT(Max(be_counts) / std::max(1.0, Mean(be_counts)), 1.5);
+}
+
+TEST(WorkloadGeneratorTest, AffinityLimitsSet) {
+  const Workload w = WorkloadGenerator(SmallConfig()).Generate();
+  int limited = 0;
+  for (const AppProfile& app : w.apps) {
+    if (IsLatencySensitive(app.slo)) {
+      EXPECT_GE(app.max_pods_per_host, 2);
+      EXPECT_LE(app.max_pods_per_host, 4);
+      ++limited;
+    }
+    if (app.slo == SloClass::kSystem || app.slo == SloClass::kVmEnv) {
+      EXPECT_EQ(app.max_pods_per_host, 1);  // daemon-like
+    }
+  }
+  EXPECT_GT(limited, 0);
+}
+
+TEST(WorkloadGeneratorTest, ScalesWithClusterSize) {
+  WorkloadConfig small = SmallConfig();
+  WorkloadConfig big = SmallConfig();
+  big.num_hosts = 96;
+  const size_t n_small = WorkloadGenerator(small).Generate().pods.size();
+  const size_t n_big = WorkloadGenerator(big).Generate().pods.size();
+  EXPECT_GT(n_big, 2 * n_small);
+}
+
+TEST(TraceIoTest, RoundTripPreservesRecords) {
+  TraceBundle bundle;
+  bundle.nodes.push_back(NodeMeta{3, {1.0, 1.0}});
+  PodMeta pod;
+  pod.pod_id = 42;
+  pod.app_id = 7;
+  pod.slo = SloClass::kLs;
+  pod.request = {0.25, 0.125};
+  pod.limit = {0.5, 0.25};
+  pod.submit_tick = 100;
+  pod.original_machine_id = 3;
+  bundle.pods.push_back(pod);
+  bundle.node_usage.push_back(NodeUsageRecord{3, 100, 0.5, 0.25, 0.1, 0.05});
+  PodUsageRecord usage;
+  usage.pod_id = 42;
+  usage.host = 3;
+  usage.collect_tick = 100;
+  usage.cpu_usage = 0.2;
+  usage.mem_usage = 0.1;
+  usage.cpu_psi_60 = 0.15;
+  usage.qps = 120;
+  usage.response_time = 9.5;
+  bundle.pod_usage.push_back(usage);
+  PodLifecycleRecord life;
+  life.pod_id = 42;
+  life.app_id = 7;
+  life.slo = SloClass::kLs;
+  life.submit_tick = 100;
+  life.schedule_tick = 102;
+  life.finish_tick = -1;
+  life.host = 3;
+  life.waiting_seconds = 60;
+  life.max_cpu_psi = 0.3;
+  bundle.lifecycles.push_back(life);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "optum_trace_io_test").string();
+  ASSERT_TRUE(WriteTraceBundle(bundle, dir));
+  TraceBundle loaded;
+  ASSERT_TRUE(ReadTraceBundle(dir, &loaded));
+
+  ASSERT_EQ(loaded.nodes.size(), 1u);
+  EXPECT_EQ(loaded.nodes[0].machine_id, 3);
+  ASSERT_EQ(loaded.pods.size(), 1u);
+  EXPECT_EQ(loaded.pods[0].pod_id, 42);
+  EXPECT_EQ(loaded.pods[0].slo, SloClass::kLs);
+  EXPECT_DOUBLE_EQ(loaded.pods[0].request.cpu, 0.25);
+  ASSERT_EQ(loaded.node_usage.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.node_usage[0].cpu_usage, 0.5);
+  ASSERT_EQ(loaded.pod_usage.size(), 1u);
+  EXPECT_EQ(loaded.pod_usage[0].host, 3);
+  EXPECT_NEAR(loaded.pod_usage[0].cpu_psi_60, 0.15, 1e-6);
+  EXPECT_NEAR(loaded.pod_usage[0].response_time, 9.5, 1e-6);
+  ASSERT_EQ(loaded.lifecycles.size(), 1u);
+  EXPECT_EQ(loaded.lifecycles[0].finish_tick, -1);
+  EXPECT_NEAR(loaded.lifecycles[0].waiting_seconds, 60, 1e-6);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceIoTest, MissingDirectoryFails) {
+  TraceBundle out;
+  EXPECT_FALSE(ReadTraceBundle("/nonexistent/optum/dir", &out));
+}
+
+TEST(TraceIoTest, EmptyBundleRoundTrips) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "optum_trace_io_empty").string();
+  ASSERT_TRUE(WriteTraceBundle(TraceBundle{}, dir));
+  TraceBundle loaded;
+  ASSERT_TRUE(ReadTraceBundle(dir, &loaded));
+  EXPECT_TRUE(loaded.pods.empty());
+  EXPECT_TRUE(loaded.node_usage.empty());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace optum

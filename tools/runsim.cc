@@ -1,0 +1,128 @@
+// runsim: generate a synthetic unified-scheduling workload and run it under
+// any scheduler in the library, from the command line.
+//
+// Examples:
+//   runsim --scheduler optum --hosts 96 --hours 8
+//   runsim --scheduler nsigma --hosts 64 --hours 4 --seed 7
+//   runsim --scheduler optum --omega_o 0.5 --omega_b 0.5 --triple-ero
+//   runsim --scheduler alibaba --trace-out /tmp/trace   # persist the trace
+#include <cstdio>
+#include <memory>
+
+#include "src/common/flags.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sched/medea.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/trace/workload_generator.h"
+
+using namespace optum;
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: runsim [flags]\n"
+      "  --scheduler S    alibaba | borg | nsigma | rc | medea | optum (default optum)\n"
+      "  --hosts N        cluster size (default 64)\n"
+      "  --hours H        simulated hours (default 6)\n"
+      "  --seed S         workload seed (default 42)\n"
+      "  --ls-load X      initial LS request load (default 0.8)\n"
+      "  --be-load X      BE request-load target (default 0.25)\n"
+      "  --omega_o X      Optum LS weight (default 0.7)\n"
+      "  --omega_b X      Optum BE weight (default 0.3)\n"
+      "  --sample X       Optum host sampling fraction (default 0.05)\n"
+      "  --triple-ero     enable triple-wise ERO profiling (Optum)\n"
+      "  --trace-out DIR  write the run's trace bundle as CSVs\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv) || flags.GetBool("help", false)) {
+    PrintUsage();
+    return 2;
+  }
+
+  WorkloadConfig config;
+  config.num_hosts = static_cast<int>(flags.GetInt("hosts", 64));
+  config.horizon = flags.GetInt("hours", 6) * kTicksPerHour;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.initial_ls_request_load = flags.GetDouble("ls-load", 0.8);
+  config.be_target_request_load = flags.GetDouble("be-load", 0.25);
+  const Workload workload = WorkloadGenerator(config).Generate();
+  std::printf("workload: %zu apps, %zu pods, %d hosts, %lld ticks\n",
+              workload.apps.size(), workload.pods.size(), config.num_hosts,
+              static_cast<long long>(config.horizon));
+
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+
+  const std::string which = flags.GetString("scheduler", "optum");
+  std::unique_ptr<PlacementPolicy> policy;
+  std::unique_ptr<core::OptumScheduler> optum;
+  if (which == "alibaba") {
+    policy = std::make_unique<AlibabaBaseline>();
+  } else if (which == "borg") {
+    policy = MakeBorgLike();
+  } else if (which == "nsigma") {
+    policy = MakeNSigmaScheduler();
+  } else if (which == "rc") {
+    policy = MakeResourceCentralLike();
+  } else if (which == "medea") {
+    policy = std::make_unique<Medea>();
+  } else if (which == "optum") {
+    // Profile from a reference run first, as in the paper's workflow.
+    std::printf("profiling from a reference run...\n");
+    AlibabaBaseline reference;
+    const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
+    core::OfflineProfilerConfig prof_config;
+    prof_config.max_train_samples = 1500;
+    prof_config.enable_triple_ero = flags.GetBool("triple-ero", false);
+    core::OptumProfiles profiles =
+        core::OfflineProfiler(prof_config).BuildProfiles(ref_result.trace);
+    core::OptumConfig optum_config;
+    optum_config.omega_o = flags.GetDouble("omega_o", 0.7);
+    optum_config.omega_b = flags.GetDouble("omega_b", 0.3);
+    optum_config.sample_fraction = flags.GetDouble("sample", 0.05);
+    optum_config.use_triple_ero = flags.GetBool("triple-ero", false);
+    optum = std::make_unique<core::OptumScheduler>(std::move(profiles), optum_config);
+    sim_config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+      optum->ObserveColocation(cluster, now);
+    };
+  } else {
+    PrintUsage();
+    return 2;
+  }
+
+  PlacementPolicy& active = optum ? *optum : *policy;
+  const SimResult result = Simulator(workload, sim_config, active).Run();
+
+  std::printf("\n[%s]\n", active.name().c_str());
+  std::printf("  scheduled pods:        %lld (pending at end: %lld)\n",
+              static_cast<long long>(result.scheduled_pods),
+              static_cast<long long>(result.never_scheduled_pods));
+  std::printf("  avg CPU util (busy):   %.4f\n", result.MeanCpuUtilNonIdle());
+  std::printf("  avg mem util (busy):   %.4f\n", result.MeanMemUtilNonIdle());
+  std::printf("  usage violation rate:  %.5f\n", result.violation_rate());
+  std::printf("  OOM kills / preempts:  %lld / %lld\n",
+              static_cast<long long>(result.oom_kills),
+              static_cast<long long>(result.preemptions));
+
+  std::printf("\n%s", RenderSummary(Summarize(result.trace)).c_str());
+
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    if (!WriteTraceBundle(result.trace, trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("\ntrace bundle written to %s\n", trace_out.c_str());
+  }
+  return 0;
+}
