@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optum.dir/ablation_optum.cc.o"
+  "CMakeFiles/ablation_optum.dir/ablation_optum.cc.o.d"
+  "ablation_optum"
+  "ablation_optum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_utilization.dir/fig04_utilization.cc.o"
+  "CMakeFiles/fig04_utilization.dir/fig04_utilization.cc.o.d"
+  "fig04_utilization"
+  "fig04_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

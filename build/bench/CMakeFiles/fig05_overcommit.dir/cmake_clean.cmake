@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_overcommit.dir/fig05_overcommit.cc.o"
+  "CMakeFiles/fig05_overcommit.dir/fig05_overcommit.cc.o.d"
+  "fig05_overcommit"
+  "fig05_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

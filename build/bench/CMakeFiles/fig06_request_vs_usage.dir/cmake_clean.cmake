@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_request_vs_usage.dir/fig06_request_vs_usage.cc.o"
+  "CMakeFiles/fig06_request_vs_usage.dir/fig06_request_vs_usage.cc.o.d"
+  "fig06_request_vs_usage"
+  "fig06_request_vs_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_request_vs_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

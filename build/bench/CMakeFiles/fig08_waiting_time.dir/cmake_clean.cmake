@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_waiting_time.dir/fig08_waiting_time.cc.o"
+  "CMakeFiles/fig08_waiting_time.dir/fig08_waiting_time.cc.o.d"
+  "fig08_waiting_time"
+  "fig08_waiting_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_waiting_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_alignment_ranks.dir/fig10_alignment_ranks.cc.o"
+  "CMakeFiles/fig10_alignment_ranks.dir/fig10_alignment_ranks.cc.o.d"
+  "fig10_alignment_ranks"
+  "fig10_alignment_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alignment_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_predictor_errors.dir/fig11_predictor_errors.cc.o"
+  "CMakeFiles/fig11_predictor_errors.dir/fig11_predictor_errors.cc.o.d"
+  "fig11_predictor_errors"
+  "fig11_predictor_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_predictor_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cov.dir/fig12_cov.cc.o"
+  "CMakeFiles/fig12_cov.dir/fig12_cov.cc.o.d"
+  "fig12_cov"
+  "fig12_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

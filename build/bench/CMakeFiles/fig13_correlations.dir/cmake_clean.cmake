@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_correlations.dir/fig13_correlations.cc.o"
+  "CMakeFiles/fig13_correlations.dir/fig13_correlations.cc.o.d"
+  "fig13_correlations"
+  "fig13_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

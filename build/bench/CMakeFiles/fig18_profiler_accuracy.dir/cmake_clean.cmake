@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_profiler_accuracy.dir/fig18_profiler_accuracy.cc.o"
+  "CMakeFiles/fig18_profiler_accuracy.dir/fig18_profiler_accuracy.cc.o.d"
+  "fig18_profiler_accuracy"
+  "fig18_profiler_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_profiler_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

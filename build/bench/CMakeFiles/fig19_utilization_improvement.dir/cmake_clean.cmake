@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_utilization_improvement.dir/fig19_utilization_improvement.cc.o"
+  "CMakeFiles/fig19_utilization_improvement.dir/fig19_utilization_improvement.cc.o.d"
+  "fig19_utilization_improvement"
+  "fig19_utilization_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_utilization_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_performance.dir/fig20_performance.cc.o"
+  "CMakeFiles/fig20_performance.dir/fig20_performance.cc.o.d"
+  "fig20_performance"
+  "fig20_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

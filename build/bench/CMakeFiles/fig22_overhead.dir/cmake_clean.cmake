@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_overhead.dir/fig22_overhead.cc.o"
+  "CMakeFiles/fig22_overhead.dir/fig22_overhead.cc.o.d"
+  "fig22_overhead"
+  "fig22_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

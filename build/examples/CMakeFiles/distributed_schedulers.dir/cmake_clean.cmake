@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_schedulers.dir/distributed_schedulers.cpp.o"
+  "CMakeFiles/distributed_schedulers.dir/distributed_schedulers.cpp.o.d"
+  "distributed_schedulers"
+  "distributed_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

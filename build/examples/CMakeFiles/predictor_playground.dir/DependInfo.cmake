@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/predictor_playground.cpp" "examples/CMakeFiles/predictor_playground.dir/predictor_playground.cpp.o" "gcc" "examples/CMakeFiles/predictor_playground.dir/predictor_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/optum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optum_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/optum_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/optum_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/optum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/optum_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/optum_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/optum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

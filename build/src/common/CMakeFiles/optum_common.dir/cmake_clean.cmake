@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_common.dir/flags.cc.o"
+  "CMakeFiles/optum_common.dir/flags.cc.o.d"
+  "CMakeFiles/optum_common.dir/table_printer.cc.o"
+  "CMakeFiles/optum_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/optum_common.dir/thread_pool.cc.o"
+  "CMakeFiles/optum_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/optum_common.dir/types.cc.o"
+  "CMakeFiles/optum_common.dir/types.cc.o.d"
+  "liboptum_common.a"
+  "liboptum_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

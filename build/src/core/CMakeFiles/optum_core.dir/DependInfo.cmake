@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/optum_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/distributed.cc" "src/core/CMakeFiles/optum_core.dir/distributed.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/distributed.cc.o.d"
+  "/root/repo/src/core/ero_table.cc" "src/core/CMakeFiles/optum_core.dir/ero_table.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/ero_table.cc.o.d"
+  "/root/repo/src/core/interference_predictor.cc" "src/core/CMakeFiles/optum_core.dir/interference_predictor.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/interference_predictor.cc.o.d"
+  "/root/repo/src/core/offline_profiler.cc" "src/core/CMakeFiles/optum_core.dir/offline_profiler.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/offline_profiler.cc.o.d"
+  "/root/repo/src/core/optum_scheduler.cc" "src/core/CMakeFiles/optum_core.dir/optum_scheduler.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/optum_scheduler.cc.o.d"
+  "/root/repo/src/core/optum_system.cc" "src/core/CMakeFiles/optum_core.dir/optum_system.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/optum_system.cc.o.d"
+  "/root/repo/src/core/resource_usage_predictor.cc" "src/core/CMakeFiles/optum_core.dir/resource_usage_predictor.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/resource_usage_predictor.cc.o.d"
+  "/root/repo/src/core/tracing_coordinator.cc" "src/core/CMakeFiles/optum_core.dir/tracing_coordinator.cc.o" "gcc" "src/core/CMakeFiles/optum_core.dir/tracing_coordinator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/optum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/optum_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/optum_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optum_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/optum_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/optum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/optum_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/optum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_core.dir/deployment.cc.o"
+  "CMakeFiles/optum_core.dir/deployment.cc.o.d"
+  "CMakeFiles/optum_core.dir/distributed.cc.o"
+  "CMakeFiles/optum_core.dir/distributed.cc.o.d"
+  "CMakeFiles/optum_core.dir/ero_table.cc.o"
+  "CMakeFiles/optum_core.dir/ero_table.cc.o.d"
+  "CMakeFiles/optum_core.dir/interference_predictor.cc.o"
+  "CMakeFiles/optum_core.dir/interference_predictor.cc.o.d"
+  "CMakeFiles/optum_core.dir/offline_profiler.cc.o"
+  "CMakeFiles/optum_core.dir/offline_profiler.cc.o.d"
+  "CMakeFiles/optum_core.dir/optum_scheduler.cc.o"
+  "CMakeFiles/optum_core.dir/optum_scheduler.cc.o.d"
+  "CMakeFiles/optum_core.dir/optum_system.cc.o"
+  "CMakeFiles/optum_core.dir/optum_system.cc.o.d"
+  "CMakeFiles/optum_core.dir/resource_usage_predictor.cc.o"
+  "CMakeFiles/optum_core.dir/resource_usage_predictor.cc.o.d"
+  "CMakeFiles/optum_core.dir/tracing_coordinator.cc.o"
+  "CMakeFiles/optum_core.dir/tracing_coordinator.cc.o.d"
+  "liboptum_core.a"
+  "liboptum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/optum_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/optum_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/discretizer.cc" "src/ml/CMakeFiles/optum_ml.dir/discretizer.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/discretizer.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/optum_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/optum_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/optum_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/optum_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/optum_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/optum_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/regressor.cc" "src/ml/CMakeFiles/optum_ml.dir/regressor.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/regressor.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/optum_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/optum_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/optum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/optum_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

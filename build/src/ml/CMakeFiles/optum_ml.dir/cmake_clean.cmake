@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_ml.dir/dataset.cc.o"
+  "CMakeFiles/optum_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/optum_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/optum_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/optum_ml.dir/discretizer.cc.o"
+  "CMakeFiles/optum_ml.dir/discretizer.cc.o.d"
+  "CMakeFiles/optum_ml.dir/gradient_boosting.cc.o"
+  "CMakeFiles/optum_ml.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/optum_ml.dir/linalg.cc.o"
+  "CMakeFiles/optum_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/optum_ml.dir/linear.cc.o"
+  "CMakeFiles/optum_ml.dir/linear.cc.o.d"
+  "CMakeFiles/optum_ml.dir/metrics.cc.o"
+  "CMakeFiles/optum_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/optum_ml.dir/mlp.cc.o"
+  "CMakeFiles/optum_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/optum_ml.dir/random_forest.cc.o"
+  "CMakeFiles/optum_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/optum_ml.dir/regressor.cc.o"
+  "CMakeFiles/optum_ml.dir/regressor.cc.o.d"
+  "CMakeFiles/optum_ml.dir/svr.cc.o"
+  "CMakeFiles/optum_ml.dir/svr.cc.o.d"
+  "liboptum_ml.a"
+  "liboptum_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_predict.dir/predictor_eval.cc.o"
+  "CMakeFiles/optum_predict.dir/predictor_eval.cc.o.d"
+  "CMakeFiles/optum_predict.dir/usage_predictor.cc.o"
+  "CMakeFiles/optum_predict.dir/usage_predictor.cc.o.d"
+  "liboptum_predict.a"
+  "liboptum_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

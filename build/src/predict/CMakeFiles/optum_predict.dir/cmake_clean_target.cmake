@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptum_predict.a"
+)

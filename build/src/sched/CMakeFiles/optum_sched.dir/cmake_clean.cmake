@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_sched.dir/baselines.cc.o"
+  "CMakeFiles/optum_sched.dir/baselines.cc.o.d"
+  "CMakeFiles/optum_sched.dir/common.cc.o"
+  "CMakeFiles/optum_sched.dir/common.cc.o.d"
+  "CMakeFiles/optum_sched.dir/medea.cc.o"
+  "CMakeFiles/optum_sched.dir/medea.cc.o.d"
+  "liboptum_sched.a"
+  "liboptum_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_sim.dir/cluster.cc.o"
+  "CMakeFiles/optum_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/optum_sim.dir/psi_model.cc.o"
+  "CMakeFiles/optum_sim.dir/psi_model.cc.o.d"
+  "CMakeFiles/optum_sim.dir/simulator.cc.o"
+  "CMakeFiles/optum_sim.dir/simulator.cc.o.d"
+  "liboptum_sim.a"
+  "liboptum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

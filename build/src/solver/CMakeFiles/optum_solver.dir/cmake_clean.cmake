@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_solver.dir/assignment_solver.cc.o"
+  "CMakeFiles/optum_solver.dir/assignment_solver.cc.o.d"
+  "liboptum_solver.a"
+  "liboptum_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

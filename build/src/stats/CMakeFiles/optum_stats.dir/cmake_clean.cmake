@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_stats.dir/cdf.cc.o"
+  "CMakeFiles/optum_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/optum_stats.dir/descriptive.cc.o"
+  "CMakeFiles/optum_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/optum_stats.dir/patterns.cc.o"
+  "CMakeFiles/optum_stats.dir/patterns.cc.o.d"
+  "CMakeFiles/optum_stats.dir/rng.cc.o"
+  "CMakeFiles/optum_stats.dir/rng.cc.o.d"
+  "liboptum_stats.a"
+  "liboptum_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optum_trace.dir/app_model.cc.o"
+  "CMakeFiles/optum_trace.dir/app_model.cc.o.d"
+  "CMakeFiles/optum_trace.dir/scenarios.cc.o"
+  "CMakeFiles/optum_trace.dir/scenarios.cc.o.d"
+  "CMakeFiles/optum_trace.dir/trace_io.cc.o"
+  "CMakeFiles/optum_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/optum_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/optum_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/optum_trace.dir/workload_generator.cc.o"
+  "CMakeFiles/optum_trace.dir/workload_generator.cc.o.d"
+  "liboptum_trace.a"
+  "liboptum_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optum_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distributed_test.dir/core_distributed_test.cc.o"
+  "CMakeFiles/core_distributed_test.dir/core_distributed_test.cc.o.d"
+  "core_distributed_test"
+  "core_distributed_test.pdb"
+  "core_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_regression_test.dir/headline_regression_test.cc.o"
+  "CMakeFiles/headline_regression_test.dir/headline_regression_test.cc.o.d"
+  "headline_regression_test"
+  "headline_regression_test.pdb"
+  "headline_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linalg_test.dir/ml_linalg_test.cc.o"
+  "CMakeFiles/ml_linalg_test.dir/ml_linalg_test.cc.o.d"
+  "ml_linalg_test"
+  "ml_linalg_test.pdb"
+  "ml_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_models_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/core_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/core_distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/core_system_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/headline_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tooling_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_test[1]_include.cmake")

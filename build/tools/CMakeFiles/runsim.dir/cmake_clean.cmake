@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runsim.dir/runsim.cc.o"
+  "CMakeFiles/runsim.dir/runsim.cc.o.d"
+  "runsim"
+  "runsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

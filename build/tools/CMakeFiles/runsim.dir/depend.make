@@ -1,0 +1,2 @@
+# Empty dependencies file for runsim.
+# This may be replaced when dependencies are built.
