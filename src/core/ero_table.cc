@@ -17,7 +17,10 @@ void EroTable::Observe(AppId a, AppId b, double ratio) {
   auto [it, inserted] = table_.try_emplace(Key(a, b), ratio);
   if (!inserted && ratio > it->second) {
     it->second = ratio;
+  } else if (!inserted) {
+    return;  // No change: keep cached predictions valid.
   }
+  ++version_;
 }
 
 double EroTable::Get(AppId a, AppId b) const {
@@ -46,7 +49,10 @@ void EroTable::ObserveTriple(AppId a, AppId b, AppId c, double ratio) {
   auto [it, inserted] = triple_table_.try_emplace(TripleKey(a, b, c), ratio);
   if (!inserted && ratio > it->second) {
     it->second = ratio;
+  } else if (!inserted) {
+    return;
   }
+  ++version_;
 }
 
 double EroTable::GetTriple(AppId a, AppId b, AppId c) const {

@@ -53,12 +53,17 @@ class EroTable {
 
   size_t triple_size() const { return triple_table_.size(); }
 
+  // Bumped whenever an Observe/ObserveTriple call changes a stored value.
+  // Consumers that cache ERO-derived predictions validate against it.
+  uint64_t version() const { return version_; }
+
  private:
   static uint64_t Key(AppId a, AppId b);
   static uint64_t TripleKey(AppId a, AppId b, AppId c);
 
   std::unordered_map<uint64_t, double> table_;
   std::unordered_map<uint64_t, double> triple_table_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace optum

@@ -7,11 +7,71 @@
 
 namespace optum::core {
 
+namespace {
+
+// Per-host application histogram rebuilt from the pod list — the
+// pre-incremental path, retained verbatim so benchmarks can measure the
+// baseline cost and equivalence tests can compare against Host::app_counts.
+struct RebuiltAppCount {
+  AppId app;
+  SloClass slo;
+  int count;
+};
+
+std::vector<RebuiltAppCount> RebuildCounts(const Host& host) {
+  std::vector<RebuiltAppCount> counts;
+  counts.reserve(host.pods.size() + 1);
+  for (const PodRuntime* pod : host.pods) {
+    bool merged = false;
+    for (auto& c : counts) {
+      if (c.app == pod->spec.app) {
+        ++c.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      counts.push_back(RebuiltAppCount{pod->spec.app, pod->spec.slo, 1});
+    }
+  }
+  return counts;
+}
+
+double WeightOf(SloClass slo, double weight_ls, double weight_be) {
+  return IsLatencySensitive(slo) ? weight_ls : slo == SloClass::kBe ? weight_be : 0.0;
+}
+
+}  // namespace
+
 InterferencePredictor::InterferencePredictor(const OptumProfiles* profiles,
-                                             size_t cache_buckets)
-    : profiles_(profiles), cache_buckets_(cache_buckets) {
+                                             size_t cache_buckets,
+                                             bool use_host_app_counts)
+    : profiles_(profiles),
+      cache_buckets_(cache_buckets),
+      use_host_app_counts_(use_host_app_counts) {
   OPTUM_CHECK(profiles != nullptr);
   OPTUM_CHECK_GT(cache_buckets, 0u);
+  RebuildAppIndex();
+}
+
+void InterferencePredictor::RebuildAppIndex() {
+  by_app_.clear();
+  for (const auto& [app, model] : profiles_->apps) {
+    if (app < 0) {
+      continue;
+    }
+    if (static_cast<size_t>(app) >= by_app_.size()) {
+      by_app_.resize(static_cast<size_t>(app) + 1, nullptr);
+    }
+    by_app_[static_cast<size_t>(app)] = &model;
+  }
+}
+
+void InterferencePredictor::ClearCache() {
+  cache_.Clear();
+  raw_cache_.Clear();
+  slope_cache_.Clear();
+  RebuildAppIndex();
 }
 
 uint64_t InterferencePredictor::CacheKey(AppId app, double cpu, double mem,
@@ -24,94 +84,103 @@ uint64_t InterferencePredictor::CacheKey(AppId app, double cpu, double mem,
          (bucket(cpu) << 16) | bucket(mem);
 }
 
-double InterferencePredictor::PredictImpl(AppId app, double host_cpu_util,
+double InterferencePredictor::PredictImpl(const AppModel& model, double host_cpu_util,
                                           double host_mem_util) const {
-  const AppModel* model = profiles_->Find(app);
-  if (model == nullptr || !model->usable()) {
-    return 0.0;
-  }
-  const AppStats& s = model->stats;
+  const AppStats& s = model.stats;
   if (IsLatencySensitive(s.slo)) {
     // Eq. 9: f_S(C^m_p, M^m_p, POC/Cap, POM/Cap, Q^m). QPS enters as the
     // app's maximum, i.e. 1.0 after normalization.
     const double features[kLsFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
                                               host_cpu_util, host_mem_util, 1.0};
-    return model->model->Predict(features);
+    return model.model->Predict(features);
   }
   // Eq. 10: f_B(C^m_q, M^m_q, POC/Cap, POM/Cap).
   const double features[kBeFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
                                             host_cpu_util, host_mem_util};
-  return model->model->Predict(features);
+  return model.model->Predict(features);
 }
 
 double InterferencePredictor::PredictRaw(AppId app, double host_cpu_util,
                                          double host_mem_util) const {
-  const AppModel* model = profiles_->Find(app);
+  const AppModel* model = FindModel(app);
   if (model == nullptr || !model->usable()) {
     return 0.0;
   }
   // Fine grid (8x the coarse one) so slope estimation sees real variation.
   const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_ * 8);
-  if (const auto it = raw_cache_.find(key); it != raw_cache_.end()) {
-    return it->second;
+  if (const double* cached = raw_cache_.Find(key)) {
+    return *cached;
   }
-  const double prediction = PredictImpl(app, host_cpu_util, host_mem_util);
-  raw_cache_.emplace(key, prediction);
+  const double prediction = PredictImpl(*model, host_cpu_util, host_mem_util);
+  raw_cache_.Insert(key, prediction);
   return prediction;
 }
 
 double InterferencePredictor::Predict(AppId app, double host_cpu_util,
                                       double host_mem_util) const {
-  const AppModel* model = profiles_->Find(app);
+  const AppModel* model = FindModel(app);
   if (model == nullptr || !model->usable()) {
     return 0.0;
   }
   const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    return it->second;
+  if (const double* cached = cache_.Find(key)) {
+    return *cached;
   }
   const double prediction =
-      model->discretizer.ToUpperBound(PredictImpl(app, host_cpu_util, host_mem_util));
-  cache_.emplace(key, prediction);
+      model->discretizer.ToUpperBound(PredictImpl(*model, host_cpu_util, host_mem_util));
+  cache_.Insert(key, prediction);
   return prediction;
 }
 
 double InterferencePredictor::TotalInterference(const Host& host, const PodSpec& incoming,
                                                 double host_cpu_util, double host_mem_util,
                                                 double weight_ls, double weight_be) const {
-  // Count pods per application, then one prediction per application.
-  // Hosts run at most ~100 pods, so a small flat map suffices.
-  struct AppCount {
-    AppId app;
-    SloClass slo;
-    int count;
-  };
-  std::vector<AppCount> counts;
-  counts.reserve(host.pods.size() + 1);
-  auto bump = [&counts](AppId app, SloClass slo) {
+  if (!use_host_app_counts_) {
+    // Baseline path: rebuild the histogram from the pod list per call.
+    std::vector<RebuiltAppCount> counts = RebuildCounts(host);
+    bool merged = false;
     for (auto& c : counts) {
-      if (c.app == app) {
+      if (c.app == incoming.app) {
         ++c.count;
-        return;
+        merged = true;
+        break;
       }
     }
-    counts.push_back(AppCount{app, slo, 1});
-  };
-  for (const PodRuntime* pod : host.pods) {
-    bump(pod->spec.app, pod->spec.slo);
+    if (!merged) {
+      counts.push_back(RebuiltAppCount{incoming.app, incoming.slo, 1});
+    }
+    double total = 0.0;
+    for (const auto& c : counts) {
+      const double ri = Predict(c.app, host_cpu_util, host_mem_util);
+      if (ri == 0.0) {
+        continue;
+      }
+      total += WeightOf(c.slo, weight_ls, weight_be) * ri * static_cast<double>(c.count);
+    }
+    return total;
   }
-  bump(incoming.app, incoming.slo);
 
+  // One prediction per application; the per-host per-app counts are
+  // maintained incrementally by ClusterState, so no per-candidate rebuild.
   double total = 0.0;
-  for (const auto& c : counts) {
+  bool incoming_merged = false;
+  for (const HostAppCount& c : host.app_counts) {
+    int count = c.count;
+    if (c.app == incoming.app) {
+      ++count;
+      incoming_merged = true;
+    }
     const double ri = Predict(c.app, host_cpu_util, host_mem_util);
     if (ri == 0.0) {
       continue;
     }
-    const double weight = IsLatencySensitive(c.slo) ? weight_ls
-                          : c.slo == SloClass::kBe  ? weight_be
-                                                    : 0.0;
-    total += weight * ri * static_cast<double>(c.count);
+    total += WeightOf(c.slo, weight_ls, weight_be) * ri * static_cast<double>(count);
+  }
+  if (!incoming_merged) {
+    const double ri = Predict(incoming.app, host_cpu_util, host_mem_util);
+    if (ri != 0.0) {
+      total += WeightOf(incoming.slo, weight_ls, weight_be) * ri;
+    }
   }
   return total;
 }
@@ -120,50 +189,68 @@ double InterferencePredictor::MarginalInterference(
     const Host& host, const PodSpec& incoming, double cpu_util_before,
     double mem_util_before, double cpu_util_after, double mem_util_after,
     double weight_ls, double weight_be) const {
-  auto weight_of = [&](SloClass slo) {
-    return IsLatencySensitive(slo) ? weight_ls : slo == SloClass::kBe ? weight_be : 0.0;
-  };
-  struct AppCount {
-    AppId app;
-    SloClass slo;
-    int count;
-  };
-  std::vector<AppCount> counts;
-  counts.reserve(host.pods.size());
-  for (const PodRuntime* pod : host.pods) {
-    bool merged = false;
-    for (auto& c : counts) {
-      if (c.app == pod->spec.app) {
-        ++c.count;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) {
-      counts.push_back(AppCount{pod->spec.app, pod->spec.slo, 1});
-    }
-  }
   // Wide-span finite difference: a single pod's utilization delta is far
   // below tree granularity, so the slope is sampled over +-kSlopeSpan and
   // rescaled to the actual delta.
   constexpr double kSlopeSpan = 0.06;
+  (void)mem_util_before;  // memory barely moves per placement; see below
   const double cpu_delta = std::max(0.0, cpu_util_after - cpu_util_before);
-  double total = 0.0;
-  for (const auto& c : counts) {
-    const double weight = weight_of(c.slo);
+
+  // The slope itself is cached per (app, CPU midpoint, memory) on a coarse
+  // grid: evaluating the forest twice per (app, candidate) dominated scoring
+  // cost, and the slope varies on the scale of tree splits, far coarser than
+  // this grid. The finite difference is centered on the before/after CPU
+  // midpoint; memory moves far less than a bucket per placement, so the
+  // post-placement value stands in for both endpoints.
+  // Grid granularity matches the discretized Predict cache (64 buckets over
+  // [0, 2]): the slope is flat between tree splits, so a finer grid only
+  // multiplies cold misses, and each miss costs two forest evaluations.
+  const double cpu_mid = 0.5 * (cpu_util_before + cpu_util_after);
+  const auto coarse = [](double v) {
+    return static_cast<uint64_t>(std::clamp(v, 0.0, 2.0) * 31.5);
+  };
+  const uint64_t util_key = (coarse(cpu_mid) << 8) | coarse(mem_util_after);
+
+  const auto slope_term = [&](AppId app, SloClass slo, int count) {
+    const double weight = WeightOf(slo, weight_ls, weight_be);
     if (weight == 0.0) {
-      continue;
+      return 0.0;
     }
-    const double hi = PredictRaw(c.app, cpu_util_after + kSlopeSpan, mem_util_after);
-    const double lo = PredictRaw(c.app, std::max(0.0, cpu_util_before - kSlopeSpan),
-                                 mem_util_before);
-    const double span = (cpu_util_after + kSlopeSpan) -
-                        std::max(0.0, cpu_util_before - kSlopeSpan);
-    const double slope = span > 1e-9 ? std::max(0.0, (hi - lo) / span) : 0.0;
-    total += weight * slope * cpu_delta * static_cast<double>(c.count);
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) | util_key;
+    double slope;
+    if (const double* cached = slope_cache_.Find(key)) {
+      slope = *cached;
+    } else {
+      const double lo_cpu = std::max(0.0, cpu_mid - kSlopeSpan);
+      const double hi = PredictRaw(app, cpu_mid + kSlopeSpan, mem_util_after);
+      const double lo = PredictRaw(app, lo_cpu, mem_util_after);
+      const double span = (cpu_mid + kSlopeSpan) - lo_cpu;
+      slope = span > 1e-9 ? std::max(0.0, (hi - lo) / span) : 0.0;
+      slope_cache_.Insert(key, slope);
+    }
+    return weight * slope * cpu_delta * static_cast<double>(count);
+  };
+
+  double total = 0.0;
+  if (!use_host_app_counts_) {
+    // Baseline path: rebuild the histogram from the pod list per call.
+    for (const auto& c : RebuildCounts(host)) {
+      total += slope_term(c.app, c.slo, c.count);
+    }
+  } else {
+    for (const HostAppCount& c : host.app_counts) {
+      // Skipping profile-less apps adds exactly 0.0 to the sum, so this
+      // fast path cannot change the result.
+      const AppModel* model = FindModel(c.app);
+      if (model == nullptr || !model->usable()) {
+        continue;
+      }
+      total += slope_term(c.app, c.slo, c.count);
+    }
   }
   // The incoming pod's own interference is its absolute prediction (§4.3.3).
-  total += weight_of(incoming.slo) *
+  total += WeightOf(incoming.slo, weight_ls, weight_be) *
            Predict(incoming.app, cpu_util_after, mem_util_after);
   return total;
 }

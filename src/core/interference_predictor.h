@@ -7,8 +7,9 @@
 #ifndef OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 #define OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 
-#include <unordered_map>
+#include <vector>
 
+#include "src/core/prediction_cache.h"
 #include "src/core/profiles.h"
 #include "src/sim/cluster.h"
 
@@ -18,8 +19,15 @@ class InterferencePredictor {
  public:
   // `profiles` must outlive the predictor. cache_buckets controls the
   // utilization-space granularity of the prediction cache.
+  //
+  // use_host_app_counts selects how the per-host application histogram is
+  // obtained: true reads Host::app_counts (maintained incrementally by
+  // ClusterState); false rebuilds it from Host::pods on every call — the
+  // pre-incremental behaviour, kept as the benchmark baseline and for
+  // equivalence testing against the incremental structures.
   explicit InterferencePredictor(const OptumProfiles* profiles,
-                                 size_t cache_buckets = 64);
+                                 size_t cache_buckets = 64,
+                                 bool use_host_app_counts = true);
 
   // RI for one pod of application `app` on a host whose predicted CPU/mem
   // utilizations (POC/Cap, POM/Cap) are given. Returns 0 when the app has
@@ -55,20 +63,36 @@ class InterferencePredictor {
   // utilization grid; used for slope estimation.
   double PredictRaw(AppId app, double host_cpu_util, double host_mem_util) const;
 
-  void ClearCache() {
-    cache_.clear();
-    raw_cache_.clear();
-  }
+  // Drops all cached predictions and re-syncs the AppId-indexed model table;
+  // call after the profiles object is replaced wholesale.
+  void ClearCache();
   size_t cache_size() const { return cache_.size(); }
 
  private:
   uint64_t CacheKey(AppId app, double cpu, double mem, size_t buckets) const;
-  double PredictImpl(AppId app, double host_cpu_util, double host_mem_util) const;
+  double PredictImpl(const AppModel& model, double host_cpu_util,
+                     double host_mem_util) const;
+  // Flat-index lookup; AppIds are dense, so this replaces a hash find on
+  // the scoring hot path. Null when the app has no profile.
+  const AppModel* FindModel(AppId app) const {
+    return app >= 0 && static_cast<size_t>(app) < by_app_.size()
+               ? by_app_[static_cast<size_t>(app)]
+               : nullptr;
+  }
+  void RebuildAppIndex();
 
   const OptumProfiles* profiles_;
   size_t cache_buckets_;
-  mutable std::unordered_map<uint64_t, double> cache_;
-  mutable std::unordered_map<uint64_t, double> raw_cache_;
+  bool use_host_app_counts_;
+  // Pointers into profiles_->apps values; valid until the map is mutated
+  // (profile replacement calls ClearCache, which rebuilds the index).
+  std::vector<const AppModel*> by_app_;
+  mutable PredictionCache cache_;
+  mutable PredictionCache raw_cache_;
+  // Finite-difference slopes for MarginalInterference, keyed on (app, coarse
+  // before/after utilization buckets); shared by both histogram paths so the
+  // incremental and rebuild modes stay numerically identical.
+  mutable PredictionCache slope_cache_;
 };
 
 }  // namespace optum::core

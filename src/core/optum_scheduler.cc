@@ -1,7 +1,6 @@
 #include "src/core/optum_scheduler.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "src/common/check.h"
 #include "src/sched/common.h"
@@ -15,26 +14,30 @@ OptumScheduler::OptumScheduler(OptumProfiles profiles, OptumConfig config)
                        config.use_triple_ero
                            ? ResourceUsagePredictor::Grouping::kTripleWise
                            : ResourceUsagePredictor::Grouping::kPairwise),
-      interference_predictor_(profiles_.get()),
+      interference_predictor_(profiles_.get(), /*cache_buckets=*/64,
+                              /*use_host_app_counts=*/config.use_incremental_cache),
       rng_(config.seed) {
   if (config_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  usage_predictor_.set_cache_enabled(config_.use_incremental_cache);
 }
 
 OptumScheduler::~OptumScheduler() = default;
 
-bool OptumScheduler::ScoreHost(const PodSpec& pod, const Host& host, double* score) const {
-  if (!AffinityAllows(pod, host)) {
-    return false;
-  }
+OptumScheduler::HostEvaluation OptumScheduler::EvaluateHost(const PodSpec& pod,
+                                                            const Host& host) const {
+  HostEvaluation eval;
   const Resources predicted = usage_predictor_.PredictHost(host, &pod);
   const double cpu_util = predicted.cpu / host.capacity.cpu;
   const double mem_util = predicted.mem / host.capacity.mem;
   // Feasibility: estimated utilization below one (Eq. 6 constraint) and the
-  // memory cap of §5.1.
-  if (cpu_util > 1.0 || mem_util > config_.mem_util_limit) {
-    return false;
+  // memory cap of §5.1. The same thresholds classify the shortfall for
+  // wait-reason accounting on rejection.
+  eval.cpu_blocked = cpu_util > 1.0;
+  eval.mem_blocked = mem_util > config_.mem_util_limit;
+  if (eval.cpu_blocked || eval.mem_blocked || !AffinityAllows(pod, host)) {
+    return eval;
   }
   double interference = 0.0;
   if (config_.score_mode == ScoreMode::kPaperAbsolute) {
@@ -46,7 +49,17 @@ bool OptumScheduler::ScoreHost(const PodSpec& pod, const Host& host, double* sco
         host, pod, before.cpu / host.capacity.cpu, before.mem / host.capacity.mem,
         cpu_util, mem_util, config_.omega_o, config_.omega_b);
   }
-  *score = cpu_util * mem_util - interference;
+  eval.feasible = true;
+  eval.score = cpu_util * mem_util - interference;
+  return eval;
+}
+
+bool OptumScheduler::ScoreHost(const PodSpec& pod, const Host& host, double* score) const {
+  const HostEvaluation eval = EvaluateHost(pod, host);
+  if (!eval.feasible) {
+    return false;
+  }
+  *score = eval.score;
   return true;
 }
 
@@ -63,27 +76,14 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
   const std::vector<HostId> candidates =
       SampleHosts(cluster, config_.sample_fraction, config_.min_candidates, rng_);
 
-  struct Scored {
-    double score = -std::numeric_limits<double>::infinity();
-    bool feasible = false;
-    bool cpu_blocked = false;
-    bool mem_blocked = false;
-  };
-  std::vector<Scored> scored(candidates.size());
+  std::vector<HostEvaluation> scored(candidates.size());
+
+  // Candidates are sampled without replacement, so parallel scoring touches
+  // distinct per-host cache slots; pre-size the cache so no worker resizes.
+  usage_predictor_.ReserveHosts(cluster.num_hosts());
 
   auto score_candidate = [&](size_t i) {
-    const Host& host = cluster.host(candidates[i]);
-    double score = 0.0;
-    if (ScoreHost(pod, host, &score)) {
-      scored[i].feasible = true;
-      scored[i].score = score;
-      return;
-    }
-    // Classify the shortfall for wait-reason accounting.
-    const Resources predicted = usage_predictor_.PredictHost(host, &pod);
-    scored[i].cpu_blocked = predicted.cpu > host.capacity.cpu;
-    scored[i].mem_blocked =
-        predicted.mem > config_.mem_util_limit * host.capacity.mem;
+    scored[i] = EvaluateHost(pod, cluster.host(candidates[i]));
   };
 
   if (pool_ != nullptr && candidates.size() >= 2 * pool_->num_threads()) {
@@ -116,6 +116,10 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
 void OptumScheduler::ReplaceProfiles(OptumProfiles profiles) {
   *profiles_ = std::move(profiles);
   interference_predictor_.ClearCache();
+  // The ERO table and memory profiles changed wholesale (and the fresh
+  // table's version counter may collide with the old one), so every cached
+  // host baseline is stale.
+  usage_predictor_.InvalidateAll();
 }
 
 void OptumScheduler::ObserveColocation(const ClusterState& cluster, Tick now) {

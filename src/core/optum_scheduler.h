@@ -46,6 +46,14 @@ struct OptumConfig {
   double sample_fraction = 0.05;
   size_t min_candidates = 32;
 
+  // Incremental hot-path structures: the per-host baseline cache for usage
+  // prediction (bit-identical to the uncached rescan; see
+  // ResourceUsagePredictor) and the incrementally maintained Host::app_counts
+  // histogram for interference prediction. Disable only for equivalence
+  // testing and benchmark baselines (false = rescan/rebuild per candidate,
+  // the pre-incremental behaviour).
+  bool use_incremental_cache = true;
+
   // Per-host memory utilization cap (paper §5.1: 0.8).
   double mem_util_limit = 0.8;
 
@@ -79,6 +87,19 @@ class OptumScheduler : public PlacementPolicy {
   // updated whenever observed peaks change; triples too when the scheduler
   // runs in triple-wise mode). Call from the simulator's on_tick_end hook.
   void ObserveColocation(const ClusterState& cluster, Tick now);
+
+  // Full evaluation of one candidate host against one pod: the predicted
+  // post-placement resources are computed once and reused for feasibility,
+  // shortfall classification, and the Eq. 11 score.
+  struct HostEvaluation {
+    bool feasible = false;
+    // Set for infeasible hosts: which resource dimension blocked placement
+    // (both false when only anti-affinity blocked it).
+    bool cpu_blocked = false;
+    bool mem_blocked = false;
+    double score = 0.0;  // valid only when feasible
+  };
+  HostEvaluation EvaluateHost(const PodSpec& pod, const Host& host) const;
 
   // Scores a single candidate host (Eq. 11); exposed for tests/benches.
   // Returns false when the host is infeasible for the pod.

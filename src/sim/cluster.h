@@ -45,6 +45,14 @@ struct PodRuntime {
 
   // Per-pod deterministic noise stream.
   Rng noise{1};
+  // Separate stream for reservoir slot selection, so RecordCpuSample is
+  // independent of host/pod iteration order (parallel-tick determinism)
+  // and never perturbs the demand-noise stream.
+  Rng reservoir_rng{1};
+
+  // Position in the simulator's running-pod list; maintained by the
+  // simulator for O(1) swap-removal.
+  size_t running_index = static_cast<size_t>(-1);
 
   // Percentile of observed CPU usage; falls back to current usage when no
   // samples have been collected yet. Cached per (q, sample count): the
@@ -55,7 +63,15 @@ struct PodRuntime {
   mutable double percentile_cache_q_ = -1.0;
   mutable int64_t percentile_cache_count_ = -1;
 
-  void RecordCpuSample(double value, Rng& reservoir_rng);
+  void RecordCpuSample(double value, Rng& slot_rng);
+};
+
+// Pod count for one application on one host, with the SLO class of the
+// first-seen pod (matches what interference weighting needs).
+struct HostAppCount {
+  AppId app = kInvalidAppId;
+  SloClass slo = SloClass::kUnknown;
+  int count = 0;
 };
 
 // One physical host.
@@ -66,6 +82,21 @@ struct Host {
   // Pods in scheduling order (Optum's pairwise predictor consumes this
   // order, paper §4.3.2).
   std::vector<PodRuntime*> pods;
+
+  // Monotone counter bumped on every pod placement/removal. Consumers that
+  // cache per-host derived state (e.g. the incremental host-scoring cache)
+  // validate against it instead of rescanning `pods`.
+  uint64_t change_epoch = 0;
+
+  // Per-application pod counts, kept sorted by AppId and maintained
+  // incrementally on place/remove. Interference prediction iterates this
+  // instead of rebuilding a flat map per candidate.
+  std::vector<HostAppCount> app_counts;
+
+  // Evictable best-effort mass: sum of CPU requests and count of BE pods,
+  // maintained incrementally so LSR preemption never scans pod lists.
+  double be_request_cpu = 0.0;
+  int be_pod_count = 0;
 
   // Cached aggregates, maintained incrementally on place/remove and refreshed
   // each tick for usage.
@@ -127,11 +158,19 @@ class ClusterState {
   size_t num_running_pods() const { return num_running_; }
   size_t history_window() const { return history_window_; }
 
+  // Hosts currently running at least one BE pod (arbitrary order); LSR
+  // preemption scans only these.
+  std::span<const HostId> hosts_with_be() const { return hosts_with_be_; }
+
  private:
   std::vector<Host> hosts_;
   // Deque keeps PodRuntime addresses stable across growth.
   std::deque<PodRuntime> pods_;
   std::vector<PodRuntime*> free_list_;
+  // Dense index of hosts with be_pod_count > 0, plus each host's position in
+  // it (-1 when absent) for O(1) swap-removal.
+  std::vector<HostId> hosts_with_be_;
+  std::vector<int32_t> be_index_pos_;
   size_t num_running_ = 0;
   size_t history_window_;
   Tick now_ = 0;

@@ -53,10 +53,39 @@ Simulator::Simulator(const Workload& workload, SimConfig config, PlacementPolicy
       cluster_(workload.config.num_hosts, config.host_capacity,
                config.nsigma_history_window),
       rng_(config.seed) {
+  if (config_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
   wait_by_pod_.resize(workload.pods.size());
+  tick_scratch_.resize(static_cast<size_t>(workload.config.num_hosts));
   result_.trace.nodes.reserve(static_cast<size_t>(workload.config.num_hosts));
   for (int h = 0; h < workload.config.num_hosts; ++h) {
     result_.trace.nodes.push_back(NodeMeta{h, config.host_capacity});
+  }
+}
+
+void Simulator::AddRunning(PodRuntime* pod) {
+  pod->running_index = running_.size();
+  running_.push_back(pod);
+}
+
+void Simulator::RemoveFromRunning(PodRuntime* pod) {
+  const size_t idx = pod->running_index;
+  OPTUM_CHECK(idx < running_.size() && running_[idx] == pod);
+  PodRuntime* moved = running_.back();
+  running_[idx] = moved;
+  moved->running_index = idx;
+  running_.pop_back();
+  pod->running_index = static_cast<size_t>(-1);
+}
+
+void Simulator::ParallelOverN(size_t n, const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr && n >= 2 * pool_->num_threads()) {
+    pool_->ParallelFor(n, fn);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    fn(i);
   }
 }
 
@@ -80,7 +109,7 @@ void Simulator::NoteWaitReason(const PodSpec& pod, WaitReason reason) {
 
 void Simulator::CommitPlacement(const PodSpec& spec, const AppProfile& app, HostId host) {
   PodRuntime* pod = cluster_.Place(spec, &app, host, now_);
-  running_.push_back(pod);
+  AddRunning(pod);
   ++result_.scheduled_pods;
   policy_.OnPodPlaced(*pod, cluster_);
 
@@ -98,18 +127,16 @@ void Simulator::CommitPlacement(const PodSpec& spec, const AppProfile& app, Host
 bool Simulator::TryPreemptForLsr(const PodSpec& pod, const AppProfile& app) {
   // Find the host whose evictable BE request mass best covers the shortfall,
   // then evict newest-first until the LSR pod's request fits the capacity.
+  // Only hosts with at least one BE pod can help, and their evictable mass
+  // is maintained incrementally, so the scan skips the rest of the cluster.
   HostId best = kInvalidHostId;
   double best_score = -1.0;
-  for (const Host& h : cluster_.hosts()) {
+  for (const HostId hid : cluster_.hosts_with_be()) {
+    const Host& h = cluster_.host(hid);
     if (!AffinityAllows(pod, h)) {
       continue;
     }
-    double be_request = 0.0;
-    for (const PodRuntime* p : h.pods) {
-      if (p->spec.slo == SloClass::kBe) {
-        be_request += p->spec.request.cpu;
-      }
-    }
+    const double be_request = h.be_request_cpu;
     const double after_cpu = h.request_sum.cpu - be_request + pod.request.cpu;
     const double after_mem = h.demand.mem + pod.request.mem;  // conservative
     if (after_cpu <= h.capacity.cpu && after_mem <= h.capacity.mem &&
@@ -137,11 +164,9 @@ bool Simulator::TryPreemptForLsr(const PodSpec& pod, const AppProfile& app) {
     ++result_.preemptions;
     policy_.OnPodFinished(*victim, cluster_);
     // Resubmit the victim: progress is lost, waiting restarts now.
-    PodSpec respawn = victim->spec;
-    pending_[SchedulingPriority(respawn.slo)].push_back(PendingPod{nullptr, now_});
-    pending_[SchedulingPriority(respawn.slo)].back().spec =
-        &workload_.pods[static_cast<size_t>(respawn.id)];
-    running_.erase(std::find(running_.begin(), running_.end(), victim));
+    pending_[SchedulingPriority(victim->spec.slo)].push_back(PendingPod{
+        &workload_.pods[static_cast<size_t>(victim->spec.id)], now_});
+    RemoveFromRunning(victim);
     cluster_.Remove(victim);
   }
   if (h.request_sum.cpu + pod.request.cpu > h.capacity.cpu) {
@@ -179,8 +204,14 @@ void Simulator::SchedulePending() {
 }
 
 void Simulator::UpdateUsageAndPerformance() {
-  // Phase 1: raw demands.
-  for (PodRuntime* pod : running_) {
+  // Four phases, with the two expensive ones parallel over independent
+  // state. Determinism for any thread count: every stochastic draw comes
+  // from a per-pod stream, each pod/host is touched by exactly one task per
+  // phase, and the shared counters are reduced serially in host order.
+
+  // Phase 1 (parallel over pods): raw demands from per-pod noise streams.
+  ParallelOverN(running_.size(), [&](size_t i) {
+    PodRuntime* pod = running_[i];
     const AppProfile& app = *pod->app;
     double cpu = PodCpuDemand(app, pod->spec.behavior, now_, pod->noise);
     double mem = PodMemDemand(app, pod->spec.behavior, now_, pod->noise);
@@ -189,26 +220,31 @@ void Simulator::UpdateUsageAndPerformance() {
     pod->cpu_demand = cpu;
     pod->mem_usage = mem;
     pod->qps = PodQps(app, pod->spec.behavior, now_, pod->noise);
-  }
+  });
 
-  for (size_t hi = 0; hi < cluster_.num_hosts(); ++hi) {
-    Host& host = cluster_.mutable_host(static_cast<HostId>(hi));
-    if (host.pods.empty()) {
-      host.demand = kZeroResources;
-      host.usage = kZeroResources;
-      host.PushHistory(0.0, config_.nsigma_history_window);
+  // Phase 2 (parallel over hosts): per-host demand sums.
+  const size_t num_hosts = cluster_.num_hosts();
+  ParallelOverN(num_hosts, [&](size_t hi) {
+    const Host& host = cluster_.host(static_cast<HostId>(hi));
+    TickScratch& scratch = tick_scratch_[hi];
+    scratch.demand = kZeroResources;
+    scratch.violation = false;
+    scratch.had_pods = !host.pods.empty();
+    for (const PodRuntime* pod : host.pods) {
+      scratch.demand += Resources{pod->cpu_demand, pod->mem_usage};
+    }
+  });
+
+  // Phase 3 (serial, rare): memory over-capacity triggers OOM kills of the
+  // newest BE pods ("running out-of-memory can kill all programs on the
+  // host", §3.1.2; we model the kernel killing best-effort victims first).
+  // Mutates pending_/running_/cluster_, so it stays on the calling thread.
+  for (size_t hi = 0; hi < num_hosts; ++hi) {
+    Resources& demand = tick_scratch_[hi].demand;
+    if (demand.mem <= cluster_.host(static_cast<HostId>(hi)).capacity.mem) {
       continue;
     }
-    ++result_.nonidle_host_ticks;
-
-    Resources demand = kZeroResources;
-    for (const PodRuntime* pod : host.pods) {
-      demand += Resources{pod->cpu_demand, pod->mem_usage};
-    }
-
-    // Memory over-capacity triggers OOM kills of the newest BE pods
-    // ("running out-of-memory can kill all programs on the host", §3.1.2;
-    // we model the kernel killing best-effort victims first).
+    Host& host = cluster_.mutable_host(static_cast<HostId>(hi));
     while (demand.mem > host.capacity.mem) {
       PodRuntime* victim = nullptr;
       for (auto it = host.pods.rbegin(); it != host.pods.rend(); ++it) {
@@ -225,23 +261,28 @@ void Simulator::UpdateUsageAndPerformance() {
       policy_.OnPodFinished(*victim, cluster_);
       pending_[SchedulingPriority(victim->spec.slo)].push_back(
           PendingPod{&workload_.pods[static_cast<size_t>(victim->spec.id)], now_});
-      running_.erase(std::find(running_.begin(), running_.end(), victim));
+      RemoveFromRunning(victim);
       cluster_.Remove(victim);
       if (host.pods.empty()) {
         break;
       }
     }
+  }
+
+  // Phase 4 (parallel over hosts): capacity scaling, per-pod usage, PSI,
+  // BE progress, and the host history window.
+  ParallelOverN(num_hosts, [&](size_t hi) {
+    Host& host = cluster_.mutable_host(static_cast<HostId>(hi));
+    TickScratch& scratch = tick_scratch_[hi];
     if (host.pods.empty()) {
       host.demand = kZeroResources;
       host.usage = kZeroResources;
       host.PushHistory(0.0, config_.nsigma_history_window);
-      continue;
+      return;
     }
-
+    const Resources demand = scratch.demand;
     host.demand = demand;
-    if (demand.cpu > host.capacity.cpu + 1e-9) {
-      ++result_.violation_host_ticks;
-    }
+    scratch.violation = demand.cpu > host.capacity.cpu + 1e-9;
 
     // CPU is work-conserving: when demand exceeds capacity every pod is
     // throttled proportionally and contention (PSI) rises.
@@ -255,7 +296,7 @@ void Simulator::UpdateUsageAndPerformance() {
       pod->cpu_usage = pod->cpu_demand * scale;
       pod->max_cpu_usage = std::max(pod->max_cpu_usage, pod->cpu_usage);
       pod->max_mem_usage = std::max(pod->max_mem_usage, pod->mem_usage);
-      pod->RecordCpuSample(pod->cpu_usage, rng_);
+      pod->RecordCpuSample(pod->cpu_usage, pod->reservoir_rng);
       usage += Resources{pod->cpu_usage, pod->mem_usage};
 
       const AppProfile& app = *pod->app;
@@ -273,6 +314,12 @@ void Simulator::UpdateUsageAndPerformance() {
     }
     host.usage = usage;
     host.PushHistory(usage.cpu / host.capacity.cpu, config_.nsigma_history_window);
+  });
+
+  // Phase 5 (serial reduce): shared counters, in host order.
+  for (size_t hi = 0; hi < num_hosts; ++hi) {
+    result_.nonidle_host_ticks += tick_scratch_[hi].had_pods ? 1 : 0;
+    result_.violation_host_ticks += tick_scratch_[hi].violation ? 1 : 0;
   }
 }
 
@@ -295,7 +342,7 @@ void Simulator::FinishPod(PodRuntime* pod, Tick finish_tick) {
   result_.trace.lifecycles.push_back(rec);
 
   policy_.OnPodFinished(*pod, cluster_);
-  running_.erase(std::find(running_.begin(), running_.end(), pod));
+  RemoveFromRunning(pod);
   cluster_.Remove(pod);
 }
 

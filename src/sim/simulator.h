@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/sim/cluster.h"
 #include "src/sim/placement_policy.h"
 #include "src/sim/psi_model.h"
@@ -34,6 +35,12 @@ struct SimConfig {
   // Upper bound on placement attempts per tick, to bound per-tick work when
   // the pending queue is deep.
   size_t max_attempts_per_tick = 4000;
+
+  // Worker threads for the per-host usage/performance update; 0 runs the
+  // tick loop on the calling thread. Results are bit-identical for every
+  // thread count: all stochastic draws come from per-pod streams and
+  // cross-host aggregation is reduced in host order.
+  size_t num_threads = 0;
 
   // Stop draining a priority queue after this many consecutive rejections
   // in one tick (head-of-line batching; bounds per-tick work when the
@@ -108,6 +115,14 @@ class Simulator {
     Tick enqueued_at = 0;
   };
 
+  // Per-host per-tick scratch, filled by the parallel demand pass and
+  // consumed by the serial OOM pass and the parallel usage pass.
+  struct TickScratch {
+    Resources demand;
+    bool had_pods = false;   // host was non-idle at the start of the tick
+    bool violation = false;  // raw CPU demand exceeded capacity
+  };
+
   void EnqueueArrivals();
   void SchedulePending();
   bool TryPreemptForLsr(const PodSpec& pod, const AppProfile& app);
@@ -119,18 +134,28 @@ class Simulator {
   void NoteWaitReason(const PodSpec& pod, WaitReason reason);
   void FinishPod(PodRuntime* pod, Tick finish_tick);
 
+  // O(1) membership maintenance for running_ via PodRuntime::running_index.
+  void AddRunning(PodRuntime* pod);
+  void RemoveFromRunning(PodRuntime* pod);
+
+  // Runs fn(i) for i in [0, n): on the pool when configured, else inline.
+  void ParallelOverN(size_t n, const std::function<void(size_t)>& fn);
+
   const Workload& workload_;
   SimConfig config_;
   PlacementPolicy& policy_;
   PsiModel psi_model_;
   ClusterState cluster_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
 
   Tick now_ = 0;
   size_t next_arrival_ = 0;
   // Pending queues by scheduling priority (index = priority, 3 highest).
   std::deque<PendingPod> pending_[4];
   std::vector<PodRuntime*> running_;  // all currently running pods
+  std::vector<TickScratch> tick_scratch_;
+  std::vector<HostId> oom_hosts_;  // scratch: hosts needing OOM handling
 
   // Final wait reason per pod id (kNone if the pod never waited).
   std::vector<WaitSample> wait_by_pod_;

@@ -1,9 +1,11 @@
 // Failure-injection and robustness tests: malformed trace files, corrupted
 // inputs, degenerate configurations, and cross-path consistency checks.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "src/optum.h"
 
@@ -15,7 +17,14 @@ namespace fs = std::filesystem;
 class TraceIoRobustnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "optum_robustness").string();
+    // Unique per test: ctest runs test processes in parallel, and a shared
+    // directory races with other instances' TearDown remove_all.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("optum_robustness_") + info->name() + "_" +
+             std::to_string(static_cast<long>(::getpid()))))
+               .string();
     // Write a valid bundle first.
     TraceBundle bundle;
     bundle.nodes.push_back(NodeMeta{0, kUnitResources});

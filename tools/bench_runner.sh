@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds the RelWithDebInfo preset and runs the hot-path benchmark, writing
+# BENCH_hotpath.json at the repo root (or to $1 if given).
+#
+#   tools/bench_runner.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset relwithdebinfo
+cmake --build --preset relwithdebinfo --target bench_hotpath -j "$(nproc)"
+
+out="${1:-$PWD/BENCH_hotpath.json}"
+./build/bench/bench_hotpath "${out}"
