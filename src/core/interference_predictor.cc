@@ -41,6 +41,12 @@ double WeightOf(SloClass slo, double weight_ls, double weight_be) {
   return IsLatencySensitive(slo) ? weight_ls : slo == SloClass::kBe ? weight_be : 0.0;
 }
 
+// Coarse utilization grid of the slope cache; matches the discretized
+// Predict cache's default (64 buckets over [0, 2]). The slope is flat
+// between tree splits, so a finer grid only multiplies cold misses, and
+// each miss costs two forest evaluations.
+constexpr size_t kSlopeBuckets = 64;
+
 }  // namespace
 
 InterferencePredictor::InterferencePredictor(const OptumProfiles* profiles,
@@ -48,10 +54,18 @@ InterferencePredictor::InterferencePredictor(const OptumProfiles* profiles,
                                              bool use_host_app_counts)
     : profiles_(profiles),
       cache_buckets_(cache_buckets),
-      use_host_app_counts_(use_host_app_counts) {
+      use_host_app_counts_(use_host_app_counts),
+      lanes_(1) {
   OPTUM_CHECK(profiles != nullptr);
   OPTUM_CHECK_GT(cache_buckets, 0u);
   RebuildAppIndex();
+}
+
+void InterferencePredictor::set_num_lanes(size_t n) {
+  OPTUM_CHECK_GE(n, 1u);
+  if (n > lanes_.size()) {
+    lanes_.resize(n);
+  }
 }
 
 void InterferencePredictor::RebuildAppIndex() {
@@ -68,20 +82,22 @@ void InterferencePredictor::RebuildAppIndex() {
 }
 
 void InterferencePredictor::ClearCache() {
-  cache_.Clear();
-  raw_cache_.Clear();
-  slope_cache_.Clear();
+  for (LaneCaches& lane : lanes_) {
+    lane.cache.Clear();
+    lane.raw_cache.Clear();
+    lane.slope_cache.Clear();
+  }
   RebuildAppIndex();
 }
 
-uint64_t InterferencePredictor::CacheKey(AppId app, double cpu, double mem,
-                                         size_t buckets) const {
-  const auto bucket = [buckets](double v) {
-    const double clamped = std::clamp(v, 0.0, 2.0) / 2.0;
-    return static_cast<uint64_t>(clamped * static_cast<double>(buckets - 1));
-  };
-  return (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
-         (bucket(cpu) << 16) | bucket(mem);
+uint64_t InterferencePredictor::UtilBucket(double v, size_t buckets) {
+  const double clamped = std::clamp(v, 0.0, 2.0) / 2.0;
+  return static_cast<uint64_t>(clamped * static_cast<double>(buckets - 1));
+}
+
+double InterferencePredictor::BucketPoint(uint64_t bucket, size_t buckets) {
+  const double width = 2.0 / static_cast<double>(buckets - 1);
+  return std::min(2.0, (static_cast<double>(bucket) + 0.5) * width);
 }
 
 double InterferencePredictor::PredictImpl(const AppModel& model, double host_cpu_util,
@@ -101,40 +117,52 @@ double InterferencePredictor::PredictImpl(const AppModel& model, double host_cpu
 }
 
 double InterferencePredictor::PredictRaw(AppId app, double host_cpu_util,
-                                         double host_mem_util) const {
+                                         double host_mem_util, size_t lane) const {
   const AppModel* model = FindModel(app);
   if (model == nullptr || !model->usable()) {
     return 0.0;
   }
   // Fine grid (8x the coarse one) so slope estimation sees real variation.
-  const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_ * 8);
-  if (const double* cached = raw_cache_.Find(key)) {
+  const size_t buckets = cache_buckets_ * 8;
+  const uint64_t cpu_bucket = UtilBucket(host_cpu_util, buckets);
+  const uint64_t mem_bucket = UtilBucket(host_mem_util, buckets);
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
+                       (cpu_bucket << 16) | mem_bucket;
+  PredictionCache& cache = lanes_[lane].raw_cache;
+  if (const auto cached = cache.Find(key)) {
     return *cached;
   }
-  const double prediction = PredictImpl(*model, host_cpu_util, host_mem_util);
-  raw_cache_.Insert(key, prediction);
+  const double prediction = PredictImpl(*model, BucketPoint(cpu_bucket, buckets),
+                                        BucketPoint(mem_bucket, buckets));
+  cache.Insert(key, prediction);
   return prediction;
 }
 
 double InterferencePredictor::Predict(AppId app, double host_cpu_util,
-                                      double host_mem_util) const {
+                                      double host_mem_util, size_t lane) const {
   const AppModel* model = FindModel(app);
   if (model == nullptr || !model->usable()) {
     return 0.0;
   }
-  const uint64_t key = CacheKey(app, host_cpu_util, host_mem_util, cache_buckets_);
-  if (const double* cached = cache_.Find(key)) {
+  const uint64_t cpu_bucket = UtilBucket(host_cpu_util, cache_buckets_);
+  const uint64_t mem_bucket = UtilBucket(host_mem_util, cache_buckets_);
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
+                       (cpu_bucket << 16) | mem_bucket;
+  PredictionCache& cache = lanes_[lane].cache;
+  if (const auto cached = cache.Find(key)) {
     return *cached;
   }
-  const double prediction =
-      model->discretizer.ToUpperBound(PredictImpl(*model, host_cpu_util, host_mem_util));
-  cache_.Insert(key, prediction);
+  const double prediction = model->discretizer.ToUpperBound(
+      PredictImpl(*model, BucketPoint(cpu_bucket, cache_buckets_),
+                  BucketPoint(mem_bucket, cache_buckets_)));
+  cache.Insert(key, prediction);
   return prediction;
 }
 
 double InterferencePredictor::TotalInterference(const Host& host, const PodSpec& incoming,
                                                 double host_cpu_util, double host_mem_util,
-                                                double weight_ls, double weight_be) const {
+                                                double weight_ls, double weight_be,
+                                                size_t lane) const {
   if (!use_host_app_counts_) {
     // Baseline path: rebuild the histogram from the pod list per call.
     std::vector<RebuiltAppCount> counts = RebuildCounts(host);
@@ -151,7 +179,7 @@ double InterferencePredictor::TotalInterference(const Host& host, const PodSpec&
     }
     double total = 0.0;
     for (const auto& c : counts) {
-      const double ri = Predict(c.app, host_cpu_util, host_mem_util);
+      const double ri = Predict(c.app, host_cpu_util, host_mem_util, lane);
       if (ri == 0.0) {
         continue;
       }
@@ -170,14 +198,14 @@ double InterferencePredictor::TotalInterference(const Host& host, const PodSpec&
       ++count;
       incoming_merged = true;
     }
-    const double ri = Predict(c.app, host_cpu_util, host_mem_util);
+    const double ri = Predict(c.app, host_cpu_util, host_mem_util, lane);
     if (ri == 0.0) {
       continue;
     }
     total += WeightOf(c.slo, weight_ls, weight_be) * ri * static_cast<double>(count);
   }
   if (!incoming_merged) {
-    const double ri = Predict(incoming.app, host_cpu_util, host_mem_util);
+    const double ri = Predict(incoming.app, host_cpu_util, host_mem_util, lane);
     if (ri != 0.0) {
       total += WeightOf(incoming.slo, weight_ls, weight_be) * ri;
     }
@@ -188,7 +216,7 @@ double InterferencePredictor::TotalInterference(const Host& host, const PodSpec&
 double InterferencePredictor::MarginalInterference(
     const Host& host, const PodSpec& incoming, double cpu_util_before,
     double mem_util_before, double cpu_util_after, double mem_util_after,
-    double weight_ls, double weight_be) const {
+    double weight_ls, double weight_be, size_t lane) const {
   // Wide-span finite difference: a single pod's utilization delta is far
   // below tree granularity, so the slope is sampled over +-kSlopeSpan and
   // rescaled to the actual delta.
@@ -201,15 +229,17 @@ double InterferencePredictor::MarginalInterference(
   // cost, and the slope varies on the scale of tree splits, far coarser than
   // this grid. The finite difference is centered on the before/after CPU
   // midpoint; memory moves far less than a bucket per placement, so the
-  // post-placement value stands in for both endpoints.
-  // Grid granularity matches the discretized Predict cache (64 buckets over
-  // [0, 2]): the slope is flat between tree splits, so a finer grid only
-  // multiplies cold misses, and each miss costs two forest evaluations.
+  // post-placement value stands in for both endpoints. Both the midpoint
+  // and the memory value are snapped to their buckets' canonical points
+  // before sampling, so the cached slope — like every other cached value —
+  // is a pure function of its key.
   const double cpu_mid = 0.5 * (cpu_util_before + cpu_util_after);
-  const auto coarse = [](double v) {
-    return static_cast<uint64_t>(std::clamp(v, 0.0, 2.0) * 31.5);
-  };
-  const uint64_t util_key = (coarse(cpu_mid) << 8) | coarse(mem_util_after);
+  const uint64_t mid_bucket = UtilBucket(cpu_mid, kSlopeBuckets);
+  const uint64_t mem_bucket = UtilBucket(mem_util_after, kSlopeBuckets);
+  const uint64_t util_key = (mid_bucket << 8) | mem_bucket;
+  const double mid_point = BucketPoint(mid_bucket, kSlopeBuckets);
+  const double mem_point = BucketPoint(mem_bucket, kSlopeBuckets);
+  PredictionCache& slope_cache = lanes_[lane].slope_cache;
 
   const auto slope_term = [&](AppId app, SloClass slo, int count) {
     const double weight = WeightOf(slo, weight_ls, weight_be);
@@ -219,15 +249,15 @@ double InterferencePredictor::MarginalInterference(
     const uint64_t key =
         (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) | util_key;
     double slope;
-    if (const double* cached = slope_cache_.Find(key)) {
+    if (const auto cached = slope_cache.Find(key)) {
       slope = *cached;
     } else {
-      const double lo_cpu = std::max(0.0, cpu_mid - kSlopeSpan);
-      const double hi = PredictRaw(app, cpu_mid + kSlopeSpan, mem_util_after);
-      const double lo = PredictRaw(app, lo_cpu, mem_util_after);
-      const double span = (cpu_mid + kSlopeSpan) - lo_cpu;
+      const double lo_cpu = std::max(0.0, mid_point - kSlopeSpan);
+      const double hi = PredictRaw(app, mid_point + kSlopeSpan, mem_point, lane);
+      const double lo = PredictRaw(app, lo_cpu, mem_point, lane);
+      const double span = (mid_point + kSlopeSpan) - lo_cpu;
       slope = span > 1e-9 ? std::max(0.0, (hi - lo) / span) : 0.0;
-      slope_cache_.Insert(key, slope);
+      slope_cache.Insert(key, slope);
     }
     return weight * slope * cpu_delta * static_cast<double>(count);
   };
@@ -251,7 +281,7 @@ double InterferencePredictor::MarginalInterference(
   }
   // The incoming pod's own interference is its absolute prediction (§4.3.3).
   total += WeightOf(incoming.slo, weight_ls, weight_be) *
-           Predict(incoming.app, cpu_util_after, mem_util_after);
+           Predict(incoming.app, cpu_util_after, mem_util_after, lane);
   return total;
 }
 

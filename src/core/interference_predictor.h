@@ -4,6 +4,14 @@
 // normalized completion time for BE pods. Predictions depend only on the
 // pod's application and the host's predicted utilization, so they are
 // cached per (app, utilization bucket).
+//
+// Every cached value is a pure function of its cache key: the model is
+// evaluated at the bucket's canonical point, not at the raw utilization
+// that happened to trigger the miss. That makes predictions independent of
+// cache history (warm vs cold, cleared vs not) and lets parallel candidate
+// scoring keep one private cache shard per thread-pool lane while staying
+// bit-identical to serial scoring — whichever lane computes a value, it
+// computes the same one.
 #ifndef OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 #define OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 
@@ -29,11 +37,19 @@ class InterferencePredictor {
                                  size_t cache_buckets = 64,
                                  bool use_host_app_counts = true);
 
+  // Creates `n` (>= 1) private cache shards. A `lane` argument below indexes
+  // them; concurrent calls are safe iff they use distinct lanes. Existing
+  // shards keep their contents; results never depend on lane assignment
+  // because cached values are pure functions of their keys.
+  void set_num_lanes(size_t n);
+  size_t num_lanes() const { return lanes_.size(); }
+
   // RI for one pod of application `app` on a host whose predicted CPU/mem
   // utilizations (POC/Cap, POM/Cap) are given. Returns 0 when the app has
   // no usable model (no interference information, paper §5.2 optimizes only
   // apps with accurate profiles).
-  double Predict(AppId app, double host_cpu_util, double host_mem_util) const;
+  double Predict(AppId app, double host_cpu_util, double host_mem_util,
+                 size_t lane = 0) const;
 
   // Sum of RI over all pods currently on `host` plus the incoming pod, at
   // the given post-placement utilization (paper Eq. 11, literal form).
@@ -41,7 +57,8 @@ class InterferencePredictor {
   // features are identical), so cost is O(#distinct apps).
   double TotalInterference(const Host& host, const PodSpec& incoming,
                            double host_cpu_util, double host_mem_util,
-                           double weight_ls, double weight_be) const;
+                           double weight_ls, double weight_be,
+                           size_t lane = 0) const;
 
   // Marginal form: the increase in interference the incoming pod causes to
   // the pods already on the host (RI at post-placement utilization minus RI
@@ -57,19 +74,39 @@ class InterferencePredictor {
   double MarginalInterference(const Host& host, const PodSpec& incoming,
                               double cpu_util_before, double mem_util_before,
                               double cpu_util_after, double mem_util_after,
-                              double weight_ls, double weight_be) const;
+                              double weight_ls, double weight_be,
+                              size_t lane = 0) const;
 
   // Raw model output (no output discretization), cached on a fine
   // utilization grid; used for slope estimation.
-  double PredictRaw(AppId app, double host_cpu_util, double host_mem_util) const;
+  double PredictRaw(AppId app, double host_cpu_util, double host_mem_util,
+                    size_t lane = 0) const;
 
-  // Drops all cached predictions and re-syncs the AppId-indexed model table;
-  // call after the profiles object is replaced wholesale.
+  // Drops all cached predictions (every lane) and re-syncs the AppId-indexed
+  // model table; call after the profiles object is replaced wholesale.
   void ClearCache();
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const { return lanes_[0].cache.size(); }
 
  private:
-  uint64_t CacheKey(AppId app, double cpu, double mem, size_t buckets) const;
+  // One lane's private shard of the three caches. Cache-line aligned so two
+  // lanes' hot metadata (size/mask) never share a line across workers.
+  struct alignas(64) LaneCaches {
+    PredictionCache cache;        // discretized Predict values
+    PredictionCache raw_cache;    // undiscretized PredictRaw values
+    // Finite-difference slopes for MarginalInterference, keyed on (app,
+    // coarse before/after utilization buckets); shared by both histogram
+    // paths so the incremental and rebuild modes stay numerically identical.
+    PredictionCache slope_cache;
+  };
+
+  // Bucket index of a utilization value on a `buckets`-wide grid over [0, 2]
+  // (the packing the cache keys use).
+  static uint64_t UtilBucket(double v, size_t buckets);
+  // Canonical evaluation point of a bucket: its center, clamped to [0, 2].
+  // All cache misses for the bucket evaluate the model here, making the
+  // stored value key-pure.
+  static double BucketPoint(uint64_t bucket, size_t buckets);
+
   double PredictImpl(const AppModel& model, double host_cpu_util,
                      double host_mem_util) const;
   // Flat-index lookup; AppIds are dense, so this replaces a hash find on
@@ -86,13 +123,9 @@ class InterferencePredictor {
   bool use_host_app_counts_;
   // Pointers into profiles_->apps values; valid until the map is mutated
   // (profile replacement calls ClearCache, which rebuilds the index).
+  // Read-only during scoring, so safely shared across lanes.
   std::vector<const AppModel*> by_app_;
-  mutable PredictionCache cache_;
-  mutable PredictionCache raw_cache_;
-  // Finite-difference slopes for MarginalInterference, keyed on (app, coarse
-  // before/after utilization buckets); shared by both histogram paths so the
-  // incremental and rebuild modes stay numerically identical.
-  mutable PredictionCache slope_cache_;
+  mutable std::vector<LaneCaches> lanes_;
 };
 
 }  // namespace optum::core

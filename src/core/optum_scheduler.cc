@@ -19,6 +19,9 @@ OptumScheduler::OptumScheduler(OptumProfiles profiles, OptumConfig config)
       rng_(config.seed) {
   if (config_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    // One private prediction-cache shard per lane (workers + the calling
+    // thread), so parallel scoring shares no mutable cache state.
+    interference_predictor_.set_num_lanes(pool_->num_lanes());
   }
   usage_predictor_.set_cache_enabled(config_.use_incremental_cache);
 }
@@ -26,7 +29,8 @@ OptumScheduler::OptumScheduler(OptumProfiles profiles, OptumConfig config)
 OptumScheduler::~OptumScheduler() = default;
 
 OptumScheduler::HostEvaluation OptumScheduler::EvaluateHost(const PodSpec& pod,
-                                                            const Host& host) const {
+                                                            const Host& host,
+                                                            size_t lane) const {
   HostEvaluation eval;
   const Resources predicted = usage_predictor_.PredictHost(host, &pod);
   const double cpu_util = predicted.cpu / host.capacity.cpu;
@@ -42,12 +46,12 @@ OptumScheduler::HostEvaluation OptumScheduler::EvaluateHost(const PodSpec& pod,
   double interference = 0.0;
   if (config_.score_mode == ScoreMode::kPaperAbsolute) {
     interference = interference_predictor_.TotalInterference(
-        host, pod, cpu_util, mem_util, config_.omega_o, config_.omega_b);
+        host, pod, cpu_util, mem_util, config_.omega_o, config_.omega_b, lane);
   } else {
     const Resources before = usage_predictor_.PredictHost(host, nullptr);
     interference = interference_predictor_.MarginalInterference(
         host, pod, before.cpu / host.capacity.cpu, before.mem / host.capacity.mem,
-        cpu_util, mem_util, config_.omega_o, config_.omega_b);
+        cpu_util, mem_util, config_.omega_o, config_.omega_b, lane);
   }
   eval.feasible = true;
   eval.score = cpu_util * mem_util - interference;
@@ -73,44 +77,50 @@ PlacementDecision OptumScheduler::Place(const PodSpec& pod, const AppProfile& ap
 PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
                                               const ClusterState& cluster,
                                               double* best_score) {
-  const std::vector<HostId> candidates =
-      SampleHosts(cluster, config_.sample_fraction, config_.min_candidates, rng_);
-
-  std::vector<HostEvaluation> scored(candidates.size());
+  // Sampling draws from the scheduler's own serial rng_ stream before any
+  // parallel work, so the candidate set is identical for every num_threads.
+  SampleHostsInto(cluster, config_.sample_fraction, config_.min_candidates, rng_,
+                  &sample_scratch_, &candidates_);
+  scored_.resize(candidates_.size());
 
   // Candidates are sampled without replacement, so parallel scoring touches
   // distinct per-host cache slots; pre-size the cache so no worker resizes.
   usage_predictor_.ReserveHosts(cluster.num_hosts());
 
-  auto score_candidate = [&](size_t i) {
-    scored[i] = EvaluateHost(pod, cluster.host(candidates[i]));
+  // Each worker scores through its own lane's prediction-cache shard; the
+  // scores are lane-independent, so any work distribution yields the same
+  // scored_ array as a serial pass.
+  auto score_candidate = [&](size_t lane, size_t i) {
+    scored_[i] = EvaluateHost(pod, cluster.host(candidates_[i]), lane);
   };
 
-  if (pool_ != nullptr && candidates.size() >= 2 * pool_->num_threads()) {
-    pool_->ParallelFor(candidates.size(), score_candidate);
+  if (pool_ != nullptr && candidates_.size() >= 2 * pool_->num_threads()) {
+    pool_->ParallelForLane(candidates_.size(), score_candidate);
   } else {
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      score_candidate(i);
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      score_candidate(0, i);
     }
   }
 
-  size_t best = candidates.size();
+  // Serial reduction in candidate order: ties break toward the earlier
+  // sampled candidate regardless of which lane scored which index.
+  size_t best = candidates_.size();
   bool any_cpu = false, any_mem = false;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (scored[i].feasible) {
-      if (best == candidates.size() || scored[i].score > scored[best].score) {
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (scored_[i].feasible) {
+      if (best == candidates_.size() || scored_[i].score > scored_[best].score) {
         best = i;
       }
     } else {
-      any_cpu |= scored[i].cpu_blocked;
-      any_mem |= scored[i].mem_blocked;
+      any_cpu |= scored_[i].cpu_blocked;
+      any_mem |= scored_[i].mem_blocked;
     }
   }
-  if (best == candidates.size()) {
+  if (best == candidates_.size()) {
     return PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
   }
-  *best_score = scored[best].score;
-  return PlacementDecision::Accept(candidates[best]);
+  *best_score = scored_[best].score;
+  return PlacementDecision::Accept(candidates_[best]);
 }
 
 void OptumScheduler::ReplaceProfiles(OptumProfiles profiles) {

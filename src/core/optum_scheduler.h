@@ -11,6 +11,7 @@
 #define OPTUM_SRC_CORE_OPTUM_SCHEDULER_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/core/interference_predictor.h"
@@ -58,6 +59,10 @@ struct OptumConfig {
   double mem_util_limit = 0.8;
 
   // Worker threads for candidate scoring; 0 scores on the calling thread.
+  // Placements are bit-identical for every value: each thread-pool lane
+  // scores against its own private prediction-cache shard, every cached
+  // value is a pure function of its key, and the best-candidate reduction
+  // runs serially in candidate order.
   size_t num_threads = 0;
 
   // Ticks between online ERO refreshes in ObserveColocation; 0 disables.
@@ -99,7 +104,12 @@ class OptumScheduler : public PlacementPolicy {
     bool mem_blocked = false;
     double score = 0.0;  // valid only when feasible
   };
-  HostEvaluation EvaluateHost(const PodSpec& pod, const Host& host) const;
+  // `lane` selects the private prediction-cache shard to use; parallel
+  // scoring passes each worker's thread-pool lane, serial callers take the
+  // default. The result is lane-independent (cached values are pure
+  // functions of their keys).
+  HostEvaluation EvaluateHost(const PodSpec& pod, const Host& host,
+                              size_t lane = 0) const;
 
   // Scores a single candidate host (Eq. 11); exposed for tests/benches.
   // Returns false when the host is infeasible for the pod.
@@ -121,6 +131,13 @@ class OptumScheduler : public PlacementPolicy {
   std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
   Tick last_observe_ = -1;
+
+  // Per-scheduler scratch reused across PlaceScored calls (candidate
+  // sampling working set, sampled candidates, per-candidate evaluations) so
+  // the steady-state hot path allocates nothing.
+  std::vector<HostId> sample_scratch_;
+  std::vector<HostId> candidates_;
+  std::vector<HostEvaluation> scored_;
 };
 
 }  // namespace optum::core

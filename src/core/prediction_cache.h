@@ -4,11 +4,16 @@
 // into contiguous storage — several times faster than unordered_map on the
 // scheduler's candidate-scoring hot path, where every candidate costs a
 // handful of cache probes.
+//
+// Not internally synchronized: a cache instance must only be touched by one
+// thread at a time. Parallel candidate scoring gives every thread-pool lane
+// its own instance (see InterferencePredictor::set_num_lanes).
 #ifndef OPTUM_SRC_CORE_PREDICTION_CACHE_H_
 #define OPTUM_SRC_CORE_PREDICTION_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace optum::core {
@@ -17,16 +22,19 @@ class PredictionCache {
  public:
   PredictionCache() { Rebuild(kInitialCapacity); }
 
-  // Returns the cached value or nullptr. The pointer is invalidated by the
-  // next Insert().
-  const double* Find(uint64_t key) const {
+  // Returns the cached value, or nullopt on a miss. The value is returned
+  // by copy, never by reference into the table: Insert() can Grow() the
+  // backing storage and relocate every slot, so a pointer held across an
+  // insertion would dangle (the footgun the previous pointer-returning API
+  // left open).
+  std::optional<double> Find(uint64_t key) const {
     size_t i = Slot(key);
     while (true) {
       if (keys_[i] == key) {
-        return &values_[i];
+        return values_[i];
       }
       if (keys_[i] == kEmpty) {
-        return nullptr;
+        return std::nullopt;
       }
       i = (i + 1) & mask_;
     }
@@ -53,6 +61,8 @@ class PredictionCache {
   }
 
   size_t size() const { return size_; }
+  // Current slot count; doubles when the load factor would exceed 3/4.
+  size_t capacity() const { return keys_.size(); }
 
  private:
   // All real keys pack a non-negative 32-bit AppId in the high word, so the

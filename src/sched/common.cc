@@ -1,6 +1,7 @@
 #include "src/sched/common.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 
 #include "src/common/check.h"
@@ -43,21 +44,30 @@ size_t AlignmentRank(const Resources& pod_request, const std::vector<Resources>&
 
 std::vector<HostId> SampleHosts(const ClusterState& cluster, double fraction,
                                 size_t min_count, Rng& rng) {
+  std::vector<HostId> scratch;
+  std::vector<HostId> out;
+  SampleHostsInto(cluster, fraction, min_count, rng, &scratch, &out);
+  return out;
+}
+
+void SampleHostsInto(const ClusterState& cluster, double fraction, size_t min_count,
+                     Rng& rng, std::vector<HostId>* scratch, std::vector<HostId>* out) {
   const size_t n = cluster.num_hosts();
   size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
   k = std::clamp(k, std::min(min_count, n), n);
-  std::vector<HostId> ids(n);
+  std::vector<HostId>& ids = *scratch;
+  ids.resize(n);
   std::iota(ids.begin(), ids.end(), 0);
-  if (k == n) {
-    return ids;  // Full scan: order does not matter to the callers.
+  if (k < n) {
+    // Partial Fisher-Yates over host indices; k == n is a full scan, where
+    // order does not matter to the callers (and no random draws happen, so
+    // the rng stream matches the pre-scratch implementation exactly).
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + rng.NextBelow(n - i);
+      std::swap(ids[i], ids[j]);
+    }
   }
-  // Partial Fisher-Yates over host indices.
-  for (size_t i = 0; i < k; ++i) {
-    const size_t j = i + rng.NextBelow(n - i);
-    std::swap(ids[i], ids[j]);
-  }
-  ids.resize(k);
-  return ids;
+  out->assign(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k));
 }
 
 }  // namespace optum

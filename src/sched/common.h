@@ -26,6 +26,13 @@ size_t AlignmentRank(const Resources& pod_request, const std::vector<Resources>&
 std::vector<HostId> SampleHosts(const ClusterState& cluster, double fraction,
                                 size_t min_count, Rng& rng);
 
+// As SampleHosts, but writes the sample into `out` and keeps the full host-id
+// permutation working set in `scratch`, so a scheduler calling it per pod
+// allocates nothing in steady state. Identical draws from `rng` and an
+// identical resulting sample to the allocating overload.
+void SampleHostsInto(const ClusterState& cluster, double fraction, size_t min_count,
+                     Rng& rng, std::vector<HostId>* scratch, std::vector<HostId>* out);
+
 }  // namespace optum
 
 #endif  // OPTUM_SRC_SCHED_COMMON_H_

@@ -1,0 +1,299 @@
+// Thread-count invariance of Optum's candidate scoring: PlaceScored must
+// produce bit-identical placement decisions, node scores, and aggregate
+// cluster state for every OptumConfig::num_threads value. Parallel scoring
+// gives each thread-pool lane a private prediction-cache shard whose values
+// are pure functions of their keys, so lane assignment (and therefore
+// thread timing) can never leak into a score — these tests prove it at the
+// scheduler level on a >= 1,000-host cluster and end-to-end through the
+// simulator. Run them under the `tsan` preset (tools/sanitize_runner.sh) to
+// also prove the absence of data races, not just of nondeterminism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+namespace {
+
+using core::OptumConfig;
+using core::OptumProfiles;
+using core::OptumScheduler;
+using core::ScoreMode;
+
+Workload MakeWorkload(int hosts, Tick horizon, uint64_t seed) {
+  WorkloadConfig config;
+  config.num_hosts = hosts;
+  config.horizon = horizon;
+  config.seed = seed;
+  return WorkloadGenerator(config).Generate();
+}
+
+SimConfig MakeSimConfig() {
+  SimConfig config;
+  config.pod_usage_period = 5;
+  config.max_attempts_per_tick = 1500;
+  return config;
+}
+
+OptumProfiles TrainProfiles(const Workload& workload, const SimConfig& sim_config) {
+  AlibabaBaseline reference;
+  const SimResult ref = Simulator(workload, sim_config, reference).Run();
+  core::OfflineProfilerConfig prof;
+  prof.max_train_samples = 600;
+  return core::OfflineProfiler(prof).BuildProfiles(ref.trace);
+}
+
+PodSpec MakePod(PodId id, const AppProfile& app) {
+  PodSpec spec;
+  spec.id = id;
+  spec.app = app.id;
+  spec.slo = app.slo;
+  spec.request = app.request;
+  spec.limit = app.limit;
+  spec.max_pods_per_host = app.max_pods_per_host;
+  return spec;
+}
+
+std::vector<const AppProfile*> SchedulableApps(const Workload& workload) {
+  std::vector<const AppProfile*> catalog;
+  for (const AppProfile& app : workload.apps) {
+    if (app.slo == SloClass::kBe || app.slo == SloClass::kLs ||
+        app.slo == SloClass::kLsr) {
+      catalog.push_back(&app);
+    }
+  }
+  return catalog;
+}
+
+// --- Scheduler-level thread-count invariance ---------------------------------
+
+// Everything a placement stream can observably produce: the decision and
+// Eq. 11 score per pod, plus the final per-host cluster aggregates the
+// stream's commits built up.
+struct StreamResult {
+  std::vector<HostId> hosts;
+  std::vector<WaitReason> reasons;
+  std::vector<double> scores;
+  std::vector<size_t> pods_per_host;
+  std::vector<double> request_cpu_per_host;
+  std::vector<uint64_t> change_epochs;
+};
+
+// Steady-state scheduling loop on a prefilled cluster: every placement is
+// committed, and one older pod is removed every third submission so host
+// epochs churn and the incremental caches keep revalidating. Mirrors the
+// bench_hotpath loop so the tested path is the benchmarked path.
+StreamResult StreamPlacements(const OptumProfiles& profiles,
+                              const std::vector<const AppProfile*>& catalog,
+                              int num_hosts, int prefill_per_host, int stream,
+                              size_t num_threads, ScoreMode score_mode) {
+  ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
+  PodId next_id = 0;
+  std::vector<PodRuntime*> live;
+  for (int h = 0; h < num_hosts; ++h) {
+    for (int k = 0; k < prefill_per_host; ++k) {
+      const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
+      live.push_back(cluster.Place(MakePod(next_id, app), &app, h, 0));
+      ++next_id;
+    }
+  }
+
+  OptumConfig config;
+  config.num_threads = num_threads;
+  config.score_mode = score_mode;
+  OptumScheduler scheduler(profiles, config);
+
+  StreamResult result;
+  size_t evict_cursor = 0;
+  for (int i = 0; i < stream; ++i) {
+    const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
+    const PodSpec spec = MakePod(next_id, app);
+    ++next_id;
+    double score = 0.0;
+    const PlacementDecision decision = scheduler.PlaceScored(spec, cluster, &score);
+    result.hosts.push_back(decision.host);
+    result.reasons.push_back(decision.reason);
+    result.scores.push_back(decision.placed() ? score : 0.0);
+    if (decision.placed()) {
+      live.push_back(cluster.Place(spec, &app, decision.host, 0));
+    }
+    if (i % 3 == 0 && !live.empty()) {
+      evict_cursor = (evict_cursor + 1) % live.size();
+      cluster.Remove(live[evict_cursor]);
+      live[evict_cursor] = live.back();
+      live.pop_back();
+    }
+  }
+
+  for (const Host& host : cluster.hosts()) {
+    result.pods_per_host.push_back(host.pods.size());
+    result.request_cpu_per_host.push_back(host.request_sum.cpu);
+    result.change_epochs.push_back(host.change_epoch);
+  }
+  return result;
+}
+
+// Bit-identical: EXPECT_EQ on doubles is exact equality, not ULP-tolerant.
+void ExpectIdenticalStreams(const StreamResult& a, const StreamResult& b,
+                            size_t num_threads) {
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (size_t i = 0; i < a.hosts.size(); ++i) {
+    ASSERT_EQ(a.hosts[i], b.hosts[i])
+        << "placement diverged at pod " << i << " with num_threads=" << num_threads;
+    ASSERT_EQ(a.reasons[i], b.reasons[i]) << "at pod " << i;
+    ASSERT_EQ(a.scores[i], b.scores[i])
+        << "score diverged at pod " << i << " with num_threads=" << num_threads;
+  }
+  ASSERT_EQ(a.pods_per_host, b.pods_per_host);
+  ASSERT_EQ(a.request_cpu_per_host, b.request_cpu_per_host);
+  ASSERT_EQ(a.change_epochs, b.change_epochs);
+}
+
+class ThreadCountInvarianceTest : public ::testing::TestWithParam<ScoreMode> {};
+
+TEST_P(ThreadCountInvarianceTest, PlaceScoredBitIdenticalAcrossThreadCounts) {
+  const ScoreMode score_mode = GetParam();
+  // Profiles train on a small reference run; the scoring cluster is
+  // paper-scale-ish (>= 1,000 hosts) so the parallel path really engages
+  // (candidates per pod = 0.05 * 1200 = 60 >= 2 * num_threads).
+  const Workload workload = MakeWorkload(64, 3 * kTicksPerHour, 23);
+  const SimConfig sim_config = MakeSimConfig();
+  const OptumProfiles profiles = TrainProfiles(workload, sim_config);
+  const std::vector<const AppProfile*> catalog = SchedulableApps(workload);
+  ASSERT_FALSE(catalog.empty());
+
+  constexpr int kHosts = 1200;
+  constexpr int kPrefillPerHost = 4;
+  constexpr int kStream = 400;
+  const StreamResult serial = StreamPlacements(profiles, catalog, kHosts,
+                                               kPrefillPerHost, kStream,
+                                               /*num_threads=*/0, score_mode);
+  // The stream must actually schedule for the equivalence to mean anything.
+  size_t placed = 0;
+  for (HostId h : serial.hosts) {
+    placed += h != kInvalidHostId ? 1 : 0;
+  }
+  ASSERT_GT(placed, static_cast<size_t>(kStream) / 2);
+
+  for (const size_t num_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const StreamResult threaded = StreamPlacements(profiles, catalog, kHosts,
+                                                   kPrefillPerHost, kStream,
+                                                   num_threads, score_mode);
+    ExpectIdenticalStreams(serial, threaded, num_threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothScoreModes, ThreadCountInvarianceTest,
+                         ::testing::Values(ScoreMode::kMarginal,
+                                           ScoreMode::kPaperAbsolute));
+
+// --- End-to-end simulator equivalence ----------------------------------------
+
+SimResult RunOptum(const Workload& workload, const SimConfig& sim_config,
+                   OptumProfiles profiles, size_t num_threads) {
+  OptumConfig optum_config;
+  optum_config.num_threads = num_threads;
+  OptumScheduler optum(std::move(profiles), optum_config);
+  SimConfig config = sim_config;
+  // Online ERO observation churns EroTable::version mid-run, so the test
+  // also covers cache invalidation while worker lanes are alive.
+  config.on_tick_end = [&optum](const ClusterState& cluster, Tick now) {
+    optum.ObserveColocation(cluster, now);
+  };
+  return Simulator(workload, config, optum).Run();
+}
+
+TEST(ThreadCountInvarianceTest, FullSimulationMatchesSerial) {
+  const Workload workload = MakeWorkload(200, 2 * kTicksPerHour, 31);
+  const SimConfig sim_config = MakeSimConfig();
+  const OptumProfiles profiles = TrainProfiles(workload, sim_config);
+
+  const SimResult serial = RunOptum(workload, sim_config, profiles, 0);
+  EXPECT_GT(serial.scheduled_pods, 0);
+  for (const size_t num_threads : {size_t{2}, size_t{8}}) {
+    const SimResult threaded = RunOptum(workload, sim_config, profiles, num_threads);
+    ASSERT_EQ(serial.trace.pods.size(), threaded.trace.pods.size());
+    for (size_t i = 0; i < serial.trace.pods.size(); ++i) {
+      ASSERT_EQ(serial.trace.pods[i].pod_id, threaded.trace.pods[i].pod_id);
+      ASSERT_EQ(serial.trace.pods[i].original_machine_id,
+                threaded.trace.pods[i].original_machine_id)
+          << "placement diverged at decision " << i
+          << " with num_threads=" << num_threads;
+    }
+    EXPECT_EQ(serial.scheduled_pods, threaded.scheduled_pods);
+    EXPECT_EQ(serial.never_scheduled_pods, threaded.never_scheduled_pods);
+    EXPECT_EQ(serial.oom_kills, threaded.oom_kills);
+    EXPECT_EQ(serial.preemptions, threaded.preemptions);
+    EXPECT_EQ(serial.violation_host_ticks, threaded.violation_host_ticks);
+    EXPECT_EQ(serial.nonidle_host_ticks, threaded.nonidle_host_ticks);
+    EXPECT_EQ(serial.MeanCpuUtilNonIdle(), threaded.MeanCpuUtilNonIdle());
+    EXPECT_EQ(serial.MeanMemUtilNonIdle(), threaded.MeanMemUtilNonIdle());
+  }
+}
+
+// --- ThreadPool lane contract -------------------------------------------------
+
+TEST(ParallelForLaneTest, CoversEveryIndexOnceWithValidLanes) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.num_lanes(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  std::vector<std::atomic<int>> lane_hits(pool.num_lanes());
+  pool.ParallelForLane(kN, [&](size_t lane, size_t i) {
+    ASSERT_LT(lane, pool.num_lanes());
+    visits[i].fetch_add(1);
+    lane_hits[lane].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+  // Every claimed index was charged to some valid lane. (Lane 0 — the
+  // calling thread — offers to work but may find the range already drained
+  // by workers, so no single lane is guaranteed a nonzero share.)
+  uint64_t total_hits = 0;
+  for (size_t lane = 0; lane < pool.num_lanes(); ++lane) {
+    total_hits += static_cast<uint64_t>(lane_hits[lane].load());
+  }
+  EXPECT_EQ(total_hits, kN);
+}
+
+TEST(ParallelForLaneTest, LaneLocalStateNeverShared) {
+  // Each lane owns one slot; concurrent shard bodies may only ever touch
+  // their own slot. A TSan run turns any violation into a hard error; the
+  // unsynchronized counters below would also go inconsistent under races.
+  ThreadPool pool(4);
+  std::vector<uint64_t> per_lane_counts(pool.num_lanes(), 0);
+  constexpr size_t kN = 50000;
+  pool.ParallelForLane(kN, [&](size_t lane, size_t i) {
+    (void)i;
+    ++per_lane_counts[lane];  // no atomics: correctness relies on lane privacy
+  });
+  uint64_t total = 0;
+  for (uint64_t c : per_lane_counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ParallelForLaneTest, EmptyAndSmallRanges) {
+  ThreadPool pool(2);
+  pool.ParallelForLane(0, [&](size_t, size_t) { FAIL() << "n == 0 must not call fn"; });
+  std::vector<std::atomic<int>> visits(2);
+  pool.ParallelForLane(2, [&](size_t lane, size_t i) {
+    ASSERT_LT(lane, 2u);  // shards = min(n, lanes) caps the lane ids
+    visits[i].fetch_add(1);
+  });
+  EXPECT_EQ(visits[0].load(), 1);
+  EXPECT_EQ(visits[1].load(), 1);
+}
+
+}  // namespace
+}  // namespace optum

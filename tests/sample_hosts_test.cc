@@ -1,0 +1,126 @@
+// Coverage for SampleHosts/SampleHostsInto beyond the basic size checks in
+// sched_test: distribution sanity (every host reachable, no duplicates,
+// roughly uniform), boundary sizes, scratch-reuse equivalence, and
+// determinism under fixed per-pod RNG streams — the contract the ROADMAP's
+// rolling power-of-two-choices sampler will have to preserve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/sched/common.h"
+#include "src/sim/cluster.h"
+#include "src/stats/rng.h"
+
+namespace optum {
+namespace {
+
+ClusterState MakeCluster(int hosts) { return ClusterState(hosts, kUnitResources, 8); }
+
+TEST(SampleHostsDistributionTest, EveryHostReachableAndNeverDuplicated) {
+  const ClusterState cluster = MakeCluster(40);
+  Rng rng(11);
+  std::vector<int> seen(40, 0);
+  for (int draw = 0; draw < 2000; ++draw) {
+    const std::vector<HostId> sample = SampleHosts(cluster, 0.2, 8, rng);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<HostId> unique(sample.begin(), sample.end());
+    ASSERT_EQ(unique.size(), sample.size()) << "duplicate host in sample";
+    for (const HostId h : sample) {
+      ASSERT_GE(h, 0);
+      ASSERT_LT(h, 40);
+      ++seen[static_cast<size_t>(h)];
+    }
+  }
+  // 2000 draws x 8 hosts / 40 hosts = 400 expected appearances per host.
+  // A fair without-replacement sampler concentrates tightly around that;
+  // the loose 2x band only rules out unreachable or heavily biased hosts.
+  for (int h = 0; h < 40; ++h) {
+    EXPECT_GT(seen[static_cast<size_t>(h)], 200) << "host " << h << " under-sampled";
+    EXPECT_LT(seen[static_cast<size_t>(h)], 800) << "host " << h << " over-sampled";
+  }
+}
+
+TEST(SampleHostsDistributionTest, SingleHostCluster) {
+  const ClusterState cluster = MakeCluster(1);
+  Rng rng(5);
+  const std::vector<HostId> sample = SampleHosts(cluster, 0.05, 1, rng);
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(sample[0], 0);
+}
+
+TEST(SampleHostsDistributionTest, SampleAtLeastHostCountReturnsAll) {
+  const ClusterState cluster = MakeCluster(12);
+  Rng rng(5);
+  // min_count above the cluster size clamps to a full scan...
+  const std::vector<HostId> all = SampleHosts(cluster, 0.1, 100, rng);
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_EQ(std::set<HostId>(all.begin(), all.end()).size(), 12u);
+  // ...and a full scan draws nothing from the rng (identity order), so the
+  // stream is untouched for the next pod.
+  Rng fresh(5);
+  EXPECT_EQ(fresh.NextU64(), rng.NextU64());
+}
+
+TEST(SampleHostsDistributionTest, ZeroRequestYieldsEmptySample) {
+  const ClusterState cluster = MakeCluster(9);
+  Rng rng(2);
+  EXPECT_TRUE(SampleHosts(cluster, 0.0, 0, rng).empty());
+}
+
+TEST(SampleHostsIntoTest, MatchesAllocatingOverloadDrawForDraw) {
+  const ClusterState cluster = MakeCluster(200);
+  Rng rng_a(31);
+  Rng rng_b(31);
+  std::vector<HostId> scratch;
+  std::vector<HostId> out;
+  for (int draw = 0; draw < 50; ++draw) {
+    const std::vector<HostId> allocating = SampleHosts(cluster, 0.05, 16, rng_a);
+    SampleHostsInto(cluster, 0.05, 16, rng_b, &scratch, &out);
+    ASSERT_EQ(allocating, out) << "draw " << draw;
+  }
+  // The scratch permutation keeps its full-cluster working size between
+  // calls (that is the allocation being saved).
+  EXPECT_EQ(scratch.size(), cluster.num_hosts());
+}
+
+TEST(SampleHostsDeterminismTest, FixedPerPodStreamsAreOrderIndependent) {
+  // Groundwork for per-pod sampling streams: when each pod derives its own
+  // rng via Split(pod_id), its sample is a pure function of (seed, pod_id)
+  // — independent of the order pods are scheduled in.
+  const ClusterState cluster = MakeCluster(64);
+  const auto sample_for_pod = [&](uint64_t pod_id) {
+    Rng base(97);
+    Rng stream = base.Split(pod_id);
+    return SampleHosts(cluster, 0.1, 8, stream);
+  };
+
+  std::vector<std::vector<HostId>> forward;
+  for (uint64_t pod = 0; pod < 32; ++pod) {
+    forward.push_back(sample_for_pod(pod));
+  }
+  for (uint64_t pod = 32; pod-- > 0;) {  // reverse order
+    EXPECT_EQ(sample_for_pod(pod), forward[pod]) << "pod " << pod;
+  }
+  // Distinct pods get distinct streams (overwhelmingly distinct samples).
+  int identical_pairs = 0;
+  for (size_t a = 0; a < forward.size(); ++a) {
+    for (size_t b = a + 1; b < forward.size(); ++b) {
+      identical_pairs += forward[a] == forward[b] ? 1 : 0;
+    }
+  }
+  EXPECT_LT(identical_pairs, 3);
+}
+
+TEST(SampleHostsDeterminismTest, SameSeedSameSequence) {
+  const ClusterState cluster = MakeCluster(500);
+  Rng a(123);
+  Rng b(123);
+  for (int draw = 0; draw < 20; ++draw) {
+    EXPECT_EQ(SampleHosts(cluster, 0.05, 32, a), SampleHosts(cluster, 0.05, 32, b));
+  }
+}
+
+}  // namespace
+}  // namespace optum

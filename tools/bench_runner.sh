@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Builds the RelWithDebInfo preset and runs the hot-path benchmark, writing
-# BENCH_hotpath.json at the repo root (or to $1 if given).
+# BENCH_hotpath.json at the repo root (or to $1 if given), then re-runs the
+# scoring loop with OptumConfig::num_threads in {0,2,4} and writes
+# BENCH_hotpath_threads.json alongside it. On a single-core machine the
+# threads sweep records speedup ~= 1 with an explanatory note in the JSON.
 #
 #   tools/bench_runner.sh [output.json]
 set -euo pipefail
@@ -11,3 +14,6 @@ cmake --build --preset relwithdebinfo --target bench_hotpath -j "$(nproc)"
 
 out="${1:-$PWD/BENCH_hotpath.json}"
 ./build/bench/bench_hotpath "${out}"
+
+threads_out="$(dirname "${out}")/BENCH_hotpath_threads.json"
+./build/bench/bench_hotpath --threads-sweep "${threads_out}"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the sanitizer presets and runs the `concurrency`-labeled ctest
+# subset under each — the thread-count-invariance, lane-sharded cache, and
+# host-baseline stress tests that guard the parallel scoring path.
+#
+#   tools/sanitize_runner.sh [tsan|asan-ubsan|all]   (default: all)
+#
+# Only the test targets carrying the `concurrency` label (plus their library
+# deps) are built, which keeps a sanitizer pass to a few minutes. See
+# DESIGN.md §8 for what each sanitizer is expected to catch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONCURRENCY_TARGETS=(concurrency_test cache_property_test sample_hosts_test
+                     perf_equivalence_test sim_property_test)
+
+run_preset() {
+  local preset="$1"
+  echo "=== [${preset}] configure + build concurrency test targets ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)" \
+    $(printf -- '--target %s ' "${CONCURRENCY_TARGETS[@]}")
+  echo "=== [${preset}] ctest -L concurrency ==="
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  tsan)       run_preset tsan ;;
+  asan-ubsan) run_preset asan-ubsan ;;
+  all)        run_preset tsan; run_preset asan-ubsan ;;
+  *) echo "usage: $0 [tsan|asan-ubsan|all]" >&2; exit 2 ;;
+esac
+echo "sanitize_runner: all requested sanitizer passes clean"
