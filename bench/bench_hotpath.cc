@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/decision_log.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cluster.h"
 
 namespace optum {
@@ -68,7 +70,10 @@ struct ScoringRow {
 double MeasureScoring(const core::OptumProfiles& profiles,
                       const std::vector<const AppProfile*>& catalog, int num_hosts,
                       int prefill_per_host, int warmup, int stream, bool cached,
-                      size_t num_threads = 0) {
+                      size_t num_threads = 0,
+                      obs::MetricRegistry* registry = nullptr,
+                      obs::DecisionLog* decision_log = nullptr,
+                      core::InterferencePredictor::CacheStats* stats_out = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
   std::vector<PodRuntime*> live;
@@ -85,6 +90,10 @@ double MeasureScoring(const core::OptumProfiles& profiles,
   config.use_incremental_cache = cached;
   config.num_threads = num_threads;
   core::OptumScheduler scheduler(profiles, config);
+  if (registry != nullptr) {
+    scheduler.AttachMetrics(registry);
+  }
+  scheduler.set_decision_log(decision_log);
 
   size_t evict_cursor = 0;
   const auto run_segment = [&](int pods) {
@@ -116,6 +125,9 @@ double MeasureScoring(const core::OptumProfiles& profiles,
     run_segment(stream);
     best = std::max(best, static_cast<double>(stream) / SecondsSince(start));
   }
+  if (stats_out != nullptr) {
+    *stats_out = scheduler.interference_predictor().cache_stats();
+  }
   return best;
 }
 
@@ -141,6 +153,75 @@ ScoringRow RunScoringBench(const core::OptumProfiles& profiles,
                                            kPrefillPerHost, warmup, stream,
                                            /*cached=*/true);
   row.speedup = row.pods_per_sec_cached / row.pods_per_sec_baseline;
+  return row;
+}
+
+struct ObsRow {
+  int hosts = 0;
+  int pods = 0;
+  double pods_per_sec_metrics_off = 0.0;  // nullable sinks detached
+  double pods_per_sec_metrics_on = 0.0;   // registry + timers + collectors
+  double pods_per_sec_decision_log = 0.0; // metrics + per-placement JSONL
+  double metrics_on_overhead_pct = 0.0;
+  double decision_log_overhead_pct = 0.0;
+  core::InterferencePredictor::CacheStats cache_stats;
+};
+
+// Observability cost on the same steady-state loop. The metrics-off run IS
+// the shipped disabled path — every sink is a null pointer, so its
+// throughput doubles as the "scoring" section's number for this cluster
+// size; comparing the two sections (or this file across commits) bounds the
+// disabled-instrumentation overhead, which must stay within ~2%. The
+// metrics-on rows quantify what attaching the registry and the decision log
+// actually cost. Cache hit rates and forest-eval counts come from the
+// metrics-on run's predictor tallies.
+ObsRow RunObsBench(const core::OptumProfiles& profiles,
+                   const std::vector<const AppProfile*>& catalog, int num_hosts,
+                   int stream) {
+  constexpr int kPrefillPerHost = 16;
+  const int warmup = stream;
+  ObsRow row;
+  row.hosts = num_hosts;
+  row.pods = stream;
+  // One discarded measurement first: the section's first run pays the
+  // allocator/page-cache warm-up for everyone after it and otherwise skews
+  // whichever configuration goes first by several percent.
+  (void)MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                       /*cached=*/true);
+  // Interleave the configurations across two passes and keep the best of
+  // each: a sustained slowdown of the box (noisy neighbors on a shared
+  // container) then biases every configuration equally instead of whichever
+  // one it happened to overlap, which matters when the effect under
+  // measurement (~2%) is far below the run-to-run noise.
+  for (int pass = 0; pass < 2; ++pass) {
+    row.pods_per_sec_metrics_off = std::max(
+        row.pods_per_sec_metrics_off,
+        MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                       /*cached=*/true));
+    {
+      obs::MetricRegistry registry;
+      row.pods_per_sec_metrics_on = std::max(
+          row.pods_per_sec_metrics_on,
+          MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                         /*cached=*/true, /*num_threads=*/0, &registry,
+                         /*decision_log=*/nullptr, &row.cache_stats));
+    }
+    {
+      obs::MetricRegistry registry;
+      obs::DecisionLog log("/dev/null");
+      row.pods_per_sec_decision_log = std::max(
+          row.pods_per_sec_decision_log,
+          MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                         /*cached=*/true, /*num_threads=*/0, &registry, &log));
+    }
+  }
+  const auto overhead_pct = [&](double with) {
+    return row.pods_per_sec_metrics_off > 0.0
+               ? (1.0 - with / row.pods_per_sec_metrics_off) * 100.0
+               : 0.0;
+  };
+  row.metrics_on_overhead_pct = overhead_pct(row.pods_per_sec_metrics_on);
+  row.decision_log_overhead_pct = overhead_pct(row.pods_per_sec_decision_log);
   return row;
 }
 
@@ -238,7 +319,8 @@ TickRow RunTickBench(int num_hosts, Tick horizon, size_t threads) {
 }
 
 bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
-               const std::vector<TickRow>& ticks, unsigned hw_threads) {
+               const std::vector<TickRow>& ticks, const std::vector<ObsRow>& obs,
+               unsigned hw_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -267,6 +349,36 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  r.hosts, static_cast<long long>(r.ticks), r.threads,
                  r.ticks_per_sec_serial, r.ticks_per_sec_parallel, r.speedup,
                  i + 1 < ticks.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"observability\": [\n");
+  for (size_t i = 0; i < obs.size(); ++i) {
+    const ObsRow& r = obs[i];
+    const auto rate = [](uint64_t hits, uint64_t misses) {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    };
+    const core::InterferencePredictor::CacheStats& s = r.cache_stats;
+    std::fprintf(f,
+                 "    {\"hosts\": %d, \"pods\": %d, "
+                 "\"pods_per_sec_metrics_off\": %.1f, "
+                 "\"pods_per_sec_metrics_on\": %.1f, "
+                 "\"pods_per_sec_decision_log\": %.1f, "
+                 "\"metrics_on_overhead_pct\": %.2f, "
+                 "\"decision_log_overhead_pct\": %.2f,\n"
+                 "     \"pred_cache_hit_rate\": %.4f, \"raw_cache_hit_rate\": %.4f, "
+                 "\"slope_cache_hit_rate\": %.4f, \"forest_evals\": %llu, "
+                 "\"pred_cache_hits\": %llu, \"pred_cache_misses\": %llu, "
+                 "\"slope_cache_misses\": %llu}%s\n",
+                 r.hosts, r.pods, r.pods_per_sec_metrics_off,
+                 r.pods_per_sec_metrics_on, r.pods_per_sec_decision_log,
+                 r.metrics_on_overhead_pct, r.decision_log_overhead_pct,
+                 rate(s.predict_hits, s.predict_misses), rate(s.raw_hits, s.raw_misses),
+                 rate(s.slope_hits, s.slope_misses),
+                 static_cast<unsigned long long>(s.forest_evals()),
+                 static_cast<unsigned long long>(s.predict_hits),
+                 static_cast<unsigned long long>(s.predict_misses),
+                 static_cast<unsigned long long>(s.slope_misses),
+                 i + 1 < obs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -331,6 +443,12 @@ int Main(int argc, char** argv) {
     }
   }
 
+  std::vector<ObsRow> obs;
+  if (run_scoring) {
+    std::printf("scoring 1000 hosts (metrics off, on, on+decision-log)...\n");
+    obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
+  }
+
   const size_t tick_threads = std::clamp(hw_threads, 2u, 8u);
   std::vector<TickRow> ticks;
   if (run_tick) {
@@ -351,9 +469,15 @@ int Main(int argc, char** argv) {
                   FormatDouble(r.ticks_per_sec_serial, 2),
                   FormatDouble(r.ticks_per_sec_parallel, 2), FormatDouble(r.speedup, 2)});
   }
+  for (const ObsRow& r : obs) {
+    table.AddRow({"obs", std::to_string(r.hosts),
+                  FormatDouble(r.pods_per_sec_metrics_off, 1),
+                  FormatDouble(r.pods_per_sec_metrics_on, 1),
+                  FormatDouble(1.0 - r.metrics_on_overhead_pct / 100.0, 2)});
+  }
   table.Print();
 
-  return WriteJson(out_path, scoring, ticks, hw_threads) ? 0 : 1;
+  return WriteJson(out_path, scoring, ticks, obs, hw_threads) ? 0 : 1;
 }
 
 }  // namespace

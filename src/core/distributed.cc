@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 
 #include "src/common/check.h"
+#include "src/obs/timer.h"
 
 namespace optum::core {
 
@@ -27,6 +29,32 @@ DistributedCoordinator::DistributedCoordinator(const OptumProfiles& profiles,
 }
 
 DistributedCoordinator::~DistributedCoordinator() = default;
+
+void DistributedCoordinator::AttachMetrics(obs::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    rounds_counter_ = nullptr;
+    commits_counter_ = nullptr;
+    conflicts_counter_ = nullptr;
+    round_timer_ = nullptr;
+    for (auto& shard : shards_) {
+      shard->AttachMetrics(nullptr);
+    }
+    return;
+  }
+  // Shard s scores on its own coordinator-pool task; giving it registry
+  // lane s keeps concurrent shard updates on distinct metric shards. The
+  // coordinator's own counters (lane 0) are only touched in the serial
+  // resolution phase, never while shards are deciding.
+  registry->set_num_lanes(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->AttachMetrics(registry, /*lane_base=*/s,
+                              "optum.shard" + std::to_string(s));
+  }
+  rounds_counter_ = registry->counter("dist.rounds");
+  commits_counter_ = registry->counter("dist.commits");
+  conflicts_counter_ = registry->counter("dist.conflicts");
+  round_timer_ = registry->histogram("dist.round_seconds");
+}
 
 DistributedOutcome DistributedCoordinator::ScheduleBatch(
     const std::vector<const PodSpec*>& pods, const ClusterState& cluster,
@@ -57,6 +85,10 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
 
   while (any_pending()) {
     ++outcome.rounds_used;
+    obs::ScopedTimer round_timer(round_timer_);
+    if (rounds_counter_ != nullptr) {
+      rounds_counter_->Inc();
+    }
 
     // Phase 1 (parallel): each shard decides for the pod at the head of
     // its own queue, all against the same cluster snapshot — the moment a
@@ -95,6 +127,10 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
       outcome.placed.push_back(winner);
     }
     outcome.conflicts_resolved += static_cast<int64_t>(resolved.redispatched.size());
+    if (commits_counter_ != nullptr) {
+      commits_counter_->Inc(0, resolved.committed.size());
+      conflicts_counter_->Inc(0, resolved.redispatched.size());
+    }
 
     auto requeue = [&](size_t shard, PendingEntry entry, WaitReason reason) {
       entry.last_reason = reason;

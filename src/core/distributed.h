@@ -64,11 +64,26 @@ class DistributedCoordinator {
   size_t num_schedulers() const { return shards_.size(); }
   OptumScheduler& shard(size_t i) { return *shards_[i]; }
 
+  // Attaches the observability registry: the coordinator publishes
+  // dist.rounds / dist.commits / dist.conflicts counters and times each
+  // conflict-resolution round into dist.round_seconds; every shard
+  // scheduler attaches at its own registry lane (shard s uses lane s, the
+  // lane its decisions run on), under prefix "optum.shard<s>". Shards score
+  // serially within themselves (num_threads = 0), so lane = shard index
+  // keeps all parallel updates on distinct shards.
+  void AttachMetrics(obs::MetricRegistry* registry);
+
  private:
   std::vector<std::unique_ptr<OptumScheduler>> shards_;
   DeploymentModule deployment_;
   ThreadPool pool_;
   size_t max_attempts_per_pod_;
+
+  // Nullable observability sinks (single branch when detached).
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* commits_counter_ = nullptr;
+  obs::Counter* conflicts_counter_ = nullptr;
+  obs::Histogram* round_timer_ = nullptr;
 };
 
 }  // namespace optum::core

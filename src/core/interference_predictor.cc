@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/timer.h"
 
 namespace optum::core {
 
@@ -81,6 +82,19 @@ void InterferencePredictor::RebuildAppIndex() {
   }
 }
 
+InterferencePredictor::CacheStats InterferencePredictor::cache_stats() const {
+  CacheStats stats;
+  for (const LaneCaches& lane : lanes_) {
+    stats.predict_hits += lane.predict_hits;
+    stats.predict_misses += lane.predict_misses;
+    stats.raw_hits += lane.raw_hits;
+    stats.raw_misses += lane.raw_misses;
+    stats.slope_hits += lane.slope_hits;
+    stats.slope_misses += lane.slope_misses;
+  }
+  return stats;
+}
+
 void InterferencePredictor::ClearCache() {
   for (LaneCaches& lane : lanes_) {
     lane.cache.Clear();
@@ -128,13 +142,15 @@ double InterferencePredictor::PredictRaw(AppId app, double host_cpu_util,
   const uint64_t mem_bucket = UtilBucket(host_mem_util, buckets);
   const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
                        (cpu_bucket << 16) | mem_bucket;
-  PredictionCache& cache = lanes_[lane].raw_cache;
-  if (const auto cached = cache.Find(key)) {
+  LaneCaches& caches = lanes_[lane];
+  if (const auto cached = caches.raw_cache.Find(key)) {
+    ++caches.raw_hits;
     return *cached;
   }
+  ++caches.raw_misses;
   const double prediction = PredictImpl(*model, BucketPoint(cpu_bucket, buckets),
                                         BucketPoint(mem_bucket, buckets));
-  cache.Insert(key, prediction);
+  caches.raw_cache.Insert(key, prediction);
   return prediction;
 }
 
@@ -148,14 +164,16 @@ double InterferencePredictor::Predict(AppId app, double host_cpu_util,
   const uint64_t mem_bucket = UtilBucket(host_mem_util, cache_buckets_);
   const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) |
                        (cpu_bucket << 16) | mem_bucket;
-  PredictionCache& cache = lanes_[lane].cache;
-  if (const auto cached = cache.Find(key)) {
+  LaneCaches& caches = lanes_[lane];
+  if (const auto cached = caches.cache.Find(key)) {
+    ++caches.predict_hits;
     return *cached;
   }
+  ++caches.predict_misses;
   const double prediction = model->discretizer.ToUpperBound(
       PredictImpl(*model, BucketPoint(cpu_bucket, cache_buckets_),
                   BucketPoint(mem_bucket, cache_buckets_)));
-  cache.Insert(key, prediction);
+  caches.cache.Insert(key, prediction);
   return prediction;
 }
 
@@ -250,8 +268,13 @@ double InterferencePredictor::MarginalInterference(
         (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) | util_key;
     double slope;
     if (const auto cached = slope_cache.Find(key)) {
+      ++lanes_[lane].slope_hits;
       slope = *cached;
     } else {
+      ++lanes_[lane].slope_misses;
+      // The slope-miss path is where forest evaluations concentrate after
+      // the caches warm up; time it when a sink is attached.
+      obs::ScopedTimer timer(forest_timer_, forest_timer_lane_base_ + lane);
       const double lo_cpu = std::max(0.0, mid_point - kSlopeSpan);
       const double hi = PredictRaw(app, mid_point + kSlopeSpan, mem_point, lane);
       const double lo = PredictRaw(app, lo_cpu, mem_point, lane);

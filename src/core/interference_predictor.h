@@ -19,6 +19,7 @@
 
 #include "src/core/prediction_cache.h"
 #include "src/core/profiles.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cluster.h"
 
 namespace optum::core {
@@ -87,6 +88,37 @@ class InterferencePredictor {
   void ClearCache();
   size_t cache_size() const { return lanes_[0].cache.size(); }
 
+  // Hit/miss tallies of the three caches, maintained unconditionally (each
+  // is one lane-private non-atomic increment on an already-hot line, well
+  // inside the observability overhead budget). Merged across lanes; read
+  // only while no lane is scoring.
+  struct CacheStats {
+    uint64_t predict_hits = 0, predict_misses = 0;
+    uint64_t raw_hits = 0, raw_misses = 0;
+    uint64_t slope_hits = 0, slope_misses = 0;
+    // Forest evaluations (DecisionTreeRegressor descents) actually run —
+    // every cache miss costs exactly one.
+    uint64_t forest_evals() const { return predict_misses + raw_misses; }
+    uint64_t hits() const { return predict_hits + raw_hits + slope_hits; }
+    uint64_t misses() const { return predict_misses + raw_misses + slope_misses; }
+  };
+  CacheStats cache_stats() const;
+  // Total misses charged to one lane; the scheduler uses before/after
+  // deltas to tag decision-log candidates with their cache-miss cost.
+  uint64_t lane_misses(size_t lane) const {
+    const LaneCaches& l = lanes_[lane];
+    return l.predict_misses + l.raw_misses + l.slope_misses;
+  }
+
+  // Attaches the forest-evaluation timer: slope-cache misses (two raw-model
+  // evaluations each) record their latency into `sink` at shard
+  // `lane_base + lane`. The sink must have at least lane_base + num_lanes()
+  // shards; nullptr (the default) disables timing entirely.
+  void set_forest_timer(obs::Histogram* sink, size_t lane_base = 0) {
+    forest_timer_ = sink;
+    forest_timer_lane_base_ = lane_base;
+  }
+
  private:
   // One lane's private shard of the three caches. Cache-line aligned so two
   // lanes' hot metadata (size/mask) never share a line across workers.
@@ -97,6 +129,11 @@ class InterferencePredictor {
     // coarse before/after utilization buckets); shared by both histogram
     // paths so the incremental and rebuild modes stay numerically identical.
     PredictionCache slope_cache;
+    // Lane-private hit/miss tallies (see CacheStats). Survive Clear() —
+    // they count work over the predictor's lifetime, not cache contents.
+    uint64_t predict_hits = 0, predict_misses = 0;
+    uint64_t raw_hits = 0, raw_misses = 0;
+    uint64_t slope_hits = 0, slope_misses = 0;
   };
 
   // Bucket index of a utilization value on a `buckets`-wide grid over [0, 2]
@@ -126,6 +163,9 @@ class InterferencePredictor {
   // Read-only during scoring, so safely shared across lanes.
   std::vector<const AppModel*> by_app_;
   mutable std::vector<LaneCaches> lanes_;
+  // Nullable observability sink (see set_forest_timer).
+  obs::Histogram* forest_timer_ = nullptr;
+  size_t forest_timer_lane_base_ = 0;
 };
 
 }  // namespace optum::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/timer.h"
 #include "src/sched/common.h"
 
 namespace optum::core {
@@ -54,6 +55,9 @@ OptumScheduler::HostEvaluation OptumScheduler::EvaluateHost(const PodSpec& pod,
         cpu_util, mem_util, config_.omega_o, config_.omega_b, lane);
   }
   eval.feasible = true;
+  eval.cpu_util = cpu_util;
+  eval.mem_util = mem_util;
+  eval.interference = interference;
   eval.score = cpu_util * mem_util - interference;
   return eval;
 }
@@ -77,10 +81,13 @@ PlacementDecision OptumScheduler::Place(const PodSpec& pod, const AppProfile& ap
 PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
                                               const ClusterState& cluster,
                                               double* best_score) {
-  // Sampling draws from the scheduler's own serial rng_ stream before any
-  // parallel work, so the candidate set is identical for every num_threads.
-  SampleHostsInto(cluster, config_.sample_fraction, config_.min_candidates, rng_,
-                  &sample_scratch_, &candidates_);
+  {
+    // Sampling draws from the scheduler's own serial rng_ stream before any
+    // parallel work, so the candidate set is identical for every num_threads.
+    obs::ScopedTimer timer(sample_timer_, metrics_lane_base_);
+    SampleHostsInto(cluster, config_.sample_fraction, config_.min_candidates, rng_,
+                    &sample_scratch_, &candidates_);
+  }
   scored_.resize(candidates_.size());
 
   // Candidates are sampled without replacement, so parallel scoring touches
@@ -89,16 +96,30 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
 
   // Each worker scores through its own lane's prediction-cache shard; the
   // scores are lane-independent, so any work distribution yields the same
-  // scored_ array as a serial pass.
+  // scored_ array as a serial pass. With a decision log attached, each
+  // candidate is additionally tagged with the lane-local miss delta its
+  // scoring caused — reading two lane-private counters, which cannot
+  // perturb the scores themselves.
+  const bool tag_misses = decision_log_ != nullptr;
   auto score_candidate = [&](size_t lane, size_t i) {
-    scored_[i] = EvaluateHost(pod, cluster.host(candidates_[i]), lane);
+    if (tag_misses) {
+      const uint64_t misses_before = interference_predictor_.lane_misses(lane);
+      scored_[i] = EvaluateHost(pod, cluster.host(candidates_[i]), lane);
+      scored_[i].cache_misses =
+          interference_predictor_.lane_misses(lane) - misses_before;
+    } else {
+      scored_[i] = EvaluateHost(pod, cluster.host(candidates_[i]), lane);
+    }
   };
 
-  if (pool_ != nullptr && candidates_.size() >= 2 * pool_->num_threads()) {
-    pool_->ParallelForLane(candidates_.size(), score_candidate);
-  } else {
-    for (size_t i = 0; i < candidates_.size(); ++i) {
-      score_candidate(0, i);
+  {
+    obs::ScopedTimer timer(score_timer_, metrics_lane_base_);
+    if (pool_ != nullptr && candidates_.size() >= 2 * pool_->num_threads()) {
+      pool_->ParallelForLane(candidates_.size(), score_candidate);
+    } else {
+      for (size_t i = 0; i < candidates_.size(); ++i) {
+        score_candidate(0, i);
+      }
     }
   }
 
@@ -116,11 +137,127 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
       any_mem |= scored_[i].mem_blocked;
     }
   }
+  PlacementDecision decision;
   if (best == candidates_.size()) {
-    return PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
+    decision = PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
+    if (rejections_counter_ != nullptr) {
+      rejections_counter_->Inc(metrics_lane_base_);
+    }
+  } else {
+    *best_score = scored_[best].score;
+    decision = PlacementDecision::Accept(candidates_[best]);
+    if (placements_counter_ != nullptr) {
+      placements_counter_->Inc(metrics_lane_base_);
+    }
   }
-  *best_score = scored_[best].score;
-  return PlacementDecision::Accept(candidates_[best]);
+  if (decision_log_ != nullptr) {
+    LogDecision(pod, cluster, decision);
+  }
+  return decision;
+}
+
+void OptumScheduler::AttachMetrics(obs::MetricRegistry* registry, size_t lane_base,
+                                   const std::string& prefix) {
+  metrics_ = registry;
+  metrics_lane_base_ = lane_base;
+  if (registry == nullptr) {
+    sample_timer_ = nullptr;
+    score_timer_ = nullptr;
+    placements_counter_ = nullptr;
+    rejections_counter_ = nullptr;
+    interference_predictor_.set_forest_timer(nullptr);
+    return;
+  }
+  if (pool_ != nullptr) {
+    // Parallel scoring records at the pool's lane ids, so the base must be
+    // zero and the registry must cover every lane.
+    OPTUM_CHECK_MSG(lane_base == 0,
+                    "a scheduler with its own scoring pool must attach at lane 0");
+    registry->set_num_lanes(pool_->num_lanes());
+  } else {
+    registry->set_num_lanes(lane_base + 1);
+  }
+  sample_timer_ = registry->histogram(prefix + ".sample_seconds");
+  score_timer_ = registry->histogram(prefix + ".score_seconds");
+  placements_counter_ = registry->counter(prefix + ".placements");
+  rejections_counter_ = registry->counter(prefix + ".rejections");
+  interference_predictor_.set_forest_timer(
+      registry->histogram(prefix + ".forest_eval_seconds"), lane_base);
+  // Pull-style cache statistics: refreshed from the predictor's lane-merged
+  // tallies at every registry sample/export, so the per-tick series tracks
+  // hit-rate evolution without per-probe registry calls. The collector
+  // holds a pointer to this scheduler: attach once, and keep the scheduler
+  // alive until the registry's final export.
+  const InterferencePredictor* predictor = &interference_predictor_;
+  registry->AddCollector([predictor, prefix](obs::MetricRegistry* r) {
+    const InterferencePredictor::CacheStats s = predictor->cache_stats();
+    const auto rate = [](uint64_t hits, uint64_t misses) {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    };
+    r->gauge(prefix + ".pred_cache_hits")->Set(static_cast<double>(s.predict_hits));
+    r->gauge(prefix + ".pred_cache_misses")
+        ->Set(static_cast<double>(s.predict_misses));
+    r->gauge(prefix + ".pred_cache_hit_rate")->Set(rate(s.predict_hits, s.predict_misses));
+    r->gauge(prefix + ".raw_cache_hit_rate")->Set(rate(s.raw_hits, s.raw_misses));
+    r->gauge(prefix + ".slope_cache_hits")->Set(static_cast<double>(s.slope_hits));
+    r->gauge(prefix + ".slope_cache_misses")
+        ->Set(static_cast<double>(s.slope_misses));
+    r->gauge(prefix + ".slope_cache_hit_rate")->Set(rate(s.slope_hits, s.slope_misses));
+    r->gauge(prefix + ".forest_evals")->Set(static_cast<double>(s.forest_evals()));
+  });
+}
+
+void OptumScheduler::LogDecision(const PodSpec& pod, const ClusterState& cluster,
+                                 const PlacementDecision& decision) {
+  obs::DecisionTrace trace;
+  trace.tick = cluster.now();
+  trace.pod = pod.id;
+  trace.app = pod.app;
+  trace.slo = pod.slo;
+  trace.candidates_sampled = candidates_.size();
+  trace.chosen = decision.host;
+  trace.reject_reason = ToString(decision.reason);
+
+  // Top-k selection by score (ties toward the earlier candidate, matching
+  // the reduction); k is small, so insertion into a fixed window is fine.
+  const size_t k = decision_log_->top_k();
+  std::vector<size_t> top;
+  top.reserve(k + 1);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (!scored_[i].feasible) {
+      continue;
+    }
+    ++trace.candidates_feasible;
+    size_t pos = top.size();
+    while (pos > 0 && scored_[top[pos - 1]].score < scored_[i].score) {
+      --pos;
+    }
+    if (pos < k) {
+      top.insert(top.begin() + static_cast<ptrdiff_t>(pos), i);
+      if (top.size() > k) {
+        top.pop_back();
+      }
+    }
+  }
+  // The reduction's winner is always the top-ranked candidate: both orders
+  // are by score with ties toward the earlier sample.
+  if (decision.placed() && !top.empty()) {
+    trace.chosen_score = scored_[top[0]].score;
+  }
+  for (const size_t i : top) {
+    obs::CandidateTrace c;
+    c.host = candidates_[i];
+    c.feasible = true;
+    c.score = scored_[i].score;
+    c.cpu_util = scored_[i].cpu_util;
+    c.mem_util = scored_[i].mem_util;
+    c.usage_fit = scored_[i].cpu_util * scored_[i].mem_util;
+    c.interference = scored_[i].interference;
+    c.cache_misses = scored_[i].cache_misses;
+    trace.top.push_back(c);
+  }
+  decision_log_->Append(trace);
 }
 
 void OptumScheduler::ReplaceProfiles(OptumProfiles profiles) {

@@ -17,6 +17,8 @@
 #include "src/core/interference_predictor.h"
 #include "src/core/profiles.h"
 #include "src/core/resource_usage_predictor.h"
+#include "src/obs/decision_log.h"
+#include "src/obs/metrics.h"
 #include "src/sim/placement_policy.h"
 #include "src/stats/rng.h"
 
@@ -103,6 +105,15 @@ class OptumScheduler : public PlacementPolicy {
     bool cpu_blocked = false;
     bool mem_blocked = false;
     double score = 0.0;  // valid only when feasible
+    // Eq. 11 term breakdown, kept for the decision log (the values are
+    // already in registers when the score is formed, so storing them costs
+    // nothing measurable): score = cpu_util * mem_util - interference.
+    double cpu_util = 0.0;
+    double mem_util = 0.0;
+    double interference = 0.0;
+    // Prediction/slope-cache misses charged while scoring this candidate;
+    // tracked only when a decision log is attached (0 otherwise).
+    uint64_t cache_misses = 0;
   };
   // `lane` selects the private prediction-cache shard to use; parallel
   // scoring passes each worker's thread-pool lane, serial callers take the
@@ -123,7 +134,37 @@ class OptumScheduler : public PlacementPolicy {
   // because the profiles object itself is reused.
   void ReplaceProfiles(OptumProfiles profiles);
 
+  // Attaches the observability registry (nullptr detaches). Creates the
+  // scheduler's metrics under `prefix`:
+  //   <prefix>.sample_seconds / .score_seconds   phase histograms
+  //   <prefix>.forest_eval_seconds               slope-cache-miss latency
+  //   <prefix>.placements / .rejections          counters
+  //   <prefix>.pred_cache_* / .slope_cache_* / .forest_evals
+  //       gauges refreshed by a registered collector from the predictor's
+  //       lane-merged CacheStats at every sample/export
+  // `lane_base` is the registry shard this scheduler's serial-path updates
+  // use; schedulers running concurrently (distributed shards) must use
+  // distinct bases. A scheduler with its own scoring pool requires
+  // lane_base == 0 and grows the registry to its pool's lane count.
+  // Placements are unaffected: metrics never feed back into scoring.
+  void AttachMetrics(obs::MetricRegistry* registry, size_t lane_base = 0,
+                     const std::string& prefix = "optum");
+
+  // Attaches the per-placement JSONL decision log (nullptr detaches). The
+  // log is written on the serial reduction path of PlaceScored; distinct
+  // schedulers must use distinct logs.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+
+  const InterferencePredictor& interference_predictor() const {
+    return interference_predictor_;
+  }
+
  private:
+  // Builds and appends the JSONL record for one PlaceScored outcome; runs
+  // on the serial path after the best-candidate reduction.
+  void LogDecision(const PodSpec& pod, const ClusterState& cluster,
+                   const PlacementDecision& decision);
+
   std::unique_ptr<OptumProfiles> profiles_;
   OptumConfig config_;
   ResourceUsagePredictor usage_predictor_;
@@ -138,6 +179,16 @@ class OptumScheduler : public PlacementPolicy {
   std::vector<HostId> sample_scratch_;
   std::vector<HostId> candidates_;
   std::vector<HostEvaluation> scored_;
+
+  // Observability sinks — all nullable; disabled instrumentation costs one
+  // branch per site (DESIGN.md §9).
+  obs::MetricRegistry* metrics_ = nullptr;
+  size_t metrics_lane_base_ = 0;
+  obs::Histogram* sample_timer_ = nullptr;
+  obs::Histogram* score_timer_ = nullptr;
+  obs::Counter* placements_counter_ = nullptr;
+  obs::Counter* rejections_counter_ = nullptr;
+  obs::DecisionLog* decision_log_ = nullptr;
 };
 
 }  // namespace optum::core

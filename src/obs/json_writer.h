@@ -1,0 +1,191 @@
+// Minimal streaming JSON writer shared by every export path in the repo —
+// the metrics registry dump, the per-placement decision log, and the
+// machine-readable run summaries of runsim/trace_summary. Deliberately
+// tiny: no DOM, no allocation beyond the output string, commas and nesting
+// handled by a small state stack so callers cannot emit malformed JSON by
+// forgetting separators.
+//
+// Numbers are formatted with %.10g (doubles) so output is deterministic
+// for identical inputs; NaN and infinities — which JSON cannot represent —
+// are emitted as null.
+#ifndef OPTUM_SRC_OBS_JSON_WRITER_H_
+#define OPTUM_SRC_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optum::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Separate();
+    out_.push_back('{');
+    stack_.push_back(State::kObjectFirst);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    stack_.pop_back();
+    out_.push_back('}');
+    return *this;
+  }
+
+  JsonWriter& BeginArray() {
+    Separate();
+    out_.push_back('[');
+    stack_.push_back(State::kArrayFirst);
+    return *this;
+  }
+
+  JsonWriter& EndArray() {
+    stack_.pop_back();
+    out_.push_back(']');
+    return *this;
+  }
+
+  // Key of the next object member; must be followed by a value or a
+  // Begin{Object,Array}.
+  JsonWriter& Key(std::string_view name) {
+    Separate();
+    AppendQuoted(name);
+    out_.push_back(':');
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view s) {
+    Separate();
+    AppendQuoted(s);
+    return *this;
+  }
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(bool b) {
+    Separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(double v) {
+    Separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(uint64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  // size_t aliases uint64_t on the platforms we build for; an explicit
+  // overload would be a redefinition.
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Null() {
+    Separate();
+    out_ += "null";
+    return *this;
+  }
+
+  // Splices an already-rendered JSON fragment in value position — how the
+  // runsim summary embeds RenderSummaryJson output without re-parsing it.
+  // The caller guarantees `json` is well-formed.
+  JsonWriter& RawValue(std::string_view json) {
+    Separate();
+    out_ += json;
+    return *this;
+  }
+
+  // Convenience: Key(...) followed by Value(...).
+  template <typename T>
+  JsonWriter& KV(std::string_view name, T&& value) {
+    Key(name);
+    return Value(std::forward<T>(value));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  enum class State : uint8_t { kObjectFirst, kObject, kArrayFirst, kArray };
+
+  // Emits the separating comma when needed and advances the container
+  // state. A value immediately after Key() never gets a comma.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) {
+      return;
+    }
+    State& top = stack_.back();
+    if (top == State::kObjectFirst) {
+      top = State::kObject;
+    } else if (top == State::kArrayFirst) {
+      top = State::kArray;
+    } else {
+      out_.push_back(',');
+    }
+  }
+
+  void AppendQuoted(std::string_view s) {
+    out_.push_back('"');
+    out_ += Escape(s);
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_JSON_WRITER_H_

@@ -1,0 +1,262 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+
+namespace optum::obs {
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) {
+    return 0;  // non-positive (and NaN) values clamp to the first bucket
+  }
+  int exp = 0;
+  // v = m * 2^exp with m in [0.5, 1), so floor(log2(v)) == exp - 1.
+  (void)std::frexp(v, &exp);
+  const int bucket = (exp - 1) - kMinExponent;
+  if (bucket < 0) {
+    return 0;
+  }
+  if (bucket >= static_cast<int>(kNumBuckets)) {
+    return kNumBuckets - 1;
+  }
+  return static_cast<size_t>(bucket);
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + kMinExponent);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count;
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum;
+  }
+  return total;
+}
+
+double Histogram::Max() const {
+  double m = 0.0;
+  for (const Shard& s : shards_) {
+    if (s.max > m) {
+      m = s.max;
+    }
+  }
+  return m;
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::MergedBuckets() const {
+  std::array<uint64_t, kNumBuckets> merged{};
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      merged[i] += s.buckets[i];
+    }
+  }
+  return merged;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::array<uint64_t, kNumBuckets> merged = MergedBuckets();
+  const uint64_t total = Count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (merged[i] == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + merged[i]) >= rank) {
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketLowerBound(i + 1);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(merged[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += merged[i];
+  }
+  return Max();
+}
+
+MetricRegistry::MetricRegistry(size_t num_lanes) : num_lanes_(num_lanes) {
+  OPTUM_CHECK_GE(num_lanes, 1u);
+}
+
+void MetricRegistry::set_num_lanes(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n <= num_lanes_) {
+    return;
+  }
+  num_lanes_ = n;
+  for (auto& [name, c] : counters_) {
+    c->shards_.resize(n);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->shards_.resize(n);
+  }
+  for (auto& [name, h] : histograms_) {
+    h->shards_.resize(n);
+  }
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    slot->name_ = name;
+    slot->shards_.resize(num_lanes_);
+  }
+  return slot.get();
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    slot->name_ = name;
+    slot->shards_.resize(num_lanes_);
+    gauge_order_.push_back(slot.get());
+  }
+  return slot.get();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    slot->name_ = name;
+    slot->shards_.resize(num_lanes_);
+  }
+  return slot.get();
+}
+
+void MetricRegistry::AddCollector(std::function<void(MetricRegistry*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricRegistry::RunCollectors() {
+  // Copy under the lock so a collector may itself create metrics.
+  std::vector<std::function<void(MetricRegistry*)>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns = collectors_;
+  }
+  for (const auto& fn : fns) {
+    fn(this);
+  }
+}
+
+void MetricRegistry::SampleGauges(int64_t tick) {
+  RunCollectors();
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesSample sample;
+  sample.tick = tick;
+  sample.values.reserve(gauge_order_.size());
+  for (const Gauge* g : gauge_order_) {
+    sample.values.push_back(g->Value());
+  }
+  series_.push_back(std::move(sample));
+}
+
+std::string MetricRegistry::ToJson() {
+  RunCollectors();
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "optum.metrics.v1");
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.KV(name, c->Value());
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.KV(name, g->Value());
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.KV("count", h->Count());
+    w.KV("sum", h->Sum());
+    w.KV("mean", h->Mean());
+    w.KV("max", h->Max());
+    w.KV("p50", h->Percentile(50));
+    w.KV("p90", h->Percentile(90));
+    w.KV("p99", h->Percentile(99));
+    // Sparse bucket dump: [lower_bound, count] for non-empty buckets only.
+    w.Key("buckets").BeginArray();
+    const auto merged = h->MergedBuckets();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (merged[i] == 0) {
+        continue;
+      }
+      w.BeginArray();
+      w.Value(Histogram::BucketLowerBound(i));
+      w.Value(merged[i]);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  // Time series: one column per gauge in registration order; ticks in
+  // sample order. Samples taken before a gauge existed export null.
+  w.Key("series").BeginObject();
+  w.Key("ticks").BeginArray();
+  for (const SeriesSample& s : series_) {
+    w.Value(s.tick);
+  }
+  w.EndArray();
+  w.Key("gauges").BeginObject();
+  for (size_t col = 0; col < gauge_order_.size(); ++col) {
+    w.Key(gauge_order_[col]->name()).BeginArray();
+    for (const SeriesSample& s : series_) {
+      if (col < s.values.size()) {
+        w.Value(s.values[col]);
+      } else {
+        w.Null();
+      }
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool MetricRegistry::WriteJsonFile(const std::string& path) {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace optum::obs

@@ -1,0 +1,43 @@
+// RAII timer feeding a Histogram with elapsed seconds. With a null sink the
+// constructor and destructor reduce to one branch each — no clock reads —
+// so always-present instrumentation costs nothing when metrics are off.
+#ifndef OPTUM_SRC_OBS_TIMER_H_
+#define OPTUM_SRC_OBS_TIMER_H_
+
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace optum::obs {
+
+class ScopedTimer {
+ public:
+  // Records into `sink` shard `lane` on destruction; nullptr disables.
+  explicit ScopedTimer(Histogram* sink, size_t lane = 0)
+      : sink_(sink), lane_(lane) {
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+              .count(),
+          lane_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  size_t lane_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_TIMER_H_

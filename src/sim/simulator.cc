@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/timer.h"
 
 namespace optum {
 
@@ -58,6 +59,19 @@ Simulator::Simulator(const Workload& workload, SimConfig config, PlacementPolicy
   }
   wait_by_pod_.resize(workload.pods.size());
   tick_scratch_.resize(static_cast<size_t>(workload.config.num_hosts));
+  if (config_.metrics != nullptr) {
+    obs::MetricRegistry* m = config_.metrics;
+    sim_metrics_.tick_timer = m->histogram("sim.tick_seconds");
+    sim_metrics_.cpu_util = m->gauge("sim.avg_cpu_util_nonidle");
+    sim_metrics_.mem_util = m->gauge("sim.avg_mem_util_nonidle");
+    sim_metrics_.frac_nonidle = m->gauge("sim.frac_hosts_nonidle");
+    sim_metrics_.pending = m->gauge("sim.pending_pods");
+    sim_metrics_.running = m->gauge("sim.running_pods");
+    sim_metrics_.scheduled = m->gauge("sim.scheduled_pods");
+    sim_metrics_.oom_kills = m->gauge("sim.oom_kills");
+    sim_metrics_.preemptions = m->gauge("sim.preemptions");
+    sim_metrics_.violations = m->gauge("sim.violation_host_ticks");
+  }
   result_.trace.nodes.reserve(static_cast<size_t>(workload.config.num_hosts));
   for (int h = 0; h < workload.config.num_hosts; ++h) {
     result_.trace.nodes.push_back(NodeMeta{h, config.host_capacity});
@@ -475,17 +489,51 @@ void Simulator::FinalizeAtHorizon() {
   }
 }
 
+void Simulator::SampleMetrics() {
+  double cpu_acc = 0.0, mem_acc = 0.0;
+  int nonidle = 0;
+  for (const Host& host : cluster_.hosts()) {
+    if (host.pods.empty()) {
+      continue;
+    }
+    ++nonidle;
+    cpu_acc += host.usage.cpu / host.capacity.cpu;
+    mem_acc += host.usage.mem / host.capacity.mem;
+  }
+  size_t pending = 0;
+  for (const auto& queue : pending_) {
+    pending += queue.size();
+  }
+  sim_metrics_.cpu_util->Set(nonidle > 0 ? cpu_acc / nonidle : 0.0);
+  sim_metrics_.mem_util->Set(nonidle > 0 ? mem_acc / nonidle : 0.0);
+  sim_metrics_.frac_nonidle->Set(static_cast<double>(nonidle) /
+                                 static_cast<double>(cluster_.num_hosts()));
+  sim_metrics_.pending->Set(static_cast<double>(pending));
+  sim_metrics_.running->Set(static_cast<double>(running_.size()));
+  sim_metrics_.scheduled->Set(static_cast<double>(result_.scheduled_pods));
+  sim_metrics_.oom_kills->Set(static_cast<double>(result_.oom_kills));
+  sim_metrics_.preemptions->Set(static_cast<double>(result_.preemptions));
+  sim_metrics_.violations->Set(static_cast<double>(result_.violation_host_ticks));
+  config_.metrics->SampleGauges(now_);
+}
+
 SimResult Simulator::Run() {
   OPTUM_CHECK_MSG(!ran_, "Simulator::Run may only be called once");
   ran_ = true;
   const Tick horizon = workload_.config.horizon;
   for (now_ = 0; now_ < horizon; ++now_) {
     cluster_.set_now(now_);
-    EnqueueArrivals();
-    SchedulePending();
-    UpdateUsageAndPerformance();
-    HandleCompletions();
-    RecordRunningState();
+    {
+      obs::ScopedTimer tick_timer(sim_metrics_.tick_timer);
+      EnqueueArrivals();
+      SchedulePending();
+      UpdateUsageAndPerformance();
+      HandleCompletions();
+      RecordRunningState();
+    }
+    if (config_.metrics != nullptr) {
+      SampleMetrics();
+    }
     if (config_.on_tick_end) {
       config_.on_tick_end(cluster_, now_);
     }

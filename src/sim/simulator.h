@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cluster.h"
 #include "src/sim/placement_policy.h"
 #include "src/sim/psi_model.h"
@@ -53,6 +54,14 @@ struct SimConfig {
   // Optional observer invoked at the end of every tick, after usage and
   // performance updates. Benches use it to snapshot predictor inputs.
   std::function<void(const ClusterState&, Tick)> on_tick_end;
+
+  // Optional observability registry (DESIGN.md §9). When set, every tick
+  // updates the sim.* gauges (cluster CPU/mem utilization, pending-queue
+  // depth, running pods, cumulative violations/OOM kills/preemptions),
+  // records the tick's wall time into the sim.tick_seconds histogram, and
+  // snapshots all gauges into the registry's time series. Metrics never
+  // feed back into scheduling, so results are identical with or without.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 // A pod that experienced scheduling delay, with the (final) blocking reason.
@@ -134,6 +143,10 @@ class Simulator {
   void NoteWaitReason(const PodSpec& pod, WaitReason reason);
   void FinishPod(PodRuntime* pod, Tick finish_tick);
 
+  // Updates the sim.* gauges and snapshots the time series; called once per
+  // tick, serially, when config_.metrics is set.
+  void SampleMetrics();
+
   // O(1) membership maintenance for running_ via PodRuntime::running_index.
   void AddRunning(PodRuntime* pod);
   void RemoveFromRunning(PodRuntime* pod);
@@ -161,6 +174,22 @@ class Simulator {
   std::vector<WaitSample> wait_by_pod_;
   SimResult result_;
   bool ran_ = false;
+
+  // Cached observability sinks, resolved once from config_.metrics (all
+  // null when metrics are off — each use is a single branch).
+  struct SimMetrics {
+    obs::Histogram* tick_timer = nullptr;
+    obs::Gauge* cpu_util = nullptr;
+    obs::Gauge* mem_util = nullptr;
+    obs::Gauge* frac_nonidle = nullptr;
+    obs::Gauge* pending = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::Gauge* scheduled = nullptr;
+    obs::Gauge* oom_kills = nullptr;
+    obs::Gauge* preemptions = nullptr;
+    obs::Gauge* violations = nullptr;
+  };
+  SimMetrics sim_metrics_;
 };
 
 }  // namespace optum

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/json_writer.h"
 #include "src/stats/descriptive.h"
 
 namespace optum {
@@ -141,6 +142,41 @@ std::string RenderSummary(const TraceSummary& summary) {
     out += buf;
   }
   return out;
+}
+
+std::string RenderSummaryJson(const TraceSummary& summary) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "optum.summary.v1");
+  w.KV("hosts", summary.hosts);
+  w.KV("pods", summary.pods);
+  w.KV("usage_records", summary.usage_records);
+  w.KV("first_tick", summary.first_tick);
+  w.KV("last_tick", summary.last_tick);
+  w.KV("mean_host_cpu", summary.mean_host_cpu);
+  w.KV("mean_host_mem", summary.mean_host_mem);
+  w.KV("max_host_cpu", summary.max_host_cpu);
+  w.Key("classes");
+  w.BeginArray();
+  for (const ClassSummary& c : summary.classes) {
+    if (c.pods == 0) {
+      continue;
+    }
+    w.BeginObject();
+    w.KV("slo", ToString(c.slo));
+    w.KV("pods", c.pods);
+    w.KV("scheduled", c.scheduled);
+    w.KV("finished", c.finished);
+    w.KV("mean_cpu_request", c.mean_cpu_request);
+    w.KV("mean_mem_request", c.mean_mem_request);
+    w.KV("mean_cpu_usage", c.mean_cpu_usage);
+    w.KV("mean_waiting_seconds", c.mean_waiting_seconds);
+    w.KV("p99_waiting_seconds", c.p99_waiting_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
 }
 
 EmpiricalCdf WaitingTimeCdf(const TraceBundle& trace, SloClass slo) {

@@ -71,6 +71,11 @@ TraceSummary Summarize(const TraceBundle& trace);
 // Renders the summary as a human-readable report.
 std::string RenderSummary(const TraceSummary& summary);
 
+// Renders the summary as a JSON object (schema optum.summary.v1) — the
+// machine-readable twin of RenderSummary, shared by `runsim --json` and
+// `trace_summary --json` so both tools emit the same export format.
+std::string RenderSummaryJson(const TraceSummary& summary);
+
 // Waiting-time CDF for one SLO class (scheduled and censored pods).
 EmpiricalCdf WaitingTimeCdf(const TraceBundle& trace, SloClass slo);
 

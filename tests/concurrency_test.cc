@@ -11,11 +11,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/core/offline_profiler.h"
 #include "src/core/optum_scheduler.h"
+#include "src/obs/decision_log.h"
+#include "src/obs/metrics.h"
 #include "src/sched/baselines.h"
 #include "src/sim/simulator.h"
 #include "src/trace/workload_generator.h"
@@ -94,7 +98,9 @@ struct StreamResult {
 StreamResult StreamPlacements(const OptumProfiles& profiles,
                               const std::vector<const AppProfile*>& catalog,
                               int num_hosts, int prefill_per_host, int stream,
-                              size_t num_threads, ScoreMode score_mode) {
+                              size_t num_threads, ScoreMode score_mode,
+                              obs::MetricRegistry* registry = nullptr,
+                              obs::DecisionLog* decision_log = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
   std::vector<PodRuntime*> live;
@@ -110,6 +116,10 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
   config.num_threads = num_threads;
   config.score_mode = score_mode;
   OptumScheduler scheduler(profiles, config);
+  if (registry != nullptr) {
+    scheduler.AttachMetrics(registry);
+  }
+  scheduler.set_decision_log(decision_log);
 
   StreamResult result;
   size_t evict_cursor = 0;
@@ -194,6 +204,51 @@ TEST_P(ThreadCountInvarianceTest, PlaceScoredBitIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(BothScoreModes, ThreadCountInvarianceTest,
                          ::testing::Values(ScoreMode::kMarginal,
                                            ScoreMode::kPaperAbsolute));
+
+// Attaching the full observability stack — registry counters/timers,
+// predictor-cache gauges, and the per-placement decision log — must not
+// perturb a single placement or score: metric updates never feed back into
+// Eq. 11, and the decision log is rendered on the serial reduction path.
+// Baseline is metrics-OFF serial, so the test catches observer effects in
+// both the serial and the parallel scoring paths.
+TEST(ThreadCountInvarianceTest, MetricsOnBitIdenticalAcrossThreadCounts) {
+  const Workload workload = MakeWorkload(64, 3 * kTicksPerHour, 23);
+  const SimConfig sim_config = MakeSimConfig();
+  const OptumProfiles profiles = TrainProfiles(workload, sim_config);
+  const std::vector<const AppProfile*> catalog = SchedulableApps(workload);
+  ASSERT_FALSE(catalog.empty());
+
+  constexpr int kHosts = 1200;
+  constexpr int kPrefillPerHost = 4;
+  constexpr int kStream = 400;
+  const StreamResult bare = StreamPlacements(profiles, catalog, kHosts,
+                                             kPrefillPerHost, kStream,
+                                             /*num_threads=*/0, ScoreMode::kMarginal);
+  size_t placed = 0;
+  for (HostId h : bare.hosts) {
+    placed += h != kInvalidHostId ? 1 : 0;
+  }
+  ASSERT_GT(placed, static_cast<size_t>(kStream) / 2);
+
+  const std::string log_path = ::testing::TempDir() + "/concurrency_decisions.jsonl";
+  for (const size_t num_threads : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    obs::MetricRegistry registry;
+    obs::DecisionLog decision_log(log_path);
+    ASSERT_TRUE(decision_log.ok());
+    const StreamResult observed =
+        StreamPlacements(profiles, catalog, kHosts, kPrefillPerHost, kStream,
+                         num_threads, ScoreMode::kMarginal, &registry, &decision_log);
+    ExpectIdenticalStreams(bare, observed, num_threads);
+    // The instrumentation must have actually been live, not silently off.
+    EXPECT_EQ(registry.counter("optum.placements")->Value(), placed)
+        << "num_threads=" << num_threads;
+    EXPECT_EQ(registry.counter("optum.rejections")->Value(), kStream - placed);
+    EXPECT_EQ(registry.histogram("optum.sample_seconds")->Count(),
+              static_cast<uint64_t>(kStream));
+    EXPECT_EQ(decision_log.records_written(), kStream);
+  }
+  std::remove(log_path.c_str());
+}
 
 // --- End-to-end simulator equivalence ----------------------------------------
 

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "src/core/distributed.h"
 #include "src/core/offline_profiler.h"
 #include "src/core/resource_usage_predictor.h"
+#include "src/obs/metrics.h"
 
 namespace optum::core {
 namespace {
@@ -242,6 +244,56 @@ TEST(DistributedTest, ParallelShardsResolveConflicts) {
   for (const auto& p : outcome.placed) {
     EXPECT_TRUE(seen.insert({p.pod, p.host}).second);
   }
+}
+
+// Metrics on the distributed conflict path: the coordinator's counters must
+// agree with the outcome it returns, and every shard's per-lane scheduler
+// counters must merge into one batch-wide total (shard s writes at registry
+// lane s, so the merged sums only hold once the batch has quiesced).
+TEST(DistributedTest, AttachMetricsCountsRoundsCommitsAndConflicts) {
+  const OptumProfiles profiles = SimpleProfiles();
+  const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < 40; ++i) {
+    pods.push_back(MakePod(i, app));
+  }
+  std::vector<const PodSpec*> batch;
+  for (const auto& p : pods) {
+    batch.push_back(&p);
+  }
+  ClusterState cluster(8, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 4;
+  config.max_attempts_per_pod = 8;
+  config.scheduler_config.sample_fraction = 1.0;
+  config.scheduler_config.min_candidates = 8;
+  DistributedCoordinator coordinator(profiles, config);
+  obs::MetricRegistry registry;
+  coordinator.AttachMetrics(&registry);
+  EXPECT_GE(registry.num_lanes(), 4u);
+  const DistributedOutcome outcome =
+      coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
+        cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);
+      });
+  EXPECT_EQ(registry.counter("dist.rounds")->Value(),
+            static_cast<uint64_t>(outcome.rounds_used));
+  EXPECT_EQ(registry.counter("dist.commits")->Value(), outcome.placed.size());
+  EXPECT_EQ(registry.counter("dist.conflicts")->Value(),
+            static_cast<uint64_t>(outcome.conflicts_resolved));
+  EXPECT_EQ(registry.histogram("dist.round_seconds")->Count(),
+            static_cast<uint64_t>(outcome.rounds_used));
+  // Shard-level placements sum to commits + lost conflicts + ... — at
+  // minimum every commit came from some shard's placement.
+  uint64_t shard_placements = 0;
+  for (size_t s = 0; s < coordinator.num_schedulers(); ++s) {
+    shard_placements +=
+        registry.counter("optum.shard" + std::to_string(s) + ".placements")->Value();
+  }
+  EXPECT_GE(shard_placements, outcome.placed.size());
+  // The per-shard predictor gauges publish through collectors on export.
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("optum.shard0.pred_cache_hit_rate"), std::string::npos);
+  EXPECT_NE(json.find("optum.shard3.forest_evals"), std::string::npos);
 }
 
 TEST(DistributedTest, UnplaceableBatchReturnsReasons) {

@@ -12,6 +12,9 @@
 #include "src/common/flags.h"
 #include "src/core/offline_profiler.h"
 #include "src/core/optum_scheduler.h"
+#include "src/obs/decision_log.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
 #include "src/sched/baselines.h"
 #include "src/sched/medea.h"
 #include "src/sim/simulator.h"
@@ -37,7 +40,10 @@ void PrintUsage() {
       "  --omega_b X      Optum BE weight (default 0.3)\n"
       "  --sample X       Optum host sampling fraction (default 0.05)\n"
       "  --triple-ero     enable triple-wise ERO profiling (Optum)\n"
-      "  --trace-out DIR  write the run's trace bundle as CSVs\n");
+      "  --trace-out DIR  write the run's trace bundle as CSVs\n"
+      "  --metrics-json F export per-tick time series + final counters to F\n"
+      "  --decision-log F JSONL per-placement decision traces (Optum only)\n"
+      "  --json           machine-readable run summary on stdout\n");
 }
 
 }  // namespace
@@ -49,6 +55,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool json_out = flags.GetBool("json", false);
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string decision_log_path = flags.GetString("decision-log", "");
+
   WorkloadConfig config;
   config.num_hosts = static_cast<int>(flags.GetInt("hosts", 64));
   config.horizon = flags.GetInt("hours", 6) * kTicksPerHour;
@@ -56,9 +66,11 @@ int main(int argc, char** argv) {
   config.initial_ls_request_load = flags.GetDouble("ls-load", 0.8);
   config.be_target_request_load = flags.GetDouble("be-load", 0.25);
   const Workload workload = WorkloadGenerator(config).Generate();
-  std::printf("workload: %zu apps, %zu pods, %d hosts, %lld ticks\n",
-              workload.apps.size(), workload.pods.size(), config.num_hosts,
-              static_cast<long long>(config.horizon));
+  if (!json_out) {
+    std::printf("workload: %zu apps, %zu pods, %d hosts, %lld ticks\n",
+                workload.apps.size(), workload.pods.size(), config.num_hosts,
+                static_cast<long long>(config.horizon));
+  }
 
   SimConfig sim_config;
   sim_config.pod_usage_period = 5;
@@ -78,7 +90,9 @@ int main(int argc, char** argv) {
     policy = std::make_unique<Medea>();
   } else if (which == "optum") {
     // Profile from a reference run first, as in the paper's workflow.
-    std::printf("profiling from a reference run...\n");
+    if (!json_out) {
+      std::printf("profiling from a reference run...\n");
+    }
     AlibabaBaseline reference;
     const SimResult ref_result = Simulator(workload, sim_config, reference).Run();
     core::OfflineProfilerConfig prof_config;
@@ -100,21 +114,82 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Observability wiring (DESIGN.md §9): the registry collects per-tick
+  // sim.* gauges for any scheduler; the Optum scheduler additionally
+  // publishes its hot-path timers, counters, and predictor-cache gauges.
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::DecisionLog> decision_log;
+  if (!metrics_json.empty()) {
+    sim_config.metrics = &registry;
+    if (optum) {
+      optum->AttachMetrics(&registry);
+    }
+  }
+  if (!decision_log_path.empty()) {
+    if (!optum) {
+      std::fprintf(stderr, "--decision-log requires --scheduler optum\n");
+      return 2;
+    }
+    decision_log = std::make_unique<obs::DecisionLog>(decision_log_path);
+    if (!decision_log->ok()) {
+      std::fprintf(stderr, "failed to open decision log %s\n",
+                   decision_log_path.c_str());
+      return 1;
+    }
+    optum->set_decision_log(decision_log.get());
+  }
+
   PlacementPolicy& active = optum ? *optum : *policy;
   const SimResult result = Simulator(workload, sim_config, active).Run();
 
-  std::printf("\n[%s]\n", active.name().c_str());
-  std::printf("  scheduled pods:        %lld (pending at end: %lld)\n",
-              static_cast<long long>(result.scheduled_pods),
-              static_cast<long long>(result.never_scheduled_pods));
-  std::printf("  avg CPU util (busy):   %.4f\n", result.MeanCpuUtilNonIdle());
-  std::printf("  avg mem util (busy):   %.4f\n", result.MeanMemUtilNonIdle());
-  std::printf("  usage violation rate:  %.5f\n", result.violation_rate());
-  std::printf("  OOM kills / preempts:  %lld / %lld\n",
-              static_cast<long long>(result.oom_kills),
-              static_cast<long long>(result.preemptions));
+  const TraceSummary trace_summary = Summarize(result.trace);
+  if (json_out) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "optum.runsim.v1");
+    w.KV("scheduler", active.name());
+    w.KV("hosts", config.num_hosts);
+    w.KV("horizon_ticks", config.horizon);
+    w.KV("seed", static_cast<int64_t>(config.seed));
+    w.KV("scheduled_pods", result.scheduled_pods);
+    w.KV("never_scheduled_pods", result.never_scheduled_pods);
+    w.KV("avg_cpu_util_nonidle", result.MeanCpuUtilNonIdle());
+    w.KV("avg_mem_util_nonidle", result.MeanMemUtilNonIdle());
+    w.KV("violation_rate", result.violation_rate());
+    w.KV("oom_kills", result.oom_kills);
+    w.KV("preemptions", result.preemptions);
+    w.Key("summary");
+    w.RawValue(RenderSummaryJson(trace_summary));
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("\n[%s]\n", active.name().c_str());
+    std::printf("  scheduled pods:        %lld (pending at end: %lld)\n",
+                static_cast<long long>(result.scheduled_pods),
+                static_cast<long long>(result.never_scheduled_pods));
+    std::printf("  avg CPU util (busy):   %.4f\n", result.MeanCpuUtilNonIdle());
+    std::printf("  avg mem util (busy):   %.4f\n", result.MeanMemUtilNonIdle());
+    std::printf("  usage violation rate:  %.5f\n", result.violation_rate());
+    std::printf("  OOM kills / preempts:  %lld / %lld\n",
+                static_cast<long long>(result.oom_kills),
+                static_cast<long long>(result.preemptions));
+    std::printf("\n%s", RenderSummary(trace_summary).c_str());
+  }
 
-  std::printf("\n%s", RenderSummary(Summarize(result.trace)).c_str());
+  if (!metrics_json.empty()) {
+    if (!registry.WriteJsonFile(metrics_json)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_json.c_str());
+      return 1;
+    }
+    if (!json_out) {
+      std::printf("\nmetrics written to %s\n", metrics_json.c_str());
+    }
+  }
+  if (decision_log != nullptr && !json_out) {
+    std::printf("decision log: %lld records in %s\n",
+                static_cast<long long>(decision_log->records_written()),
+                decision_log_path.c_str());
+  }
 
   const std::string trace_out = flags.GetString("trace-out", "");
   if (!trace_out.empty()) {

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Builds the sanitizer presets and runs the `concurrency`-labeled ctest
-# subset under each — the thread-count-invariance, lane-sharded cache, and
-# host-baseline stress tests that guard the parallel scoring path.
+# Builds the sanitizer presets and runs the `concurrency`- and
+# `observability`-labeled ctest subsets under each — the
+# thread-count-invariance, lane-sharded cache, host-baseline stress, and
+# metrics-registry tests that guard the parallel scoring path and the
+# lane-sharded metric shards.
 #
 #   tools/sanitize_runner.sh [tsan|asan-ubsan|all]   (default: all)
 #
@@ -12,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CONCURRENCY_TARGETS=(concurrency_test cache_property_test sample_hosts_test
-                     perf_equivalence_test sim_property_test)
+                     perf_equivalence_test sim_property_test obs_test)
 
 run_preset() {
   local preset="$1"
@@ -20,7 +22,7 @@ run_preset() {
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)" \
     $(printf -- '--target %s ' "${CONCURRENCY_TARGETS[@]}")
-  echo "=== [${preset}] ctest -L concurrency ==="
+  echo "=== [${preset}] ctest -L 'concurrency|observability' ==="
   ctest --preset "${preset}" -j "$(nproc)"
 }
 

@@ -4,6 +4,7 @@
 //
 // Usage:
 //   trace_summary <trace_dir>
+//   trace_summary --json <trace_dir>       # machine-readable summary
 //   trace_summary --generate <trace_dir>   # synthesize a demo trace first
 #include <cstdio>
 
@@ -19,8 +20,9 @@ using namespace optum;
 int main(int argc, char** argv) {
   FlagParser flags;
   if (!flags.Parse(argc, argv) || flags.positional().size() != 1) {
-    std::fprintf(stderr,
-                 "usage: trace_summary [--generate] [--hosts N] [--hours H] <trace_dir>\n");
+    std::fprintf(
+        stderr,
+        "usage: trace_summary [--generate] [--json] [--hosts N] [--hours H] <trace_dir>\n");
     return 2;
   }
   const std::string dir = flags.positional()[0];
@@ -39,7 +41,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write trace to %s\n", dir.c_str());
       return 1;
     }
-    std::printf("generated demo trace in %s\n\n", dir.c_str());
+    if (!flags.GetBool("json", false)) {
+      std::printf("generated demo trace in %s\n\n", dir.c_str());
+    }
   }
 
   TraceBundle trace;
@@ -49,6 +53,11 @@ int main(int argc, char** argv) {
   }
 
   const TraceSummary summary = Summarize(trace);
+  if (flags.GetBool("json", false)) {
+    // Same export code path as `runsim --json` (schema optum.summary.v1).
+    std::printf("%s\n", RenderSummaryJson(summary).c_str());
+    return 0;
+  }
   std::fputs(RenderSummary(summary).c_str(), stdout);
 
   std::printf("\nwaiting time quantiles (s):\n");
