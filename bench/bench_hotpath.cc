@@ -10,6 +10,11 @@
 //      serial vs parallel UpdateUsageAndPerformance (bit-identical results;
 //      wall-clock gain requires a multi-core machine — the JSON records
 //      hardware_concurrency so numbers are comparable across machines).
+//   3. Forest inference: ns/row of pointer-tree descent
+//      (RandomForestRegressor::Predict) vs the compiled SoA engine
+//      (CompiledForest::PredictBatch, DESIGN.md §10) across a batch-size
+//      sweep. Outputs are bit-identical; the sweep shows where batching
+//      starts paying beyond the layout win.
 //
 // Emits BENCH_hotpath.json (path = argv[1], default ./BENCH_hotpath.json).
 #include <algorithm>
@@ -20,9 +25,12 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/ml/compiled_forest.h"
+#include "src/ml/random_forest.h"
 #include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
 #include "src/sim/cluster.h"
+#include "src/stats/rng.h"
 
 namespace optum {
 namespace {
@@ -286,6 +294,113 @@ bool WriteThreadsJson(const std::string& path, const std::vector<ThreadsRow>& ro
   return true;
 }
 
+struct ForestBatchRow {
+  size_t batch = 0;
+  double ns_row_compiled = 0.0;
+  double speedup = 0.0;  // vs the pointer-tree ns/row of the same forest
+};
+
+struct ForestBench {
+  size_t trees = 0;
+  size_t nodes = 0;
+  size_t features = 0;
+  size_t rows = 0;
+  double ns_row_pointer = 0.0;
+  std::vector<ForestBatchRow> batches;
+};
+
+// Forest inference microbench: one RF trained on contention-style features
+// (utilizations in [0, 1], interference-shaped target), then ns/row of
+// row-at-a-time pointer descent vs the compiled engine at several batch
+// sizes. The pointer number is batch-independent, so it is measured once.
+ForestBench RunForestBench() {
+  constexpr size_t kFeatures = 5;  // Eq. 9 width (LS feature vector)
+  constexpr size_t kTrain = 2500;
+  constexpr size_t kRows = 4096;
+  constexpr int kPasses = 8;  // dataset passes per timed segment
+
+  Rng rng(2024);
+  ml::Dataset data(kFeatures);
+  std::vector<double> x(kFeatures);
+  for (size_t i = 0; i < kTrain; ++i) {
+    for (auto& v : x) {
+      v = rng.Uniform(0, 1);
+    }
+    const double y = 0.15 * x[0] + 0.4 * x[0] * x[1] + 0.2 * (x[2] > 0.7 ? 1.0 : 0.0) +
+                     0.1 * x[3] + rng.Gaussian(0, 0.02);
+    data.Add(x, y);
+  }
+  ml::RandomForestRegressor forest(ml::ForestParams{}, 7);
+  forest.Fit(data);
+  const ml::CompiledForest& compiled = forest.compiled();
+
+  ForestBench bench;
+  bench.trees = compiled.num_trees();
+  bench.nodes = compiled.num_nodes();
+  bench.features = kFeatures;
+  bench.rows = kRows;
+
+  std::vector<double> rows(kRows * kFeatures);
+  for (auto& v : rows) {
+    v = rng.Uniform(0, 1.2);  // slightly past training range, as live hosts are
+  }
+
+  // checksum defeats dead-code elimination and doubles as an equivalence
+  // probe: both paths must accumulate the exact same value.
+  double pointer_checksum = 0.0;
+  const auto time_ns_per_row = [&](const auto& body) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const Clock::time_point start = Clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        body();
+      }
+      best = std::min(best, SecondsSince(start) * 1e9 /
+                                static_cast<double>(kPasses * kRows));
+    }
+    return best;
+  };
+
+  bench.ns_row_pointer = time_ns_per_row([&] {
+    double sum = 0.0;
+    for (size_t i = 0; i < kRows; ++i) {
+      sum += forest.Predict(
+          std::span<const double>(rows.data() + i * kFeatures, kFeatures));
+    }
+    pointer_checksum = sum;
+  });
+
+  std::vector<double> out(kRows);
+  for (const size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{256}}) {
+    double compiled_checksum = 0.0;
+    ForestBatchRow row;
+    row.batch = batch;
+    row.ns_row_compiled = time_ns_per_row([&] {
+      for (size_t begin = 0; begin < kRows; begin += batch) {
+        const size_t n = std::min(batch, kRows - begin);
+        compiled.PredictBatch(
+            std::span<const double>(rows.data() + begin * kFeatures, n * kFeatures),
+            kFeatures, std::span<double>(out.data() + begin, n));
+      }
+      double sum = 0.0;
+      for (const double v : out) {
+        sum += v;
+      }
+      compiled_checksum = sum;
+    });
+    if (compiled_checksum != pointer_checksum) {
+      std::fprintf(stderr,
+                   "forest bench: compiled checksum %.17g != pointer %.17g\n",
+                   compiled_checksum, pointer_checksum);
+    }
+    row.speedup = row.ns_row_compiled > 0.0
+                      ? bench.ns_row_pointer / row.ns_row_compiled
+                      : 0.0;
+    bench.batches.push_back(row);
+  }
+  return bench;
+}
+
 struct TickRow {
   int hosts = 0;
   Tick ticks = 0;
@@ -320,7 +435,7 @@ TickRow RunTickBench(int num_hosts, Tick horizon, size_t threads) {
 
 bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                const std::vector<TickRow>& ticks, const std::vector<ObsRow>& obs,
-               unsigned hw_threads) {
+               const ForestBench& forest, unsigned hw_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -380,7 +495,22 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  static_cast<unsigned long long>(s.slope_misses),
                  i + 1 < obs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"forest\": {\n");
+  std::fprintf(f,
+               "    \"trees\": %zu, \"nodes\": %zu, \"features\": %zu, "
+               "\"rows\": %zu,\n    \"ns_row_pointer\": %.1f,\n"
+               "    \"batches\": [\n",
+               forest.trees, forest.nodes, forest.features, forest.rows,
+               forest.ns_row_pointer);
+  for (size_t i = 0; i < forest.batches.size(); ++i) {
+    const ForestBatchRow& r = forest.batches[i];
+    std::fprintf(f,
+                 "      {\"batch\": %zu, \"ns_row_compiled\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 r.batch, r.ns_row_compiled, r.speedup,
+                 i + 1 < forest.batches.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
   return true;
@@ -449,6 +579,9 @@ int Main(int argc, char** argv) {
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 
+  std::printf("forest inference (pointer vs compiled, batch sweep)...\n");
+  const ForestBench forest = RunForestBench();
+
   const size_t tick_threads = std::clamp(hw_threads, 2u, 8u);
   std::vector<TickRow> ticks;
   if (run_tick) {
@@ -477,7 +610,18 @@ int Main(int argc, char** argv) {
   }
   table.Print();
 
-  return WriteJson(out_path, scoring, ticks, obs, hw_threads) ? 0 : 1;
+  // Forest inference: ns/row, so "base" is pointer descent and lower is
+  // better — kept in its own table to avoid mixing units with the above.
+  TablePrinter forest_table({"batch", "ptr ns/row", "compiled ns/row", "speedup"});
+  for (const ForestBatchRow& r : forest.batches) {
+    forest_table.AddRow({std::to_string(r.batch),
+                         FormatDouble(forest.ns_row_pointer, 1),
+                         FormatDouble(r.ns_row_compiled, 1),
+                         FormatDouble(r.speedup, 2)});
+  }
+  forest_table.Print();
+
+  return WriteJson(out_path, scoring, ticks, obs, forest, hw_threads) ? 0 : 1;
 }
 
 }  // namespace

@@ -42,6 +42,23 @@ double WeightOf(SloClass slo, double weight_ls, double weight_be) {
   return IsLatencySensitive(slo) ? weight_ls : slo == SloClass::kBe ? weight_be : 0.0;
 }
 
+// Writes the Eq. 9/10 feature row for `model` at the given host utilizations
+// into `row` (sized for kLsFeatureCount) and returns the row width. LS adds
+// QPS as the app's maximum, i.e. 1.0 after normalization.
+size_t FillFeatures(const AppModel& model, double host_cpu_util, double host_mem_util,
+                    double* row) {
+  const AppStats& s = model.stats;
+  row[0] = s.max_pod_cpu_util;
+  row[1] = s.max_pod_mem_util;
+  row[2] = host_cpu_util;
+  row[3] = host_mem_util;
+  if (IsLatencySensitive(s.slo)) {
+    row[4] = 1.0;
+    return kLsFeatureCount;
+  }
+  return kBeFeatureCount;
+}
+
 // Coarse utilization grid of the slope cache; matches the discretized
 // Predict cache's default (64 buckets over [0, 2]). The slope is flat
 // between tree splits, so a finer grid only multiplies cold misses, and
@@ -116,18 +133,89 @@ double InterferencePredictor::BucketPoint(uint64_t bucket, size_t buckets) {
 
 double InterferencePredictor::PredictImpl(const AppModel& model, double host_cpu_util,
                                           double host_mem_util) const {
-  const AppStats& s = model.stats;
-  if (IsLatencySensitive(s.slo)) {
-    // Eq. 9: f_S(C^m_p, M^m_p, POC/Cap, POM/Cap, Q^m). QPS enters as the
-    // app's maximum, i.e. 1.0 after normalization.
-    const double features[kLsFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
-                                              host_cpu_util, host_mem_util, 1.0};
-    return model.model->Predict(features);
+  // Eq. 9: f_S(C^m_p, M^m_p, POC/Cap, POM/Cap, Q^m) for LS; Eq. 10:
+  // f_B(C^m_q, M^m_q, POC/Cap, POM/Cap) for BE. Evaluated through the batch
+  // interface so forest models dispatch to the compiled SoA engine
+  // (bit-identical to pointer-tree Predict) even for a single row.
+  double row[kLsFeatureCount];
+  const size_t width = FillFeatures(model, host_cpu_util, host_mem_util, row);
+  double out;
+  model.model->PredictBatch(std::span<const double>(row, width), width,
+                            std::span<double>(&out, 1));
+  return out;
+}
+
+void InterferencePredictor::PredictRawSpan(AppId app, double cpu_lo, double cpu_hi,
+                                           double mem_util, size_t lane,
+                                           double* out_lo, double* out_hi) const {
+  const AppModel* model = FindModel(app);
+  if (model == nullptr || !model->usable()) {
+    *out_lo = 0.0;
+    *out_hi = 0.0;
+    return;
   }
-  // Eq. 10: f_B(C^m_q, M^m_q, POC/Cap, POM/Cap).
-  const double features[kBeFeatureCount] = {s.max_pod_cpu_util, s.max_pod_mem_util,
-                                            host_cpu_util, host_mem_util};
-  return model.model->Predict(features);
+  // Fine grid (8x the coarse one), exactly as PredictRaw uses it.
+  const size_t buckets = cache_buckets_ * 8;
+  const uint64_t mem_bucket = UtilBucket(mem_util, buckets);
+  const double mem_point = BucketPoint(mem_bucket, buckets);
+  const uint64_t app_key = static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32;
+
+  struct Endpoint {
+    uint64_t key;
+    uint64_t cpu_bucket;
+    double* out;
+  };
+  // hi before lo, matching the order the sequential PredictRaw calls used.
+  const Endpoint endpoints[2] = {
+      {app_key | (UtilBucket(cpu_hi, buckets) << 16) | mem_bucket,
+       UtilBucket(cpu_hi, buckets), out_hi},
+      {app_key | (UtilBucket(cpu_lo, buckets) << 16) | mem_bucket,
+       UtilBucket(cpu_lo, buckets), out_lo},
+  };
+
+  LaneCaches& caches = lanes_[lane];
+  double rows[2 * kLsFeatureCount];
+  double batch_out[2];
+  const Endpoint* missed[2];
+  size_t misses = 0;
+  bool alias = false;
+  for (const Endpoint& e : endpoints) {
+    if (const auto cached = caches.raw_cache.Find(e.key)) {
+      ++caches.raw_hits;
+      *e.out = *cached;
+      continue;
+    }
+    if (misses > 0 && e.key == missed[0]->key) {
+      // Both endpoints snapped to one fine-grid bucket (possible only if the
+      // slope span ever drops below the grid width). Sequential evaluation
+      // would hit the freshly inserted value here; mirror that.
+      ++caches.raw_hits;
+      alias = true;
+      continue;
+    }
+    ++caches.raw_misses;
+    missed[misses] = &e;
+    ++misses;
+  }
+  if (misses > 0) {
+    // One batched descent for both cold endpoints. Both rows come from one
+    // model, so the first fill's feature width is the packing stride.
+    const size_t width = FillFeatures(
+        *model, BucketPoint(missed[0]->cpu_bucket, buckets), mem_point, rows);
+    if (misses == 2) {
+      FillFeatures(*model, BucketPoint(missed[1]->cpu_bucket, buckets), mem_point,
+                   rows + width);
+    }
+    model->model->PredictBatch(std::span<const double>(rows, misses * width), width,
+                               std::span<double>(batch_out, misses));
+    for (size_t i = 0; i < misses; ++i) {
+      caches.raw_cache.Insert(missed[i]->key, batch_out[i]);
+      *missed[i]->out = batch_out[i];
+    }
+  }
+  if (alias) {
+    *endpoints[1].out = *endpoints[0].out;
+  }
 }
 
 double InterferencePredictor::PredictRaw(AppId app, double host_cpu_util,
@@ -273,12 +361,15 @@ double InterferencePredictor::MarginalInterference(
     } else {
       ++lanes_[lane].slope_misses;
       // The slope-miss path is where forest evaluations concentrate after
-      // the caches warm up; time it when a sink is attached.
+      // the caches warm up; time it when a sink is attached. Both endpoints
+      // go through one PredictRawSpan call so cold forests descend their
+      // trees once per pair of rows, not once per row.
       obs::ScopedTimer timer(forest_timer_, forest_timer_lane_base_ + lane);
       const double lo_cpu = std::max(0.0, mid_point - kSlopeSpan);
-      const double hi = PredictRaw(app, mid_point + kSlopeSpan, mem_point, lane);
-      const double lo = PredictRaw(app, lo_cpu, mem_point, lane);
-      const double span = (mid_point + kSlopeSpan) - lo_cpu;
+      const double hi_cpu = mid_point + kSlopeSpan;
+      double lo, hi;
+      PredictRawSpan(app, lo_cpu, hi_cpu, mem_point, lane, &lo, &hi);
+      const double span = hi_cpu - lo_cpu;
       slope = span > 1e-9 ? std::max(0.0, (hi - lo) / span) : 0.0;
       slope_cache.Insert(key, slope);
     }

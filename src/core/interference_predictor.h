@@ -83,6 +83,14 @@ class InterferencePredictor {
   double PredictRaw(AppId app, double host_cpu_util, double host_mem_util,
                     size_t lane = 0) const;
 
+  // Both endpoints of a finite-difference slope in one call: raw model
+  // output at (cpu_lo, mem) and (cpu_hi, mem). Cache-missing endpoints are
+  // gathered into one feature block and evaluated with a single
+  // PredictBatch, so the forest amortizes tree descent across the pair.
+  // Bit-identical to two PredictRaw calls (hi first, then lo).
+  void PredictRawSpan(AppId app, double cpu_lo, double cpu_hi, double mem_util,
+                      size_t lane, double* out_lo, double* out_hi) const;
+
   // Drops all cached predictions (every lane) and re-syncs the AppId-indexed
   // model table; call after the profiles object is replaced wholesale.
   void ClearCache();

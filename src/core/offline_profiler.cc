@@ -324,16 +324,16 @@ OptumProfiles OfflineProfiler::BuildProfiles(const TraceBundle& trace) const {
     if (config_.evaluate_holdout) {
       Rng split_rng = rng.Split(static_cast<uint64_t>(app_id));
       const auto split = discretized.TrainTestSplit(config_.holdout_fraction, split_rng);
-      auto eval_model = ml::MakeRegressor(config_.model_kind, split_rng.NextU64());
+      ml::RegressorSpec eval_spec = config_.model;
+      eval_spec.seed = split_rng.NextU64();
+      auto eval_model = ml::MakeRegressor(eval_spec);
       if (!split.train.empty() && !split.test.empty()) {
         eval_model->Fit(split.train);
-        std::vector<double> truth, pred;
-        for (size_t i = 0; i < split.test.size(); ++i) {
-          truth.push_back(split.test.Target(i));
-          pred.push_back(
-              model.discretizer.ToUpperBound(eval_model->Predict(split.test.Features(i))));
+        std::vector<double> pred = ml::PredictAll(*eval_model, split.test);
+        for (double& p : pred) {
+          p = model.discretizer.ToUpperBound(p);
         }
-        model.holdout_mape = ml::Mape(truth, pred, mape_floor);
+        model.holdout_mape = ml::Mape(split.test.targets(), pred, mape_floor);
       }
     }
     // Accuracy gate: skip the model when the holdout error is too high
@@ -343,7 +343,9 @@ OptumProfiles OfflineProfiler::BuildProfiles(const TraceBundle& trace) const {
       profiles.apps.emplace(app_id, std::move(model));
       return;
     }
-    auto trained = ml::MakeRegressor(config_.model_kind, rng.NextU64());
+    ml::RegressorSpec train_spec = config_.model;
+    train_spec.seed = rng.NextU64();
+    auto trained = ml::MakeRegressor(train_spec);
     trained->Fit(discretized);
     model.model = std::move(trained);
     profiles.apps.emplace(app_id, std::move(model));

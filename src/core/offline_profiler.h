@@ -14,9 +14,11 @@
 namespace optum::core {
 
 struct OfflineProfilerConfig {
-  // Model family for interference profiles; the paper selects Random Forest
-  // after comparing LR/Ridge/SVR/MLP (Fig. 18).
-  ml::RegressorKind model_kind = ml::RegressorKind::kRandomForest;
+  // Model family and hyperparameters for interference profiles; the paper
+  // selects Random Forest after comparing LR/Ridge/SVR/MLP (Fig. 18). The
+  // spec's seed is ignored — training seeds derive from `seed` below so
+  // every model gets an independent stream.
+  ml::RegressorSpec model;
 
   // Discretization buckets for PSI and completion time (paper §5.2: 25).
   size_t num_buckets = 25;

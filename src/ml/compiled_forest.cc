@@ -1,0 +1,112 @@
+#include "src/ml/compiled_forest.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/common/check.h"
+#include "src/ml/random_forest.h"
+
+namespace optum::ml {
+
+namespace {
+
+// Rows evaluated per inner block of PredictBatch: small enough that the
+// rows and per-row accumulators stay in L1 while one tree's nodes stream
+// through, large enough to amortize the per-tree loop overhead.
+constexpr size_t kRowBlock = 64;
+
+}  // namespace
+
+CompiledForest CompiledForest::Compile(const RandomForestRegressor& forest) {
+  OPTUM_CHECK_GT(forest.num_trees(), 0u);
+  CompiledForest out;
+  size_t total_nodes = 0;
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    total_nodes += forest.tree(t).node_count();
+  }
+  out.feature_.reserve(total_nodes);
+  out.split_.reserve(total_nodes);
+  out.right_.reserve(total_nodes);
+  out.roots_.reserve(forest.num_trees());
+
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const std::span<const DecisionTreeRegressor::Node> nodes = forest.tree(t).nodes();
+    OPTUM_CHECK(!nodes.empty());
+    const int32_t base = static_cast<int32_t>(out.feature_.size());
+    out.roots_.push_back(base);
+    // Trees are already stored in preorder (left child == own index + 1), so
+    // flattening is a relabeled copy; the invariant is asserted below because
+    // descent relies on it.
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const DecisionTreeRegressor::Node& n = nodes[i];
+      if (n.feature < 0) {
+        out.feature_.push_back(-1);
+        out.split_.push_back(n.value);
+        out.right_.push_back(-1);
+        continue;
+      }
+      OPTUM_CHECK_EQ(static_cast<size_t>(n.left), i + 1);
+      OPTUM_CHECK_GT(n.right, n.left);
+      OPTUM_CHECK_LT(static_cast<size_t>(n.right), nodes.size());
+      out.feature_.push_back(n.feature);
+      out.split_.push_back(n.threshold);
+      out.right_.push_back(base + n.right);
+    }
+  }
+  return out;
+}
+
+void CompiledForest::Fit(const Dataset& data) {
+  (void)data;
+  OPTUM_CHECK_MSG(false,
+                  "CompiledForest is inference-only; Fit a RandomForestRegressor "
+                  "and Compile() it");
+}
+
+double CompiledForest::DescendTree(int32_t root, const double* row) const {
+  int32_t node = root;
+  int32_t f = feature_[static_cast<size_t>(node)];
+  while (f >= 0) {
+    // Identical comparison to the pointer tree: NaN features compare false
+    // and take the right branch.
+    const bool go_left = row[f] <= split_[static_cast<size_t>(node)];
+    node = go_left ? node + 1 : right_[static_cast<size_t>(node)];
+    f = feature_[static_cast<size_t>(node)];
+  }
+  return split_[static_cast<size_t>(node)];
+}
+
+double CompiledForest::Predict(std::span<const double> features) const {
+  OPTUM_CHECK(compiled());
+  double acc = 0.0;
+  for (const int32_t root : roots_) {
+    acc += DescendTree(root, features.data());
+  }
+  return acc / static_cast<double>(roots_.size());
+}
+
+void CompiledForest::PredictBatch(std::span<const double> rows, size_t stride,
+                                  std::span<double> out) const {
+  OPTUM_CHECK(compiled());
+  OPTUM_CHECK_GT(stride, 0u);
+  OPTUM_CHECK_GE(rows.size(), out.size() * stride);
+  std::array<double, kRowBlock> acc;
+  for (size_t begin = 0; begin < out.size(); begin += kRowBlock) {
+    const size_t n = std::min(kRowBlock, out.size() - begin);
+    acc.fill(0.0);
+    // Tree-outer, row-inner: one tree's nodes stay hot across the whole
+    // block. Per row the accumulation still runs in tree order, so the sum
+    // (and thus the result) is bit-identical to row-at-a-time Predict.
+    for (const int32_t root : roots_) {
+      const double* row = rows.data() + begin * stride;
+      for (size_t r = 0; r < n; ++r, row += stride) {
+        acc[r] += DescendTree(root, row);
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      out[begin + r] = acc[r] / static_cast<double>(roots_.size());
+    }
+  }
+}
+
+}  // namespace optum::ml

@@ -1,0 +1,62 @@
+// Compiled-forest inference engine: flattens a trained RandomForestRegressor
+// into a contiguous structure-of-arrays node layout and evaluates blocks of
+// rows with the node arrays hot in cache. Outputs are bit-identical to the
+// pointer-tree forest (see DESIGN.md §10), so swapping it onto the scoring
+// hot path cannot perturb placements, lane-sharded caches, or parallel
+// determinism.
+//
+// Layout: all trees' nodes live in three parallel arrays, emitted per tree
+// in preorder so an internal node's left child is the next node — descent
+// only loads feature_[n] and split_[n] plus right_[n] when it goes right.
+// Leaves are resolved into the same arrays: feature_[n] < 0 marks a leaf and
+// split_[n] then holds the leaf value instead of a threshold.
+#ifndef OPTUM_SRC_ML_COMPILED_FOREST_H_
+#define OPTUM_SRC_ML_COMPILED_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/regressor.h"
+
+namespace optum::ml {
+
+class RandomForestRegressor;
+
+class CompiledForest final : public Regressor {
+ public:
+  // Empty engine; Predict/PredictBatch require a Compile()d one.
+  CompiledForest() = default;
+
+  // Flattens a fitted forest. The compiled engine is self-contained: the
+  // source forest may be destroyed afterwards.
+  static CompiledForest Compile(const RandomForestRegressor& forest);
+
+  // Inference-only engine: Fit always CHECK-fails. Train a
+  // RandomForestRegressor and Compile() it instead.
+  void Fit(const Dataset& data) override;
+
+  double Predict(std::span<const double> features) const override;
+  void PredictBatch(std::span<const double> rows, size_t stride,
+                    std::span<double> out) const override;
+  std::string name() const override { return "RF(compiled)"; }
+
+  bool compiled() const { return !roots_.empty(); }
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+
+ private:
+  // Descends one tree from `root` for one row; returns the leaf value.
+  double DescendTree(int32_t root, const double* row) const;
+
+  // SoA node arrays across all trees (see file comment). For internal nodes
+  // split_ is the threshold and the left child is the next node; for leaves
+  // (feature_ < 0) split_ is the leaf value and right_ is unused.
+  std::vector<int32_t> feature_;
+  std::vector<double> split_;
+  std::vector<int32_t> right_;
+  std::vector<int32_t> roots_;  // root node index of each tree, in tree order
+};
+
+}  // namespace optum::ml
+
+#endif  // OPTUM_SRC_ML_COMPILED_FOREST_H_

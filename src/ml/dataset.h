@@ -27,6 +27,9 @@ class Dataset {
   std::span<const double> Features(size_t i) const {
     return {features_.data() + i * num_features_, num_features_};
   }
+  // The whole feature matrix, row-major with stride num_features() — exactly
+  // the block layout Regressor::PredictBatch consumes.
+  std::span<const double> flat_features() const { return features_; }
   double Target(size_t i) const { return targets_[i]; }
   std::span<const double> targets() const { return targets_; }
   const std::vector<std::string>& feature_names() const { return feature_names_; }

@@ -1,31 +1,34 @@
 // CART-style regression tree with variance-reduction splits. Used standalone
 // and as the base learner of RandomForestRegressor (the model the paper's
 // Interference Profiler adopts, §4.2.1: "Optum adopts Random Forest as it
-// can yield the highest accuracy").
+// can yield the highest accuracy"). TreeParams lives in model_params.h so
+// RegressorSpec can embed it.
 #ifndef OPTUM_SRC_ML_DECISION_TREE_H_
 #define OPTUM_SRC_ML_DECISION_TREE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "src/ml/model_params.h"
 #include "src/ml/regressor.h"
 #include "src/stats/rng.h"
 
 namespace optum::ml {
 
-struct TreeParams {
-  int max_depth = 12;
-  size_t min_samples_leaf = 2;
-  size_t min_samples_split = 4;
-  // Number of candidate features examined per split; 0 = all features.
-  size_t max_features = 0;
-  // Candidate thresholds tried per feature (quantile grid); keeps training
-  // O(n · candidates) per node instead of O(n log n) exhaustive scans.
-  size_t num_thresholds = 16;
-};
-
 class DecisionTreeRegressor : public Regressor {
  public:
+  // Node storage, exposed so CompiledForest can flatten trained trees into
+  // its SoA layout. Nodes are stored in preorder: an internal node's left
+  // child is always the next node (left == own index + 1).
+  struct Node {
+    // Leaf iff feature < 0.
+    int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction (mean of targets)
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
   explicit DecisionTreeRegressor(TreeParams params = {}, uint64_t seed = 1);
 
   void Fit(const Dataset& data) override;
@@ -39,17 +42,9 @@ class DecisionTreeRegressor : public Regressor {
 
   size_t node_count() const { return nodes_.size(); }
   int depth() const { return depth_; }
+  std::span<const Node> nodes() const { return nodes_; }
 
  private:
-  struct Node {
-    // Leaf iff feature < 0.
-    int32_t feature = -1;
-    double threshold = 0.0;
-    double value = 0.0;  // leaf prediction (mean of targets)
-    int32_t left = -1;
-    int32_t right = -1;
-  };
-
   int32_t Build(const Dataset& data, std::vector<size_t>& indices, size_t begin, size_t end,
                 int depth);
 

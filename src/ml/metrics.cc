@@ -56,15 +56,16 @@ double RSquared(std::span<const double> truth, std::span<const double> predicted
   return 1.0 - ss_res / ss_tot;
 }
 
-double EvaluateMape(const Regressor& model, const Dataset& data) {
-  std::vector<double> truth, predicted;
-  truth.reserve(data.size());
-  predicted.reserve(data.size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    truth.push_back(data.Target(i));
-    predicted.push_back(model.Predict(data.Features(i)));
+std::vector<double> PredictAll(const Regressor& model, const Dataset& data) {
+  std::vector<double> out(data.size());
+  if (!data.empty()) {
+    model.PredictBatch(data.flat_features(), data.num_features(), out);
   }
-  return Mape(truth, predicted);
+  return out;
+}
+
+double EvaluateMape(const Regressor& model, const Dataset& data) {
+  return Mape(data.targets(), PredictAll(model, data));
 }
 
 }  // namespace optum::ml

@@ -21,6 +21,11 @@ double RootMeanSquaredError(std::span<const double> truth, std::span<const doubl
 // Coefficient of determination; 1 is perfect, 0 matches predicting the mean.
 double RSquared(std::span<const double> truth, std::span<const double> predicted);
 
+// Predicts every row of `data` through one PredictBatch call. The single
+// per-row evaluation loop shared by the profiler's holdout scoring, the
+// fig18-style benches, and the model tests.
+std::vector<double> PredictAll(const Regressor& model, const Dataset& data);
+
 // Runs `model` over a dataset and returns its MAPE against the targets.
 double EvaluateMape(const Regressor& model, const Dataset& data);
 

@@ -5,18 +5,11 @@
 
 #include <vector>
 
+#include "src/ml/model_params.h"
 #include "src/ml/regressor.h"
 #include "src/stats/rng.h"
 
 namespace optum::ml {
-
-struct MlpParams {
-  std::vector<size_t> hidden = {32, 16};
-  size_t epochs = 60;
-  size_t batch_size = 32;
-  double learning_rate = 1e-2;
-  double l2 = 1e-5;
-};
 
 class MlpRegressor : public Regressor {
  public:

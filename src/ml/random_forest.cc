@@ -37,6 +37,7 @@ void RandomForestRegressor::Fit(const Dataset& data) {
     }
     trees_.push_back(std::move(tree));
   }
+  compiled_ = CompiledForest::Compile(*this);
 }
 
 double RandomForestRegressor::Predict(std::span<const double> features) const {
@@ -46,6 +47,12 @@ double RandomForestRegressor::Predict(std::span<const double> features) const {
     acc += tree->Predict(features);
   }
   return acc / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::PredictBatch(std::span<const double> rows, size_t stride,
+                                         std::span<double> out) const {
+  OPTUM_CHECK(compiled_.compiled());
+  compiled_.PredictBatch(rows, stride, out);
 }
 
 }  // namespace optum::ml

@@ -8,6 +8,15 @@
 
 namespace optum::ml {
 
+void Regressor::PredictBatch(std::span<const double> rows, size_t stride,
+                             std::span<double> out) const {
+  OPTUM_CHECK_GT(stride, 0u);
+  OPTUM_CHECK_GE(rows.size(), out.size() * stride);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Predict(rows.subspan(i * stride, stride));
+  }
+}
+
 const char* ToString(RegressorKind kind) {
   switch (kind) {
     case RegressorKind::kLinear:
@@ -24,21 +33,28 @@ const char* ToString(RegressorKind kind) {
   return "?";
 }
 
-std::unique_ptr<Regressor> MakeRegressor(RegressorKind kind, uint64_t seed) {
-  switch (kind) {
+std::unique_ptr<Regressor> MakeRegressor(const RegressorSpec& spec) {
+  switch (spec.kind) {
     case RegressorKind::kLinear:
       return std::make_unique<LinearRegressor>();
     case RegressorKind::kRidge:
-      return std::make_unique<RidgeRegressor>(1.0);
+      return std::make_unique<RidgeRegressor>(spec.ridge_alpha);
     case RegressorKind::kRandomForest:
-      return std::make_unique<RandomForestRegressor>(ForestParams{}, seed);
+      return std::make_unique<RandomForestRegressor>(spec.forest, spec.seed);
     case RegressorKind::kMlp:
-      return std::make_unique<MlpRegressor>(MlpParams{}, seed);
+      return std::make_unique<MlpRegressor>(spec.mlp, spec.seed);
     case RegressorKind::kSvr:
-      return std::make_unique<LinearSvr>(SvrParams{}, seed);
+      return std::make_unique<LinearSvr>(spec.svr, spec.seed);
   }
   OPTUM_CHECK_MSG(false, "unknown RegressorKind");
   return nullptr;
+}
+
+std::unique_ptr<Regressor> MakeRegressor(RegressorKind kind, uint64_t seed) {
+  RegressorSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  return MakeRegressor(spec);
 }
 
 }  // namespace optum::ml

@@ -6,16 +6,11 @@
 
 #include <vector>
 
+#include "src/ml/model_params.h"
 #include "src/ml/regressor.h"
 #include "src/stats/rng.h"
 
 namespace optum::ml {
-
-struct SvrParams {
-  double epsilon = 0.01;  // insensitive-tube half-width
-  double c = 1.0;         // inverse regularization strength
-  size_t epochs = 40;
-};
 
 class LinearSvr : public Regressor {
  public:

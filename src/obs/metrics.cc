@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
 
 namespace optum::obs {
 
@@ -179,7 +180,7 @@ std::string MetricRegistry::ToJson() {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
-  w.KV("schema", "optum.metrics.v1");
+  w.KV("schema", kMetricsSchema);
 
   w.Key("counters").BeginObject();
   for (const auto& [name, c] : counters_) {

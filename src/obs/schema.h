@@ -1,0 +1,37 @@
+// Single source of truth for the JSON schema tags stamped on every exported
+// document (the "schema" key consumers dispatch on). Tools, exporters, and
+// golden tests all read these constants; bump a version here — and only
+// here — when a document's shape changes.
+#ifndef OPTUM_SRC_OBS_SCHEMA_H_
+#define OPTUM_SRC_OBS_SCHEMA_H_
+
+namespace optum::obs {
+
+// MetricRegistry::ToJson — counters/gauges/histograms/series
+// (`runsim --metrics-json` writes this document).
+inline constexpr const char* kMetricsSchema = "optum.metrics.v1";
+
+// `runsim --json` — one simulation run: config echo, headline results, and
+// an embedded optum.summary.v1 under "summary".
+inline constexpr const char* kRunsimSchema = "optum.runsim.v1";
+
+// RenderSummaryJson — per-class trace summary
+// (`trace_summary --json` and the "summary" object of optum.runsim.v1).
+inline constexpr const char* kSummarySchema = "optum.summary.v1";
+
+struct SchemaInfo {
+  const char* tag;
+  const char* producer;
+};
+
+// Every schema this repo emits, for tooling that enumerates or validates
+// exported documents.
+inline constexpr SchemaInfo kSchemas[] = {
+    {kMetricsSchema, "MetricRegistry::ToJson / runsim --metrics-json"},
+    {kRunsimSchema, "runsim --json"},
+    {kSummarySchema, "RenderSummaryJson / trace_summary --json"},
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_SCHEMA_H_

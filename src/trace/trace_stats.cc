@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
 #include "src/stats/descriptive.h"
 
 namespace optum {
@@ -147,7 +148,7 @@ std::string RenderSummary(const TraceSummary& summary) {
 std::string RenderSummaryJson(const TraceSummary& summary) {
   obs::JsonWriter w;
   w.BeginObject();
-  w.KV("schema", "optum.summary.v1");
+  w.KV("schema", obs::kSummarySchema);
   w.KV("hosts", summary.hosts);
   w.KV("pods", summary.pods);
   w.KV("usage_records", summary.usage_records);

@@ -163,12 +163,7 @@ TEST(RandomForestTest, BeatsOrMatchesSingleTreeOnNoisyData) {
   RandomForestRegressor forest([]{ ForestParams p; p.num_trees = 25; return p; }(), 1);
   forest.Fit(train);
   auto rmse = [&](const Regressor& m) {
-    std::vector<double> t, p;
-    for (size_t i = 0; i < test.size(); ++i) {
-      t.push_back(test.Target(i));
-      p.push_back(m.Predict(test.Features(i)));
-    }
-    return RootMeanSquaredError(t, p);
+    return RootMeanSquaredError(test.targets(), PredictAll(m, test));
   };
   EXPECT_LE(rmse(forest), rmse(tree) * 1.15);
   EXPECT_LT(rmse(forest), 0.12);
@@ -209,12 +204,7 @@ TEST(MlpTest, LearnsNonlinearInteraction) {
   MlpRegressor mlp(MlpParams{}, 2);
   mlp.Fit(train);
   const Dataset test = NonlinearData(300, 16);
-  std::vector<double> t, p;
-  for (size_t i = 0; i < test.size(); ++i) {
-    t.push_back(test.Target(i));
-    p.push_back(mlp.Predict(test.Features(i)));
-  }
-  EXPECT_LT(RootMeanSquaredError(t, p), 0.15);
+  EXPECT_LT(RootMeanSquaredError(test.targets(), PredictAll(mlp, test)), 0.15);
 }
 
 TEST(SvrTest, LearnsLinearFunctionApproximately) {
@@ -251,12 +241,7 @@ TEST(GradientBoostingTest, LearnsNonlinearInteraction) {
   const Dataset test = NonlinearData(200, 23);
   GradientBoostingRegressor gbt(BoostingParams{}, 1);
   gbt.Fit(train);
-  std::vector<double> t, p;
-  for (size_t i = 0; i < test.size(); ++i) {
-    t.push_back(test.Target(i));
-    p.push_back(gbt.Predict(test.Features(i)));
-  }
-  EXPECT_LT(RootMeanSquaredError(t, p), 0.1);
+  EXPECT_LT(RootMeanSquaredError(test.targets(), PredictAll(gbt, test)), 0.1);
 }
 
 TEST(GradientBoostingTest, MoreRoundsReduceTrainingError) {
@@ -267,12 +252,7 @@ TEST(GradientBoostingTest, MoreRoundsReduceTrainingError) {
     params.subsample = 1.0;
     GradientBoostingRegressor gbt(params, 1);
     gbt.Fit(d);
-    std::vector<double> t, p;
-    for (size_t i = 0; i < d.size(); ++i) {
-      t.push_back(d.Target(i));
-      p.push_back(gbt.Predict(d.Features(i)));
-    }
-    return RootMeanSquaredError(t, p);
+    return RootMeanSquaredError(d.targets(), PredictAll(gbt, d));
   };
   EXPECT_LT(train_rmse(60), train_rmse(5));
 }
@@ -309,6 +289,57 @@ TEST(RegressorFactoryTest, NamesMatchKinds) {
   EXPECT_EQ(MakeRegressor(RegressorKind::kMlp, 1)->name(), "MLP");
 }
 
+TEST(RegressorFactoryTest, KindSeedOverloadMatchesDefaultSpec) {
+  // MakeRegressor(kind, seed) must stay a pure alias for a default-params
+  // spec: same family, same seed, bit-identical predictions.
+  const Dataset d = NonlinearData(300, 26);
+  for (const RegressorKind kind :
+       {RegressorKind::kLinear, RegressorKind::kRidge, RegressorKind::kRandomForest,
+        RegressorKind::kMlp, RegressorKind::kSvr}) {
+    auto legacy = MakeRegressor(kind, 11);
+    RegressorSpec spec;
+    spec.kind = kind;
+    spec.seed = 11;
+    auto from_spec = MakeRegressor(spec);
+    legacy->Fit(d);
+    from_spec->Fit(d);
+    const std::vector<double> probe = {0.3, 0.8};
+    EXPECT_EQ(legacy->Predict(probe), from_spec->Predict(probe)) << ToString(kind);
+  }
+}
+
+TEST(RegressorFactoryTest, SpecForestOverridesHonored) {
+  RegressorSpec spec;
+  spec.kind = RegressorKind::kRandomForest;
+  spec.seed = 3;
+  spec.forest.num_trees = 4;
+  spec.forest.tree.max_depth = 2;
+  auto model = MakeRegressor(spec);
+  model->Fit(NonlinearData(200, 27));
+  const auto& forest = dynamic_cast<const RandomForestRegressor&>(*model);
+  EXPECT_EQ(forest.num_trees(), 4u);
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    EXPECT_LE(forest.tree(t).depth(), 2);
+  }
+}
+
+TEST(RegressorFactoryTest, SpecRidgeAlphaHonored) {
+  // A huge alpha shrinks weights toward zero, so predictions collapse
+  // toward the target mean — distinguishable from the default alpha.
+  const Dataset d = LinearData(200, 0.0, 28);
+  RegressorSpec weak;
+  weak.kind = RegressorKind::kRidge;
+  RegressorSpec strong = weak;
+  strong.ridge_alpha = 1e6;
+  auto weak_model = MakeRegressor(weak);
+  auto strong_model = MakeRegressor(strong);
+  weak_model->Fit(d);
+  strong_model->Fit(d);
+  const std::vector<double> probe = {2.0, -2.0};
+  EXPECT_GT(std::fabs(weak_model->Predict(probe)),
+            std::fabs(strong_model->Predict(probe)) + 1.0);
+}
+
 // Paper ordering sanity (Fig. 18): on contention-style data (piecewise
 // saturating response), RF should beat the linear families.
 TEST(ModelComparisonTest, ForestBeatsLinearOnSaturatingResponse) {
@@ -326,12 +357,7 @@ TEST(ModelComparisonTest, ForestBeatsLinearOnSaturatingResponse) {
   LinearRegressor lr;
   lr.Fit(train);
   auto rmse = [&](const Regressor& m) {
-    std::vector<double> t, p;
-    for (size_t i = 0; i < test.size(); ++i) {
-      t.push_back(test.Target(i));
-      p.push_back(m.Predict(test.Features(i)));
-    }
-    return RootMeanSquaredError(t, p);
+    return RootMeanSquaredError(test.targets(), PredictAll(m, test));
   };
   EXPECT_LT(rmse(forest), rmse(lr) * 0.6);
 }

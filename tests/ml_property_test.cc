@@ -111,14 +111,27 @@ TEST_P(MlPropertySweep, RSquaredNeverExceedsOneForFittedModels) {
   const Dataset d = RandomDataset(GetParam(), 100, 2);
   LinearRegressor lr;
   lr.Fit(d);
-  std::vector<double> truth, pred;
-  for (size_t i = 0; i < d.size(); ++i) {
-    truth.push_back(d.Target(i));
-    pred.push_back(lr.Predict(d.Features(i)));
-  }
-  const double r2 = RSquared(truth, pred);
+  const double r2 = RSquared(d.targets(), PredictAll(lr, d));
   EXPECT_LE(r2, 1.0 + 1e-12);
   EXPECT_GE(r2, 0.0);  // OLS cannot do worse than the mean on train data
+}
+
+TEST_P(MlPropertySweep, PredictBatchAgreesWithPredictAcrossFamilies) {
+  // The batch interface is a pure re-layering: for every family (compiled
+  // forest kernel or default loop), PredictBatch over the dataset must
+  // reproduce per-row Predict bit-for-bit.
+  const Dataset d = RandomDataset(GetParam(), 150, 3);
+  for (const RegressorKind kind :
+       {RegressorKind::kLinear, RegressorKind::kRidge, RegressorKind::kRandomForest,
+        RegressorKind::kMlp, RegressorKind::kSvr}) {
+    auto model = MakeRegressor(kind, GetParam());
+    model->Fit(d);
+    const std::vector<double> batched = PredictAll(*model, d);
+    ASSERT_EQ(batched.size(), d.size());
+    for (size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(batched[i], model->Predict(d.Features(i))) << ToString(kind);
+    }
+  }
 }
 
 TEST_P(MlPropertySweep, BootstrapDrawsFromOriginalRows) {

@@ -3,6 +3,7 @@
 // log-scale histogram bucketing) and the pinned export schemas — the
 // registry JSON dump and the JSONL decision-log line format — so downstream
 // consumers can rely on them.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -13,6 +14,7 @@
 #include "src/obs/decision_log.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/schema.h"
 #include "src/obs/timer.h"
 
 namespace optum::obs {
@@ -164,12 +166,29 @@ TEST(MetricRegistryTest, ToJsonGolden) {
   registry.SampleGauges(5);
   const std::string json = registry.ToJson();
   EXPECT_EQ(json,
-            "{\"schema\":\"optum.metrics.v1\","
+            std::string("{\"schema\":\"") + kMetricsSchema + "\"," +
             "\"counters\":{\"c\":3},"
             "\"gauges\":{\"g\":2.5},"
             "\"histograms\":{\"h\":{\"count\":1,\"sum\":1,\"mean\":1,\"max\":1,"
             "\"p50\":1.5,\"p90\":1.9,\"p99\":1.99,\"buckets\":[[1,1]]}},"
             "\"series\":{\"ticks\":[5],\"gauges\":{\"g\":[2.5]}}}");
+}
+
+TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
+  std::vector<std::string> tags;
+  for (const SchemaInfo& s : kSchemas) {
+    EXPECT_NE(s.producer, nullptr);
+    tags.emplace_back(s.tag);
+  }
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kMetricsSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kRunsimSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kSummarySchema), tags.end());
+  for (const std::string& tag : tags) {
+    EXPECT_EQ(tag.rfind("optum.", 0), 0u) << tag;
+    EXPECT_EQ(tag.substr(tag.size() - 3), ".v1") << tag;
+    EXPECT_EQ(std::count(tags.begin(), tags.end(), tag), 1) << tag;
+  }
 }
 
 TEST(MetricRegistryTest, SeriesPadsGaugesCreatedMidRun) {

@@ -4,6 +4,8 @@
 # scoring loop with OptumConfig::num_threads in {0,2,4} and writes
 # BENCH_hotpath_threads.json alongside it. On a single-core machine the
 # threads sweep records speedup ~= 1 with an explanatory note in the JSON.
+# BENCH_hotpath.json also carries a "forest" section: ns/row of pointer-tree
+# forest descent vs the compiled SoA engine over a batch-size sweep.
 #
 #   tools/bench_runner.sh [output.json]
 set -euo pipefail

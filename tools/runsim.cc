@@ -15,6 +15,7 @@
 #include "src/obs/decision_log.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/schema.h"
 #include "src/sched/baselines.h"
 #include "src/sched/medea.h"
 #include "src/sim/simulator.h"
@@ -146,7 +147,7 @@ int main(int argc, char** argv) {
   if (json_out) {
     obs::JsonWriter w;
     w.BeginObject();
-    w.KV("schema", "optum.runsim.v1");
+    w.KV("schema", obs::kRunsimSchema);
     w.KV("scheduler", active.name());
     w.KV("hosts", config.num_hosts);
     w.KV("horizon_ticks", config.horizon);
