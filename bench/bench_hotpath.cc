@@ -29,6 +29,8 @@
 #include "src/ml/random_forest.h"
 #include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_log.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
 #include "src/stats/rng.h"
 
@@ -81,6 +83,8 @@ double MeasureScoring(const core::OptumProfiles& profiles,
                       size_t num_threads = 0,
                       obs::MetricRegistry* registry = nullptr,
                       obs::DecisionLog* decision_log = nullptr,
+                      obs::SpanLog* span_log = nullptr,
+                      obs::TimeSeriesRecorder* series = nullptr,
                       core::InterferencePredictor::CacheStats* stats_out = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
@@ -102,7 +106,11 @@ double MeasureScoring(const core::OptumProfiles& profiles,
     scheduler.AttachMetrics(registry);
   }
   scheduler.set_decision_log(decision_log);
+  scheduler.set_span_log(span_log);
 
+  // A simulator tick schedules a few dozen pods, so sampling the series once
+  // per kSeriesPeriod placements reproduces the per-tick cadence runsim uses.
+  constexpr int kSeriesPeriod = 64;
   size_t evict_cursor = 0;
   const auto run_segment = [&](int pods) {
     for (int i = 0; i < pods; ++i) {
@@ -113,6 +121,15 @@ double MeasureScoring(const core::OptumProfiles& profiles,
       const PlacementDecision decision = scheduler.PlaceScored(spec, cluster, &score);
       if (decision.placed()) {
         live.push_back(cluster.Place(spec, &app, decision.host, 0));
+        if (span_log != nullptr) {
+          // The simulator's serial commit span (lifecycle tracing active).
+          span_log->Append({.tick = static_cast<Tick>(i), .pod = spec.id,
+                            .phase = obs::SpanPhase::kPlaced,
+                            .host = decision.host, .wait_ticks = 0});
+        }
+      }
+      if (series != nullptr && i % kSeriesPeriod == 0) {
+        series->Sample(static_cast<Tick>(i));
       }
       if (i % 3 == 0 && !live.empty()) {
         evict_cursor = (evict_cursor + 1) % live.size();
@@ -170,8 +187,13 @@ struct ObsRow {
   double pods_per_sec_metrics_off = 0.0;  // nullable sinks detached
   double pods_per_sec_metrics_on = 0.0;   // registry + timers + collectors
   double pods_per_sec_decision_log = 0.0; // metrics + per-placement JSONL
+  double pods_per_sec_spans = 0.0;        // metrics + span log + series ring
   double metrics_on_overhead_pct = 0.0;
   double decision_log_overhead_pct = 0.0;
+  double spans_overhead_pct = 0.0;             // vs metrics off, like the others
+  double spans_incremental_pct = 0.0;          // vs metrics on (the ≤2% budget)
+  int64_t span_records = 0;
+  int64_t series_samples = 0;
   core::InterferencePredictor::CacheStats cache_stats;
 };
 
@@ -180,9 +202,11 @@ struct ObsRow {
 // throughput doubles as the "scoring" section's number for this cluster
 // size; comparing the two sections (or this file across commits) bounds the
 // disabled-instrumentation overhead, which must stay within ~2%. The
-// metrics-on rows quantify what attaching the registry and the decision log
-// actually cost. Cache hit rates and forest-eval counts come from the
-// metrics-on run's predictor tallies.
+// metrics-on rows quantify what attaching the registry, the decision log,
+// and the span-log + series-ring pair actually cost; the span/series number
+// is also reported incrementally against metrics-on, which is the budget the
+// lifecycle tracing must hold (≤2%). Cache hit rates and forest-eval counts
+// come from the metrics-on run's predictor tallies.
 ObsRow RunObsBench(const core::OptumProfiles& profiles,
                    const std::vector<const AppProfile*>& catalog, int num_hosts,
                    int stream) {
@@ -196,12 +220,12 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
   // whichever configuration goes first by several percent.
   (void)MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
                        /*cached=*/true);
-  // Interleave the configurations across two passes and keep the best of
+  // Interleave the configurations across three passes and keep the best of
   // each: a sustained slowdown of the box (noisy neighbors on a shared
   // container) then biases every configuration equally instead of whichever
   // one it happened to overlap, which matters when the effect under
   // measurement (~2%) is far below the run-to-run noise.
-  for (int pass = 0; pass < 2; ++pass) {
+  for (int pass = 0; pass < 3; ++pass) {
     row.pods_per_sec_metrics_off = std::max(
         row.pods_per_sec_metrics_off,
         MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
@@ -212,7 +236,8 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
           row.pods_per_sec_metrics_on,
           MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
                          /*cached=*/true, /*num_threads=*/0, &registry,
-                         /*decision_log=*/nullptr, &row.cache_stats));
+                         /*decision_log=*/nullptr, /*span_log=*/nullptr,
+                         /*series=*/nullptr, &row.cache_stats));
     }
     {
       obs::MetricRegistry registry;
@@ -222,14 +247,38 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
           MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
                          /*cached=*/true, /*num_threads=*/0, &registry, &log));
     }
+    {
+      // Span log + streaming series on top of the registry: the lifecycle
+      // tracing configuration (`runsim --span-log --series-json`). The span
+      // log renders three spans per placement (sampled, scored, placed) plus
+      // the phase counters/histogram AttachMetrics wires; the recorder
+      // collects the scheduler's gauges through the bounded ring.
+      obs::MetricRegistry registry;
+      obs::SpanLog span_log("/dev/null");
+      span_log.AttachMetrics(&registry);
+      obs::TimeSeriesRecorder series(&registry, "/dev/null");
+      row.pods_per_sec_spans = std::max(
+          row.pods_per_sec_spans,
+          MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                         /*cached=*/true, /*num_threads=*/0, &registry,
+                         /*decision_log=*/nullptr, &span_log, &series));
+      span_log.Flush();
+      series.Flush();
+      row.span_records = span_log.records_written();
+      row.series_samples = series.samples_written();
+    }
   }
-  const auto overhead_pct = [&](double with) {
-    return row.pods_per_sec_metrics_off > 0.0
-               ? (1.0 - with / row.pods_per_sec_metrics_off) * 100.0
-               : 0.0;
+  const auto overhead_pct = [&](double with, double base) {
+    return base > 0.0 ? (1.0 - with / base) * 100.0 : 0.0;
   };
-  row.metrics_on_overhead_pct = overhead_pct(row.pods_per_sec_metrics_on);
-  row.decision_log_overhead_pct = overhead_pct(row.pods_per_sec_decision_log);
+  row.metrics_on_overhead_pct =
+      overhead_pct(row.pods_per_sec_metrics_on, row.pods_per_sec_metrics_off);
+  row.decision_log_overhead_pct =
+      overhead_pct(row.pods_per_sec_decision_log, row.pods_per_sec_metrics_off);
+  row.spans_overhead_pct =
+      overhead_pct(row.pods_per_sec_spans, row.pods_per_sec_metrics_off);
+  row.spans_incremental_pct =
+      overhead_pct(row.pods_per_sec_spans, row.pods_per_sec_metrics_on);
   return row;
 }
 
@@ -480,6 +529,9 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  "\"pods_per_sec_decision_log\": %.1f, "
                  "\"metrics_on_overhead_pct\": %.2f, "
                  "\"decision_log_overhead_pct\": %.2f,\n"
+                 "     \"spans\": {\"pods_per_sec\": %.1f, \"overhead_pct\": %.2f, "
+                 "\"incremental_vs_metrics_on_pct\": %.2f, "
+                 "\"span_records\": %lld, \"series_samples\": %lld},\n"
                  "     \"pred_cache_hit_rate\": %.4f, \"raw_cache_hit_rate\": %.4f, "
                  "\"slope_cache_hit_rate\": %.4f, \"forest_evals\": %llu, "
                  "\"pred_cache_hits\": %llu, \"pred_cache_misses\": %llu, "
@@ -487,6 +539,10 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  r.hosts, r.pods, r.pods_per_sec_metrics_off,
                  r.pods_per_sec_metrics_on, r.pods_per_sec_decision_log,
                  r.metrics_on_overhead_pct, r.decision_log_overhead_pct,
+                 r.pods_per_sec_spans, r.spans_overhead_pct,
+                 r.spans_incremental_pct,
+                 static_cast<long long>(r.span_records),
+                 static_cast<long long>(r.series_samples),
                  rate(s.predict_hits, s.predict_misses), rate(s.raw_hits, s.raw_misses),
                  rate(s.slope_hits, s.slope_misses),
                  static_cast<unsigned long long>(s.forest_evals()),
@@ -575,7 +631,8 @@ int Main(int argc, char** argv) {
 
   std::vector<ObsRow> obs;
   if (run_scoring) {
-    std::printf("scoring 1000 hosts (metrics off, on, on+decision-log)...\n");
+    std::printf(
+        "scoring 1000 hosts (metrics off, on, on+decision-log, on+spans)...\n");
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 

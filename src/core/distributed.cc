@@ -125,6 +125,14 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
     for (const ScheduleProposal& winner : resolved.committed) {
       commit(winner);
       outcome.placed.push_back(winner);
+      if (span_log_ != nullptr) {
+        span_log_->Append({.tick = cluster.now(),
+                           .pod = winner.pod,
+                           .phase = obs::SpanPhase::kPlaced,
+                           .host = winner.host,
+                           .has_score = true,
+                           .score = winner.score});
+      }
     }
     outcome.conflicts_resolved += static_cast<int64_t>(resolved.redispatched.size());
     if (commits_counter_ != nullptr) {
@@ -153,6 +161,12 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
           resolved.committed.begin(), resolved.committed.end(),
           [&](const ScheduleProposal& p) { return p.pod == d.entry.pod->id; });
       if (!committed) {
+        if (span_log_ != nullptr) {
+          span_log_->Append({.tick = cluster.now(),
+                             .pod = d.entry.pod->id,
+                             .phase = obs::SpanPhase::kConflictRetried,
+                             .host = d.decision.host});
+        }
         requeue(s, d.entry, WaitReason::kOther);  // lost the conflict
       }
     }

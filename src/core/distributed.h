@@ -73,6 +73,15 @@ class DistributedCoordinator {
   // keeps all parallel updates on distinct shards.
   void AttachMetrics(obs::MetricRegistry* registry);
 
+  // Attaches the pod-lifecycle span log (nullptr detaches). Only the serial
+  // conflict-resolution phase appends — placed spans for committed winners
+  // (in commit order) and conflict_retried spans for proposals that lost
+  // their host (in shard order) — never the parallel shard decisions, so
+  // the file is deterministic for a given batch. Shards keep their own span
+  // logs detached; attach per-shard logs via shard(i).set_span_log only
+  // when a caller serializes the shards itself.
+  void set_span_log(obs::SpanLog* log) { span_log_ = log; }
+
  private:
   std::vector<std::unique_ptr<OptumScheduler>> shards_;
   DeploymentModule deployment_;
@@ -84,6 +93,7 @@ class DistributedCoordinator {
   obs::Counter* commits_counter_ = nullptr;
   obs::Counter* conflicts_counter_ = nullptr;
   obs::Histogram* round_timer_ = nullptr;
+  obs::SpanLog* span_log_ = nullptr;
 };
 
 }  // namespace optum::core

@@ -126,9 +126,11 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
   // Serial reduction in candidate order: ties break toward the earlier
   // sampled candidate regardless of which lane scored which index.
   size_t best = candidates_.size();
+  int64_t feasible = 0;
   bool any_cpu = false, any_mem = false;
   for (size_t i = 0; i < candidates_.size(); ++i) {
     if (scored_[i].feasible) {
+      ++feasible;
       if (best == candidates_.size() || scored_[i].score > scored_[best].score) {
         best = i;
       }
@@ -149,6 +151,23 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
     if (placements_counter_ != nullptr) {
       placements_counter_->Inc(metrics_lane_base_);
     }
+  }
+  if (span_log_ != nullptr) {
+    // Serial path: the scored_ reduction above is complete, so both spans
+    // are pure functions of the (thread-count-invariant) candidate scores.
+    span_log_->Append({.tick = cluster.now(),
+                       .pod = pod.id,
+                       .phase = obs::SpanPhase::kSampled,
+                       .count = static_cast<int64_t>(candidates_.size())});
+    obs::SpanEvent scored_span{.tick = cluster.now(),
+                               .pod = pod.id,
+                               .phase = obs::SpanPhase::kScored,
+                               .count = feasible};
+    if (best != candidates_.size()) {
+      scored_span.has_score = true;
+      scored_span.score = scored_[best].score;
+    }
+    span_log_->Append(scored_span);
   }
   if (decision_log_ != nullptr) {
     LogDecision(pod, cluster, decision);

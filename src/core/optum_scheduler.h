@@ -19,6 +19,7 @@
 #include "src/core/resource_usage_predictor.h"
 #include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_log.h"
 #include "src/sim/placement_policy.h"
 #include "src/stats/rng.h"
 
@@ -155,6 +156,13 @@ class OptumScheduler : public PlacementPolicy {
   // schedulers must use distinct logs.
   void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
 
+  // Attaches the pod-lifecycle span log (nullptr detaches). PlaceScored
+  // emits a sampled span (count = candidates drawn) and a scored span
+  // (count = feasible candidates, score = best Eq. 11 score when any) per
+  // pod, both on the serial reduction path — span output is bit-identical
+  // for every num_threads. Distinct schedulers must use distinct logs.
+  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
+
   const InterferencePredictor& interference_predictor() const {
     return interference_predictor_;
   }
@@ -189,6 +197,7 @@ class OptumScheduler : public PlacementPolicy {
   obs::Counter* placements_counter_ = nullptr;
   obs::Counter* rejections_counter_ = nullptr;
   obs::DecisionLog* decision_log_ = nullptr;
+  obs::SpanLog* span_log_ = nullptr;
 };
 
 }  // namespace optum::core

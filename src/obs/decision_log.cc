@@ -5,7 +5,7 @@
 namespace optum::obs {
 
 DecisionLog::DecisionLog(const std::string& path, size_t top_k)
-    : file_(std::fopen(path.c_str(), "w")), top_k_(top_k) {}
+    : file_(OpenJsonSink(path)), top_k_(top_k) {}
 
 DecisionLog::~DecisionLog() {
   if (file_ != nullptr) {

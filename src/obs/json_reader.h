@@ -1,0 +1,64 @@
+// Minimal JSON parser for the repo's own exported documents — the inverse
+// of json_writer.h, used by tools that read exports back (bench_diff
+// compares BENCH_hotpath.json files; series_plot reads optum.series.v1
+// JSONL lines). Recursive-descent into a small DOM; objects keep member
+// order (a vector of pairs, not a map) so column order in series lines is
+// preserved. Not a general-purpose parser: no \uXXXX surrogate pairs, no
+// depth guard beyond the stack — fine for trusted, self-produced input.
+#ifndef OPTUM_SRC_OBS_JSON_READER_H_
+#define OPTUM_SRC_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace optum::obs {
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Member lookup by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const {
+    if (kind != Kind::kObject) {
+      return nullptr;
+    }
+    for (const auto& [name, value] : members) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  // Number coercions with defaults, for optional fields.
+  double AsNumber(double fallback = 0.0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return kind == Kind::kNumber ? static_cast<int64_t>(number) : fallback;
+  }
+};
+
+// Parses `text` (one complete JSON document; trailing whitespace allowed)
+// into `out`. On failure returns false and describes the problem in `error`
+// (with a byte offset). `out` is unspecified on failure.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_JSON_READER_H_

@@ -20,6 +20,35 @@
 
 namespace optum::obs {
 
+// Checked JSON-sink opener shared by every CLI export flag (--metrics-json,
+// --decision-log, --span-log, --series-json, --json-out): opens `path` for
+// writing (truncating) and reports failure once on stderr in one uniform
+// format, so the tools don't each hand-roll the open/error dance.
+inline std::FILE* OpenJsonSink(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+  }
+  return f;
+}
+
+// Writes one complete JSON document (plus trailing newline) to `path`
+// through OpenJsonSink. Returns false (with the error already reported) on
+// open or short-write failure.
+inline bool WriteJsonDocument(const std::string& path, std::string_view json) {
+  std::FILE* f = OpenJsonSink(path);
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
 class JsonWriter {
  public:
   JsonWriter& BeginObject() {

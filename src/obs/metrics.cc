@@ -163,16 +163,18 @@ void MetricRegistry::RunCollectors() {
   }
 }
 
-void MetricRegistry::SampleGauges(int64_t tick) {
+void MetricRegistry::CollectGauges(std::vector<std::string>* names,
+                                   std::vector<double>* values) {
   RunCollectors();
   std::lock_guard<std::mutex> lock(mu_);
-  SeriesSample sample;
-  sample.tick = tick;
-  sample.values.reserve(gauge_order_.size());
-  for (const Gauge* g : gauge_order_) {
-    sample.values.push_back(g->Value());
+  for (size_t i = names->size(); i < gauge_order_.size(); ++i) {
+    names->push_back(gauge_order_[i]->name());
   }
-  series_.push_back(std::move(sample));
+  values->clear();
+  values->reserve(gauge_order_.size());
+  for (const Gauge* g : gauge_order_) {
+    values->push_back(g->Value());
+  }
 }
 
 std::string MetricRegistry::ToJson() {
@@ -221,43 +223,12 @@ std::string MetricRegistry::ToJson() {
   }
   w.EndObject();
 
-  // Time series: one column per gauge in registration order; ticks in
-  // sample order. Samples taken before a gauge existed export null.
-  w.Key("series").BeginObject();
-  w.Key("ticks").BeginArray();
-  for (const SeriesSample& s : series_) {
-    w.Value(s.tick);
-  }
-  w.EndArray();
-  w.Key("gauges").BeginObject();
-  for (size_t col = 0; col < gauge_order_.size(); ++col) {
-    w.Key(gauge_order_[col]->name()).BeginArray();
-    for (const SeriesSample& s : series_) {
-      if (col < s.values.size()) {
-        w.Value(s.values[col]);
-      } else {
-        w.Null();
-      }
-    }
-    w.EndArray();
-  }
-  w.EndObject();
-  w.EndObject();
-
   w.EndObject();
   return w.TakeString();
 }
 
 bool MetricRegistry::WriteJsonFile(const std::string& path) {
-  const std::string json = ToJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return false;
-  }
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
-                  std::fputc('\n', f) != EOF;
-  std::fclose(f);
-  return ok;
+  return WriteJsonDocument(path, ToJson());
 }
 
 }  // namespace optum::obs

@@ -176,29 +176,28 @@ class MetricRegistry {
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
-  // Pull-style metrics: collectors run right before each SampleGauges()
+  // Pull-style metrics: collectors run right before each CollectGauges()
   // and each export, letting instrumented components publish internal
   // statistics (e.g. prediction-cache hit counts) as gauges without paying
   // per-event registry calls on the hot path.
   void AddCollector(std::function<void(MetricRegistry*)> fn);
 
-  // Snapshots every gauge into the time series under `tick`. Serial-context
-  // only (the simulator calls it once per tick, after the parallel phases).
-  void SampleGauges(int64_t tick);
+  // Snapshots every gauge value in registration order after running the
+  // collectors: appends names of gauges created since the last call to
+  // `names` (so a caller-held column list stays aligned) and overwrites
+  // `values` with one entry per name. Serial-context only (the streaming
+  // TimeSeriesRecorder calls it once per sampled tick, after the parallel
+  // phases). The per-tick history itself lives in obs/timeseries.h — the
+  // registry deliberately holds no sample buffer, so registry memory is
+  // independent of run length.
+  void CollectGauges(std::vector<std::string>* names, std::vector<double>* values);
 
-  // Full dump: schema header, merged counters/gauges/histograms, and the
-  // per-tick gauge time series. The schema is pinned by tests/obs_test.
+  // Full dump: schema header and merged counters/gauges/histograms. The
+  // schema is pinned by tests/obs_test.
   std::string ToJson();
   bool WriteJsonFile(const std::string& path);
 
  private:
-  struct SeriesSample {
-    int64_t tick = 0;
-    // Values aligned with gauge_order_ at sample time; samples taken before
-    // a gauge existed are exported as null for that column.
-    std::vector<double> values;
-  };
-
   void RunCollectors();
 
   mutable std::mutex mu_;  // guards metric creation and collector list
@@ -208,7 +207,6 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::vector<Gauge*> gauge_order_;  // registration order, for series columns
   std::vector<std::function<void(MetricRegistry*)>> collectors_;
-  std::vector<SeriesSample> series_;
 };
 
 }  // namespace optum::obs

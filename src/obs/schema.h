@@ -7,9 +7,12 @@
 
 namespace optum::obs {
 
-// MetricRegistry::ToJson — counters/gauges/histograms/series
-// (`runsim --metrics-json` writes this document).
-inline constexpr const char* kMetricsSchema = "optum.metrics.v1";
+// MetricRegistry::ToJson — counters/gauges/histograms
+// (`runsim --metrics-json` writes this document). v2 dropped the embedded
+// per-tick gauge series: time series now stream through the JSONL
+// optum.series.v1 sink (`runsim --series-json`) so memory stays bounded on
+// long runs.
+inline constexpr const char* kMetricsSchema = "optum.metrics.v2";
 
 // `runsim --json` — one simulation run: config echo, headline results, and
 // an embedded optum.summary.v1 under "summary".
@@ -18,6 +21,15 @@ inline constexpr const char* kRunsimSchema = "optum.runsim.v1";
 // RenderSummaryJson — per-class trace summary
 // (`trace_summary --json` and the "summary" object of optum.runsim.v1).
 inline constexpr const char* kSummarySchema = "optum.summary.v1";
+
+// SpanLog — JSONL pod-lifecycle span stream (`runsim --span-log`): header
+// line carrying this tag, then one line per phase transition.
+inline constexpr const char* kSpansSchema = "optum.spans.v1";
+
+// TimeSeriesRecorder — JSONL streaming gauge time series
+// (`runsim --series-json`): header line carrying this tag, then one line
+// per sampled tick.
+inline constexpr const char* kSeriesSchema = "optum.series.v1";
 
 struct SchemaInfo {
   const char* tag;
@@ -30,6 +42,8 @@ inline constexpr SchemaInfo kSchemas[] = {
     {kMetricsSchema, "MetricRegistry::ToJson / runsim --metrics-json"},
     {kRunsimSchema, "runsim --json"},
     {kSummarySchema, "RenderSummaryJson / trace_summary --json"},
+    {kSpansSchema, "SpanLog / runsim --span-log"},
+    {kSeriesSchema, "TimeSeriesRecorder / runsim --series-json"},
 };
 
 }  // namespace optum::obs

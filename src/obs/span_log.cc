@@ -1,0 +1,166 @@
+#include "src/obs/span_log.h"
+
+#include <charconv>
+#include <string_view>
+
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/schema.h"
+
+namespace optum::obs {
+namespace {
+
+// Flush threshold for the owned buffer. Large enough that fwrite cost is
+// amortized over thousands of records, small enough that a crashed run still
+// leaves most of the stream on disk.
+constexpr size_t kFlushBytes = 64 * 1024;
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+// Shortest round-trip double (to_chars without a precision argument).
+// Deterministic and locale-free, unlike printf.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+const char* ToString(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kSubmitted:
+      return "submitted";
+    case SpanPhase::kQueued:
+      return "queued";
+    case SpanPhase::kSampled:
+      return "sampled";
+    case SpanPhase::kScored:
+      return "scored";
+    case SpanPhase::kPlaced:
+      return "placed";
+    case SpanPhase::kConflictRetried:
+      return "conflict_retried";
+    case SpanPhase::kFinished:
+      return "finished";
+    case SpanPhase::kEvicted:
+      return "evicted";
+  }
+  return "unknown";
+}
+
+SpanLog::SpanLog(const std::string& path) : file_(OpenJsonSink(path)) {
+  buffer_.reserve(kFlushBytes + 512);
+  if (file_ != nullptr) {
+    buffer_ += RenderHeader();
+    buffer_.push_back('\n');
+  }
+}
+
+SpanLog::~SpanLog() {
+  if (file_ != nullptr) {
+    Flush();
+    std::fclose(file_);
+  }
+}
+
+std::string SpanLog::RenderHeader() {
+  std::string out = R"({"schema":")";
+  out += kSpansSchema;
+  out += R"(","clock":"ticks"})";
+  return out;
+}
+
+void SpanLog::RenderTo(std::string* out, const SpanEvent& event) {
+  out->append(R"({"tick":)");
+  AppendInt(out, event.tick);
+  out->append(R"(,"pod":)");
+  AppendInt(out, event.pod);
+  out->append(R"(,"phase":")");
+  out->append(ToString(event.phase));
+  out->push_back('"');
+  if (event.host != kInvalidHostId) {
+    out->append(R"(,"host":)");
+    AppendInt(out, event.host);
+  }
+  if (event.count >= 0) {
+    out->append(R"(,"count":)");
+    AppendInt(out, event.count);
+  }
+  if (event.wait_ticks >= 0) {
+    out->append(R"(,"wait":)");
+    AppendInt(out, event.wait_ticks);
+  }
+  if (event.has_score) {
+    out->append(R"(,"score":)");
+    AppendDouble(out, event.score);
+  }
+  if (event.reason != nullptr) {
+    out->append(R"(,"reason":")");
+    // Reasons are fixed identifiers (WaitReason names, "OOM", "Preempt");
+    // none need escaping, and keeping this branch-free keeps Append cheap.
+    out->append(event.reason);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+std::string SpanLog::Render(const SpanEvent& event) {
+  std::string out;
+  RenderTo(&out, event);
+  return out;
+}
+
+void SpanLog::Append(const SpanEvent& event) {
+  const size_t phase_index = static_cast<size_t>(event.phase);
+  if (phase_counters_[phase_index] != nullptr) {
+    phase_counters_[phase_index]->Inc(metrics_lane_);
+    if (event.phase == SpanPhase::kPlaced && event.wait_ticks >= 0 &&
+        queue_wait_seconds_ != nullptr) {
+      queue_wait_seconds_->Record(
+          static_cast<double>(event.wait_ticks) * kSecondsPerTick,
+          metrics_lane_);
+    }
+  }
+  if (file_ == nullptr) {
+    return;
+  }
+  RenderTo(&buffer_, event);
+  buffer_.push_back('\n');
+  ++records_written_;
+  if (buffer_.size() >= kFlushBytes) {
+    Flush();
+  }
+}
+
+void SpanLog::Flush() {
+  if (file_ == nullptr || buffer_.empty()) {
+    return;
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  buffer_.clear();
+}
+
+void SpanLog::AttachMetrics(MetricRegistry* registry, size_t lane) {
+  if (registry == nullptr) {
+    metrics_lane_ = 0;
+    for (Counter*& c : phase_counters_) {
+      c = nullptr;
+    }
+    queue_wait_seconds_ = nullptr;
+    return;
+  }
+  metrics_lane_ = lane;
+  for (int i = 0; i < kNumSpanPhases; ++i) {
+    phase_counters_[i] = registry->counter(
+        std::string("spans.") + ToString(static_cast<SpanPhase>(i)));
+  }
+  queue_wait_seconds_ = registry->histogram("spans.queue_wait_seconds");
+}
+
+}  // namespace optum::obs

@@ -1,0 +1,99 @@
+#include "src/obs/timeseries.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/schema.h"
+
+namespace optum::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricRegistry* registry,
+                                       const std::string& path,
+                                       size_t ring_capacity,
+                                       int64_t interval_ticks)
+    : registry_(registry),
+      file_(OpenJsonSink(path)),
+      ring_capacity_(ring_capacity) {
+  OPTUM_CHECK(registry_ != nullptr);
+  OPTUM_CHECK_GE(ring_capacity_, 1u);
+  ring_.reserve(ring_capacity_);
+  spare_.reserve(ring_capacity_);
+  if (file_ != nullptr) {
+    const std::string header = RenderHeader(interval_ticks);
+    std::fwrite(header.data(), 1, header.size(), file_);
+    std::fputc('\n', file_);
+  }
+}
+
+TimeSeriesRecorder::~TimeSeriesRecorder() {
+  if (file_ != nullptr) {
+    Flush();
+    std::fclose(file_);
+  }
+}
+
+std::string TimeSeriesRecorder::RenderHeader(int64_t interval_ticks) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kSeriesSchema);
+  w.KV("interval_ticks", interval_ticks);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string TimeSeriesRecorder::RenderSample(
+    int64_t tick, const std::vector<std::string>& names,
+    const std::vector<double>& values) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("tick", tick);
+  w.Key("gauges").BeginObject();
+  const size_t n = values.size() < names.size() ? values.size() : names.size();
+  for (size_t i = 0; i < n; ++i) {
+    w.KV(names[i], values[i]);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void TimeSeriesRecorder::Sample(int64_t tick) {
+  Row row;
+  if (!spare_.empty()) {
+    row = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  row.tick = tick;
+  registry_->CollectGauges(&names_, &row.values);
+  ring_.push_back(std::move(row));
+  if (ring_.size() >= ring_capacity_) {
+    Flush();
+  }
+}
+
+void TimeSeriesRecorder::Flush() {
+  if (ring_.empty()) {
+    return;
+  }
+  if (file_ != nullptr) {
+    render_buffer_.clear();
+    for (const Row& row : ring_) {
+      render_buffer_ += RenderSample(row.tick, names_, row.values);
+      render_buffer_.push_back('\n');
+    }
+    std::fwrite(render_buffer_.data(), 1, render_buffer_.size(), file_);
+    std::fflush(file_);
+  }
+  samples_written_ += static_cast<int64_t>(ring_.size());
+  // Recycle the row storage so the steady state re-uses the same vectors
+  // instead of re-allocating one per sample.
+  for (Row& row : ring_) {
+    row.values.clear();
+    spare_.push_back(std::move(row));
+  }
+  ring_.clear();
+}
+
+}  // namespace optum::obs

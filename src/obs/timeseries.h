@@ -1,0 +1,95 @@
+// Streaming gauge time series (observability layer, DESIGN.md §11).
+//
+// The v1 metrics export buffered every per-tick gauge sample in memory and
+// dumped them at the end of the run — O(run length) resident, which the
+// ROADMAP flagged as broken for long simulations. This recorder replaces
+// that buffer with the Monarch shape: a bounded ring of samples that is
+// flushed incrementally to a JSONL sink whenever it fills, so resident
+// memory is O(ring_capacity × gauges) no matter how many ticks the run
+// lasts, while the on-disk file grows one line per sample.
+//
+// Output format (optum.series.v1): a header line
+//   {"schema":"optum.series.v1","interval_ticks":N}
+// followed by one line per sampled tick:
+//   {"tick":T,"gauges":{"sim.cluster_cpu_util":0.42,...}}
+// Gauge columns appear in registry registration order; gauges created
+// mid-run simply start appearing in later lines (consumers key by name, not
+// position — tools/series_plot handles late columns).
+//
+// Concurrency contract: Sample() runs in serial context only — the
+// simulator calls it once per tick after the parallel phases, matching the
+// quiescence requirement of merged gauge reads. The recorder never feeds
+// back into scheduling, so attaching one cannot perturb placements.
+#ifndef OPTUM_SRC_OBS_TIMESERIES_H_
+#define OPTUM_SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace optum::obs {
+
+class MetricRegistry;
+
+class TimeSeriesRecorder {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 256;
+
+  // Opens `path` through the shared checked JSON sink and writes the schema
+  // header. `interval_ticks` is advisory metadata echoed in the header (how
+  // often the caller intends to Sample); the recorder itself samples
+  // whenever asked.
+  TimeSeriesRecorder(MetricRegistry* registry, const std::string& path,
+                     size_t ring_capacity = kDefaultRingCapacity,
+                     int64_t interval_ticks = 1);
+  ~TimeSeriesRecorder();
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  size_t ring_capacity() const { return ring_capacity_; }
+  // Samples currently resident in the ring (≤ ring_capacity; the
+  // bounded-memory test watches this while samples_written grows).
+  size_t buffered() const { return ring_.size(); }
+  // Total samples flushed to the file so far (excludes the header line and
+  // anything still resident in the ring).
+  int64_t samples_written() const { return samples_written_; }
+
+  // Snapshots every registry gauge under `tick` into the ring; flushes the
+  // ring to the file when it reaches capacity. Serial context only.
+  void Sample(int64_t tick);
+
+  // Drains the ring to the file (destructor calls this; exposed so exports
+  // can sync before the run summary reads the file back).
+  void Flush();
+
+  // The exact line format for one sample (without trailing newline), pinned
+  // by the golden schema test. `names` and `values` are parallel arrays.
+  static std::string RenderSample(int64_t tick,
+                                  const std::vector<std::string>& names,
+                                  const std::vector<double>& values);
+  static std::string RenderHeader(int64_t interval_ticks);
+
+ private:
+  struct Row {
+    int64_t tick = 0;
+    // Parallel to names_ at sample time; rows taken before a gauge existed
+    // are shorter and render only the columns that existed then.
+    std::vector<double> values;
+  };
+
+  MetricRegistry* registry_;
+  std::FILE* file_ = nullptr;
+  size_t ring_capacity_;
+  std::vector<std::string> names_;  // registry gauge columns, append-only
+  std::vector<Row> ring_;
+  std::vector<Row> spare_;  // recycled rows so steady state never allocates
+  std::string render_buffer_;
+  int64_t samples_written_ = 0;
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_TIMESERIES_H_

@@ -5,8 +5,36 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/obs/span_log.h"
 
 namespace optum {
+namespace {
+
+// Shared span emission for the serial baseline Place() paths: one sampled
+// span (candidates drawn) and one scored span (feasible count, plus the
+// winner's ranking value when a host was chosen).
+void EmitPlacementSpans(obs::SpanLog* log, const ClusterState& cluster,
+                        const PodSpec& pod, size_t sampled, int64_t feasible,
+                        bool placed, double best_value) {
+  if (log == nullptr) {
+    return;
+  }
+  log->Append({.tick = cluster.now(),
+               .pod = pod.id,
+               .phase = obs::SpanPhase::kSampled,
+               .count = static_cast<int64_t>(sampled)});
+  obs::SpanEvent scored{.tick = cluster.now(),
+                        .pod = pod.id,
+                        .phase = obs::SpanPhase::kScored,
+                        .count = feasible};
+  if (placed) {
+    scored.has_score = true;
+    scored.score = best_value;
+  }
+  log->Append(scored);
+}
+
+}  // namespace
 
 AlibabaBaseline::AlibabaBaseline(BaselineOptions options)
     : options_(options), rng_(options.seed) {}
@@ -19,6 +47,7 @@ PlacementDecision AlibabaBaseline::Place(const PodSpec& pod, const AppProfile& a
 
   HostId best = kInvalidHostId;
   double best_score = -std::numeric_limits<double>::infinity();
+  int64_t feasible = 0;
   bool any_cpu_short = false, any_mem_short = false;
 
   bool any_affinity = false;
@@ -54,12 +83,15 @@ PlacementDecision AlibabaBaseline::Place(const PodSpec& pod, const AppProfile& a
     if (!cpu_ok || !mem_ok) {
       continue;
     }
+    ++feasible;
     const double score = AlignmentScore(pod.request, load);
     if (score > best_score) {
       best_score = score;
       best = id;
     }
   }
+  EmitPlacementSpans(span_log_, cluster, pod, candidates.size(), feasible,
+                     best != kInvalidHostId, best_score);
   if (best == kInvalidHostId) {
     if (!any_cpu_short && !any_mem_short && any_affinity) {
       return PlacementDecision::Reject(WaitReason::kOther);
@@ -89,6 +121,7 @@ PlacementDecision PredictorBestFit::Place(const PodSpec& pod, const AppProfile& 
 
   HostId best = kInvalidHostId;
   double best_headroom = std::numeric_limits<double>::infinity();
+  int64_t feasible = 0;
   bool any_cpu_short = false, any_mem_short = false;
 
   bool any_affinity = false;
@@ -115,6 +148,7 @@ PlacementDecision PredictorBestFit::Place(const PodSpec& pod, const AppProfile& 
     if (!cpu_ok || !ratio_ok || !mem_ok) {
       continue;
     }
+    ++feasible;
     // Best fit: minimize remaining headroom after placement.
     const double headroom = cpu_cap - predicted - pod.request.cpu;
     if (headroom < best_headroom) {
@@ -122,6 +156,8 @@ PlacementDecision PredictorBestFit::Place(const PodSpec& pod, const AppProfile& 
       best = id;
     }
   }
+  EmitPlacementSpans(span_log_, cluster, pod, candidates.size(), feasible,
+                     best != kInvalidHostId, -best_headroom);
   if (best == kInvalidHostId) {
     if (!any_cpu_short && !any_mem_short && any_affinity) {
       return PlacementDecision::Reject(WaitReason::kOther);

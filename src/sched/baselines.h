@@ -38,11 +38,16 @@ class AlibabaBaseline : public PlacementPolicy {
   explicit AlibabaBaseline(BaselineOptions options = {});
   PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
                           const ClusterState& cluster) override;
+  // Emits sampled/scored lifecycle spans per Place() call (DESIGN.md §11);
+  // Place() runs serially, so emission is in-line. score = best alignment
+  // score when a host was chosen.
+  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
   std::string name() const override { return "Alibaba"; }
 
  private:
   BaselineOptions options_;
   Rng rng_;
+  obs::SpanLog* span_log_ = nullptr;
 };
 
 // Generic predictor-driven best-fit scheduler: feasible iff
@@ -56,6 +61,9 @@ class PredictorBestFit : public PlacementPolicy {
 
   PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
                           const ClusterState& cluster) override;
+  // As AlibabaBaseline::set_span_log; score = negated best-fit headroom of
+  // the chosen host (larger is tighter fit).
+  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
   std::string name() const override { return name_; }
 
  private:
@@ -65,6 +73,7 @@ class PredictorBestFit : public PlacementPolicy {
   double overcommit_cap_;  // max sum(requests)/capacity; <=0 disables
   BaselineOptions options_;
   Rng rng_;
+  obs::SpanLog* span_log_ = nullptr;
 };
 
 // Factory helpers with the paper's parameterizations.

@@ -8,6 +8,10 @@
 
 #include "src/sim/cluster.h"
 
+namespace optum::obs {
+class SpanLog;
+}  // namespace optum::obs
+
 namespace optum {
 
 // Why a pod could not be placed this round (paper Fig. 9b taxonomy).
@@ -49,6 +53,13 @@ class PlacementPolicy {
     (void)pod;
     (void)cluster;
   }
+
+  // Optional pod-lifecycle span log (DESIGN.md §11): policies that support
+  // tracing emit sampled/scored transitions from their serial paths into
+  // `log` (nullptr detaches). Default is a no-op so stateless baselines
+  // need not care. Pass the same log the simulator uses so one file holds
+  // the full submitted→placed chain.
+  virtual void set_span_log(obs::SpanLog* log) { (void)log; }
 
   virtual std::string name() const = 0;
 };

@@ -57,6 +57,8 @@ Simulator::Simulator(const Workload& workload, SimConfig config, PlacementPolicy
   if (config_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  OPTUM_CHECK_MSG(config_.series == nullptr || config_.metrics != nullptr,
+                  "SimConfig::series requires SimConfig::metrics");
   wait_by_pod_.resize(workload.pods.size());
   tick_scratch_.resize(static_cast<size_t>(workload.config.num_hosts));
   if (config_.metrics != nullptr) {
@@ -110,6 +112,10 @@ void Simulator::EnqueueArrivals() {
     const int prio = SchedulingPriority(spec->slo);
     pending_[prio].push_back(PendingPod{spec, now_});
     ++next_arrival_;
+    if (config_.span_log != nullptr) {
+      config_.span_log->Append(
+          {.tick = now_, .pod = spec->id, .phase = obs::SpanPhase::kSubmitted});
+    }
   }
 }
 
@@ -126,6 +132,13 @@ void Simulator::CommitPlacement(const PodSpec& spec, const AppProfile& app, Host
   AddRunning(pod);
   ++result_.scheduled_pods;
   policy_.OnPodPlaced(*pod, cluster_);
+  if (config_.span_log != nullptr) {
+    config_.span_log->Append({.tick = now_,
+                              .pod = spec.id,
+                              .phase = obs::SpanPhase::kPlaced,
+                              .host = host,
+                              .wait_ticks = now_ - spec.submit_tick});
+  }
 
   PodMeta meta;
   meta.pod_id = spec.id;
@@ -177,6 +190,13 @@ bool Simulator::TryPreemptForLsr(const PodSpec& pod, const AppProfile& app) {
     }
     ++result_.preemptions;
     policy_.OnPodFinished(*victim, cluster_);
+    if (config_.span_log != nullptr) {
+      config_.span_log->Append({.tick = now_,
+                                .pod = victim->spec.id,
+                                .phase = obs::SpanPhase::kEvicted,
+                                .host = victim->host,
+                                .reason = "Preempt"});
+    }
     // Resubmit the victim: progress is lost, waiting restarts now.
     pending_[SchedulingPriority(victim->spec.slo)].push_back(PendingPod{
         &workload_.pods[static_cast<size_t>(victim->spec.id)], now_});
@@ -212,6 +232,12 @@ void Simulator::SchedulePending() {
         continue;
       }
       NoteWaitReason(spec, decision.reason);
+      if (config_.span_log != nullptr) {
+        config_.span_log->Append({.tick = now_,
+                                  .pod = spec.id,
+                                  .phase = obs::SpanPhase::kQueued,
+                                  .reason = ToString(decision.reason)});
+      }
       queue.push_back(item);  // Retry next tick.
     }
   }
@@ -273,6 +299,13 @@ void Simulator::UpdateUsageAndPerformance() {
       ++result_.oom_kills;
       demand -= Resources{victim->cpu_demand, victim->mem_usage};
       policy_.OnPodFinished(*victim, cluster_);
+      if (config_.span_log != nullptr) {
+        config_.span_log->Append({.tick = now_,
+                                  .pod = victim->spec.id,
+                                  .phase = obs::SpanPhase::kEvicted,
+                                  .host = victim->host,
+                                  .reason = "OOM"});
+      }
       pending_[SchedulingPriority(victim->spec.slo)].push_back(
           PendingPod{&workload_.pods[static_cast<size_t>(victim->spec.id)], now_});
       RemoveFromRunning(victim);
@@ -356,6 +389,12 @@ void Simulator::FinishPod(PodRuntime* pod, Tick finish_tick) {
   result_.trace.lifecycles.push_back(rec);
 
   policy_.OnPodFinished(*pod, cluster_);
+  if (config_.span_log != nullptr) {
+    config_.span_log->Append({.tick = finish_tick,
+                              .pod = pod->spec.id,
+                              .phase = obs::SpanPhase::kFinished,
+                              .host = pod->host});
+  }
   RemoveFromRunning(pod);
   cluster_.Remove(pod);
 }
@@ -514,7 +553,6 @@ void Simulator::SampleMetrics() {
   sim_metrics_.oom_kills->Set(static_cast<double>(result_.oom_kills));
   sim_metrics_.preemptions->Set(static_cast<double>(result_.preemptions));
   sim_metrics_.violations->Set(static_cast<double>(result_.violation_host_ticks));
-  config_.metrics->SampleGauges(now_);
 }
 
 SimResult Simulator::Run() {
@@ -534,11 +572,20 @@ SimResult Simulator::Run() {
     if (config_.metrics != nullptr) {
       SampleMetrics();
     }
+    if (config_.series != nullptr) {
+      config_.series->Sample(now_);
+    }
     if (config_.on_tick_end) {
       config_.on_tick_end(cluster_, now_);
     }
   }
   FinalizeAtHorizon();
+  if (config_.span_log != nullptr) {
+    config_.span_log->Flush();
+  }
+  if (config_.series != nullptr) {
+    config_.series->Flush();
+  }
   return std::move(result_);
 }
 

@@ -12,6 +12,8 @@
 
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_log.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
 #include "src/sim/placement_policy.h"
 #include "src/sim/psi_model.h"
@@ -57,11 +59,23 @@ struct SimConfig {
 
   // Optional observability registry (DESIGN.md §9). When set, every tick
   // updates the sim.* gauges (cluster CPU/mem utilization, pending-queue
-  // depth, running pods, cumulative violations/OOM kills/preemptions),
-  // records the tick's wall time into the sim.tick_seconds histogram, and
-  // snapshots all gauges into the registry's time series. Metrics never
-  // feed back into scheduling, so results are identical with or without.
+  // depth, running pods, cumulative violations/OOM kills/preemptions) and
+  // records the tick's wall time into the sim.tick_seconds histogram.
+  // Metrics never feed back into scheduling, so results are identical with
+  // or without.
   obs::MetricRegistry* metrics = nullptr;
+
+  // Optional pod-lifecycle span log (DESIGN.md §11). The simulator emits
+  // submitted/queued/placed/finished/evicted transitions from its serial
+  // phases; sampled/scored come from the placement policy (pass the same
+  // log to PlacementPolicy::set_span_log). Span output carries only tick
+  // timestamps, so the file is bit-identical for every num_threads.
+  obs::SpanLog* span_log = nullptr;
+
+  // Optional streaming gauge time series, sampled once per tick after the
+  // sim.* gauges update. Requires `metrics` (the recorder snapshots that
+  // registry's gauges); the constructor enforces this.
+  obs::TimeSeriesRecorder* series = nullptr;
 };
 
 // A pod that experienced scheduling delay, with the (final) blocking reason.
@@ -143,8 +157,9 @@ class Simulator {
   void NoteWaitReason(const PodSpec& pod, WaitReason reason);
   void FinishPod(PodRuntime* pod, Tick finish_tick);
 
-  // Updates the sim.* gauges and snapshots the time series; called once per
-  // tick, serially, when config_.metrics is set.
+  // Updates the sim.* gauges; called once per tick, serially, when
+  // config_.metrics is set (the streaming series recorder, if any, samples
+  // them right after).
   void SampleMetrics();
 
   // O(1) membership maintenance for running_ via PodRuntime::running_index.

@@ -20,6 +20,7 @@
 #include "src/core/optum_scheduler.h"
 #include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_log.h"
 #include "src/sched/baselines.h"
 #include "src/sim/simulator.h"
 #include "src/trace/workload_generator.h"
@@ -100,7 +101,8 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
                               int num_hosts, int prefill_per_host, int stream,
                               size_t num_threads, ScoreMode score_mode,
                               obs::MetricRegistry* registry = nullptr,
-                              obs::DecisionLog* decision_log = nullptr) {
+                              obs::DecisionLog* decision_log = nullptr,
+                              obs::SpanLog* span_log = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
   std::vector<PodRuntime*> live;
@@ -120,6 +122,7 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
     scheduler.AttachMetrics(registry);
   }
   scheduler.set_decision_log(decision_log);
+  scheduler.set_span_log(span_log);
 
   StreamResult result;
   size_t evict_cursor = 0;
@@ -248,6 +251,62 @@ TEST(ThreadCountInvarianceTest, MetricsOnBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(decision_log.records_written(), kStream);
   }
   std::remove(log_path.c_str());
+}
+
+// The span log renders on the serial reduction path from deterministic
+// fields only (ticks, ids, counts, scores — never wall clock), so the JSONL
+// byte stream must be identical for every thread count. This is the
+// load-bearing guarantee that makes span files diffable across runs.
+TEST(ThreadCountInvarianceTest, SpanLogBitIdenticalAcrossThreadCounts) {
+  const Workload workload = MakeWorkload(64, 3 * kTicksPerHour, 23);
+  const SimConfig sim_config = MakeSimConfig();
+  const OptumProfiles profiles = TrainProfiles(workload, sim_config);
+  const std::vector<const AppProfile*> catalog = SchedulableApps(workload);
+  ASSERT_FALSE(catalog.empty());
+
+  constexpr int kHosts = 1200;
+  constexpr int kPrefillPerHost = 4;
+  constexpr int kStream = 400;
+  const auto read_file = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string contents;
+    char buf[1 << 14];
+    size_t n;
+    while (f != nullptr && (n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      contents.append(buf, n);
+    }
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+    return contents;
+  };
+
+  std::string baseline_bytes;
+  for (const size_t num_threads : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    const std::string path = ::testing::TempDir() + "/concurrency_spans_" +
+                             std::to_string(num_threads) + ".jsonl";
+    {
+      obs::SpanLog span_log(path);
+      ASSERT_TRUE(span_log.ok());
+      StreamPlacements(profiles, catalog, kHosts, kPrefillPerHost, kStream,
+                       num_threads, ScoreMode::kMarginal, /*registry=*/nullptr,
+                       /*decision_log=*/nullptr, &span_log);
+      // Two spans per PlaceScored call: sampled + scored.
+      EXPECT_EQ(span_log.records_written(), 2 * kStream);
+    }
+    const std::string bytes = read_file(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(bytes.empty());
+    if (num_threads == 0) {
+      baseline_bytes = bytes;
+      // Sanity: the stream starts with the schema header line.
+      EXPECT_EQ(bytes.rfind(obs::SpanLog::RenderHeader() + "\n", 0), 0u);
+    } else {
+      ASSERT_EQ(bytes, baseline_bytes)
+          << "span stream diverged with num_threads=" << num_threads;
+    }
+  }
 }
 
 // --- End-to-end simulator equivalence ----------------------------------------

@@ -2,6 +2,7 @@
 // triple-wise ERO extension (§4.2.2).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "src/core/offline_profiler.h"
 #include "src/core/resource_usage_predictor.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span_log.h"
 
 namespace optum::core {
 namespace {
@@ -294,6 +296,62 @@ TEST(DistributedTest, AttachMetricsCountsRoundsCommitsAndConflicts) {
   const std::string json = registry.ToJson();
   EXPECT_NE(json.find("optum.shard0.pred_cache_hit_rate"), std::string::npos);
   EXPECT_NE(json.find("optum.shard3.forest_evals"), std::string::npos);
+}
+
+// Span emission on the distributed path: only the coordinator's serial
+// conflict-resolution phase appends (committed winners as `placed` in commit
+// order, losers as `conflict_retried`), so the span counts must agree
+// exactly with the outcome the coordinator returns.
+TEST(DistributedTest, SpanLogTracesCommitsAndConflicts) {
+  const OptumProfiles profiles = SimpleProfiles();
+  const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < 40; ++i) {
+    pods.push_back(MakePod(i, app));
+  }
+  std::vector<const PodSpec*> batch;
+  for (const auto& p : pods) {
+    batch.push_back(&p);
+  }
+  ClusterState cluster(8, kUnitResources, 8);
+  DistributedConfig config;
+  config.num_schedulers = 4;
+  config.max_attempts_per_pod = 8;
+  config.scheduler_config.sample_fraction = 1.0;
+  config.scheduler_config.min_candidates = 8;
+  DistributedCoordinator coordinator(profiles, config);
+  obs::MetricRegistry registry;
+  const std::string path = ::testing::TempDir() + "/dist_spans.jsonl";
+  DistributedOutcome outcome;
+  {
+    obs::SpanLog span_log(path);
+    ASSERT_TRUE(span_log.ok());
+    span_log.AttachMetrics(&registry);
+    coordinator.set_span_log(&span_log);
+    outcome =
+        coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
+          cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);
+        });
+  }
+  ASSERT_GT(outcome.conflicts_resolved, 0);
+  EXPECT_EQ(registry.counter("spans.placed")->Value(), outcome.placed.size());
+  EXPECT_EQ(registry.counter("spans.conflict_retried")->Value(),
+            static_cast<uint64_t>(outcome.conflicts_resolved));
+  // Commit order in the file matches the outcome's placed order.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 20, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  size_t cursor = 0;
+  for (const ScheduleProposal& p : outcome.placed) {
+    const std::string needle = "\"pod\":" + std::to_string(p.pod) +
+                               ",\"phase\":\"placed\",\"host\":" +
+                               std::to_string(p.host);
+    cursor = contents.find(needle, cursor);
+    ASSERT_NE(cursor, std::string::npos) << needle;
+  }
 }
 
 TEST(DistributedTest, UnplaceableBatchReturnsReasons) {

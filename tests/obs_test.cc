@@ -4,6 +4,7 @@
 // registry JSON dump and the JSONL decision-log line format — so downstream
 // consumers can rely on them.
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -163,15 +164,15 @@ TEST(MetricRegistryTest, ToJsonGolden) {
   Gauge* g = registry.gauge("g");
   g->Set(2.5);
   registry.histogram("h")->Record(1.0);
-  registry.SampleGauges(5);
   const std::string json = registry.ToJson();
+  // v2 of the schema: no embedded "series" section — time series stream to
+  // JSONL through TimeSeriesRecorder instead of accumulating in the registry.
   EXPECT_EQ(json,
             std::string("{\"schema\":\"") + kMetricsSchema + "\"," +
             "\"counters\":{\"c\":3},"
             "\"gauges\":{\"g\":2.5},"
             "\"histograms\":{\"h\":{\"count\":1,\"sum\":1,\"mean\":1,\"max\":1,"
-            "\"p50\":1.5,\"p90\":1.9,\"p99\":1.99,\"buckets\":[[1,1]]}},"
-            "\"series\":{\"ticks\":[5],\"gauges\":{\"g\":[2.5]}}}");
+            "\"p50\":1.5,\"p90\":1.9,\"p99\":1.99,\"buckets\":[[1,1]]}}}");
 }
 
 TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
@@ -180,39 +181,50 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
     EXPECT_NE(s.producer, nullptr);
     tags.emplace_back(s.tag);
   }
-  ASSERT_EQ(tags.size(), 3u);
+  ASSERT_EQ(tags.size(), 5u);
   EXPECT_NE(std::find(tags.begin(), tags.end(), kMetricsSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kRunsimSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSummarySchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kSpansSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kSeriesSchema), tags.end());
   for (const std::string& tag : tags) {
     EXPECT_EQ(tag.rfind("optum.", 0), 0u) << tag;
-    EXPECT_EQ(tag.substr(tag.size() - 3), ".v1") << tag;
+    // Every tag ends in an explicit version: ".v<digit>".
+    ASSERT_GE(tag.size(), 3u);
+    EXPECT_EQ(tag.substr(tag.size() - 3, 2), ".v") << tag;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(tag.back()))) << tag;
     EXPECT_EQ(std::count(tags.begin(), tags.end(), tag), 1) << tag;
   }
 }
 
-TEST(MetricRegistryTest, SeriesPadsGaugesCreatedMidRun) {
+TEST(MetricRegistryTest, CollectGaugesAppendsNamesCreatedMidRun) {
   MetricRegistry registry;
   registry.gauge("early")->Set(1.0);
-  registry.SampleGauges(1);
+  std::vector<std::string> names;
+  std::vector<double> values;
+  registry.CollectGauges(&names, &values);
+  ASSERT_EQ(names, (std::vector<std::string>{"early"}));
+  EXPECT_EQ(values, (std::vector<double>{1.0}));
+  // A gauge created after the first collection appends its name (the caller's
+  // column order stays stable) and its value shows up from then on.
   registry.gauge("late")->Set(9.0);
-  registry.SampleGauges(2);
-  const std::string json = registry.ToJson();
-  // The first sample predates "late": its column starts with null.
-  EXPECT_NE(json.find("\"ticks\":[1,2]"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"early\":[1,1]"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"late\":[null,9]"), std::string::npos) << json;
+  registry.CollectGauges(&names, &values);
+  EXPECT_EQ(names, (std::vector<std::string>{"early", "late"}));
+  EXPECT_EQ(values, (std::vector<double>{1.0, 9.0}));
 }
 
-TEST(MetricRegistryTest, CollectorsRunOnSampleAndExport) {
+TEST(MetricRegistryTest, CollectorsRunOnCollectAndExport) {
   MetricRegistry registry;
   int runs = 0;
   registry.AddCollector([&runs](MetricRegistry* r) {
     ++runs;
     r->gauge("pulled")->Set(static_cast<double>(runs));
   });
-  registry.SampleGauges(1);
+  std::vector<std::string> names;
+  std::vector<double> values;
+  registry.CollectGauges(&names, &values);
   EXPECT_EQ(runs, 1);
+  EXPECT_EQ(values, (std::vector<double>{1.0}));
   const std::string json = registry.ToJson();
   EXPECT_EQ(runs, 2);
   EXPECT_NE(json.find("\"pulled\":2"), std::string::npos) << json;

@@ -1,0 +1,266 @@
+// Tests for the pod-lifecycle span log and the streaming gauge time series
+// (DESIGN.md §11): pinned JSONL schemas (header + line goldens), per-phase
+// metric feeding, the checked-sink failure path, bounded ring memory on long
+// runs, and end-to-end emission through the simulator. Registered under the
+// `observability` ctest label so tools/sanitize_runner.sh covers it.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/schema.h"
+#include "src/obs/span_log.h"
+#include "src/obs/timeseries.h"
+#include "src/sched/baselines.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum::obs {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string contents;
+  char buf[1 << 14];
+  size_t n;
+  while (f != nullptr && (n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  if (f != nullptr) {
+    std::fclose(f);
+  }
+  return contents;
+}
+
+int64_t CountLines(const std::string& text) {
+  int64_t lines = 0;
+  for (const char c : text) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------- SpanLog
+
+TEST(SpanLogTest, ToStringCoversEveryPhase) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumSpanPhases; ++i) {
+    const std::string name = ToString(static_cast<SpanPhase>(i));
+    EXPECT_NE(name, "unknown") << i;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumSpanPhases));
+}
+
+TEST(SpanLogTest, RenderHeaderGolden) {
+  EXPECT_EQ(SpanLog::RenderHeader(),
+            "{\"schema\":\"optum.spans.v1\",\"clock\":\"ticks\"}");
+}
+
+TEST(SpanLogTest, RenderGolden) {
+  // The JSONL line format is load-bearing for downstream analysis: pin each
+  // optional-field combination. Fields absent from the event are absent from
+  // the line, not null.
+  EXPECT_EQ(SpanLog::Render({.tick = 5, .pod = 7}),
+            "{\"tick\":5,\"pod\":7,\"phase\":\"submitted\"}");
+  EXPECT_EQ(SpanLog::Render({.tick = 9, .pod = 7, .phase = SpanPhase::kPlaced,
+                             .host = 3, .wait_ticks = 4}),
+            "{\"tick\":9,\"pod\":7,\"phase\":\"placed\",\"host\":3,\"wait\":4}");
+  EXPECT_EQ(SpanLog::Render({.tick = 9, .pod = 7, .phase = SpanPhase::kScored,
+                             .count = 2, .has_score = true, .score = 0.25}),
+            "{\"tick\":9,\"pod\":7,\"phase\":\"scored\",\"count\":2,"
+            "\"score\":0.25}");
+  EXPECT_EQ(SpanLog::Render({.tick = 9, .pod = 7, .phase = SpanPhase::kQueued,
+                             .reason = "Resources"}),
+            "{\"tick\":9,\"pod\":7,\"phase\":\"queued\",\"reason\":\"Resources\"}");
+  EXPECT_EQ(SpanLog::Render({.tick = 12, .pod = 7, .phase = SpanPhase::kEvicted,
+                             .host = 3, .reason = "OOM"}),
+            "{\"tick\":12,\"pod\":7,\"phase\":\"evicted\",\"host\":3,"
+            "\"reason\":\"OOM\"}");
+}
+
+TEST(SpanLogTest, AppendWritesHeaderThenOneLinePerRecord) {
+  const std::string path = ::testing::TempDir() + "/spans_roundtrip.jsonl";
+  const SpanEvent event{.tick = 1, .pod = 2, .phase = SpanPhase::kSampled,
+                        .count = 60};
+  {
+    SpanLog log(path);
+    ASSERT_TRUE(log.ok());
+    log.Append(event);
+    log.Append(event);
+    EXPECT_EQ(log.records_written(), 2);
+  }
+  const std::string contents = ReadFileOrDie(path);
+  std::remove(path.c_str());
+  const std::string line = SpanLog::Render(event) + "\n";
+  EXPECT_EQ(contents, SpanLog::RenderHeader() + "\n" + line + line);
+}
+
+TEST(SpanLogTest, AttachMetricsFeedsPhaseCountersAndQueueWait) {
+  MetricRegistry registry;
+  SpanLog log(::testing::TempDir() + "/spans_metrics.jsonl");
+  log.AttachMetrics(&registry);
+  log.Append({.tick = 0, .pod = 1, .phase = SpanPhase::kSubmitted});
+  log.Append({.tick = 4, .pod = 1, .phase = SpanPhase::kPlaced, .host = 0,
+              .wait_ticks = 4});
+  log.Append({.tick = 6, .pod = 1, .phase = SpanPhase::kFinished, .host = 0});
+  EXPECT_EQ(registry.counter("spans.submitted")->Value(), 1u);
+  EXPECT_EQ(registry.counter("spans.placed")->Value(), 1u);
+  EXPECT_EQ(registry.counter("spans.finished")->Value(), 1u);
+  EXPECT_EQ(registry.counter("spans.evicted")->Value(), 0u);
+  // 4 ticks of queueing delay = 4 * 30 s (the Fig. 8 waiting-time metric).
+  Histogram* wait = registry.histogram("spans.queue_wait_seconds");
+  EXPECT_EQ(wait->Count(), 1u);
+  EXPECT_DOUBLE_EQ(wait->Sum(), 4.0 * kSecondsPerTick);
+  // Detaching restores the null-sink fast path without touching the file.
+  log.AttachMetrics(nullptr);
+  log.Append({.tick = 7, .pod = 2, .phase = SpanPhase::kSubmitted});
+  EXPECT_EQ(registry.counter("spans.submitted")->Value(), 1u);
+  EXPECT_EQ(log.records_written(), 4);
+}
+
+TEST(SpanLogTest, UnwritablePathReportsNotOkButStillCountsMetrics) {
+  MetricRegistry registry;
+  SpanLog log("/nonexistent-dir-for-span-test/spans.jsonl");
+  EXPECT_FALSE(log.ok());
+  log.AttachMetrics(&registry);
+  log.Append({.tick = 0, .pod = 1, .phase = SpanPhase::kSubmitted});
+  log.Flush();  // must be a no-op, not a crash
+  EXPECT_EQ(log.records_written(), 0);
+  EXPECT_EQ(registry.counter("spans.submitted")->Value(), 1u);
+}
+
+// ----------------------------------------------------- TimeSeriesRecorder
+
+TEST(TimeSeriesTest, RenderHeaderGolden) {
+  EXPECT_EQ(TimeSeriesRecorder::RenderHeader(5),
+            "{\"schema\":\"optum.series.v1\",\"interval_ticks\":5}");
+}
+
+TEST(TimeSeriesTest, RenderSampleGolden) {
+  const std::vector<std::string> names = {"a", "b"};
+  EXPECT_EQ(TimeSeriesRecorder::RenderSample(3, names, {1.0, 2.5}),
+            "{\"tick\":3,\"gauges\":{\"a\":1,\"b\":2.5}}");
+  // Rows captured before a gauge existed are shorter than `names` and render
+  // only the columns that existed then.
+  EXPECT_EQ(TimeSeriesRecorder::RenderSample(3, names, {1.0}),
+            "{\"tick\":3,\"gauges\":{\"a\":1}}");
+}
+
+TEST(TimeSeriesTest, RingStaysBoundedWhileFileGrows) {
+  // The ROADMAP item this subsystem closes: a long run must hold O(ring)
+  // samples resident while the JSONL file takes the rest. 10k ticks with an
+  // 8-slot ring leaves at most 8 rows in memory at any point.
+  constexpr int64_t kTicks = 10000;
+  constexpr size_t kRing = 8;
+  const std::string path = ::testing::TempDir() + "/series_longrun.jsonl";
+  MetricRegistry registry;
+  Gauge* gauge = registry.gauge("g");
+  {
+    TimeSeriesRecorder recorder(&registry, path, kRing);
+    ASSERT_TRUE(recorder.ok());
+    for (int64_t tick = 0; tick < kTicks; ++tick) {
+      gauge->Set(static_cast<double>(tick));
+      recorder.Sample(tick);
+      ASSERT_LE(recorder.buffered(), kRing) << "tick " << tick;
+      ASSERT_EQ(recorder.samples_written() +
+                    static_cast<int64_t>(recorder.buffered()),
+                tick + 1);
+    }
+    recorder.Flush();
+    EXPECT_EQ(recorder.samples_written(), kTicks);
+    EXPECT_EQ(recorder.buffered(), 0u);
+  }
+  const std::string contents = ReadFileOrDie(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(CountLines(contents), kTicks + 1);  // header + one line per tick
+  EXPECT_EQ(contents.rfind(TimeSeriesRecorder::RenderHeader(1) + "\n", 0), 0u);
+  // Spot-check the last flushed line carries the last tick's gauge value.
+  EXPECT_NE(contents.find("{\"tick\":9999,\"gauges\":{\"g\":9999}}\n"),
+            std::string::npos);
+}
+
+TEST(TimeSeriesTest, GaugesCreatedMidRunAppendColumns) {
+  const std::string path = ::testing::TempDir() + "/series_midrun.jsonl";
+  MetricRegistry registry;
+  registry.gauge("early")->Set(1.0);
+  {
+    TimeSeriesRecorder recorder(&registry, path, /*ring_capacity=*/64);
+    ASSERT_TRUE(recorder.ok());
+    recorder.Sample(1);
+    registry.gauge("late")->Set(9.0);
+    recorder.Sample(2);
+  }
+  const std::string contents = ReadFileOrDie(path);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("{\"tick\":1,\"gauges\":{\"early\":1}}\n"),
+            std::string::npos);
+  EXPECT_NE(
+      contents.find("{\"tick\":2,\"gauges\":{\"early\":1,\"late\":9}}\n"),
+      std::string::npos);
+}
+
+// --------------------------------------------- Simulator span integration
+
+TEST(SpanIntegrationTest, SimulatorEmitsFullLifecycleChain) {
+  WorkloadConfig workload_config;
+  workload_config.num_hosts = 16;
+  workload_config.horizon = 2 * kTicksPerHour;
+  workload_config.seed = 11;
+  const Workload workload = WorkloadGenerator(workload_config).Generate();
+
+  const std::string span_path = ::testing::TempDir() + "/sim_spans.jsonl";
+  const std::string series_path = ::testing::TempDir() + "/sim_series.jsonl";
+  MetricRegistry registry;
+  SpanLog span_log(span_path);
+  ASSERT_TRUE(span_log.ok());
+  span_log.AttachMetrics(&registry);
+  TimeSeriesRecorder series(&registry, series_path, /*ring_capacity=*/32);
+  ASSERT_TRUE(series.ok());
+
+  AlibabaBaseline policy;
+  policy.set_span_log(&span_log);
+  SimConfig sim_config;
+  sim_config.pod_usage_period = 5;
+  sim_config.metrics = &registry;
+  sim_config.span_log = &span_log;
+  sim_config.series = &series;
+  const SimResult result = Simulator(workload, sim_config, policy).Run();
+  ASSERT_GT(result.scheduled_pods, 0);
+  span_log.Flush();
+  series.Flush();
+
+  const std::string spans = ReadFileOrDie(span_path);
+  std::remove(span_path.c_str());
+  const std::string series_text = ReadFileOrDie(series_path);
+  std::remove(series_path.c_str());
+
+  // Every phase the run exercised shows up, and the span counters agree
+  // with the simulator's own tallies where the mapping is exact.
+  for (const char* phase : {"\"phase\":\"submitted\"", "\"phase\":\"sampled\"",
+                            "\"phase\":\"scored\"", "\"phase\":\"placed\"",
+                            "\"phase\":\"finished\""}) {
+    EXPECT_NE(spans.find(phase), std::string::npos) << phase;
+  }
+  EXPECT_EQ(spans.rfind(SpanLog::RenderHeader() + "\n", 0), 0u);
+  uint64_t arriving = 0;
+  for (const PodSpec& pod : workload.pods) {
+    arriving += pod.submit_tick < workload.config.horizon ? 1u : 0u;
+  }
+  EXPECT_EQ(registry.counter("spans.submitted")->Value(), arriving);
+  // CommitPlacement increments both in lockstep (re-placements included).
+  EXPECT_EQ(registry.counter("spans.placed")->Value(),
+            static_cast<uint64_t>(result.scheduled_pods));
+
+  // The series export sampled once per tick with the sim.* gauge columns.
+  EXPECT_EQ(series.samples_written(), workload.config.horizon);
+  EXPECT_EQ(series_text.rfind(TimeSeriesRecorder::RenderHeader(1) + "\n", 0),
+            0u);
+  EXPECT_NE(series_text.find("\"sim.pending_pods\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optum::obs

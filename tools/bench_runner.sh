@@ -5,17 +5,38 @@
 # BENCH_hotpath_threads.json alongside it. On a single-core machine the
 # threads sweep records speedup ~= 1 with an explanatory note in the JSON.
 # BENCH_hotpath.json also carries a "forest" section: ns/row of pointer-tree
-# forest descent vs the compiled SoA engine over a batch-size sweep.
+# forest descent vs the compiled SoA engine over a batch-size sweep, and an
+# "observability" section with the span-log / series-ring overhead.
+#
+# After the run, bench_diff compares the fresh numbers against the committed
+# BENCH_hotpath.json (saved before the bench overwrites it) and fails the
+# script on any throughput regression beyond $BENCH_DIFF_THRESHOLD percent
+# (default 30 — the reference numbers come from noisy shared machines).
 #
 #   tools/bench_runner.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Snapshot the committed baseline before the bench overwrites it in place.
+reference=""
+if [[ -f BENCH_hotpath.json ]]; then
+  reference="$(mktemp /tmp/bench_ref.XXXXXX.json)"
+  cp BENCH_hotpath.json "${reference}"
+fi
+
 cmake --preset relwithdebinfo
-cmake --build --preset relwithdebinfo --target bench_hotpath -j "$(nproc)"
+cmake --build --preset relwithdebinfo --target bench_hotpath bench_diff -j "$(nproc)"
 
 out="${1:-$PWD/BENCH_hotpath.json}"
 ./build/bench/bench_hotpath "${out}"
 
 threads_out="$(dirname "${out}")/BENCH_hotpath_threads.json"
 ./build/bench/bench_hotpath --threads-sweep "${threads_out}"
+
+if [[ -n "${reference}" ]]; then
+  echo
+  echo "bench_diff vs committed baseline (threshold ${BENCH_DIFF_THRESHOLD:-30}%):"
+  ./build/tools/bench_diff --threshold "${BENCH_DIFF_THRESHOLD:-30}" \
+    "${reference}" "${out}"
+  rm -f "${reference}"
+fi

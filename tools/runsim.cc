@@ -42,9 +42,13 @@ void PrintUsage() {
       "  --sample X       Optum host sampling fraction (default 0.05)\n"
       "  --triple-ero     enable triple-wise ERO profiling (Optum)\n"
       "  --trace-out DIR  write the run's trace bundle as CSVs\n"
-      "  --metrics-json F export per-tick time series + final counters to F\n"
+      "  --metrics-json F export final counters/gauges/histograms to F\n"
       "  --decision-log F JSONL per-placement decision traces (Optum only)\n"
-      "  --json           machine-readable run summary on stdout\n");
+      "  --span-log F     JSONL pod-lifecycle spans (any scheduler)\n"
+      "  --series-json F  JSONL per-tick gauge time series, streamed\n"
+      "  --series-ring N  series ring-buffer capacity (default 256)\n"
+      "  --json           machine-readable run summary on stdout\n"
+      "  --json-out F     write the --json summary to F instead of stdout\n");
 }
 
 }  // namespace
@@ -56,9 +60,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bool json_out = flags.GetBool("json", false);
+  const std::string json_out_path = flags.GetString("json-out", "");
+  const bool json_out = flags.GetBool("json", false) || !json_out_path.empty();
   const std::string metrics_json = flags.GetString("metrics-json", "");
   const std::string decision_log_path = flags.GetString("decision-log", "");
+  const std::string span_log_path = flags.GetString("span-log", "");
+  const std::string series_json = flags.GetString("series-json", "");
 
   WorkloadConfig config;
   config.num_hosts = static_cast<int>(flags.GetInt("hosts", 64));
@@ -120,7 +127,9 @@ int main(int argc, char** argv) {
   // publishes its hot-path timers, counters, and predictor-cache gauges.
   obs::MetricRegistry registry;
   std::unique_ptr<obs::DecisionLog> decision_log;
-  if (!metrics_json.empty()) {
+  std::unique_ptr<obs::SpanLog> span_log;
+  std::unique_ptr<obs::TimeSeriesRecorder> series;
+  if (!metrics_json.empty() || !series_json.empty()) {
     sim_config.metrics = &registry;
     if (optum) {
       optum->AttachMetrics(&registry);
@@ -133,14 +142,32 @@ int main(int argc, char** argv) {
     }
     decision_log = std::make_unique<obs::DecisionLog>(decision_log_path);
     if (!decision_log->ok()) {
-      std::fprintf(stderr, "failed to open decision log %s\n",
-                   decision_log_path.c_str());
-      return 1;
+      return 1;  // OpenJsonSink already reported the failure
     }
     optum->set_decision_log(decision_log.get());
   }
 
   PlacementPolicy& active = optum ? *optum : *policy;
+
+  if (!span_log_path.empty()) {
+    span_log = std::make_unique<obs::SpanLog>(span_log_path);
+    if (!span_log->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    if (sim_config.metrics != nullptr) {
+      span_log->AttachMetrics(&registry);
+    }
+    sim_config.span_log = span_log.get();
+    active.set_span_log(span_log.get());
+  }
+  if (!series_json.empty()) {
+    const size_t ring = static_cast<size_t>(flags.GetInt("series-ring", 256));
+    series = std::make_unique<obs::TimeSeriesRecorder>(&registry, series_json, ring);
+    if (!series->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    sim_config.series = series.get();
+  }
   const SimResult result = Simulator(workload, sim_config, active).Run();
 
   const TraceSummary trace_summary = Summarize(result.trace);
@@ -162,7 +189,13 @@ int main(int argc, char** argv) {
     w.Key("summary");
     w.RawValue(RenderSummaryJson(trace_summary));
     w.EndObject();
-    std::printf("%s\n", w.str().c_str());
+    if (!json_out_path.empty()) {
+      if (!obs::WriteJsonDocument(json_out_path, w.str())) {
+        return 1;
+      }
+    } else {
+      std::printf("%s\n", w.str().c_str());
+    }
   } else {
     std::printf("\n[%s]\n", active.name().c_str());
     std::printf("  scheduled pods:        %lld (pending at end: %lld)\n",
@@ -179,8 +212,7 @@ int main(int argc, char** argv) {
 
   if (!metrics_json.empty()) {
     if (!registry.WriteJsonFile(metrics_json)) {
-      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_json.c_str());
-      return 1;
+      return 1;  // WriteJsonDocument already reported the failure
     }
     if (!json_out) {
       std::printf("\nmetrics written to %s\n", metrics_json.c_str());
@@ -190,6 +222,16 @@ int main(int argc, char** argv) {
     std::printf("decision log: %lld records in %s\n",
                 static_cast<long long>(decision_log->records_written()),
                 decision_log_path.c_str());
+  }
+  if (span_log != nullptr && !json_out) {
+    std::printf("span log: %lld records in %s\n",
+                static_cast<long long>(span_log->records_written()),
+                span_log_path.c_str());
+  }
+  if (series != nullptr && !json_out) {
+    std::printf("series: %lld samples in %s (ring %zu)\n",
+                static_cast<long long>(series->samples_written()),
+                series_json.c_str(), series->ring_capacity());
   }
 
   const std::string trace_out = flags.GetString("trace-out", "");

@@ -1,0 +1,236 @@
+// series_plot: renders an optum.series.v1 JSONL export (`runsim
+// --series-json`) as a terminal chart or an SVG polyline.
+//
+// Usage:
+//   series_plot series.jsonl                  # list available columns
+//   series_plot --col sim.pending_pods series.jsonl
+//   series_plot --col sim.avg_cpu_util_nonidle --svg out.svg series.jsonl
+//
+// Columns are gauge names from the header'd JSONL stream; gauges that
+// appear mid-run simply have shorter series. Exit codes: 0 ok, 1 I/O or
+// unknown column, 2 usage/parse error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/obs/json_reader.h"
+#include "src/obs/schema.h"
+
+using optum::obs::JsonValue;
+
+namespace {
+
+struct Series {
+  std::vector<int64_t> ticks;
+  std::vector<double> values;
+};
+
+// Loads one column from the JSONL stream; `columns` collects every gauge
+// name seen (with sample counts) for the no-column listing.
+bool LoadSeries(const std::string& path, const std::string& column,
+                Series* series,
+                std::vector<std::pair<std::string, int64_t>>* columns) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "series_plot: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  char buf[1 << 16];
+  std::string pending;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    pending += buf;
+    if (pending.empty() || pending.back() != '\n') {
+      continue;  // long line split across fgets calls
+    }
+    line.swap(pending);
+    pending.clear();
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!optum::obs::ParseJson(line, &doc, &error)) {
+      std::fprintf(stderr, "series_plot: %s: %s\n", path.c_str(), error.c_str());
+      std::fclose(f);
+      return false;
+    }
+    if (!saw_header) {
+      const JsonValue* schema = doc.Find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->string_value != optum::obs::kSeriesSchema) {
+        std::fprintf(stderr, "series_plot: %s is not an %s stream\n",
+                     path.c_str(), optum::obs::kSeriesSchema);
+        std::fclose(f);
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    const JsonValue* tick = doc.Find("tick");
+    const JsonValue* gauges = doc.Find("gauges");
+    if (tick == nullptr || gauges == nullptr || !gauges->is_object()) {
+      continue;
+    }
+    for (const auto& [name, value] : gauges->members) {
+      auto it = std::find_if(columns->begin(), columns->end(),
+                             [&](const auto& c) { return c.first == name; });
+      if (it == columns->end()) {
+        columns->emplace_back(name, 1);
+      } else {
+        ++it->second;
+      }
+      if (name == column && value.is_number()) {
+        series->ticks.push_back(tick->AsInt());
+        series->values.push_back(value.number);
+      }
+    }
+  }
+  std::fclose(f);
+  if (!saw_header) {
+    std::fprintf(stderr, "series_plot: %s is empty\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void RenderTerminal(const std::string& column, const Series& s, int width,
+                    int height) {
+  double lo = s.values[0], hi = s.values[0];
+  for (const double v : s.values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;  // flat series still renders as a line
+  }
+  // Downsample into `width` buckets by mean.
+  std::vector<double> cols(static_cast<size_t>(width), 0.0);
+  std::vector<int> counts(static_cast<size_t>(width), 0);
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    const size_t c = std::min<size_t>(
+        static_cast<size_t>(width) - 1,
+        i * static_cast<size_t>(width) / s.values.size());
+    cols[c] += s.values[i];
+    ++counts[c];
+  }
+  std::printf("%s  (%zu samples, ticks %lld..%lld, min %.6g, max %.6g)\n",
+              column.c_str(), s.values.size(),
+              static_cast<long long>(s.ticks.front()),
+              static_cast<long long>(s.ticks.back()), lo, hi);
+  for (int row = height - 1; row >= 0; --row) {
+    const double row_lo = lo + (hi - lo) * row / height;
+    std::string line;
+    for (int c = 0; c < width; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        line.push_back(' ');
+        continue;
+      }
+      const double v =
+          cols[static_cast<size_t>(c)] / counts[static_cast<size_t>(c)];
+      line.push_back(v >= row_lo ? '#' : ' ');
+    }
+    std::printf("%10.4g |%s\n", row_lo, line.c_str());
+  }
+  std::printf("%10s +%s\n", "", std::string(static_cast<size_t>(width), '-').c_str());
+}
+
+bool RenderSvg(const std::string& path, const std::string& column,
+               const Series& s, int width, int height) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "series_plot: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  double lo = s.values[0], hi = s.values[0];
+  for (const double v : s.values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;
+  }
+  const int margin = 40;
+  std::fprintf(f,
+               "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+               "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+               width + 2 * margin, height + 2 * margin, width + 2 * margin,
+               height + 2 * margin);
+  std::fprintf(f,
+               "<text x=\"%d\" y=\"20\" font-family=\"monospace\" "
+               "font-size=\"13\">%s  [%.6g .. %.6g]</text>\n",
+               margin, column.c_str(), lo, hi);
+  std::fprintf(f,
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+               "fill=\"none\" stroke=\"#999\"/>\n",
+               margin, margin, width, height);
+  std::fprintf(f, "<polyline fill=\"none\" stroke=\"#1f77b4\" "
+                  "stroke-width=\"1.5\" points=\"");
+  const int64_t t0 = s.ticks.front();
+  const int64_t t1 = std::max(s.ticks.back(), t0 + 1);
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    const double x =
+        margin + static_cast<double>(s.ticks[i] - t0) /
+                     static_cast<double>(t1 - t0) * width;
+    const double y = margin + height - (s.values[i] - lo) / (hi - lo) * height;
+    std::fprintf(f, "%.1f,%.1f ", x, y);
+  }
+  std::fprintf(f, "\"/>\n</svg>\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optum::FlagParser flags;
+  if (!flags.Parse(argc, argv) || flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: series_plot [--col GAUGE] [--svg OUT.svg] "
+                 "[--width N] [--height N] series.jsonl\n");
+    return 2;
+  }
+  const std::string column = flags.GetString("col", "");
+  const std::string svg = flags.GetString("svg", "");
+  const int width = static_cast<int>(flags.GetInt("width", 72));
+  const int height = static_cast<int>(flags.GetInt("height", 16));
+
+  Series series;
+  std::vector<std::pair<std::string, int64_t>> columns;
+  if (!LoadSeries(flags.positional()[0], column, &series, &columns)) {
+    return 1;
+  }
+
+  if (column.empty()) {
+    std::printf("columns in %s:\n", flags.positional()[0].c_str());
+    for (const auto& [name, count] : columns) {
+      std::printf("  %-40s %lld samples\n", name.c_str(),
+                  static_cast<long long>(count));
+    }
+    std::printf("pick one with --col GAUGE\n");
+    return 0;
+  }
+  if (series.values.empty()) {
+    std::fprintf(stderr, "series_plot: no samples for column %s\n",
+                 column.c_str());
+    return 1;
+  }
+  if (!svg.empty()) {
+    if (!RenderSvg(svg, column, series, std::max(width * 8, 320),
+                   std::max(height * 12, 160))) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu samples)\n", svg.c_str(), series.values.size());
+    return 0;
+  }
+  RenderTerminal(column, series, width, height);
+  return 0;
+}

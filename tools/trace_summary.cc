@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "src/common/flags.h"
+#include "src/obs/json_writer.h"
 #include "src/sched/baselines.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_io.h"
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv) || flags.positional().size() != 1) {
     std::fprintf(
         stderr,
-        "usage: trace_summary [--generate] [--json] [--hosts N] [--hours H] <trace_dir>\n");
+        "usage: trace_summary [--generate] [--json] [--json-out F] [--hosts N] "
+        "[--hours H] <trace_dir>\n");
     return 2;
   }
   const std::string dir = flags.positional()[0];
@@ -53,6 +55,11 @@ int main(int argc, char** argv) {
   }
 
   const TraceSummary summary = Summarize(trace);
+  const std::string json_out_path = flags.GetString("json-out", "");
+  if (!json_out_path.empty()) {
+    // Shared checked sink (schema optum.summary.v1, as with --json).
+    return obs::WriteJsonDocument(json_out_path, RenderSummaryJson(summary)) ? 0 : 1;
+  }
   if (flags.GetBool("json", false)) {
     // Same export code path as `runsim --json` (schema optum.summary.v1).
     std::printf("%s\n", RenderSummaryJson(summary).c_str());
