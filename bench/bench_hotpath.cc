@@ -19,6 +19,7 @@
 // Emits BENCH_hotpath.json (path = argv[1], default ./BENCH_hotpath.json).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -345,8 +346,10 @@ bool WriteThreadsJson(const std::string& path, const std::vector<ThreadsRow>& ro
 
 struct ForestBatchRow {
   size_t batch = 0;
-  double ns_row_compiled = 0.0;
-  double speedup = 0.0;  // vs the pointer-tree ns/row of the same forest
+  double ns_row_compiled = 0.0;   // exact (double) engine
+  double speedup = 0.0;           // vs the pointer-tree ns/row of the same forest
+  double ns_row_quantized = 0.0;  // float32-threshold engine
+  double speedup_quantized = 0.0;
 };
 
 struct ForestBench {
@@ -355,13 +358,17 @@ struct ForestBench {
   size_t features = 0;
   size_t rows = 0;
   double ns_row_pointer = 0.0;
+  double quantized_max_abs_err = 0.0;  // vs exact, across all rows
   std::vector<ForestBatchRow> batches;
 };
 
 // Forest inference microbench: one RF trained on contention-style features
 // (utilizations in [0, 1], interference-shaped target), then ns/row of
-// row-at-a-time pointer descent vs the compiled engine at several batch
-// sizes. The pointer number is batch-independent, so it is measured once.
+// row-at-a-time pointer descent vs the compiled engine — exact and
+// quantized layouts — at several batch sizes. The pointer number is
+// batch-independent, so it is measured once. The exact engine must match
+// the pointer checksum bit-for-bit; the quantized engine reports its max
+// abs deviation instead.
 ForestBench RunForestBench() {
   constexpr size_t kFeatures = 5;  // Eq. 9 width (LS feature vector)
   constexpr size_t kTrain = 2500;
@@ -382,6 +389,8 @@ ForestBench RunForestBench() {
   ml::RandomForestRegressor forest(ml::ForestParams{}, 7);
   forest.Fit(data);
   const ml::CompiledForest& compiled = forest.compiled();
+  const ml::CompiledForest quantized =
+      ml::CompiledForest::Compile(forest, {.quantized_thresholds = true});
 
   ForestBench bench;
   bench.trees = compiled.num_trees();
@@ -395,7 +404,8 @@ ForestBench RunForestBench() {
   }
 
   // checksum defeats dead-code elimination and doubles as an equivalence
-  // probe: both paths must accumulate the exact same value.
+  // probe: the exact engine must accumulate the same value as pointer
+  // descent bit-for-bit.
   double pointer_checksum = 0.0;
   const auto time_ns_per_row = [&](const auto& body) {
     double best = 1e300;
@@ -419,24 +429,27 @@ ForestBench RunForestBench() {
     pointer_checksum = sum;
   });
 
+  // Exact reference outputs for the quantized deviation probe.
+  std::vector<double> exact_out(kRows);
+  compiled.PredictBatch(rows, kFeatures, exact_out);
+
   std::vector<double> out(kRows);
+  const auto run_batched = [&](const ml::CompiledForest& engine, size_t batch) {
+    for (size_t begin = 0; begin < kRows; begin += batch) {
+      const size_t n = std::min(batch, kRows - begin);
+      engine.PredictBatch(
+          std::span<const double>(rows.data() + begin * kFeatures, n * kFeatures),
+          kFeatures, std::span<double>(out.data() + begin, n));
+    }
+  };
   for (const size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{256}}) {
-    double compiled_checksum = 0.0;
     ForestBatchRow row;
     row.batch = batch;
-    row.ns_row_compiled = time_ns_per_row([&] {
-      for (size_t begin = 0; begin < kRows; begin += batch) {
-        const size_t n = std::min(batch, kRows - begin);
-        compiled.PredictBatch(
-            std::span<const double>(rows.data() + begin * kFeatures, n * kFeatures),
-            kFeatures, std::span<double>(out.data() + begin, n));
-      }
-      double sum = 0.0;
-      for (const double v : out) {
-        sum += v;
-      }
-      compiled_checksum = sum;
-    });
+    row.ns_row_compiled = time_ns_per_row([&] { run_batched(compiled, batch); });
+    double compiled_checksum = 0.0;
+    for (const double v : out) {
+      compiled_checksum += v;
+    }
     if (compiled_checksum != pointer_checksum) {
       std::fprintf(stderr,
                    "forest bench: compiled checksum %.17g != pointer %.17g\n",
@@ -445,6 +458,14 @@ ForestBench RunForestBench() {
     row.speedup = row.ns_row_compiled > 0.0
                       ? bench.ns_row_pointer / row.ns_row_compiled
                       : 0.0;
+    row.ns_row_quantized = time_ns_per_row([&] { run_batched(quantized, batch); });
+    for (size_t i = 0; i < kRows; ++i) {
+      bench.quantized_max_abs_err =
+          std::max(bench.quantized_max_abs_err, std::fabs(out[i] - exact_out[i]));
+    }
+    row.speedup_quantized = row.ns_row_quantized > 0.0
+                                ? bench.ns_row_pointer / row.ns_row_quantized
+                                : 0.0;
     bench.batches.push_back(row);
   }
   return bench;
@@ -555,16 +576,18 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
   std::fprintf(f,
                "    \"trees\": %zu, \"nodes\": %zu, \"features\": %zu, "
                "\"rows\": %zu,\n    \"ns_row_pointer\": %.1f,\n"
+               "    \"quantized_max_abs_err\": %.3g,\n"
                "    \"batches\": [\n",
                forest.trees, forest.nodes, forest.features, forest.rows,
-               forest.ns_row_pointer);
+               forest.ns_row_pointer, forest.quantized_max_abs_err);
   for (size_t i = 0; i < forest.batches.size(); ++i) {
     const ForestBatchRow& r = forest.batches[i];
     std::fprintf(f,
                  "      {\"batch\": %zu, \"ns_row_compiled\": %.1f, "
-                 "\"speedup\": %.2f}%s\n",
-                 r.batch, r.ns_row_compiled, r.speedup,
-                 i + 1 < forest.batches.size() ? "," : "");
+                 "\"speedup\": %.2f, \"ns_row_quantized\": %.1f, "
+                 "\"speedup_quantized\": %.2f}%s\n",
+                 r.batch, r.ns_row_compiled, r.speedup, r.ns_row_quantized,
+                 r.speedup_quantized, i + 1 < forest.batches.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
@@ -576,6 +599,7 @@ int Main(int argc, char** argv) {
   std::string out_path = "BENCH_hotpath.json";
   bool run_scoring = true;
   bool run_tick = true;
+  bool forest_only = false;
   bool threads_sweep = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -583,6 +607,15 @@ int Main(int argc, char** argv) {
       run_tick = false;
     } else if (arg == "--tick-only") {
       run_scoring = false;
+    } else if (arg == "--forest-only") {
+      // Only the forest-inference microbench: no reference-run training, no
+      // cluster sections — a seconds-long loop for descent-kernel iteration
+      // (tools/bench_runner.sh --forest-only diffs it against the committed
+      // baseline's forest section). Defaults to its own output file so a
+      // partial document never overwrites the full committed baseline.
+      forest_only = true;
+      run_scoring = false;
+      run_tick = false;
     } else if (arg == "--threads-sweep") {
       // Scoring-throughput sweep over OptumConfig::num_threads {0,2,4};
       // replaces the default sections and writes the threads JSON schema.
@@ -591,20 +624,29 @@ int Main(int argc, char** argv) {
       out_path = arg;
     }
   }
+  if (forest_only && out_path == "BENCH_hotpath.json") {
+    out_path = "BENCH_hotpath_forest.json";
+  }
   const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
 
   bench::PrintFigureHeader("bench_hotpath", "scheduler-scoring and tick throughput");
 
   // Profiles come from the standard reference run (same pipeline the figure
   // benches use), so scoring exercises trained ERO entries and app models.
-  std::printf("training profiles from the 64-host reference run...\n");
-  const Workload reference =
-      WorkloadGenerator(bench::DefaultWorkloadConfig()).Generate();
-  AlibabaBaseline reference_policy = bench::MakeReferenceScheduler();
-  Simulator reference_sim(reference, bench::DefaultSimConfig(), reference_policy);
-  const SimResult reference_result = reference_sim.Run();
-  const core::OptumProfiles profiles = bench::BuildProfiles(reference_result.trace);
-  const std::vector<const AppProfile*> catalog = SchedulableApps(reference);
+  // The forest microbench trains its own small model, so --forest-only
+  // skips this multi-minute step entirely.
+  core::OptumProfiles profiles;
+  std::vector<const AppProfile*> catalog;
+  Workload reference;
+  if (run_scoring || run_tick || threads_sweep) {
+    std::printf("training profiles from the 64-host reference run...\n");
+    reference = WorkloadGenerator(bench::DefaultWorkloadConfig()).Generate();
+    AlibabaBaseline reference_policy = bench::MakeReferenceScheduler();
+    Simulator reference_sim(reference, bench::DefaultSimConfig(), reference_policy);
+    const SimResult reference_result = reference_sim.Run();
+    profiles = bench::BuildProfiles(reference_result.trace);
+    catalog = SchedulableApps(reference);
+  }
 
   if (threads_sweep) {
     if (out_path == "BENCH_hotpath.json") {
@@ -636,7 +678,8 @@ int Main(int argc, char** argv) {
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 
-  std::printf("forest inference (pointer vs compiled, batch sweep)...\n");
+  std::printf(
+      "forest inference (pointer vs compiled exact/quantized, batch sweep)...\n");
   const ForestBench forest = RunForestBench();
 
   const size_t tick_threads = std::clamp(hw_threads, 2u, 8u);
@@ -669,14 +712,18 @@ int Main(int argc, char** argv) {
 
   // Forest inference: ns/row, so "base" is pointer descent and lower is
   // better — kept in its own table to avoid mixing units with the above.
-  TablePrinter forest_table({"batch", "ptr ns/row", "compiled ns/row", "speedup"});
+  TablePrinter forest_table({"batch", "ptr ns/row", "exact ns/row", "speedup",
+                             "quant ns/row", "speedup"});
   for (const ForestBatchRow& r : forest.batches) {
     forest_table.AddRow({std::to_string(r.batch),
                          FormatDouble(forest.ns_row_pointer, 1),
                          FormatDouble(r.ns_row_compiled, 1),
-                         FormatDouble(r.speedup, 2)});
+                         FormatDouble(r.speedup, 2),
+                         FormatDouble(r.ns_row_quantized, 1),
+                         FormatDouble(r.speedup_quantized, 2)});
   }
   forest_table.Print();
+  std::printf("quantized max abs err vs exact: %.3g\n", forest.quantized_max_abs_err);
 
   return WriteJson(out_path, scoring, ticks, obs, forest, hw_threads) ? 0 : 1;
 }

@@ -362,8 +362,9 @@ double InterferencePredictor::MarginalInterference(
       ++lanes_[lane].slope_misses;
       // The slope-miss path is where forest evaluations concentrate after
       // the caches warm up; time it when a sink is attached. Both endpoints
-      // go through one PredictRawSpan call so cold forests descend their
-      // trees once per pair of rows, not once per row.
+      // go through one PredictRawSpan call, whose single PredictBatch hands
+      // the compiled forest (exact or quantized, per the model's
+      // ForestParams) both rows at once.
       obs::ScopedTimer timer(forest_timer_, forest_timer_lane_base_ + lane);
       const double lo_cpu = std::max(0.0, mid_point - kSlopeSpan);
       const double hi_cpu = mid_point + kSlopeSpan;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/ml/random_forest.h"
@@ -15,19 +17,41 @@ namespace {
 // through, large enough to amortize the per-tree loop overhead.
 constexpr size_t kRowBlock = 64;
 
+constexpr double kLeafThreshold = std::numeric_limits<double>::quiet_NaN();
+
 }  // namespace
 
 CompiledForest CompiledForest::Compile(const RandomForestRegressor& forest) {
+  return Compile(forest, Options{});
+}
+
+CompiledForest CompiledForest::Compile(const RandomForestRegressor& forest,
+                                       const Options& options) {
   OPTUM_CHECK_GT(forest.num_trees(), 0u);
   CompiledForest out;
+  out.quantized_ = options.quantized_thresholds;
   size_t total_nodes = 0;
+  size_t max_tree_nodes = 0;
   for (size_t t = 0; t < forest.num_trees(); ++t) {
     total_nodes += forest.tree(t).node_count();
+    max_tree_nodes = std::max(max_tree_nodes, forest.tree(t).node_count());
   }
   out.feature_.reserve(total_nodes);
-  out.split_.reserve(total_nodes);
-  out.right_.reserve(total_nodes);
+  out.value_.reserve(total_nodes);
   out.roots_.reserve(forest.num_trees());
+  const bool narrow =
+      out.quantized_ && !options.force_wide_links &&
+      max_tree_nodes <= static_cast<size_t>(std::numeric_limits<uint16_t>::max());
+  if (out.quantized_) {
+    out.qthresh_.reserve(total_nodes);
+  } else {
+    out.thresh_.reserve(total_nodes);
+  }
+  if (narrow) {
+    out.right16_.reserve(total_nodes);
+  } else {
+    out.right_.reserve(total_nodes);
+  }
 
   for (size_t t = 0; t < forest.num_trees(); ++t) {
     const std::span<const DecisionTreeRegressor::Node> nodes = forest.tree(t).nodes();
@@ -39,18 +63,28 @@ CompiledForest CompiledForest::Compile(const RandomForestRegressor& forest) {
     // descent relies on it.
     for (size_t i = 0; i < nodes.size(); ++i) {
       const DecisionTreeRegressor::Node& n = nodes[i];
-      if (n.feature < 0) {
-        out.feature_.push_back(-1);
-        out.split_.push_back(n.value);
-        out.right_.push_back(-1);
-        continue;
+      const bool leaf = n.feature < 0;
+      if (!leaf) {
+        OPTUM_CHECK_EQ(static_cast<size_t>(n.left), i + 1);
+        OPTUM_CHECK_GT(n.right, n.left);
+        OPTUM_CHECK_LT(static_cast<size_t>(n.right), nodes.size());
       }
-      OPTUM_CHECK_EQ(static_cast<size_t>(n.left), i + 1);
-      OPTUM_CHECK_GT(n.right, n.left);
-      OPTUM_CHECK_LT(static_cast<size_t>(n.right), nodes.size());
-      out.feature_.push_back(n.feature);
-      out.split_.push_back(n.threshold);
-      out.right_.push_back(base + n.right);
+      // Leaves self-loop: feature 0, NaN threshold (compares false, so the
+      // descent step goes right), right link = own index. See file comment.
+      out.feature_.push_back(leaf ? 0 : n.feature);
+      out.value_.push_back(leaf ? n.value : 0.0);
+      const double threshold = leaf ? kLeafThreshold : n.threshold;
+      if (out.quantized_) {
+        out.qthresh_.push_back(static_cast<float>(threshold));
+      } else {
+        out.thresh_.push_back(threshold);
+      }
+      const int32_t right_rel = leaf ? static_cast<int32_t>(i) : n.right;
+      if (narrow) {
+        out.right16_.push_back(static_cast<uint16_t>(right_rel));
+      } else {
+        out.right_.push_back(base + right_rel);
+      }
     }
   }
   return out;
@@ -63,24 +97,138 @@ void CompiledForest::Fit(const Dataset& data) {
                   "and Compile() it");
 }
 
-double CompiledForest::DescendTree(int32_t root, const double* row) const {
+int32_t CompiledForest::DescendExact(int32_t root, const double* row) const {
   int32_t node = root;
-  int32_t f = feature_[static_cast<size_t>(node)];
-  while (f >= 0) {
+  for (;;) {
+    const int32_t r = right_[static_cast<size_t>(node)];
+    if (r == node) {
+      return node;  // leaf (self-loop)
+    }
     // Identical comparison to the pointer tree: NaN features compare false
     // and take the right branch.
-    const bool go_left = row[f] <= split_[static_cast<size_t>(node)];
-    node = go_left ? node + 1 : right_[static_cast<size_t>(node)];
-    f = feature_[static_cast<size_t>(node)];
+    const bool go_left =
+        row[feature_[static_cast<size_t>(node)]] <= thresh_[static_cast<size_t>(node)];
+    node = go_left ? node + 1 : r;
   }
-  return split_[static_cast<size_t>(node)];
+}
+
+int32_t CompiledForest::DescendQuantized(int32_t root, const double* row) const {
+  // The row value stays double and the float32 threshold is promoted (an
+  // exact conversion), so descent differs from exact mode only where the
+  // row lies between a threshold and its float rounding — and never hits
+  // the UB of narrowing an out-of-float-range feature.
+  int32_t node = root;
+  if (narrow_links()) {
+    for (;;) {
+      const int32_t r = root + right16_[static_cast<size_t>(node)];
+      if (r == node) {
+        return node;
+      }
+      const bool go_left =
+          row[feature_[static_cast<size_t>(node)]] <=
+          static_cast<double>(qthresh_[static_cast<size_t>(node)]);
+      node = go_left ? node + 1 : r;
+    }
+  }
+  for (;;) {
+    const int32_t r = right_[static_cast<size_t>(node)];
+    if (r == node) {
+      return node;
+    }
+    const bool go_left = row[feature_[static_cast<size_t>(node)]] <=
+                         static_cast<double>(qthresh_[static_cast<size_t>(node)]);
+    node = go_left ? node + 1 : r;
+  }
+}
+
+// The interleaved kernels below all have the same shape: kInterleave lanes
+// descend one tree in lockstep, one level per iteration. Per level each
+// lane issues independent feature/threshold/right loads (the gather loop),
+// then a fixed-trip compare/select loop the compiler can vectorize picks
+// each lane's next node. Lanes at a leaf self-loop (NaN threshold compares
+// false, right link points at the node itself), so no per-lane exit
+// branching is needed; the level loop ends when no lane moved. Descending
+// an already-finished lane costs only re-loads of its (L1-hot) leaf entry.
+template <size_t W>
+void CompiledForest::DescendExactBlock(int32_t root, const double* rows,
+                                       size_t stride, double* acc) const {
+  const int32_t* const feat = feature_.data();
+  const double* const th = thresh_.data();
+  const int32_t* const rt = right_.data();
+  int32_t node[W];
+  for (size_t l = 0; l < W; ++l) {
+    node[l] = root;
+  }
+  for (int32_t moved = 1; moved != 0;) {
+    double x[W];
+    double t[W];
+    int32_t right_next[W];
+    for (size_t l = 0; l < W; ++l) {
+      const int32_t n = node[l];
+      x[l] = rows[l * stride + static_cast<size_t>(feat[n])];
+      t[l] = th[n];
+      right_next[l] = rt[n];
+    }
+    moved = 0;
+    for (size_t l = 0; l < W; ++l) {
+      // Mask select, not ?:, so the compiler cannot lower the data-dependent
+      // pick into a branch — tree descent branches are ~coin flips, and one
+      // mispredict costs more than a whole level of this loop.
+      const int32_t take_left = -static_cast<int32_t>(x[l] <= t[l]);
+      const int32_t next =
+          ((node[l] + 1) & take_left) | (right_next[l] & ~take_left);
+      moved |= next ^ node[l];
+      node[l] = next;
+    }
+  }
+  for (size_t l = 0; l < W; ++l) {
+    acc[l] += value_[static_cast<size_t>(node[l])];
+  }
+}
+
+template <size_t W>
+void CompiledForest::DescendQuantizedBlock(int32_t root, const double* rows,
+                                           size_t stride, double* acc) const {
+  const int32_t* const feat = feature_.data();
+  const float* const th = qthresh_.data();
+  const uint16_t* const rt16 = right16_.empty() ? nullptr : right16_.data();
+  const int32_t* const rt32 = right_.empty() ? nullptr : right_.data();
+  int32_t node[W];
+  for (size_t l = 0; l < W; ++l) {
+    node[l] = root;
+  }
+  for (int32_t moved = 1; moved != 0;) {
+    double x[W];
+    double t[W];
+    int32_t right_next[W];
+    for (size_t l = 0; l < W; ++l) {
+      const int32_t n = node[l];
+      x[l] = rows[l * stride + static_cast<size_t>(feat[n])];
+      t[l] = static_cast<double>(th[n]);  // exact promotion, see DescendQuantized
+      right_next[l] = rt16 != nullptr ? root + rt16[n] : rt32[n];
+    }
+    moved = 0;
+    for (size_t l = 0; l < W; ++l) {
+      // Branchless mask select — see DescendExactBlock.
+      const int32_t take_left = -static_cast<int32_t>(x[l] <= t[l]);
+      const int32_t next =
+          ((node[l] + 1) & take_left) | (right_next[l] & ~take_left);
+      moved |= next ^ node[l];
+      node[l] = next;
+    }
+  }
+  for (size_t l = 0; l < W; ++l) {
+    acc[l] += value_[static_cast<size_t>(node[l])];
+  }
 }
 
 double CompiledForest::Predict(std::span<const double> features) const {
   OPTUM_CHECK(compiled());
   double acc = 0.0;
   for (const int32_t root : roots_) {
-    acc += DescendTree(root, features.data());
+    acc += value_[static_cast<size_t>(quantized_
+                                          ? DescendQuantized(root, features.data())
+                                          : DescendExact(root, features.data()))];
   }
   return acc / static_cast<double>(roots_.size());
 }
@@ -94,13 +242,40 @@ void CompiledForest::PredictBatch(std::span<const double> rows, size_t stride,
   for (size_t begin = 0; begin < out.size(); begin += kRowBlock) {
     const size_t n = std::min(kRowBlock, out.size() - begin);
     acc.fill(0.0);
+    const double* const block = rows.data() + begin * stride;
     // Tree-outer, row-inner: one tree's nodes stay hot across the whole
-    // block. Per row the accumulation still runs in tree order, so the sum
-    // (and thus the result) is bit-identical to row-at-a-time Predict.
+    // block while groups of kInterleave rows descend it in lockstep. Per
+    // row the accumulation still runs in tree order, so the sum (and thus
+    // the result in exact mode) is bit-identical to row-at-a-time Predict.
     for (const int32_t root : roots_) {
-      const double* row = rows.data() + begin * stride;
-      for (size_t r = 0; r < n; ++r, row += stride) {
-        acc[r] += DescendTree(root, row);
+      size_t r = 0;
+      if (quantized_) {
+        for (; r + kInterleave <= n; r += kInterleave) {
+          DescendQuantizedBlock<kInterleave>(root, block + r * stride, stride,
+                                             acc.data() + r);
+        }
+        if (r + kHalfInterleave <= n) {
+          DescendQuantizedBlock<kHalfInterleave>(root, block + r * stride,
+                                                 stride, acc.data() + r);
+          r += kHalfInterleave;
+        }
+        for (; r < n; ++r) {
+          acc[r] +=
+              value_[static_cast<size_t>(DescendQuantized(root, block + r * stride))];
+        }
+      } else {
+        for (; r + kInterleave <= n; r += kInterleave) {
+          DescendExactBlock<kInterleave>(root, block + r * stride, stride,
+                                         acc.data() + r);
+        }
+        if (r + kHalfInterleave <= n) {
+          DescendExactBlock<kHalfInterleave>(root, block + r * stride, stride,
+                                             acc.data() + r);
+          r += kHalfInterleave;
+        }
+        for (; r < n; ++r) {
+          acc[r] += value_[static_cast<size_t>(DescendExact(root, block + r * stride))];
+        }
       }
     }
     for (size_t r = 0; r < n; ++r) {

@@ -1,5 +1,6 @@
 #include "src/ml/gradient_boosting.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "src/common/check.h"
@@ -18,8 +19,10 @@ void GradientBoostingRegressor::Fit(const Dataset& data) {
   trees_.clear();
   base_prediction_ = Mean(data.targets());
 
-  // Current ensemble prediction per training row.
+  // Current ensemble prediction per training row, and a scratch block for
+  // each new tree's batched predictions.
   std::vector<double> prediction(data.size(), base_prediction_);
+  std::vector<double> tree_pred(data.size());
 
   for (size_t round = 0; round < params_.num_rounds; ++round) {
     // Least-squares boosting: fit the next tree to the residuals.
@@ -43,8 +46,11 @@ void GradientBoostingRegressor::Fit(const Dataset& data) {
     } else {
       tree->Fit(residuals);
     }
+    // Batched residual update: one PredictBatch over the training matrix
+    // instead of a per-row Predict loop (see Regressor interface comment).
+    tree->PredictBatch(data.flat_features(), data.num_features(), tree_pred);
     for (size_t i = 0; i < data.size(); ++i) {
-      prediction[i] += params_.learning_rate * tree->Predict(data.Features(i));
+      prediction[i] += params_.learning_rate * tree_pred[i];
     }
     trees_.push_back(std::move(tree));
   }
@@ -57,6 +63,22 @@ double GradientBoostingRegressor::Predict(std::span<const double> features) cons
     acc += params_.learning_rate * tree->Predict(features);
   }
   return acc;
+}
+
+void GradientBoostingRegressor::PredictBatch(std::span<const double> rows,
+                                             size_t stride,
+                                             std::span<double> out) const {
+  OPTUM_CHECK(!trees_.empty());
+  OPTUM_CHECK_GT(stride, 0u);
+  OPTUM_CHECK_GE(rows.size(), out.size() * stride);
+  std::fill(out.begin(), out.end(), base_prediction_);
+  std::vector<double> tree_pred(out.size());
+  for (const auto& tree : trees_) {
+    tree->PredictBatch(rows, stride, tree_pred);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += params_.learning_rate * tree_pred[i];
+    }
+  }
 }
 
 }  // namespace optum::ml

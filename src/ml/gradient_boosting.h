@@ -27,6 +27,14 @@ class GradientBoostingRegressor : public Regressor {
 
   void Fit(const Dataset& data) override;
   double Predict(std::span<const double> features) const override;
+
+  // Tree-outer accumulation over the whole block: each round's tree is
+  // evaluated for every row before moving to the next, so per row the
+  // additions run in the same order as Predict (bit-identical) while each
+  // tree's nodes stay hot across the block.
+  void PredictBatch(std::span<const double> rows, size_t stride,
+                    std::span<double> out) const override;
+
   std::string name() const override { return "GBT"; }
 
   size_t num_rounds() const { return trees_.size(); }

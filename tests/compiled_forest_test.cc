@@ -144,6 +144,35 @@ TEST(CompiledForestTest, BatchSizesAcrossBlockBoundaryAndPaddedStride) {
   }
 }
 
+TEST(CompiledForestTest, OddBatchSizesThroughInterleavedAndTailPaths) {
+  // PredictBatch interleaves groups of rows per tree and finishes the
+  // remainder with scalar descent. Odd batch sizes exercise every split of
+  // work between the two paths — including all-tail (n below the interleave
+  // width) and exactly-one-group — and must stay bit-identical to Predict
+  // even with non-finite features flowing through the lockstep kernel.
+  const Dataset d = RandomDataset(61, 260, 4);
+  RandomForestRegressor forest(ForestParams{}, 61);
+  forest.Fit(d);
+  const CompiledForest compiled = CompiledForest::Compile(forest);
+
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{5}, size_t{7}, size_t{9},
+                         size_t{15}, size_t{16}, size_t{17}, size_t{31}}) {
+    std::vector<double> rows = RandomRows(200 + n, n, 4);
+    Rng rng(300 + n);
+    for (auto& v : rows) {
+      const double roll = rng.Uniform(0, 1);
+      if (roll < 0.1) {
+        v = kNan;
+      } else if (roll < 0.15) {
+        v = rng.Uniform(0, 1) < 0.5 ? kInf : -kInf;
+      }
+    }
+    ExpectBitIdentical(forest, compiled, rows, 4);
+  }
+}
+
 TEST(CompiledForestTest, ForestPredictBatchServedByCompiledEngine) {
   // RandomForestRegressor::PredictBatch (built at Fit time) must agree with
   // row-at-a-time pointer descent — this is the path AppModel consumers use.

@@ -1,0 +1,256 @@
+// Quantized compiled-forest suite (DESIGN.md §10): the float32-threshold
+// layout is NOT bit-identical to exact mode — it may flip a branch when a
+// row lies between a threshold and that threshold's float rounding — so its
+// contract is different and tested here separately:
+//
+//  * against a pointer-tree reference that descends with the same promoted
+//    comparison `x <= double(float(threshold))`, the quantized engine IS
+//    bit-identical (the quantization error lives entirely in the threshold
+//    rounding, never in the kernel);
+//  * against exact mode, the max abs error over any row set is bounded by
+//    (1/T) * sum_t (leaf spread of tree t) — each flipped tree contributes
+//    at most its own leaf spread to the pre-division sum;
+//  * narrow (16-bit) and wide (32-bit) link encodings are bit-identical to
+//    each other.
+//
+// Labeled `concurrency` so the tsan/asan-ubsan presets cover the quantized
+// shared-read inference path too (tools/sanitize_runner.sh builds it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/ml/compiled_forest.h"
+#include "src/ml/random_forest.h"
+#include "src/stats/rng.h"
+
+namespace optum::ml {
+namespace {
+
+Dataset RandomDataset(uint64_t seed, size_t n, size_t features) {
+  Rng rng(seed);
+  Dataset d(features);
+  std::vector<double> x(features);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : x) {
+      v = rng.Uniform(-3, 3);
+    }
+    double y = rng.Gaussian(0, 0.2);
+    for (size_t f = 0; f < features; ++f) {
+      y += (f % 2 == 0 ? 1.5 : -0.7) * x[f] + (x[f] > 0.8 ? 1.0 : 0.0);
+    }
+    d.Add(x, y);
+  }
+  return d;
+}
+
+std::vector<double> RandomRows(uint64_t seed, size_t rows, size_t features) {
+  Rng rng(seed);
+  std::vector<double> block(rows * features);
+  for (auto& v : block) {
+    v = rng.Uniform(-6, 6);
+  }
+  return block;
+}
+
+// Pointer-tree descent with the quantized comparison: thresholds rounded to
+// float and promoted back, exactly as the compiled quantized layout stores
+// them. This is the independent reference the engine must match bit for bit.
+double QuantizedReferencePredict(const RandomForestRegressor& forest,
+                                 std::span<const double> row) {
+  double acc = 0.0;
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const std::span<const DecisionTreeRegressor::Node> nodes = forest.tree(t).nodes();
+    int32_t i = 0;
+    while (nodes[static_cast<size_t>(i)].feature >= 0) {
+      const DecisionTreeRegressor::Node& n = nodes[static_cast<size_t>(i)];
+      const double t32 = static_cast<double>(static_cast<float>(n.threshold));
+      i = row[static_cast<size_t>(n.feature)] <= t32 ? n.left : n.right;
+    }
+    acc += nodes[static_cast<size_t>(i)].value;
+  }
+  return acc / static_cast<double>(forest.num_trees());
+}
+
+// (1/T) * sum of per-tree leaf spreads: an upper bound on |quantized -
+// exact| no matter how many trees a row flips in.
+double FlipErrorBound(const RandomForestRegressor& forest) {
+  double sum_spread = 0.0;
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const DecisionTreeRegressor::Node& n : forest.tree(t).nodes()) {
+      if (n.feature < 0) {
+        lo = std::min(lo, n.value);
+        hi = std::max(hi, n.value);
+      }
+    }
+    sum_spread += hi - lo;
+  }
+  return sum_spread / static_cast<double>(forest.num_trees());
+}
+
+TEST(ForestQuantizedTest, BitIdenticalToPromotedFloatReferenceDescent) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Dataset d = RandomDataset(seed * 17, 260, 4);
+    RandomForestRegressor forest(ForestParams{}, seed);
+    forest.Fit(d);
+    const CompiledForest quantized =
+        CompiledForest::Compile(forest, {.quantized_thresholds = true});
+    EXPECT_TRUE(quantized.quantized());
+
+    const std::vector<double> rows = RandomRows(seed * 19, 120, 4);
+    std::vector<double> batch(120);
+    quantized.PredictBatch(rows, 4, batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const std::span<const double> row(rows.data() + i * 4, 4);
+      const double reference = QuantizedReferencePredict(forest, row);
+      EXPECT_EQ(reference, quantized.Predict(row)) << "row " << i;
+      EXPECT_EQ(reference, batch[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(ForestQuantizedTest, ToleranceAgainstExactOnFlipProneRows) {
+  // Rows placed exactly at split thresholds are the adversarial case: when
+  // float rounding moves a threshold below the row value, the quantized
+  // descent flips where exact descent goes left. The deviation must stay
+  // within the per-tree leaf-spread bound — and must be nonzero for at
+  // least one constructed row, or this test isn't exercising anything.
+  const Dataset d = RandomDataset(77, 400, 3);
+  RandomForestRegressor forest(ForestParams{}, 77);
+  forest.Fit(d);
+  const CompiledForest exact = CompiledForest::Compile(forest);
+  const CompiledForest quantized =
+      CompiledForest::Compile(forest, {.quantized_thresholds = true});
+
+  // Every split threshold of every tree becomes a candidate row value; the
+  // row repeats it across all features so it straddles as many splits as
+  // possible. Random rows are appended as the non-adversarial control.
+  std::vector<double> rows;
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    for (const DecisionTreeRegressor::Node& n : forest.tree(t).nodes()) {
+      if (n.feature >= 0) {
+        rows.insert(rows.end(), {n.threshold, n.threshold, n.threshold});
+      }
+    }
+  }
+  const std::vector<double> control = RandomRows(78, 200, 3);
+  rows.insert(rows.end(), control.begin(), control.end());
+
+  const size_t n = rows.size() / 3;
+  std::vector<double> out_exact(n);
+  std::vector<double> out_quant(n);
+  exact.PredictBatch(rows, 3, out_exact);
+  quantized.PredictBatch(rows, 3, out_quant);
+
+  const double bound = FlipErrorBound(forest);
+  double max_abs_err = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_abs_err = std::max(max_abs_err, std::fabs(out_quant[i] - out_exact[i]));
+  }
+  EXPECT_LE(max_abs_err, bound + 1e-12);
+  EXPECT_GT(max_abs_err, 0.0)
+      << "threshold-straddling rows never flipped; adversarial set is dead";
+}
+
+TEST(ForestQuantizedTest, NarrowAndWideLinkLayoutsBitIdentical) {
+  const Dataset d = RandomDataset(91, 300, 4);
+  RandomForestRegressor forest(ForestParams{}, 91);
+  forest.Fit(d);
+  const CompiledForest narrow =
+      CompiledForest::Compile(forest, {.quantized_thresholds = true});
+  const CompiledForest wide = CompiledForest::Compile(
+      forest, {.quantized_thresholds = true, .force_wide_links = true});
+  ASSERT_TRUE(narrow.narrow_links());  // test forests easily fit 16 bits
+  ASSERT_FALSE(wide.narrow_links());
+
+  const std::vector<double> rows = RandomRows(92, 150, 4);
+  std::vector<double> out_narrow(150);
+  std::vector<double> out_wide(150);
+  narrow.PredictBatch(rows, 4, out_narrow);
+  wide.PredictBatch(rows, 4, out_wide);
+  EXPECT_EQ(out_narrow, out_wide);
+}
+
+TEST(ForestQuantizedTest, NonFiniteFeaturesMatchReferenceDescent) {
+  const Dataset d = RandomDataset(7, 300, 4);
+  RandomForestRegressor forest(ForestParams{}, 7);
+  forest.Fit(d);
+  const CompiledForest quantized =
+      CompiledForest::Compile(forest, {.quantized_thresholds = true});
+
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> rows = RandomRows(8, 64, 4);
+  Rng rng(9);
+  for (auto& v : rows) {
+    const double roll = rng.Uniform(0, 1);
+    if (roll < 0.15) {
+      v = kNan;
+    } else if (roll < 0.25) {
+      v = kInf;
+    } else if (roll < 0.35) {
+      v = -kInf;
+    }
+  }
+  for (size_t f = 0; f < 4; ++f) {
+    rows[f] = kNan;  // row 0: every feature NaN, descent always goes right
+  }
+  std::vector<double> batch(64);
+  quantized.PredictBatch(rows, 4, batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::span<const double> row(rows.data() + i * 4, 4);
+    EXPECT_EQ(QuantizedReferencePredict(forest, row), batch[i]) << "row " << i;
+    EXPECT_EQ(batch[i], quantized.Predict(row)) << "row " << i;
+  }
+}
+
+TEST(ForestQuantizedTest, StumpForestQuantized) {
+  // Constant targets: every tree is a single self-looping leaf; the
+  // quantized layout must survive trees with no internal node at all.
+  Dataset d(2);
+  for (int i = 0; i < 60; ++i) {
+    d.Add(std::vector<double>{static_cast<double>(i), static_cast<double>(-i)}, 4.25);
+  }
+  ForestParams params;
+  params.num_trees = 5;
+  RandomForestRegressor forest(params, 3);
+  forest.Fit(d);
+  const CompiledForest quantized =
+      CompiledForest::Compile(forest, {.quantized_thresholds = true});
+  EXPECT_EQ(quantized.num_nodes(), quantized.num_trees());
+  EXPECT_TRUE(quantized.narrow_links());
+  EXPECT_EQ(quantized.Predict(std::vector<double>{1e9, -1e9}), 4.25);
+  std::vector<double> out(10);
+  quantized.PredictBatch(RandomRows(4, 10, 2), 2, out);
+  for (const double v : out) {
+    EXPECT_EQ(v, 4.25);
+  }
+}
+
+TEST(ForestQuantizedTest, ForestParamsQuantizedInferenceKeepsBatchContract) {
+  // With ForestParams::quantized_inference set, RandomForestRegressor serves
+  // BOTH Predict and PredictBatch from the quantized engine, so the
+  // Regressor contract (batch == loop of Predict, bitwise) still holds.
+  ForestParams params;
+  params.quantized_inference = true;
+  const Dataset d = RandomDataset(101, 280, 3);
+  RandomForestRegressor forest(params, 101);
+  forest.Fit(d);
+  ASSERT_TRUE(forest.compiled().quantized());
+
+  const std::vector<double> rows = RandomRows(102, 90, 3);
+  std::vector<double> out(90);
+  forest.PredictBatch(rows, 3, out);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const std::span<const double> row(rows.data() + i * 3, 3);
+    EXPECT_EQ(out[i], forest.Predict(row)) << "row " << i;
+    EXPECT_EQ(out[i], QuantizedReferencePredict(forest, row)) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace optum::ml

@@ -236,6 +236,20 @@ TEST(GradientBoostingTest, LearnsStepFunction) {
   EXPECT_EQ(gbt.num_rounds(), BoostingParams{}.num_rounds);
 }
 
+TEST(GradientBoostingTest, PredictBatchBitIdenticalToPerRowPredict) {
+  // The batched override accumulates tree-outer but per row in the same
+  // order as Predict, so the Regressor batch contract holds exactly.
+  const Dataset train = StepData(300, 24);
+  const Dataset test = StepData(75, 25);
+  GradientBoostingRegressor gbt(BoostingParams{}, 2);
+  gbt.Fit(train);
+  const std::vector<double> batched = PredictAll(gbt, test);
+  ASSERT_EQ(batched.size(), test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(batched[i], gbt.Predict(test.Features(i))) << "row " << i;
+  }
+}
+
 TEST(GradientBoostingTest, LearnsNonlinearInteraction) {
   const Dataset train = NonlinearData(800, 22);
   const Dataset test = NonlinearData(200, 23);

@@ -11,7 +11,9 @@
 // Usage:
 //   bench_diff [--threshold PCT] old.json new.json
 //
-// Exit codes: 0 = no regression, 1 = at least one metric regressed more
+// Exit codes: 0 = no regression (including the no-baseline case: a missing
+// old.json prints how to record one and passes, so fresh checkouts are not
+// gated on a file they cannot have), 1 = at least one metric regressed more
 // than the threshold, 2 = usage or parse error. The default threshold is
 // deliberately generous (30%) because the reference numbers come from
 // noisy shared machines; tighten it with --threshold on quiet hardware.
@@ -27,11 +29,18 @@ using optum::obs::JsonValue;
 
 namespace {
 
-bool ReadFile(const std::string& path, std::string* out) {
+bool ReadFile(const std::string& path, std::string* out, bool* opened) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
+    if (opened != nullptr) {
+      *opened = false;
+      return false;
+    }
     std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
     return false;
+  }
+  if (opened != nullptr) {
+    *opened = true;
   }
   char buf[1 << 16];
   size_t n;
@@ -155,8 +164,22 @@ int main(int argc, char** argv) {
   const double threshold = flags.GetDouble("threshold", 30.0);
 
   std::string old_text, new_text;
-  if (!ReadFile(flags.positional()[0], &old_text) ||
-      !ReadFile(flags.positional()[1], &new_text)) {
+  bool baseline_exists = true;
+  if (!ReadFile(flags.positional()[0], &old_text, &baseline_exists)) {
+    if (!baseline_exists) {
+      // A missing baseline is the expected state of a fresh checkout or a
+      // machine that has never benched — tell the user how to create one and
+      // pass the gate instead of failing it.
+      std::printf(
+          "bench_diff: no baseline at %s — nothing to compare against.\n"
+          "Run tools/bench_runner.sh --write-baseline to record one, then "
+          "commit it.\n",
+          flags.positional()[0].c_str());
+      return 0;
+    }
+    return 2;
+  }
+  if (!ReadFile(flags.positional()[1], &new_text, nullptr)) {
     return 2;
   }
   JsonValue before, after;

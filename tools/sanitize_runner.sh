@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 
 CONCURRENCY_TARGETS=(concurrency_test cache_property_test sample_hosts_test
                      perf_equivalence_test sim_property_test obs_test
-                     span_timeseries_test compiled_forest_test)
+                     span_timeseries_test compiled_forest_test
+                     forest_quantized_test)
 
 run_preset() {
   local preset="$1"
