@@ -15,6 +15,10 @@
 //      (CompiledForest::PredictBatch, DESIGN.md §10) across a batch-size
 //      sweep. Outputs are bit-identical; the sweep shows where batching
 //      starts paying beyond the layout win.
+//   4. Placement service: the open-loop serve layer (DESIGN.md §12) at
+//      6,000 hosts — offered load × shard count sweep, reporting
+//      deterministic model-time placement-latency percentiles
+//      (optum.latency.v1 fields) plus wall-clock placement throughput.
 //
 // Emits BENCH_hotpath.json (path = argv[1], default ./BENCH_hotpath.json).
 #include <algorithm>
@@ -27,6 +31,7 @@
 
 #include "bench/bench_common.h"
 #include "src/ml/compiled_forest.h"
+#include "src/serve/placement_service.h"
 #include "src/ml/random_forest.h"
 #include "src/obs/decision_log.h"
 #include "src/obs/metrics.h"
@@ -42,28 +47,6 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-PodSpec MakePod(PodId id, const AppProfile& app) {
-  PodSpec spec;
-  spec.id = id;
-  spec.app = app.id;
-  spec.slo = app.slo;
-  spec.request = app.request;
-  spec.limit = app.limit;
-  spec.max_pods_per_host = app.max_pods_per_host;
-  return spec;
-}
-
-// Applications that actually flow through the scheduler hot path.
-std::vector<const AppProfile*> SchedulableApps(const Workload& workload) {
-  std::vector<const AppProfile*> catalog;
-  for (const AppProfile& app : workload.apps) {
-    if (app.slo == SloClass::kBe || app.slo == SloClass::kLs || app.slo == SloClass::kLsr) {
-      catalog.push_back(&app);
-    }
-  }
-  return catalog;
 }
 
 struct ScoringRow {
@@ -94,7 +77,7 @@ double MeasureScoring(const core::OptumProfiles& profiles,
   for (int h = 0; h < num_hosts; ++h) {
     for (int k = 0; k < prefill_per_host; ++k) {
       const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
-      live.push_back(cluster.Place(MakePod(next_id, app), &app, h, 0));
+      live.push_back(cluster.Place(MakePodSpec(next_id, app), &app, h, 0));
       ++next_id;
     }
   }
@@ -116,7 +99,7 @@ double MeasureScoring(const core::OptumProfiles& profiles,
   const auto run_segment = [&](int pods) {
     for (int i = 0; i < pods; ++i) {
       const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
-      const PodSpec spec = MakePod(next_id, app);
+      const PodSpec spec = MakePodSpec(next_id, app);
       ++next_id;
       double score = 0.0;
       const PlacementDecision decision = scheduler.PlaceScored(spec, cluster, &score);
@@ -471,6 +454,65 @@ ForestBench RunForestBench() {
   return bench;
 }
 
+struct ServeRow {
+  serve::LatencyRow row;           // deterministic model-time telemetry
+  int64_t drain_rounds = 0;
+  double pods_per_sec_placed = 0.0;  // wall clock (the only noisy field)
+};
+
+// Open-loop placement service at paper scale (§4.4 fleet of parallel
+// schedulers against a 6,000-host cluster): offered load × shard count
+// sweep. Everything in the latency row is model-time round arithmetic and
+// therefore bit-deterministic; only pods_per_sec_placed is wall clock, so
+// it is the one serve metric the bench_diff threshold actually gates.
+std::vector<ServeRow> RunServeBench(const core::OptumProfiles& profiles,
+                                    const Workload& workload) {
+  constexpr int kHosts = 6000;
+  constexpr int kPrefillPerHost = 8;
+  constexpr int64_t kRounds = 20;
+  const std::vector<const AppProfile*> catalog = SchedulableApps(workload);
+  std::vector<ServeRow> rows;
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    for (const double offered : {1000.0, 3000.0}) {
+      std::printf("serve %d hosts, %zu shards, %.0f pods/s offered...\n",
+                  kHosts, shards, offered);
+      ClusterState cluster(kHosts, kUnitResources, /*history_window=*/64);
+      // Prefill ids start far above anything the arrival driver will emit
+      // (driver ids are dense from 0).
+      PodId prefill_id = 1'000'000'000;
+      for (int h = 0; h < kHosts; ++h) {
+        for (int k = 0; k < kPrefillPerHost; ++k) {
+          const AppProfile& app =
+              *catalog[static_cast<size_t>(prefill_id) % catalog.size()];
+          cluster.Place(MakePodSpec(prefill_id, app), &app, h, 0);
+          ++prefill_id;
+        }
+      }
+      serve::ServeConfig config;
+      config.arrival.offered_pods_per_sec = offered;
+      config.distributed.num_schedulers = shards;
+      config.queue_capacity_per_shard = 4096;
+      // Service rate below the 3000/s offered load: that configuration runs
+      // saturated, so the sweep covers both an underloaded fleet (waits ~0)
+      // and a backlogged one (queueing dominates the tail).
+      config.max_schedule_per_round = 1500;
+      config.max_requeues = 4;
+      config.mean_residency_rounds = 60.0;
+      serve::PlacementService service(workload, profiles, &cluster, config);
+      const Clock::time_point start = Clock::now();
+      service.RunRounds(kRounds);
+      ServeRow out;
+      out.drain_rounds = service.Drain();
+      const double wall = SecondsSince(start);
+      out.row = service.MakeLatencyRow();
+      out.pods_per_sec_placed =
+          wall > 0.0 ? static_cast<double>(service.counters().placed) / wall : 0.0;
+      rows.push_back(out);
+    }
+  }
+  return rows;
+}
+
 struct TickRow {
   int hosts = 0;
   Tick ticks = 0;
@@ -505,7 +547,8 @@ TickRow RunTickBench(int num_hosts, Tick horizon, size_t threads) {
 
 bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                const std::vector<TickRow>& ticks, const std::vector<ObsRow>& obs,
-               const ForestBench& forest, unsigned hw_threads) {
+               const std::vector<ServeRow>& serve, const ForestBench& forest,
+               unsigned hw_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -572,7 +615,42 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  static_cast<unsigned long long>(s.slope_misses),
                  i + 1 < obs.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"forest\": {\n");
+  std::fprintf(f, "  ],\n  \"serve\": [\n");
+  for (size_t i = 0; i < serve.size(); ++i) {
+    const serve::LatencyRow& r = serve[i].row;
+    std::fprintf(f,
+                 "    {\"hosts\": %d, \"shards\": %zu, "
+                 "\"offered_pods_per_sec\": %.1f, \"process\": \"%s\", "
+                 "\"rounds\": %lld, \"round_seconds\": %.3g,\n"
+                 "     \"arrivals\": %lld, \"admitted\": %lld, "
+                 "\"rejected_full\": %lld, \"placed\": %lld, \"dropped\": %lld, "
+                 "\"conflicts\": %lld, \"drain_rounds\": %lld,\n"
+                 "     \"latency_s_p50\": %.6g, \"latency_s_p99\": %.6g, "
+                 "\"latency_s_p999\": %.6g, \"latency_s_max\": %.6g, "
+                 "\"latency_s_mean\": %.6g, \"pods_per_sec_placed\": %.1f}%s\n",
+                 r.hosts, r.shards, r.offered_pods_per_sec, r.process,
+                 static_cast<long long>(r.rounds), r.round_seconds,
+                 static_cast<long long>(r.arrivals),
+                 static_cast<long long>(r.admitted),
+                 static_cast<long long>(r.rejected_full),
+                 static_cast<long long>(r.placed),
+                 static_cast<long long>(r.dropped),
+                 static_cast<long long>(r.conflicts),
+                 static_cast<long long>(serve[i].drain_rounds),
+                 r.latency_s_p50, r.latency_s_p99, r.latency_s_p999,
+                 r.latency_s_max, r.latency_s_mean,
+                 serve[i].pods_per_sec_placed, i + 1 < serve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+  if (forest.trees == 0) {
+    // Forest section skipped (--serve-only): omit it rather than writing a
+    // zeroed object bench_diff would read as a regression to 0 ns/row.
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+  std::fprintf(f, ",\n  \"forest\": {\n");
   std::fprintf(f,
                "    \"trees\": %zu, \"nodes\": %zu, \"features\": %zu, "
                "\"rows\": %zu,\n    \"ns_row_pointer\": %.1f,\n"
@@ -600,6 +678,7 @@ int Main(int argc, char** argv) {
   bool run_scoring = true;
   bool run_tick = true;
   bool forest_only = false;
+  bool serve_only = false;
   bool threads_sweep = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -616,6 +695,14 @@ int Main(int argc, char** argv) {
       forest_only = true;
       run_scoring = false;
       run_tick = false;
+    } else if (arg == "--serve-only") {
+      // Only the open-loop placement-service section (still pays the
+      // reference-run profile training, but skips the scoring/tick/forest
+      // sections). Defaults to its own output file so a partial document
+      // never overwrites the full committed baseline.
+      serve_only = true;
+      run_scoring = false;
+      run_tick = false;
     } else if (arg == "--threads-sweep") {
       // Scoring-throughput sweep over OptumConfig::num_threads {0,2,4};
       // replaces the default sections and writes the threads JSON schema.
@@ -626,6 +713,9 @@ int Main(int argc, char** argv) {
   }
   if (forest_only && out_path == "BENCH_hotpath.json") {
     out_path = "BENCH_hotpath_forest.json";
+  }
+  if (serve_only && out_path == "BENCH_hotpath.json") {
+    out_path = "BENCH_hotpath_serve.json";
   }
   const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
 
@@ -638,7 +728,7 @@ int Main(int argc, char** argv) {
   core::OptumProfiles profiles;
   std::vector<const AppProfile*> catalog;
   Workload reference;
-  if (run_scoring || run_tick || threads_sweep) {
+  if (run_scoring || run_tick || threads_sweep || serve_only) {
     std::printf("training profiles from the 64-host reference run...\n");
     reference = WorkloadGenerator(bench::DefaultWorkloadConfig()).Generate();
     AlibabaBaseline reference_policy = bench::MakeReferenceScheduler();
@@ -678,9 +768,17 @@ int Main(int argc, char** argv) {
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 
-  std::printf(
-      "forest inference (pointer vs compiled exact/quantized, batch sweep)...\n");
-  const ForestBench forest = RunForestBench();
+  std::vector<ServeRow> serve;
+  if (serve_only || (run_scoring && run_tick)) {
+    serve = RunServeBench(profiles, reference);
+  }
+
+  ForestBench forest;
+  if (!serve_only) {
+    std::printf(
+        "forest inference (pointer vs compiled exact/quantized, batch sweep)...\n");
+    forest = RunForestBench();
+  }
 
   const size_t tick_threads = std::clamp(hw_threads, 2u, 8u);
   std::vector<TickRow> ticks;
@@ -710,22 +808,41 @@ int Main(int argc, char** argv) {
   }
   table.Print();
 
-  // Forest inference: ns/row, so "base" is pointer descent and lower is
-  // better — kept in its own table to avoid mixing units with the above.
-  TablePrinter forest_table({"batch", "ptr ns/row", "exact ns/row", "speedup",
-                             "quant ns/row", "speedup"});
-  for (const ForestBatchRow& r : forest.batches) {
-    forest_table.AddRow({std::to_string(r.batch),
-                         FormatDouble(forest.ns_row_pointer, 1),
-                         FormatDouble(r.ns_row_compiled, 1),
-                         FormatDouble(r.speedup, 2),
-                         FormatDouble(r.ns_row_quantized, 1),
-                         FormatDouble(r.speedup_quantized, 2)});
+  if (!serve.empty()) {
+    TablePrinter serve_table({"shards", "offered/s", "placed", "rejected",
+                              "p50 s", "p99 s", "p999 s", "placed/s"});
+    for (const ServeRow& r : serve) {
+      serve_table.AddRow({std::to_string(r.row.shards),
+                          FormatDouble(r.row.offered_pods_per_sec, 0),
+                          std::to_string(r.row.placed),
+                          std::to_string(r.row.rejected_full),
+                          FormatDouble(r.row.latency_s_p50, 2),
+                          FormatDouble(r.row.latency_s_p99, 2),
+                          FormatDouble(r.row.latency_s_p999, 2),
+                          FormatDouble(r.pods_per_sec_placed, 1)});
+    }
+    serve_table.Print();
   }
-  forest_table.Print();
-  std::printf("quantized max abs err vs exact: %.3g\n", forest.quantized_max_abs_err);
 
-  return WriteJson(out_path, scoring, ticks, obs, forest, hw_threads) ? 0 : 1;
+  if (forest.trees > 0) {
+    // Forest inference: ns/row, so "base" is pointer descent and lower is
+    // better — kept in its own table to avoid mixing units with the above.
+    TablePrinter forest_table({"batch", "ptr ns/row", "exact ns/row", "speedup",
+                               "quant ns/row", "speedup"});
+    for (const ForestBatchRow& r : forest.batches) {
+      forest_table.AddRow({std::to_string(r.batch),
+                           FormatDouble(forest.ns_row_pointer, 1),
+                           FormatDouble(r.ns_row_compiled, 1),
+                           FormatDouble(r.speedup, 2),
+                           FormatDouble(r.ns_row_quantized, 1),
+                           FormatDouble(r.speedup_quantized, 2)});
+    }
+    forest_table.Print();
+    std::printf("quantized max abs err vs exact: %.3g\n",
+                forest.quantized_max_abs_err);
+  }
+
+  return WriteJson(out_path, scoring, ticks, obs, serve, forest, hw_threads) ? 0 : 1;
 }
 
 }  // namespace

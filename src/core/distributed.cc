@@ -21,9 +21,9 @@ DistributedCoordinator::DistributedCoordinator(const OptumProfiles& profiles,
     // conflicts stay possible (hot hosts score high for everyone) but the
     // shards do not trivially collide on every decision.
     shard_config.seed = config.scheduler_config.seed + 0x9e3779b9u * (i + 1);
-    // Scoring inside a shard is already parallelized across its candidates
-    // only when requested; shards themselves run concurrently here.
-    shard_config.num_threads = 0;
+    // Shards themselves run concurrently here; candidate scoring within a
+    // shard parallelizes only when the caller asks for it explicitly.
+    shard_config.num_threads = config.shard_num_threads;
     shards_.push_back(std::make_unique<OptumScheduler>(profiles, shard_config));
   }
 }
@@ -126,10 +126,20 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
       commit(winner);
       outcome.placed.push_back(winner);
       if (span_log_ != nullptr) {
+        // The winner came from exactly one shard's in-flight decision this
+        // round; recover its spec for the submit → placed wait.
+        Tick wait_ticks = -1;
+        for (const ShardDecision& d : decisions) {
+          if (d.active && d.entry.pod->id == winner.pod) {
+            wait_ticks = cluster.now() - d.entry.pod->submit_tick;
+            break;
+          }
+        }
         span_log_->Append({.tick = cluster.now(),
                            .pod = winner.pod,
                            .phase = obs::SpanPhase::kPlaced,
                            .host = winner.host,
+                           .wait_ticks = wait_ticks,
                            .has_score = true,
                            .score = winner.score});
       }

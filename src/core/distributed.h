@@ -29,6 +29,12 @@ struct DistributedConfig {
   // Placement attempts per pod (rejections and lost conflicts both count)
   // before the pod is returned as unplaced.
   size_t max_attempts_per_pod = 4;
+  // Scoring threads *inside* each shard (0 = serial). Shards always run
+  // concurrently with each other on the coordinator pool; this additionally
+  // parallelizes candidate scoring within a shard's decision. Scoring is
+  // bit-identical across thread counts (OptumConfig::num_threads contract),
+  // so this only changes wall-clock, never placements.
+  size_t shard_num_threads = 0;
   // Configuration template for each shard scheduler; the seed is salted
   // per shard so the shards sample different host subsets.
   OptumConfig scheduler_config;

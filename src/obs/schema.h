@@ -31,6 +31,11 @@ inline constexpr const char* kSpansSchema = "optum.spans.v1";
 // per sampled tick.
 inline constexpr const char* kSeriesSchema = "optum.series.v1";
 
+// serve::RenderLatencyRow — JSONL placement-latency percentile rows from
+// the open-loop placement service (`serve_bench`, bench_hotpath --serve-only):
+// header line carrying this tag, then one row per service configuration.
+inline constexpr const char* kLatencySchema = "optum.latency.v1";
+
 struct SchemaInfo {
   const char* tag;
   const char* producer;
@@ -44,6 +49,7 @@ inline constexpr SchemaInfo kSchemas[] = {
     {kSummarySchema, "RenderSummaryJson / trace_summary --json"},
     {kSpansSchema, "SpanLog / runsim --span-log"},
     {kSeriesSchema, "TimeSeriesRecorder / runsim --series-json"},
+    {kLatencySchema, "serve::RenderLatencyRow / serve_bench"},
 };
 
 }  // namespace optum::obs

@@ -1,0 +1,61 @@
+#include "src/serve/admission_queue.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace optum::serve {
+
+AdmissionQueue::AdmissionQueue(size_t capacity_per_shard, size_t num_shards)
+    : shards_(num_shards), capacity_per_shard_(capacity_per_shard) {
+  OPTUM_CHECK_GT(num_shards, 0u);
+  OPTUM_CHECK_GT(capacity_per_shard, 0u);
+}
+
+bool AdmissionQueue::Offer(ServePod* pod) {
+  ++stats_.offered;
+  auto& shard = shards_[ShardOf(*pod)];
+  if (shard.size() >= capacity_per_shard_) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  shard.push_back(pod);
+  ++stats_.admitted;
+  NotePeak();
+  return true;
+}
+
+void AdmissionQueue::Requeue(ServePod* pod) {
+  shards_[ShardOf(*pod)].push_back(pod);
+  ++stats_.requeued;
+  NotePeak();
+}
+
+size_t AdmissionQueue::PopBatch(size_t max_pods, std::vector<ServePod*>* out) {
+  size_t popped = 0;
+  while (popped < max_pods && !empty()) {
+    auto& shard = shards_[cursor_];
+    cursor_ = (cursor_ + 1) % shards_.size();
+    if (shard.empty()) {
+      continue;
+    }
+    out->push_back(shard.front());
+    shard.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+size_t AdmissionQueue::depth() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.size();
+  }
+  return total;
+}
+
+void AdmissionQueue::NotePeak() {
+  stats_.peak_depth = std::max(stats_.peak_depth, depth());
+}
+
+}  // namespace optum::serve

@@ -1,0 +1,74 @@
+#include "src/serve/arrival_driver.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace optum::serve {
+
+const char* ToString(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+int64_t PoissonDraw(Rng& rng, double lambda) {
+  if (!(lambda > 0.0)) {
+    return 0;
+  }
+  // Renewals of a unit-rate exponential process in [0, lambda): the count k
+  // with S_k < lambda <= S_{k+1} is Poisson(lambda)-distributed.
+  double cumulative = 0.0;
+  int64_t count = -1;
+  while (cumulative < lambda) {
+    cumulative += rng.Exponential(1.0);
+    ++count;
+  }
+  return count;
+}
+
+ArrivalDriver::ArrivalDriver(const Workload& workload, ArrivalConfig config)
+    : workload_(workload),
+      config_(config),
+      catalog_(SchedulableApps(workload)),
+      pattern_(config.diurnal_floor, /*phase_fraction=*/0.0),
+      rng_(config.seed) {
+  OPTUM_CHECK_MSG(!catalog_.empty(),
+                  "ArrivalDriver needs at least one BE/LS/LSR application");
+  OPTUM_CHECK_GT(config_.offered_pods_per_sec, 0.0);
+  OPTUM_CHECK_GT(config_.round_seconds, 0.0);
+  // Normalize the diurnal modulation empirically so offered_pods_per_sec is
+  // the mean rate regardless of the pattern's exact shape.
+  double sum = 0.0;
+  for (Tick t = 0; t < kTicksPerDay; ++t) {
+    sum += pattern_.At(t);
+  }
+  pattern_mean_ = sum / static_cast<double>(kTicksPerDay);
+}
+
+double ArrivalDriver::RoundRate(int64_t round) const {
+  if (config_.process == ArrivalProcess::kPoisson) {
+    return config_.offered_pods_per_sec;
+  }
+  const Tick tick = static_cast<Tick>(
+      static_cast<double>(round) * config_.round_seconds / kSecondsPerTick);
+  return config_.offered_pods_per_sec * pattern_.At(tick) / pattern_mean_;
+}
+
+size_t ArrivalDriver::EmitRound(int64_t round, std::vector<PodSpec>* out) {
+  const double lambda = RoundRate(round) * config_.round_seconds;
+  const int64_t count = PoissonDraw(rng_, lambda);
+  for (int64_t i = 0; i < count; ++i) {
+    const AppProfile& app =
+        *catalog_[static_cast<size_t>(next_id_) % catalog_.size()];
+    out->push_back(MakePodSpec(next_id_, app, /*submit_tick=*/round));
+    ++next_id_;
+  }
+  return static_cast<size_t>(count);
+}
+
+}  // namespace optum::serve

@@ -1,0 +1,93 @@
+// Open-loop arrival driver for the placement service (DESIGN.md §12).
+//
+// Replays the application population of a generated Workload as an
+// open-loop pod-arrival stream at a configurable offered load: arrivals
+// keep coming at the configured rate whether or not the service keeps up —
+// the property that makes placement latency under load measurable at all
+// (a closed-loop driver self-throttles and only ever reports throughput).
+//
+// Two arrival processes, both exact and deterministic per seed:
+//   * kPoisson — homogeneous Poisson at offered_pods_per_sec. Per-round
+//     counts are drawn by summing unit-exponential gaps until they exceed
+//     the round's expected arrivals, which is numerically stable for any
+//     rate (no exp(-lambda) underflow at thousands of pods per second).
+//   * kDiurnal — nonhomogeneous Poisson whose rate follows the same
+//     DiurnalPattern shape the workload generator gives LS QPS (paper
+//     Fig. 3b), normalized so offered_pods_per_sec stays the mean rate
+//     across a day. The modulation is stepwise-constant per round.
+//
+// Pods cycle deterministically through the workload's schedulable
+// applications (BE/LS/LSR — the classes that flow through the scheduler hot
+// path), so the stream exercises the same profiles the service's shards
+// were trained on.
+#ifndef OPTUM_SRC_SERVE_ARRIVAL_DRIVER_H_
+#define OPTUM_SRC_SERVE_ARRIVAL_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/patterns.h"
+#include "src/stats/rng.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum::serve {
+
+enum class ArrivalProcess : uint8_t {
+  kPoisson = 0,
+  kDiurnal,
+};
+
+const char* ToString(ArrivalProcess process);
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  // Mean offered load. For kDiurnal this is the day-average rate; the
+  // instantaneous rate swings between roughly floor/mean and 2/(1+floor)
+  // times it.
+  double offered_pods_per_sec = 100.0;
+  // Model-time length of one service round; arrivals per round average
+  // offered_pods_per_sec * round_seconds.
+  double round_seconds = 1.0;
+  // Trough-to-peak ratio of the diurnal modulation (generator default 0.4).
+  double diurnal_floor = 0.4;
+  uint64_t seed = 17;
+};
+
+class ArrivalDriver {
+ public:
+  // The workload supplies the application population; it must outlive the
+  // driver. Requires at least one schedulable (BE/LS/LSR) application.
+  ArrivalDriver(const Workload& workload, ArrivalConfig config);
+
+  // Appends this round's arrivals to *out as fully formed PodSpecs with
+  // submit_tick = round and monotonically increasing ids (starting at 0).
+  // Returns the number appended. Rounds must be fed in nondecreasing order
+  // for the diurnal phase to be meaningful, but each call draws only from
+  // the driver's own stream, so equal configs replay identical streams.
+  size_t EmitRound(int64_t round, std::vector<PodSpec>* out);
+
+  // Expected arrivals per second during `round` (the stepwise rate the
+  // Poisson draw uses).
+  double RoundRate(int64_t round) const;
+
+  int64_t pods_emitted() const { return next_id_; }
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  const Workload& workload_;
+  ArrivalConfig config_;
+  std::vector<const AppProfile*> catalog_;
+  DiurnalPattern pattern_;
+  double pattern_mean_;  // day-average of the pattern, for normalization
+  Rng rng_;
+  PodId next_id_ = 0;
+};
+
+// Exact Poisson(lambda) draw via unit-exponential gap summation: the count
+// of renewals before the cumulative gap exceeds lambda. O(lambda) time,
+// stable for large lambda. Exposed for tests.
+int64_t PoissonDraw(Rng& rng, double lambda);
+
+}  // namespace optum::serve
+
+#endif  // OPTUM_SRC_SERVE_ARRIVAL_DRIVER_H_

@@ -1,0 +1,146 @@
+#include "src/serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
+
+namespace optum::serve {
+
+ExactLatencyRing::ExactLatencyRing(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void ExactLatencyRing::Record(double v) {
+  ring_[next_] = v;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  ++total_;
+}
+
+double ExactLatencyRing::Percentile(double q) const {
+  if (size_ == 0) {
+    return 0.0;
+  }
+  sorted_scratch_.assign(ring_.begin(), ring_.begin() + static_cast<long>(size_));
+  std::sort(sorted_scratch_.begin(), sorted_scratch_.end());
+  const double fraction = std::clamp(q, 0.0, 100.0) / 100.0;
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(fraction * static_cast<double>(size_))));
+  return sorted_scratch_[std::min(rank, size_) - 1];
+}
+
+LatencyHistogram::LatencyHistogram(Options options) : options_(options) {
+  OPTUM_CHECK_GT(options_.min_value, 0.0);
+  OPTUM_CHECK_GT(options_.growth, 1.0);
+  OPTUM_CHECK_GE(options_.num_buckets, 1u);
+  inv_log_growth_ = 1.0 / std::log(options_.growth);
+  buckets_.assign(options_.num_buckets + 2, 0);
+}
+
+size_t LatencyHistogram::BucketIndex(double v) const {
+  if (!(v >= options_.min_value)) {  // negatives, zero, sub-min, NaN-safe
+    return 0;
+  }
+  const double offset = std::log(v / options_.min_value) * inv_log_growth_;
+  const auto bucket = static_cast<size_t>(offset) + 1;  // floor + 1
+  return std::min(bucket, options_.num_buckets + 1);
+}
+
+void LatencyHistogram::Record(double v) {
+  if (std::isnan(v)) {
+    return;
+  }
+  ++buckets_[BucketIndex(v)];
+  ++count_;
+  max_recorded_ = count_ == 1 ? v : std::max(max_recorded_, v);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  OPTUM_CHECK(options_.min_value == other.options_.min_value &&
+              options_.growth == other.options_.growth &&
+              options_.num_buckets == other.options_.num_buckets);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    max_recorded_ =
+        count_ > 0 ? std::max(max_recorded_, other.max_recorded_) : other.max_recorded_;
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double fraction = std::clamp(q, 0.0, 100.0) / 100.0;
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(fraction * static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  size_t bucket = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  if (bucket == 0) {
+    return 0.0;  // underflow: abs error <= min_value by contract
+  }
+  if (bucket == options_.num_buckets + 1) {
+    // Overflow: clamp to the range edge (documented underestimate).
+    return options_.min_value *
+           std::pow(options_.growth, static_cast<double>(options_.num_buckets));
+  }
+  // Geometric midpoint of [min * g^(b-1), min * g^b).
+  return options_.min_value *
+         std::pow(options_.growth, static_cast<double>(bucket) - 0.5);
+}
+
+std::string RenderLatencyHeader() {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", obs::kLatencySchema);
+  w.KV("unit", "seconds");
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderLatencyRow(const LatencyRow& row) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("hosts", static_cast<int64_t>(row.hosts));
+  w.KV("shards", static_cast<uint64_t>(row.shards));
+  w.KV("offered_pods_per_sec", row.offered_pods_per_sec);
+  w.KV("process", row.process);
+  w.KV("rounds", row.rounds);
+  w.KV("round_seconds", row.round_seconds);
+  w.KV("arrivals", row.arrivals);
+  w.KV("admitted", row.admitted);
+  w.KV("rejected_full", row.rejected_full);
+  w.KV("placed", row.placed);
+  w.KV("dropped", row.dropped);
+  w.KV("conflicts", row.conflicts);
+  w.KV("latency_s_p50", row.latency_s_p50);
+  w.KV("latency_s_p99", row.latency_s_p99);
+  w.KV("latency_s_p999", row.latency_s_p999);
+  w.KV("latency_s_max", row.latency_s_max);
+  w.KV("latency_s_mean", row.latency_s_mean);
+  w.EndObject();
+  return w.str();
+}
+
+void FillLatencyPercentiles(const LatencyHistogram& merged, double mean_seconds,
+                            LatencyRow* row) {
+  row->latency_s_p50 = merged.Percentile(50.0);
+  row->latency_s_p99 = merged.Percentile(99.0);
+  row->latency_s_p999 = merged.Percentile(99.9);
+  row->latency_s_max = merged.max_recorded();
+  row->latency_s_mean = mean_seconds;
+}
+
+}  // namespace optum::serve

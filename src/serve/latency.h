@@ -1,0 +1,151 @@
+// Streaming placement-latency percentile estimation for the open-loop
+// placement service (DESIGN.md §12).
+//
+// Two estimators share one percentile definition — the nearest-rank order
+// statistic (k = ceil(q/100 * n), value = k-th smallest) — chosen over the
+// linear-interpolated form used elsewhere in src/stats because it is the
+// only definition with a provable per-sample error bound under bucketing:
+// interpolation across a gap in a bimodal distribution can land arbitrarily
+// far from any bucket midpoint, while the k-th order statistic always lives
+// in exactly one bucket.
+//
+//   * ExactLatencyRing keeps the most recent `capacity` samples verbatim and
+//     answers percentiles exactly over that window. Tests use it as the
+//     ground truth; long service runs leave it detached.
+//   * LatencyHistogram is the production estimator: a fixed geometric-bucket
+//     histogram (HDR-style) whose state is pure integer counts, so merging
+//     per-shard histograms is commutative and associative — percentile rows
+//     are bit-identical for every merge order, which the property tests pin.
+//
+// Error contract of LatencyHistogram::Percentile (value v = true nearest-rank
+// order statistic, g = Options::growth):
+//   * v in [min_value, min_value * g^num_buckets): the estimate is the
+//     geometric midpoint of v's bucket, so  estimate / v ∈ [g^-1/2, g^1/2]
+//     — relative error at most sqrt(g) - 1 (~2.5% at the default g = 1.05).
+//   * v < min_value (the underflow bucket, including the common
+//     zero-queue-wait case): the estimate is exactly 0.0 — absolute error
+//     at most min_value.
+//   * v >= min_value * g^num_buckets: the estimate clamps to the overflow
+//     edge min_value * g^num_buckets (an underestimate; size num_buckets so
+//     this never happens for plausible latencies — the default range is
+//     [1, 1.05^512) ≈ [1, 7e10) seconds).
+#ifndef OPTUM_SRC_SERVE_LATENCY_H_
+#define OPTUM_SRC_SERVE_LATENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optum::serve {
+
+// Exact nearest-rank percentiles over a bounded ring of the latest samples.
+class ExactLatencyRing {
+ public:
+  explicit ExactLatencyRing(size_t capacity);
+
+  void Record(double v);
+
+  // Total samples ever recorded (not capped by the ring).
+  int64_t count() const { return total_; }
+  // Samples currently retained: min(count, capacity).
+  size_t retained() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Exact nearest-rank percentile over the retained window; q in [0, 100].
+  // Returns 0.0 when empty.
+  double Percentile(double q) const;
+
+ private:
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  int64_t total_ = 0;
+  // Percentile sorts into this scratch so queries allocate only on growth.
+  mutable std::vector<double> sorted_scratch_;
+};
+
+// Fixed geometric-bucket streaming histogram; O(num_buckets) memory for
+// unbounded runs, mergeable across shards (see the error contract above).
+class LatencyHistogram {
+ public:
+  struct Options {
+    // Lower edge of the first value bucket; everything below lands in the
+    // underflow bucket and is estimated as exactly 0.0.
+    double min_value = 1.0;
+    // Bucket width ratio; relative error bound is sqrt(growth) - 1.
+    double growth = 1.05;
+    // Value buckets between underflow and overflow.
+    size_t num_buckets = 512;
+  };
+
+  LatencyHistogram() : LatencyHistogram(Options()) {}
+  explicit LatencyHistogram(Options options);
+
+  // Records one sample. Negative values count as underflow; NaN is dropped.
+  void Record(double v);
+
+  // Adds `other`'s counts into this histogram. Both must have been built
+  // with identical Options (checked).
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+  const Options& options() const { return options_; }
+
+  // Nearest-rank percentile estimate; q in [0, 100]. Returns 0.0 when
+  // empty. Derived purely from integer bucket counts, so the result is
+  // bit-identical for every shard merge order.
+  double Percentile(double q) const;
+
+  // Largest recorded sample (commutative under Merge via max). 0.0 when
+  // empty.
+  double max_recorded() const { return count_ > 0 ? max_recorded_ : 0.0; }
+
+ private:
+  size_t BucketIndex(double v) const;
+
+  Options options_;
+  double inv_log_growth_ = 0.0;
+  // [0] = underflow, [1 .. num_buckets] = value buckets, [num_buckets + 1]
+  // = overflow.
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double max_recorded_ = 0.0;
+};
+
+// One exported optum.latency.v1 row: the identity of a service run plus its
+// placement-latency percentiles and queue accounting. All latency fields
+// are in (model) seconds.
+struct LatencyRow {
+  int hosts = 0;
+  size_t shards = 0;
+  double offered_pods_per_sec = 0.0;
+  const char* process = "poisson";  // arrival process name
+  int64_t rounds = 0;
+  double round_seconds = 1.0;
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t rejected_full = 0;  // backpressure: admission queue at capacity
+  int64_t placed = 0;
+  int64_t dropped = 0;  // requeue budget exhausted
+  int64_t conflicts = 0;
+  double latency_s_p50 = 0.0;
+  double latency_s_p99 = 0.0;
+  double latency_s_p999 = 0.0;
+  double latency_s_max = 0.0;
+  double latency_s_mean = 0.0;
+};
+
+// JSONL export: one header line carrying the optum.latency.v1 schema tag,
+// then one RenderLatencyRow line per service configuration. Deterministic
+// (std::to_chars rendering, no wall-clock fields).
+std::string RenderLatencyHeader();
+std::string RenderLatencyRow(const LatencyRow& row);
+
+// Fills a row's latency_s_* fields from a merged histogram (p50/p99/p999 /
+// max) plus the serially accumulated mean.
+void FillLatencyPercentiles(const LatencyHistogram& merged, double mean_seconds,
+                            LatencyRow* row);
+
+}  // namespace optum::serve
+
+#endif  // OPTUM_SRC_SERVE_LATENCY_H_

@@ -61,6 +61,18 @@ double PodMemDemand(const AppProfile& app, const PodBehavior& behavior, Tick t, 
   return std::max(0.0, base * jitter);
 }
 
+PodSpec MakePodSpec(PodId id, const AppProfile& app, Tick submit_tick) {
+  PodSpec spec;
+  spec.id = id;
+  spec.app = app.id;
+  spec.slo = app.slo;
+  spec.request = app.request;
+  spec.limit = app.limit;
+  spec.submit_tick = submit_tick;
+  spec.max_pods_per_host = app.max_pods_per_host;
+  return spec;
+}
+
 double PodQps(const AppProfile& app, const PodBehavior& behavior, Tick t, Rng& noise) {
   if (!IsLatencySensitive(app.slo) || app.qps_base <= 0.0) {
     return 0.0;

@@ -87,6 +87,13 @@ struct PodSpec {
 // Samples a PodBehavior consistent with the application profile.
 PodBehavior SamplePodBehavior(const AppProfile& app, Rng& rng);
 
+// A PodSpec carrying the application's request/limit/SLO/affinity, submitted
+// at `submit_tick` — the common construction for synthetic placement streams
+// (hot-path benches, the serve-layer arrival driver, concurrency tests).
+// The behavior draw is left at its defaults; callers that simulate usage
+// dynamics sample it separately.
+PodSpec MakePodSpec(PodId id, const AppProfile& app, Tick submit_tick = 0);
+
 // Instantaneous CPU usage (fraction of host capacity) of a pod at tick t,
 // before any limit clamping, given its app profile and behaviour draw.
 double PodCpuDemand(const AppProfile& app, const PodBehavior& behavior, Tick t, Rng& noise);

@@ -232,4 +232,15 @@ Workload WorkloadGenerator::Generate() {
   return out;
 }
 
+std::vector<const AppProfile*> SchedulableApps(const Workload& w) {
+  std::vector<const AppProfile*> catalog;
+  for (const AppProfile& app : w.apps) {
+    if (app.slo == SloClass::kBe || app.slo == SloClass::kLs ||
+        app.slo == SloClass::kLsr) {
+      catalog.push_back(&app);
+    }
+  }
+  return catalog;
+}
+
 }  // namespace optum

@@ -76,6 +76,11 @@ inline const AppProfile& AppOf(const Workload& w, AppId id) {
   return w.apps[static_cast<size_t>(id)];
 }
 
+// Applications that flow through the scheduler hot path (BE/LS/LSR — the
+// classes with explicit SLO requirements). Pointers reference w.apps, so
+// the workload must outlive the returned catalog.
+std::vector<const AppProfile*> SchedulableApps(const Workload& w);
+
 }  // namespace optum
 
 #endif  // OPTUM_SRC_TRACE_WORKLOAD_GENERATOR_H_

@@ -56,28 +56,6 @@ OptumProfiles TrainProfiles(const Workload& workload, const SimConfig& sim_confi
   return core::OfflineProfiler(prof).BuildProfiles(ref.trace);
 }
 
-PodSpec MakePod(PodId id, const AppProfile& app) {
-  PodSpec spec;
-  spec.id = id;
-  spec.app = app.id;
-  spec.slo = app.slo;
-  spec.request = app.request;
-  spec.limit = app.limit;
-  spec.max_pods_per_host = app.max_pods_per_host;
-  return spec;
-}
-
-std::vector<const AppProfile*> SchedulableApps(const Workload& workload) {
-  std::vector<const AppProfile*> catalog;
-  for (const AppProfile& app : workload.apps) {
-    if (app.slo == SloClass::kBe || app.slo == SloClass::kLs ||
-        app.slo == SloClass::kLsr) {
-      catalog.push_back(&app);
-    }
-  }
-  return catalog;
-}
-
 // --- Scheduler-level thread-count invariance ---------------------------------
 
 // Everything a placement stream can observably produce: the decision and
@@ -109,7 +87,7 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
   for (int h = 0; h < num_hosts; ++h) {
     for (int k = 0; k < prefill_per_host; ++k) {
       const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
-      live.push_back(cluster.Place(MakePod(next_id, app), &app, h, 0));
+      live.push_back(cluster.Place(MakePodSpec(next_id, app), &app, h, 0));
       ++next_id;
     }
   }
@@ -128,7 +106,7 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
   size_t evict_cursor = 0;
   for (int i = 0; i < stream; ++i) {
     const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
-    const PodSpec spec = MakePod(next_id, app);
+    const PodSpec spec = MakePodSpec(next_id, app);
     ++next_id;
     double score = 0.0;
     const PlacementDecision decision = scheduler.PlaceScored(spec, cluster, &score);

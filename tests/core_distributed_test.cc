@@ -24,16 +24,6 @@ AppProfile MakeApp(AppId id, SloClass slo, Resources request) {
   return app;
 }
 
-PodSpec MakePod(PodId id, const AppProfile& app) {
-  PodSpec pod;
-  pod.id = id;
-  pod.app = app.id;
-  pod.slo = app.slo;
-  pod.request = app.request;
-  pod.limit = app.limit;
-  return pod;
-}
-
 OptumProfiles SimpleProfiles() {
   OptumProfiles profiles;
   AppModel be;
@@ -87,9 +77,9 @@ TEST(TripleUsagePredictorTest, UsesObservedTriple) {
   const AppProfile a = MakeApp(0, SloClass::kBe, {0.1, 0.05});
   const AppProfile b = MakeApp(1, SloClass::kBe, {0.1, 0.05});
   const AppProfile c = MakeApp(2, SloClass::kBe, {0.1, 0.05});
-  cluster.Place(MakePod(1, a), &a, 0, 0);
-  cluster.Place(MakePod(2, b), &b, 0, 0);
-  cluster.Place(MakePod(3, c), &c, 0, 0);
+  cluster.Place(MakePodSpec(1, a), &a, 0, 0);
+  cluster.Place(MakePodSpec(2, b), &b, 0, 0);
+  cluster.Place(MakePodSpec(3, c), &c, 0, 0);
 
   ResourceUsagePredictor pairwise(&profiles);
   ResourceUsagePredictor triple(&profiles,
@@ -116,9 +106,9 @@ TEST(TripleUsagePredictorTest, FallbackUsesBestPairing) {
   const AppProfile a = MakeApp(0, SloClass::kBe, {0.2, 0.05});
   const AppProfile b = MakeApp(1, SloClass::kBe, {0.1, 0.05});
   const AppProfile c = MakeApp(2, SloClass::kBe, {0.1, 0.05});
-  cluster.Place(MakePod(1, a), &a, 0, 0);
-  cluster.Place(MakePod(2, b), &b, 0, 0);
-  cluster.Place(MakePod(3, c), &c, 0, 0);
+  cluster.Place(MakePodSpec(1, a), &a, 0, 0);
+  cluster.Place(MakePodSpec(2, b), &b, 0, 0);
+  cluster.Place(MakePodSpec(3, c), &c, 0, 0);
 
   ResourceUsagePredictor triple(&profiles,
                                 ResourceUsagePredictor::Grouping::kTripleWise);
@@ -134,7 +124,7 @@ TEST(TripleUsagePredictorTest, TripleNeverExceedsRequestSum) {
   }
   double request_sum = 0.0;
   for (int i = 0; i < 5; ++i) {
-    cluster.Place(MakePod(10 + i, apps[static_cast<size_t>(i)]),
+    cluster.Place(MakePodSpec(10 + i, apps[static_cast<size_t>(i)]),
                   &apps[static_cast<size_t>(i)], 0, 0);
     request_sum += apps[static_cast<size_t>(i)].request.cpu;
   }
@@ -187,7 +177,7 @@ TEST(DistributedTest, SingleShardPlacesWholeBatch) {
   const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
   std::vector<PodSpec> pods;
   for (int i = 0; i < 20; ++i) {
-    pods.push_back(MakePod(i, app));
+    pods.push_back(MakePodSpec(i, app));
   }
   std::vector<const PodSpec*> batch;
   for (const auto& p : pods) {
@@ -214,7 +204,7 @@ TEST(DistributedTest, ParallelShardsResolveConflicts) {
   const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
   std::vector<PodSpec> pods;
   for (int i = 0; i < 40; ++i) {
-    pods.push_back(MakePod(i, app));
+    pods.push_back(MakePodSpec(i, app));
   }
   std::vector<const PodSpec*> batch;
   for (const auto& p : pods) {
@@ -257,7 +247,7 @@ TEST(DistributedTest, AttachMetricsCountsRoundsCommitsAndConflicts) {
   const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
   std::vector<PodSpec> pods;
   for (int i = 0; i < 40; ++i) {
-    pods.push_back(MakePod(i, app));
+    pods.push_back(MakePodSpec(i, app));
   }
   std::vector<const PodSpec*> batch;
   for (const auto& p : pods) {
@@ -307,7 +297,7 @@ TEST(DistributedTest, SpanLogTracesCommitsAndConflicts) {
   const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
   std::vector<PodSpec> pods;
   for (int i = 0; i < 40; ++i) {
-    pods.push_back(MakePod(i, app));
+    pods.push_back(MakePodSpec(i, app));
   }
   std::vector<const PodSpec*> batch;
   for (const auto& p : pods) {
@@ -358,7 +348,7 @@ TEST(DistributedTest, UnplaceableBatchReturnsReasons) {
   const OptumProfiles profiles = SimpleProfiles();
   // Pod bigger than any host: nothing can place.
   const AppProfile app = MakeApp(0, SloClass::kBe, {1.5, 0.02});
-  std::vector<PodSpec> pods = {MakePod(0, app), MakePod(1, app)};
+  std::vector<PodSpec> pods = {MakePodSpec(0, app), MakePodSpec(1, app)};
   std::vector<const PodSpec*> batch = {&pods[0], &pods[1]};
   ClusterState cluster(4, kUnitResources, 8);
   DistributedConfig config;
@@ -380,7 +370,7 @@ TEST(DistributedTest, CommitsVisibleToLaterRounds) {
   AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.4});
   std::vector<PodSpec> pods;
   for (int i = 0; i < 8; ++i) {
-    pods.push_back(MakePod(i, app));
+    pods.push_back(MakePodSpec(i, app));
   }
   std::vector<const PodSpec*> batch;
   for (const auto& p : pods) {

@@ -72,16 +72,6 @@ AppProfile MakeApp(AppId id, SloClass slo, Resources request) {
   return app;
 }
 
-PodSpec MakePod(PodId id, const AppProfile& app) {
-  PodSpec pod;
-  pod.id = id;
-  pod.app = app.id;
-  pod.slo = app.slo;
-  pod.request = app.request;
-  pod.limit = app.limit;
-  return pod;
-}
-
 class InterferencePredictorTest : public ::testing::Test {
  protected:
   InterferencePredictorTest()
@@ -120,9 +110,9 @@ TEST_F(InterferencePredictorTest, CachingIsStableAndBucketed) {
 }
 
 TEST_F(InterferencePredictorTest, TotalInterferenceWeightsClasses) {
-  cluster_.Place(MakePod(1, ls_app_), &ls_app_, 0, 0);
-  cluster_.Place(MakePod(2, be_app_), &be_app_, 0, 0);
-  const PodSpec incoming = MakePod(3, be_app_);
+  cluster_.Place(MakePodSpec(1, ls_app_), &ls_app_, 0, 0);
+  cluster_.Place(MakePodSpec(2, be_app_), &be_app_, 0, 0);
+  const PodSpec incoming = MakePodSpec(3, be_app_);
   const double ls_only =
       predictor_.TotalInterference(cluster_.host(0), incoming, 0.9, 0.5, 1.0, 0.0);
   const double be_only =
@@ -138,9 +128,9 @@ TEST_F(InterferencePredictorTest, MarginalInterferenceIgnoresConstantPart) {
   // Existing BE pods have a large constant CT component (base 0.3); the
   // marginal form should charge only the utilization-driven increment.
   for (int i = 0; i < 10; ++i) {
-    cluster_.Place(MakePod(10 + i, be_app_), &be_app_, 0, 0);
+    cluster_.Place(MakePodSpec(10 + i, be_app_), &be_app_, 0, 0);
   }
-  const PodSpec incoming = MakePod(99, be_app_);
+  const PodSpec incoming = MakePodSpec(99, be_app_);
   const double absolute =
       predictor_.TotalInterference(cluster_.host(0), incoming, 0.5, 0.3, 0.7, 0.3);
   const double marginal = predictor_.MarginalInterference(
@@ -152,9 +142,9 @@ TEST_F(InterferencePredictorTest, MarginalInterferenceIgnoresConstantPart) {
 
 TEST_F(InterferencePredictorTest, MarginalGrowsWithUtilDelta) {
   for (int i = 0; i < 5; ++i) {
-    cluster_.Place(MakePod(10 + i, ls_app_), &ls_app_, 0, 0);
+    cluster_.Place(MakePodSpec(10 + i, ls_app_), &ls_app_, 0, 0);
   }
-  const PodSpec incoming = MakePod(99, ls_app_);
+  const PodSpec incoming = MakePodSpec(99, ls_app_);
   const double small_delta = predictor_.MarginalInterference(
       cluster_.host(0), incoming, 0.5, 0.3, 0.55, 0.3, 1.0, 0.0);
   const double large_delta = predictor_.MarginalInterference(
@@ -184,8 +174,8 @@ class OptumSchedulerTest : public ::testing::Test {
 
 TEST_F(OptumSchedulerTest, PacksOntoUtilizedHost) {
   OptumScheduler sched(MakeProfiles(), FullScanConfig());
-  cluster_.Place(MakePod(10, ls_app_), &ls_app_, 2, 0);
-  const PlacementDecision d = sched.Place(MakePod(1, be_app_), be_app_, cluster_);
+  cluster_.Place(MakePodSpec(10, ls_app_), &ls_app_, 2, 0);
+  const PlacementDecision d = sched.Place(MakePodSpec(1, be_app_), be_app_, cluster_);
   ASSERT_TRUE(d.placed());
   EXPECT_EQ(d.host, 2);  // highest utilization product
 }
@@ -198,10 +188,10 @@ TEST_F(OptumSchedulerTest, MemoryCapRejects) {
   // per pod -> 10 pods = 0.5 predicted.
   for (HostId h = 0; h < 4; ++h) {
     for (int i = 0; i < 10; ++i) {
-      cluster_.Place(MakePod(100 + h * 10 + i, ls_app_), &ls_app_, h, 0);
+      cluster_.Place(MakePodSpec(100 + h * 10 + i, ls_app_), &ls_app_, h, 0);
     }
   }
-  const PlacementDecision d = sched.Place(MakePod(1, ls_app_), ls_app_, cluster_);
+  const PlacementDecision d = sched.Place(MakePodSpec(1, ls_app_), ls_app_, cluster_);
   EXPECT_FALSE(d.placed());
   EXPECT_EQ(d.reason, WaitReason::kInsufficientMem);
 }
@@ -212,10 +202,10 @@ TEST_F(OptumSchedulerTest, CpuFeasibilityUsesPoc) {
   // = 0.96 POC; one more pod (odd) pushes past 1.0.
   for (HostId h = 0; h < 4; ++h) {
     for (int i = 0; i < 16; ++i) {
-      cluster_.Place(MakePod(100 + h * 20 + i, ls_app_), &ls_app_, h, 0);
+      cluster_.Place(MakePodSpec(100 + h * 20 + i, ls_app_), &ls_app_, h, 0);
     }
   }
-  const PlacementDecision d = sched.Place(MakePod(1, ls_app_), ls_app_, cluster_);
+  const PlacementDecision d = sched.Place(MakePodSpec(1, ls_app_), ls_app_, cluster_);
   EXPECT_FALSE(d.placed());
   // CPU must be implicated (memory may saturate simultaneously at this
   // packing depth).
@@ -225,19 +215,19 @@ TEST_F(OptumSchedulerTest, CpuFeasibilityUsesPoc) {
 
 TEST_F(OptumSchedulerTest, ScoreHostExposed) {
   OptumScheduler sched(MakeProfiles(), FullScanConfig());
-  cluster_.Place(MakePod(10, ls_app_), &ls_app_, 0, 0);
+  cluster_.Place(MakePodSpec(10, ls_app_), &ls_app_, 0, 0);
   double score_loaded = 0.0, score_empty = 0.0;
-  EXPECT_TRUE(sched.ScoreHost(MakePod(1, be_app_), cluster_.host(0), &score_loaded));
-  EXPECT_TRUE(sched.ScoreHost(MakePod(1, be_app_), cluster_.host(1), &score_empty));
+  EXPECT_TRUE(sched.ScoreHost(MakePodSpec(1, be_app_), cluster_.host(0), &score_loaded));
+  EXPECT_TRUE(sched.ScoreHost(MakePodSpec(1, be_app_), cluster_.host(1), &score_empty));
   EXPECT_GT(score_loaded, score_empty);
 }
 
 TEST_F(OptumSchedulerTest, AffinityHonored) {
   OptumScheduler sched(MakeProfiles(), FullScanConfig());
-  PodSpec pod = MakePod(1, ls_app_);
+  PodSpec pod = MakePodSpec(1, ls_app_);
   pod.max_pods_per_host = 1;
   for (HostId h = 0; h < 4; ++h) {
-    PodSpec existing = MakePod(100 + h, ls_app_);
+    PodSpec existing = MakePodSpec(100 + h, ls_app_);
     existing.max_pods_per_host = 1;
     cluster_.Place(existing, &ls_app_, h, 0);
   }
@@ -252,11 +242,11 @@ TEST_F(OptumSchedulerTest, MultithreadedScoringMatchesSequential) {
   par.min_candidates = 4;
   OptumScheduler s1(MakeProfiles(), seq);
   OptumScheduler s2(MakeProfiles(), par);
-  cluster_.Place(MakePod(10, ls_app_), &ls_app_, 1, 0);
-  cluster_.Place(MakePod(11, ls_app_), &ls_app_, 1, 0);
-  cluster_.Place(MakePod(12, be_app_), &be_app_, 3, 0);
-  const PlacementDecision d1 = s1.Place(MakePod(1, be_app_), be_app_, cluster_);
-  const PlacementDecision d2 = s2.Place(MakePod(1, be_app_), be_app_, cluster_);
+  cluster_.Place(MakePodSpec(10, ls_app_), &ls_app_, 1, 0);
+  cluster_.Place(MakePodSpec(11, ls_app_), &ls_app_, 1, 0);
+  cluster_.Place(MakePodSpec(12, be_app_), &be_app_, 3, 0);
+  const PlacementDecision d1 = s1.Place(MakePodSpec(1, be_app_), be_app_, cluster_);
+  const PlacementDecision d2 = s2.Place(MakePodSpec(1, be_app_), be_app_, cluster_);
   EXPECT_EQ(d1.host, d2.host);
 }
 
@@ -264,7 +254,7 @@ TEST_F(OptumSchedulerTest, PaperAbsoluteModeAlsoPlaces) {
   OptumConfig config = FullScanConfig();
   config.score_mode = ScoreMode::kPaperAbsolute;
   OptumScheduler sched(MakeProfiles(), config);
-  const PlacementDecision d = sched.Place(MakePod(1, ls_app_), ls_app_, cluster_);
+  const PlacementDecision d = sched.Place(MakePodSpec(1, ls_app_), ls_app_, cluster_);
   EXPECT_TRUE(d.placed());
 }
 
@@ -273,8 +263,8 @@ TEST_F(OptumSchedulerTest, ObserveColocationTightensEro) {
   // Co-locate two apps with no prior ERO entry: app 5 and app 6.
   AppProfile a5 = MakeApp(5, SloClass::kBe, {0.2, 0.05});
   AppProfile a6 = MakeApp(6, SloClass::kBe, {0.2, 0.05});
-  PodRuntime* p5 = cluster_.Place(MakePod(50, a5), &a5, 0, 0);
-  PodRuntime* p6 = cluster_.Place(MakePod(60, a6), &a6, 0, 0);
+  PodRuntime* p5 = cluster_.Place(MakePodSpec(50, a5), &a5, 0, 0);
+  PodRuntime* p6 = cluster_.Place(MakePodSpec(60, a6), &a6, 0, 0);
   p5->cpu_usage = 0.05;
   p6->cpu_usage = 0.07;
   EXPECT_DOUBLE_EQ(sched.profiles().ero.Get(5, 6), 1.0);

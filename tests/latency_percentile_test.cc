@@ -1,0 +1,267 @@
+// Property tests for the serve-layer latency estimators (src/serve/latency):
+// the exact ring and the streaming geometric-bucket histogram must agree —
+// within the histogram's documented error contract — on adversarial
+// distributions (bimodal with an empty gap, heavy tail, constant), and
+// merged per-shard histograms must produce bit-identical percentiles for
+// every merge order. Runs under the sanitizer presets via the `concurrency`
+// label (tools/sanitize_runner.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/serve/latency.h"
+#include "src/stats/rng.h"
+
+namespace optum::serve {
+namespace {
+
+// The shared percentile definition (nearest-rank order statistic), computed
+// directly: ground truth for both estimators.
+double NearestRank(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double fraction = std::clamp(q, 0.0, 100.0) / 100.0;
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(fraction * static_cast<double>(values.size()))));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+// Asserts the histogram's estimate of q honors the documented contract
+// against the true nearest-rank value of `samples`.
+void ExpectWithinContract(const LatencyHistogram& hist,
+                          const std::vector<double>& samples, double q) {
+  const LatencyHistogram::Options& opt = hist.options();
+  const double truth = NearestRank(samples, q);
+  const double estimate = hist.Percentile(q);
+  const double range_max =
+      opt.min_value * std::pow(opt.growth, static_cast<double>(opt.num_buckets));
+  if (truth < opt.min_value) {
+    // Underflow bucket: estimated as exactly 0.0 (abs error <= min_value).
+    EXPECT_EQ(estimate, 0.0) << "q=" << q << " truth=" << truth;
+  } else if (truth >= range_max) {
+    // Overflow: clamps to the range edge.
+    EXPECT_EQ(estimate, range_max) << "q=" << q << " truth=" << truth;
+  } else {
+    // In range: relative error at most sqrt(growth) - 1 (plus fp slop for
+    // samples landing exactly on a bucket edge).
+    const double bound = std::sqrt(opt.growth) - 1.0 + 1e-9;
+    EXPECT_NEAR(estimate / truth, 1.0, bound) << "q=" << q << " truth=" << truth;
+  }
+}
+
+void ExpectContractAtStandardQuantiles(const LatencyHistogram& hist,
+                                       const std::vector<double>& samples) {
+  for (const double q : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    ExpectWithinContract(hist, samples, q);
+  }
+}
+
+TEST(ExactLatencyRingTest, NearestRankDefinition) {
+  ExactLatencyRing ring(16);
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    ring.Record(v);
+  }
+  EXPECT_EQ(ring.count(), 5);
+  EXPECT_EQ(ring.retained(), 5u);
+  EXPECT_EQ(ring.Percentile(0.0), 1.0);    // rank clamps to 1
+  EXPECT_EQ(ring.Percentile(50.0), 3.0);   // ceil(2.5) = 3rd smallest
+  EXPECT_EQ(ring.Percentile(60.0), 3.0);   // ceil(3.0) = 3rd smallest
+  EXPECT_EQ(ring.Percentile(61.0), 4.0);   // ceil(3.05) = 4th
+  EXPECT_EQ(ring.Percentile(99.0), 5.0);
+  EXPECT_EQ(ring.Percentile(100.0), 5.0);
+}
+
+TEST(ExactLatencyRingTest, RetainsOnlyTheLatestWindow) {
+  ExactLatencyRing ring(4);
+  for (int i = 1; i <= 8; ++i) {
+    ring.Record(static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.count(), 8);
+  EXPECT_EQ(ring.retained(), 4u);
+  // Window is {5,6,7,8}: p50 = ceil(2) = 2nd smallest.
+  EXPECT_EQ(ring.Percentile(50.0), 6.0);
+  EXPECT_EQ(ring.Percentile(100.0), 8.0);
+}
+
+TEST(ExactLatencyRingTest, EmptyReturnsZero) {
+  ExactLatencyRing ring(8);
+  EXPECT_EQ(ring.Percentile(50.0), 0.0);
+  EXPECT_EQ(ring.count(), 0);
+}
+
+TEST(LatencyHistogramTest, ConstantDistribution) {
+  LatencyHistogram hist;
+  std::vector<double> samples(1000, 7.7);
+  for (const double v : samples) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_EQ(hist.max_recorded(), 7.7);
+  ExpectContractAtStandardQuantiles(hist, samples);
+}
+
+// Bimodal with a five-decade empty gap between the modes: the adversarial
+// case for interpolating estimators (any interpolation across the gap lands
+// far from every sample) — nearest-rank stays inside one mode by
+// construction, so the bucket contract must hold at every quantile.
+TEST(LatencyHistogramTest, BimodalWithEmptyGap) {
+  LatencyHistogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(0.001);  // below min_value: underflow mode
+  }
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(1000.0);
+  }
+  for (const double v : samples) {
+    hist.Record(v);
+  }
+  ExpectContractAtStandardQuantiles(hist, samples);
+  // p50 lands in the underflow mode (rank 500 of 1000), p51 in the upper.
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+  EXPECT_NEAR(hist.Percentile(51.0) / 1000.0, 1.0, std::sqrt(1.05) - 1.0 + 1e-9);
+}
+
+TEST(LatencyHistogramTest, HeavyTailPareto) {
+  LatencyHistogram hist;
+  Rng rng(1234);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.Pareto(2.0, 1.2));  // alpha 1.2: very heavy tail
+    hist.Record(samples.back());
+  }
+  ExpectContractAtStandardQuantiles(hist, samples);
+}
+
+TEST(LatencyHistogramTest, LogNormalSpread) {
+  LatencyHistogram hist;
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(rng.LogNormal(std::log(30.0), 2.0));
+    hist.Record(samples.back());
+  }
+  ExpectContractAtStandardQuantiles(hist, samples);
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowEdges) {
+  LatencyHistogram::Options opt;
+  opt.min_value = 0.5;
+  opt.growth = 1.1;
+  opt.num_buckets = 64;
+  LatencyHistogram hist(opt);
+  const double range_max = 0.5 * std::pow(1.1, 64.0);
+  hist.Record(-3.0);      // negative: underflow
+  hist.Record(0.0);       // zero queue wait: underflow
+  hist.Record(1e9);       // far past the range: overflow
+  hist.Record(std::nan(""));  // dropped entirely
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_EQ(hist.Percentile(1.0), 0.0);
+  EXPECT_EQ(hist.Percentile(100.0), range_max);
+  EXPECT_EQ(hist.max_recorded(), 1e9);  // max tracks the true value
+}
+
+// Merging per-shard histograms is integer-count addition, so every merge
+// order must yield bit-identical percentiles — the property that makes the
+// serve layer's p999 independent of shard iteration order.
+TEST(LatencyHistogramTest, MergeOrderInvariance) {
+  constexpr size_t kShards = 8;
+  std::vector<LatencyHistogram> shards(kShards);
+  Rng rng(7);
+  for (int i = 0; i < 40000; ++i) {
+    shards[static_cast<size_t>(i) % kShards].Record(
+        rng.LogNormal(std::log(5.0), 1.5));
+  }
+
+  std::vector<size_t> order(kShards);
+  std::iota(order.begin(), order.end(), size_t{0});
+  const auto merge_in = [&](const std::vector<size_t>& sequence) {
+    LatencyHistogram merged;
+    for (const size_t s : sequence) {
+      merged.Merge(shards[s]);
+    }
+    return merged;
+  };
+
+  const LatencyHistogram forward = merge_in(order);
+  std::reverse(order.begin(), order.end());
+  const LatencyHistogram reverse = merge_in(order);
+  // A few deterministic shuffles via rotation + interleave.
+  std::rotate(order.begin(), order.begin() + 3, order.end());
+  const LatencyHistogram rotated = merge_in(order);
+
+  EXPECT_EQ(forward.count(), 40000);
+  for (const double q : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double reference = forward.Percentile(q);
+    EXPECT_EQ(reference, reverse.Percentile(q)) << "q=" << q;
+    EXPECT_EQ(reference, rotated.Percentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(forward.max_recorded(), reverse.max_recorded());
+  EXPECT_EQ(forward.max_recorded(), rotated.max_recorded());
+
+  // Pairwise (tree) merging — associativity, not just commutativity.
+  LatencyHistogram left, right;
+  for (size_t s = 0; s < kShards / 2; ++s) {
+    left.Merge(shards[s]);
+  }
+  for (size_t s = kShards / 2; s < kShards; ++s) {
+    right.Merge(shards[s]);
+  }
+  left.Merge(right);
+  for (const double q : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(left.Percentile(q), forward.Percentile(q)) << "q=" << q;
+  }
+}
+
+// The merged histogram must agree with one histogram fed the full stream:
+// sharding the recording is invisible to the percentiles.
+TEST(LatencyHistogramTest, ShardedRecordingEqualsUnsharded) {
+  LatencyHistogram whole;
+  std::vector<LatencyHistogram> shards(4);
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Pareto(1.0, 1.5);
+    whole.Record(v);
+    shards[static_cast<size_t>(i) % 4].Record(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& s : shards) {
+    merged.Merge(s);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  for (const double q : {1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(merged.Percentile(q), whole.Percentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.max_recorded(), whole.max_recorded());
+}
+
+TEST(LatencyRowTest, RenderIsDeterministic) {
+  LatencyRow row;
+  row.hosts = 6000;
+  row.shards = 4;
+  row.offered_pods_per_sec = 3000.0;
+  row.rounds = 20;
+  row.arrivals = 60000;
+  row.admitted = 58000;
+  row.rejected_full = 2000;
+  row.placed = 57000;
+  row.dropped = 1000;
+  row.conflicts = 123;
+  row.latency_s_p50 = 0.0;
+  row.latency_s_p99 = 2.5;
+  row.latency_s_p999 = 6.125;
+  row.latency_s_max = 9.0;
+  row.latency_s_mean = 0.75;
+  const std::string line = RenderLatencyRow(row);
+  EXPECT_EQ(line, RenderLatencyRow(row));
+  EXPECT_NE(line.find("\"latency_s_p999\":6.125"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"process\":\"poisson\""), std::string::npos) << line;
+  EXPECT_NE(RenderLatencyHeader().find("optum.latency.v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optum::serve

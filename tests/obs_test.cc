@@ -181,12 +181,13 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
     EXPECT_NE(s.producer, nullptr);
     tags.emplace_back(s.tag);
   }
-  ASSERT_EQ(tags.size(), 5u);
+  ASSERT_EQ(tags.size(), 6u);
   EXPECT_NE(std::find(tags.begin(), tags.end(), kMetricsSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kRunsimSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSummarySchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSpansSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSeriesSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kLatencySchema), tags.end());
   for (const std::string& tag : tags) {
     EXPECT_EQ(tag.rfind("optum.", 0), 0u) << tag;
     // Every tag ends in an explicit version: ".v<digit>".

@@ -58,7 +58,11 @@ Direction Classify(const std::string& key) {
   if (key.rfind("pods_per_sec", 0) == 0 || key.rfind("ticks_per_sec", 0) == 0) {
     return Direction::kHigherBetter;
   }
-  if (key.rfind("ns_row", 0) == 0) {
+  // ns/row (forest inference) and latency_s_* (serve-layer placement
+  // latency percentiles) are both lower-is-better. The latency values are
+  // deterministic model-time arithmetic, so any nonzero change means
+  // service behavior changed, not machine noise.
+  if (key.rfind("ns_row", 0) == 0 || key.rfind("latency_s", 0) == 0) {
     return Direction::kLowerBetter;
   }
   return Direction::kNotAMetric;
@@ -68,7 +72,9 @@ Direction Classify(const std::string& key) {
 // metrics themselves).
 constexpr const char* kIdentityKeys[] = {"hosts",   "pods",  "threads",
                                          "batch",   "ticks", "candidates_per_pod",
-                                         "trees",   "rows",  "features"};
+                                         "trees",   "rows",  "features",
+                                         "shards",  "offered_pods_per_sec",
+                                         "rounds"};
 
 std::string RowSignature(const JsonValue& row) {
   std::string sig;

@@ -15,12 +15,16 @@
 # (default 30 — the reference numbers come from noisy shared machines). When
 # no baseline is committed, bench_diff says how to record one and passes.
 #
-#   tools/bench_runner.sh [--forest-only] [--write-baseline] [output.json]
+#   tools/bench_runner.sh [--forest-only|--serve-only] [--write-baseline] [output.json]
 #
 #   --forest-only     Run only the forest inference section (minutes faster:
 #                     skips scoring/tick reference runs) and write it to
 #                     BENCH_hotpath_forest.json; the diff still runs, against
 #                     the forest section of the committed baseline.
+#   --serve-only      Run only the open-loop placement-service section (skips
+#                     the scoring/tick/forest sections; still trains profiles)
+#                     and write it to BENCH_hotpath_serve.json; the diff runs
+#                     against the serve section of the committed baseline.
 #   --write-baseline  Full run that records BENCH_hotpath.json as the new
 #                     baseline: skips the regression diff so the fresh
 #                     numbers can be committed as-is.
@@ -28,13 +32,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 forest_only=0
+serve_only=0
 write_baseline=0
 out_arg=""
 for arg in "$@"; do
   case "${arg}" in
     --forest-only)    forest_only=1 ;;
+    --serve-only)     serve_only=1 ;;
     --write-baseline) write_baseline=1 ;;
-    -*) echo "usage: $0 [--forest-only] [--write-baseline] [output.json]" >&2
+    -*) echo "usage: $0 [--forest-only|--serve-only] [--write-baseline] [output.json]" >&2
         exit 2 ;;
     *)  out_arg="${arg}" ;;
   esac
@@ -53,6 +59,9 @@ cmake --build --preset relwithdebinfo --target bench_hotpath bench_diff -j "$(np
 if [[ "${forest_only}" == 1 ]]; then
   out="${out_arg:-$PWD/BENCH_hotpath_forest.json}"
   ./build/bench/bench_hotpath --forest-only "${out}"
+elif [[ "${serve_only}" == 1 ]]; then
+  out="${out_arg:-$PWD/BENCH_hotpath_serve.json}"
+  ./build/bench/bench_hotpath --serve-only "${out}"
 else
   out="${out_arg:-$PWD/BENCH_hotpath.json}"
   ./build/bench/bench_hotpath "${out}"

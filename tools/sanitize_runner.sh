@@ -16,7 +16,33 @@ cd "$(dirname "$0")/.."
 CONCURRENCY_TARGETS=(concurrency_test cache_property_test sample_hosts_test
                      perf_equivalence_test sim_property_test obs_test
                      span_timeseries_test compiled_forest_test
-                     forest_quantized_test)
+                     forest_quantized_test serve_test latency_percentile_test)
+
+# Guard: every test registered in tests/CMakeLists.txt with a concurrency or
+# observability label must be in CONCURRENCY_TARGETS, or the sanitizer pass
+# would silently skip building (and therefore running) it. Fail loudly with
+# the missing names instead.
+check_label_coverage() {
+  local missing=()
+  local labeled
+  labeled="$(sed -n \
+    's/^optum_add_test(\([a-z0-9_]*\) LABELS \(concurrency\|observability\)).*/\1/p' \
+    tests/CMakeLists.txt)"
+  for test in ${labeled}; do
+    local found=0
+    for target in "${CONCURRENCY_TARGETS[@]}"; do
+      [[ "${test}" == "${target}" ]] && found=1 && break
+    done
+    [[ "${found}" == 0 ]] && missing+=("${test}")
+  done
+  if [[ "${#missing[@]}" -gt 0 ]]; then
+    echo "sanitize_runner: tests labeled concurrency/observability but missing" >&2
+    echo "from CONCURRENCY_TARGETS (they would never run under sanitizers):" >&2
+    printf '  %s\n' "${missing[@]}" >&2
+    exit 1
+  fi
+}
+check_label_coverage
 
 run_preset() {
   local preset="$1"

@@ -1,0 +1,116 @@
+// serve_bench: runs the open-loop placement service (DESIGN.md §12) at a
+// configurable scale and writes optum.latency.v1 rows — the JSONL the serve
+// layer exports for dashboards and the bench gate.
+//
+//   serve_bench [--hosts N] [--shards K] [--offered PODS_PER_SEC]
+//               [--rounds R] [--round-seconds S] [--process poisson|diurnal]
+//               [--queue-capacity N] [--max-per-round N] [--residency ROUNDS]
+//               [--span-log PATH] [--out PATH]
+//
+// With --out the document goes to PATH (one header line, one row line);
+// otherwise rows print to stdout after a human-readable summary. Everything
+// in a row is deterministic model-time arithmetic — re-running with the
+// same flags reproduces it byte-for-byte; only the printed wall-clock
+// throughput varies across machines.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/flags.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/span_log.h"
+#include "src/serve/placement_service.h"
+
+namespace optum {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "serve_bench: malformed flags\n");
+    return 2;
+  }
+  const int hosts = static_cast<int>(flags.GetInt("hosts", 1000));
+  const std::string process = flags.GetString("process", "poisson");
+
+  serve::ServeConfig config;
+  config.arrival.offered_pods_per_sec = flags.GetDouble("offered", 500.0);
+  config.arrival.round_seconds = flags.GetDouble("round-seconds", 1.0);
+  if (process == "diurnal") {
+    config.arrival.process = serve::ArrivalProcess::kDiurnal;
+  } else if (process != "poisson") {
+    std::fprintf(stderr, "serve_bench: unknown --process %s\n", process.c_str());
+    return 2;
+  }
+  config.distributed.num_schedulers =
+      static_cast<size_t>(flags.GetInt("shards", 4));
+  config.queue_capacity_per_shard =
+      static_cast<size_t>(flags.GetInt("queue-capacity", 4096));
+  config.max_schedule_per_round =
+      static_cast<size_t>(flags.GetInt("max-per-round", 512));
+  config.mean_residency_rounds = flags.GetDouble("residency", 0.0);
+  const int64_t rounds = flags.GetInt("rounds", 60);
+
+  std::printf("training profiles from the 64-host reference run...\n");
+  const Workload reference =
+      WorkloadGenerator(bench::DefaultWorkloadConfig()).Generate();
+  AlibabaBaseline reference_policy = bench::MakeReferenceScheduler();
+  Simulator reference_sim(reference, bench::DefaultSimConfig(), reference_policy);
+  const core::OptumProfiles profiles =
+      bench::BuildProfiles(reference_sim.Run().trace);
+
+  ClusterState cluster(hosts, kUnitResources, /*history_window=*/64);
+  serve::PlacementService service(reference, profiles, &cluster, config);
+
+  std::unique_ptr<obs::SpanLog> span_log;
+  const std::string span_path = flags.GetString("span-log", "");
+  if (!span_path.empty()) {
+    span_log = std::make_unique<obs::SpanLog>(span_path);
+    if (!span_log->ok()) {
+      std::fprintf(stderr, "serve_bench: cannot open %s\n", span_path.c_str());
+      return 2;
+    }
+    service.set_span_log(span_log.get());
+  }
+
+  std::printf("serving %lld rounds at %.1f pods/s (%s, %zu shards)...\n",
+              static_cast<long long>(rounds),
+              config.arrival.offered_pods_per_sec, process.c_str(),
+              config.distributed.num_schedulers);
+  service.RunRounds(rounds);
+  const int64_t drain_rounds = service.Drain();
+  if (span_log != nullptr) {
+    span_log->Flush();
+  }
+
+  const serve::LatencyRow row = service.MakeLatencyRow();
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"arrivals", std::to_string(row.arrivals)});
+  table.AddRow({"admitted", std::to_string(row.admitted)});
+  table.AddRow({"rejected_full", std::to_string(row.rejected_full)});
+  table.AddRow({"placed", std::to_string(row.placed)});
+  table.AddRow({"dropped", std::to_string(row.dropped)});
+  table.AddRow({"conflicts", std::to_string(row.conflicts)});
+  table.AddRow({"drain_rounds", std::to_string(drain_rounds)});
+  table.AddRow({"latency_s_p50", FormatDouble(row.latency_s_p50, 3)});
+  table.AddRow({"latency_s_p99", FormatDouble(row.latency_s_p99, 3)});
+  table.AddRow({"latency_s_p999", FormatDouble(row.latency_s_p999, 3)});
+  table.AddRow({"latency_s_max", FormatDouble(row.latency_s_max, 3)});
+  table.Print();
+
+  const std::string document =
+      serve::RenderLatencyHeader() + "\n" + serve::RenderLatencyRow(row) + "\n";
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fputs(document.c_str(), stdout);
+    return 0;
+  }
+  return obs::WriteJsonDocument(out_path, document) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace optum
+
+int main(int argc, char** argv) { return optum::Main(argc, argv); }
