@@ -34,7 +34,9 @@
 #include "src/serve/placement_service.h"
 #include "src/ml/random_forest.h"
 #include "src/obs/decision_log.h"
+#include "src/obs/hotspot.h"
 #include "src/obs/metrics.h"
+#include "src/obs/pressure.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
@@ -69,6 +71,7 @@ double MeasureScoring(const core::OptumProfiles& profiles,
                       obs::DecisionLog* decision_log = nullptr,
                       obs::SpanLog* span_log = nullptr,
                       obs::TimeSeriesRecorder* series = nullptr,
+                      obs::HostPressureMonitor* pressure = nullptr,
                       core::InterferencePredictor::CacheStats* stats_out = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
@@ -95,7 +98,11 @@ double MeasureScoring(const core::OptumProfiles& profiles,
   // A simulator tick schedules a few dozen pods, so sampling the series once
   // per kSeriesPeriod placements reproduces the per-tick cadence runsim uses.
   constexpr int kSeriesPeriod = 64;
+  // The pressure sweep runs at the placement service's round cadence
+  // (DESIGN.md §13): one full host sweep per ~kPressurePeriod placements.
+  constexpr int kPressurePeriod = 512;
   size_t evict_cursor = 0;
+  Tick pressure_tick = 0;  // monitor ticks must be strictly increasing
   const auto run_segment = [&](int pods) {
     for (int i = 0; i < pods; ++i) {
       const AppProfile& app = *catalog[static_cast<size_t>(next_id) % catalog.size()];
@@ -114,6 +121,43 @@ double MeasureScoring(const core::OptumProfiles& profiles,
       }
       if (series != nullptr && i % kSeriesPeriod == 0) {
         series->Sample(static_cast<Tick>(i));
+      }
+      if (pressure != nullptr && i % kPressurePeriod == 0) {
+        // Mirrors PlacementService::SamplePressure: a full serial host sweep
+        // with the resident-interference term, once per placement round. The
+        // serve layer samples pressure at round granularity (several hundred
+        // placements at production offered rates), not per sim tick — the
+        // simulator's per-tick sweep rides a tick that already does O(hosts)
+        // usage work, so the per-64-placement series cadence would charge
+        // the sensor against a baseline that bears none of that cost.
+        pressure->BeginTick(pressure_tick++);
+        for (const Host& host : cluster.hosts()) {
+          obs::HostPressureInput in;
+          const Resources predicted =
+              scheduler.usage_predictor().PredictHost(host, /*incoming=*/nullptr);
+          in.cpu_util = host.capacity.cpu > 0.0
+                            ? predicted.cpu / host.capacity.cpu
+                            : 0.0;
+          in.mem_util = host.capacity.mem > 0.0
+                            ? predicted.mem / host.capacity.mem
+                            : 0.0;
+          int32_t counts[kNumSloClasses];
+          CountPodsBySlo(host, counts);
+          in.pods_be = counts[static_cast<size_t>(SloClass::kBe)];
+          in.pods_ls = counts[static_cast<size_t>(SloClass::kLs)];
+          in.pods_lsr = counts[static_cast<size_t>(SloClass::kLsr)];
+          const int32_t ls_pods = in.pods_ls + in.pods_lsr;
+          if (ls_pods > 0) {
+            in.interference = scheduler.interference_predictor()
+                                  .ResidentInterference(
+                                      host, in.cpu_util, in.mem_util,
+                                      /*weight_ls=*/1.0, /*weight_be=*/0.0,
+                                      /*lane=*/0) /
+                              static_cast<double>(ls_pods);
+          }
+          pressure->ObserveHost(host.id, in);
+        }
+        pressure->EndTick();
       }
       if (i % 3 == 0 && !live.empty()) {
         evict_cursor = (evict_cursor + 1) % live.size();
@@ -172,12 +216,17 @@ struct ObsRow {
   double pods_per_sec_metrics_on = 0.0;   // registry + timers + collectors
   double pods_per_sec_decision_log = 0.0; // metrics + per-placement JSONL
   double pods_per_sec_spans = 0.0;        // metrics + span log + series ring
+  double pods_per_sec_pressure = 0.0;     // metrics + pressure/hotspot/SLO sensor
   double metrics_on_overhead_pct = 0.0;
   double decision_log_overhead_pct = 0.0;
   double spans_overhead_pct = 0.0;             // vs metrics off, like the others
   double spans_incremental_pct = 0.0;          // vs metrics on (the ≤2% budget)
+  double pressure_overhead_pct = 0.0;          // vs metrics off
+  double pressure_incremental_pct = 0.0;       // vs metrics on (the ≤2% budget)
   int64_t span_records = 0;
   int64_t series_samples = 0;
+  int64_t hotspot_events = 0;
+  int64_t pressure_ticks = 0;
   core::InterferencePredictor::CacheStats cache_stats;
 };
 
@@ -187,10 +236,11 @@ struct ObsRow {
 // size; comparing the two sections (or this file across commits) bounds the
 // disabled-instrumentation overhead, which must stay within ~2%. The
 // metrics-on rows quantify what attaching the registry, the decision log,
-// and the span-log + series-ring pair actually cost; the span/series number
-// is also reported incrementally against metrics-on, which is the budget the
-// lifecycle tracing must hold (≤2%). Cache hit rates and forest-eval counts
-// come from the metrics-on run's predictor tallies.
+// the span-log + series-ring pair, and the pressure/hotspot/SLO sensor
+// actually cost; the span/series and pressure numbers are also reported
+// incrementally against metrics-on, which is the budget each must hold
+// (≤2%). Cache hit rates and forest-eval counts come from the metrics-on
+// run's predictor tallies.
 ObsRow RunObsBench(const core::OptumProfiles& profiles,
                    const std::vector<const AppProfile*>& catalog, int num_hosts,
                    int stream) {
@@ -221,7 +271,8 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
           MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
                          /*cached=*/true, /*num_threads=*/0, &registry,
                          /*decision_log=*/nullptr, /*span_log=*/nullptr,
-                         /*series=*/nullptr, &row.cache_stats));
+                         /*series=*/nullptr, /*pressure=*/nullptr,
+                         &row.cache_stats));
     }
     {
       obs::MetricRegistry registry;
@@ -251,6 +302,28 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
       row.span_records = span_log.records_written();
       row.series_samples = series.samples_written();
     }
+    {
+      // Pressure + hotspot + SLO sensing on top of the registry: the sensor
+      // configuration (`serve_bench --pressure --hotspot-log`, DESIGN.md
+      // §13). Every sampled tick sweeps all hosts through the EWMA tracker,
+      // the hysteresis detector, and the sharded SLO accumulators, with the
+      // resident-interference term from the lane-0 predictor cache.
+      obs::MetricRegistry registry;
+      obs::HotspotLog hotspot_log("/dev/null");
+      obs::HostPressureMonitor monitor(static_cast<size_t>(num_hosts),
+                                       obs::HostPressureMonitor::Options{});
+      monitor.set_hotspot_log(&hotspot_log);
+      monitor.AttachMetrics(&registry, "bench");
+      row.pods_per_sec_pressure = std::max(
+          row.pods_per_sec_pressure,
+          MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                         /*cached=*/true, /*num_threads=*/0, &registry,
+                         /*decision_log=*/nullptr, /*span_log=*/nullptr,
+                         /*series=*/nullptr, &monitor));
+      monitor.Finalize();
+      row.hotspot_events = monitor.detector().events_emitted();
+      row.pressure_ticks = monitor.last_tick() + 1;
+    }
   }
   const auto overhead_pct = [&](double with, double base) {
     return base > 0.0 ? (1.0 - with / base) * 100.0 : 0.0;
@@ -263,6 +336,10 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
       overhead_pct(row.pods_per_sec_spans, row.pods_per_sec_metrics_off);
   row.spans_incremental_pct =
       overhead_pct(row.pods_per_sec_spans, row.pods_per_sec_metrics_on);
+  row.pressure_overhead_pct =
+      overhead_pct(row.pods_per_sec_pressure, row.pods_per_sec_metrics_off);
+  row.pressure_incremental_pct =
+      overhead_pct(row.pods_per_sec_pressure, row.pods_per_sec_metrics_on);
   return row;
 }
 
@@ -596,6 +673,9 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  "     \"spans\": {\"pods_per_sec\": %.1f, \"overhead_pct\": %.2f, "
                  "\"incremental_vs_metrics_on_pct\": %.2f, "
                  "\"span_records\": %lld, \"series_samples\": %lld},\n"
+                 "     \"pressure\": {\"pods_per_sec\": %.1f, \"overhead_pct\": %.2f, "
+                 "\"incremental_vs_metrics_on_pct\": %.2f, "
+                 "\"hotspot_events\": %lld, \"ticks_sampled\": %lld},\n"
                  "     \"pred_cache_hit_rate\": %.4f, \"raw_cache_hit_rate\": %.4f, "
                  "\"slope_cache_hit_rate\": %.4f, \"forest_evals\": %llu, "
                  "\"pred_cache_hits\": %llu, \"pred_cache_misses\": %llu, "
@@ -607,6 +687,10 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  r.spans_incremental_pct,
                  static_cast<long long>(r.span_records),
                  static_cast<long long>(r.series_samples),
+                 r.pods_per_sec_pressure, r.pressure_overhead_pct,
+                 r.pressure_incremental_pct,
+                 static_cast<long long>(r.hotspot_events),
+                 static_cast<long long>(r.pressure_ticks),
                  rate(s.predict_hits, s.predict_misses), rate(s.raw_hits, s.raw_misses),
                  rate(s.slope_hits, s.slope_misses),
                  static_cast<unsigned long long>(s.forest_evals()),
@@ -764,7 +848,8 @@ int Main(int argc, char** argv) {
   std::vector<ObsRow> obs;
   if (run_scoring) {
     std::printf(
-        "scoring 1000 hosts (metrics off, on, on+decision-log, on+spans)...\n");
+        "scoring 1000 hosts (metrics off, on, on+decision-log, on+spans, "
+        "on+pressure)...\n");
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 

@@ -17,7 +17,10 @@ bool FlagParser::Parse(int argc, const char* const* argv) {
     }
     const size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      std::string name = body.substr(0, eq);
+      std::string value = body.substr(eq + 1);
+      flags_[name] = value;
+      ordered_.emplace_back(std::move(name), std::move(value));
       continue;
     }
     // --name value form, unless the next token is another flag (then it is
@@ -27,8 +30,31 @@ bool FlagParser::Parse(int argc, const char* const* argv) {
     } else {
       flags_[body] = "true";
     }
+    ordered_.emplace_back(body, flags_[body]);
   }
   return true;
+}
+
+std::vector<std::string> FlagParser::GetStringList(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : ordered_) {
+    if (flag != name) {
+      continue;
+    }
+    size_t start = 0;
+    while (start <= value.size()) {
+      const size_t comma = value.find(',', start);
+      const size_t end = comma == std::string::npos ? value.size() : comma;
+      if (end > start) {
+        values.push_back(value.substr(start, end - start));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+  }
+  return values;
 }
 
 bool FlagParser::Has(const std::string& name) const {

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace optum {
@@ -26,6 +27,12 @@ class FlagParser {
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  // Every value given for a repeatable flag, in argv order, with each value
+  // additionally split on commas (`--col a --col b,c` → {a, b, c}). Empty
+  // when the flag never appeared. The scalar accessors above keep their
+  // last-occurrence-wins behavior.
+  std::vector<std::string> GetStringList(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   // All parsed flags, for diagnostics.
@@ -33,6 +40,8 @@ class FlagParser {
 
  private:
   std::map<std::string, std::string> flags_;
+  // (name, value) pairs in argv order, for repeatable flags.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
 

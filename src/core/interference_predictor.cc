@@ -97,6 +97,9 @@ void InterferencePredictor::RebuildAppIndex() {
     }
     by_app_[static_cast<size_t>(app)] = &model;
   }
+  const size_t cells = by_app_.size() * kResidentBuckets * kResidentBuckets;
+  resident_grid_.assign(cells, 0.0);
+  resident_grid_valid_.assign(cells, 0);
 }
 
 InterferencePredictor::CacheStats InterferencePredictor::cache_stats() const {
@@ -118,6 +121,7 @@ void InterferencePredictor::ClearCache() {
     lane.raw_cache.Clear();
     lane.slope_cache.Clear();
   }
+  resident_memo_.clear();  // stored sums embed predictions from the old models
   RebuildAppIndex();
 }
 
@@ -315,6 +319,86 @@ double InterferencePredictor::TotalInterference(const Host& host, const PodSpec&
     if (ri != 0.0) {
       total += WeightOf(incoming.slo, weight_ls, weight_be) * ri;
     }
+  }
+  return total;
+}
+
+double InterferencePredictor::ResidentInterference(const Host& host,
+                                                   double host_cpu_util,
+                                                   double host_mem_util,
+                                                   double weight_ls,
+                                                   double weight_be,
+                                                   size_t lane) const {
+  // The resident sum feeds a per-host pressure signal that rides an EWMA,
+  // so it needs far less utilization resolution than candidate scoring.
+  // Inputs are snapped to a deliberately coarse grid (cell centers over
+  // [0, 2]) before prediction: the sweep can then only ever touch
+  // #apps x kResidentBuckets^2 distinct cache keys, so forest evaluations
+  // saturate after a short warmup instead of firing on every utilization
+  // drift, and the memo below keeps hitting while a host's utilization
+  // moves within one cell.
+  const uint64_t cpu_bucket = UtilBucket(host_cpu_util, kResidentBuckets);
+  const uint64_t mem_bucket = UtilBucket(host_mem_util, kResidentBuckets);
+  const double cpu_q = BucketPoint(cpu_bucket, kResidentBuckets);
+  const double mem_q = BucketPoint(mem_bucket, kResidentBuckets);
+  // Per-(app, cell) value via the flat grid; cold cells go through Predict
+  // once, so every stored value matches the lane-cache path bit for bit.
+  const auto resident_ri = [&](AppId app) {
+    if (app < 0 || static_cast<size_t>(app) >= by_app_.size()) {
+      return 0.0;  // no profile -> Predict would return 0 anyway
+    }
+    const size_t cell =
+        (static_cast<size_t>(app) * kResidentBuckets + cpu_bucket) *
+            kResidentBuckets +
+        mem_bucket;
+    if (resident_grid_valid_[cell]) {
+      return resident_grid_[cell];
+    }
+    const double ri = Predict(app, cpu_q, mem_q, lane);
+    resident_grid_[cell] = ri;
+    resident_grid_valid_[cell] = 1;
+    return ri;
+  };
+  double total = 0.0;
+  if (!use_host_app_counts_) {
+    for (const auto& c : RebuildCounts(host)) {
+      const double ri = resident_ri(c.app);
+      if (ri == 0.0) {
+        continue;
+      }
+      total += WeightOf(c.slo, weight_ls, weight_be) * ri *
+               static_cast<double>(c.count);
+    }
+    return total;
+  }
+  // Pressure sweeps revisit every host each sampled tick, but only the
+  // handful that placed or evicted pods since the last sweep can produce a
+  // different sum: (change_epoch, coarse buckets, weights) fully determines
+  // the result. Memo hits skip the per-app cache walk entirely and are
+  // bit-identical to recomputation by key-purity.
+  ResidentMemo* memo = nullptr;
+  if (host.id >= 0) {
+    if (static_cast<size_t>(host.id) >= resident_memo_.size()) {
+      resident_memo_.resize(static_cast<size_t>(host.id) + 1);
+    }
+    memo = &resident_memo_[static_cast<size_t>(host.id)];
+    if (memo->epoch == host.change_epoch && memo->cpu_bucket == cpu_bucket &&
+        memo->mem_bucket == mem_bucket && memo->weight_ls == weight_ls &&
+        memo->weight_be == weight_be) {
+      return memo->value;
+    }
+  }
+  for (const HostAppCount& c : host.app_counts) {
+    const double ri = resident_ri(c.app);
+    if (ri == 0.0) {
+      continue;
+    }
+    total += WeightOf(c.slo, weight_ls, weight_be) * ri *
+             static_cast<double>(c.count);
+  }
+  if (memo != nullptr) {
+    *memo = ResidentMemo{host.change_epoch, cpu_bucket, mem_bucket,
+                         weight_ls,         weight_be,  total};
   }
   return total;
 }

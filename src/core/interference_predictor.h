@@ -15,6 +15,8 @@
 #ifndef OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 #define OPTUM_SRC_CORE_INTERFERENCE_PREDICTOR_H_
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/core/prediction_cache.h"
@@ -60,6 +62,19 @@ class InterferencePredictor {
                            double host_cpu_util, double host_mem_util,
                            double weight_ls, double weight_be,
                            size_t lane = 0) const;
+
+  // Sum of RI over the pods already resident on `host` — no incoming pod —
+  // at the host's *current* utilization, snapped to a coarse 8-bucket grid
+  // (the signal rides an EWMA; candidate-scoring resolution would buy
+  // nothing but cache misses). The pressure sensor (DESIGN.md §13) feeds
+  // this into the per-host pressure signal; a per-host memo keyed on
+  // (change_epoch, coarse buckets, weights) makes repeated sweeps O(1) per
+  // unchanged host, and every computed value comes from the key-pure lane
+  // cache, so results are independent of cache history and thread count.
+  // Serial callers only (see ResidentMemo below).
+  double ResidentInterference(const Host& host, double host_cpu_util,
+                              double host_mem_util, double weight_ls,
+                              double weight_be, size_t lane = 0) const;
 
   // Marginal form: the increase in interference the incoming pod causes to
   // the pods already on the host (RI at post-placement utilization minus RI
@@ -163,6 +178,29 @@ class InterferencePredictor {
   }
   void RebuildAppIndex();
 
+  // Per-host memo for ResidentInterference (the DESIGN.md §13 pressure
+  // sweep). The weighted sum is a pure function of the host's app_counts
+  // histogram — versioned by Host::change_epoch — and the coarse
+  // utilization buckets Predict quantizes its inputs to, so a sweep only
+  // pays the per-app cache walk for hosts that changed since the last one.
+  // Lane is deliberately absent from the key: cached Predict values are
+  // key-pure, so every lane returns the same number. Callers are the serial
+  // pressure paths (simulator tick, placement-service round, bench mirror);
+  // concurrent ResidentInterference calls are NOT safe, matching the
+  // serial-emission contract of the monitor this feeds.
+  struct ResidentMemo {
+    uint64_t epoch = std::numeric_limits<uint64_t>::max();  // never a real epoch
+    uint64_t cpu_bucket = 0;
+    uint64_t mem_bucket = 0;
+    double weight_ls = 0.0;
+    double weight_be = 0.0;
+    double value = 0.0;
+  };
+
+  // Side of the coarse utilization grid ResidentInterference snaps its
+  // inputs to (see the .cc): kResidentBuckets^2 cells over [0, 2]^2.
+  static constexpr size_t kResidentBuckets = 8;
+
   const OptumProfiles* profiles_;
   size_t cache_buckets_;
   bool use_host_app_counts_;
@@ -171,6 +209,18 @@ class InterferencePredictor {
   // Read-only during scoring, so safely shared across lanes.
   std::vector<const AppModel*> by_app_;
   mutable std::vector<LaneCaches> lanes_;
+  // Indexed by host id, grown on demand; dropped by ClearCache() with the
+  // lane caches (model replacement invalidates every stored sum).
+  mutable std::vector<ResidentMemo> resident_memo_;
+  // Flat per-app cache over the coarse resident grid: cell
+  // [app * 64 + cpu_bucket * 8 + mem_bucket] holds exactly what
+  // Predict(app, cell center) returns (filled through Predict on first
+  // touch, so values stay bit-identical to the lane-cache path). Turns the
+  // per-app walk for a changed host into direct loads instead of hash
+  // probes. Serial pressure callers only; sized by RebuildAppIndex, cleared
+  // with the lane caches.
+  mutable std::vector<double> resident_grid_;
+  mutable std::vector<uint8_t> resident_grid_valid_;
   // Nullable observability sink (see set_forest_timer).
   obs::Histogram* forest_timer_ = nullptr;
   size_t forest_timer_lane_base_ = 0;

@@ -167,6 +167,13 @@ class OptumScheduler : public PlacementPolicy {
     return interference_predictor_;
   }
 
+  // Read-only view of the Eq. 6 usage model; PredictHost(host, nullptr)
+  // gives the predicted-usage basis the feasibility gate evaluates, which
+  // is also the utilization measure the pressure monitor samples.
+  const ResourceUsagePredictor& usage_predictor() const {
+    return usage_predictor_;
+  }
+
  private:
   // Builds and appends the JSONL record for one PlaceScored outcome; runs
   // on the serial path after the best-candidate reduction.

@@ -1,0 +1,191 @@
+#include "src/obs/hotspot.h"
+
+#include <charconv>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
+
+namespace optum::obs {
+namespace {
+
+// Flush threshold, matching SpanLog: amortizes fwrite without risking much
+// of the stream on a crash.
+constexpr size_t kFlushBytes = 64 * 1024;
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+// Shortest round-trip double via to_chars: deterministic and locale-free.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+HotspotLog::HotspotLog(const std::string& path) : file_(OpenJsonSink(path)) {
+  buffer_.reserve(kFlushBytes + 512);
+  if (file_ != nullptr) {
+    buffer_ += RenderHeader();
+    buffer_.push_back('\n');
+  }
+}
+
+HotspotLog::~HotspotLog() {
+  if (file_ != nullptr) {
+    Flush();
+    std::fclose(file_);
+  }
+}
+
+std::string HotspotLog::RenderHeader() {
+  std::string out = R"({"schema":")";
+  out += kHotspotSchema;
+  out += R"(","clock":"ticks"})";
+  return out;
+}
+
+void HotspotLog::RenderTo(std::string* out, const HotspotEvent& event) {
+  out->append(R"({"host":)");
+  AppendInt(out, event.host);
+  out->append(R"(,"onset":)");
+  AppendInt(out, event.onset_tick);
+  out->append(R"(,"clear":)");
+  AppendInt(out, event.clear_tick);
+  out->append(R"(,"duration":)");
+  AppendInt(out, event.duration_ticks());
+  out->append(R"(,"peak_pressure":)");
+  AppendDouble(out, event.peak_pressure);
+  out->append(R"(,"peak_tick":)");
+  AppendInt(out, event.peak_tick);
+  out->append(R"(,"pods_be":)");
+  AppendInt(out, event.pods_be);
+  out->append(R"(,"pods_ls":)");
+  AppendInt(out, event.pods_ls);
+  out->append(R"(,"pods_lsr":)");
+  AppendInt(out, event.pods_lsr);
+  if (event.open) {
+    out->append(R"(,"open":true)");
+  }
+  out->push_back('}');
+}
+
+std::string HotspotLog::Render(const HotspotEvent& event) {
+  std::string out;
+  RenderTo(&out, event);
+  return out;
+}
+
+void HotspotLog::Append(const HotspotEvent& event) {
+  if (file_ == nullptr) {
+    return;
+  }
+  RenderTo(&buffer_, event);
+  buffer_.push_back('\n');
+  ++events_written_;
+  if (buffer_.size() >= kFlushBytes) {
+    Flush();
+  }
+}
+
+void HotspotLog::Flush() {
+  if (file_ == nullptr || buffer_.empty()) {
+    return;
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  buffer_.clear();
+}
+
+HotspotDetector::HotspotDetector(size_t num_hosts, HotspotConfig config)
+    : config_(config), states_(num_hosts) {
+  OPTUM_CHECK_MSG(config_.onset_threshold > config_.clear_threshold,
+                  "HotspotConfig: onset must exceed clear (hysteresis band)");
+  OPTUM_CHECK_GE(config_.min_onset_ticks, 1);
+  OPTUM_CHECK_GE(config_.min_clear_ticks, 1);
+}
+
+void HotspotDetector::Emit(HostId host, const HostState& state, Tick clear_tick,
+                           bool open) {
+  HotspotEvent event;
+  event.host = host;
+  event.onset_tick = state.onset_tick;
+  event.clear_tick = clear_tick;
+  event.peak_pressure = state.peak;
+  event.peak_tick = state.peak_tick;
+  event.pods_be = state.peak_be;
+  event.pods_ls = state.peak_ls;
+  event.pods_lsr = state.peak_lsr;
+  event.open = open;
+  events_.push_back(event);
+  if (log_ != nullptr) {
+    log_->Append(event);
+  }
+}
+
+void HotspotDetector::Observe(HostId host, Tick tick, double pressure,
+                              int32_t pods_be, int32_t pods_ls,
+                              int32_t pods_lsr) {
+  HostState& s = states_[static_cast<size_t>(host)];
+  if (!s.hot) {
+    if (pressure >= config_.onset_threshold) {
+      if (s.above == 0 || pressure > s.peak) {
+        if (s.above == 0) {
+          s.onset_tick = tick;
+        }
+        s.peak = pressure;
+        s.peak_tick = tick;
+        s.peak_be = pods_be;
+        s.peak_ls = pods_ls;
+        s.peak_lsr = pods_lsr;
+      }
+      ++s.above;
+      if (s.above >= config_.min_onset_ticks) {
+        s.hot = true;
+        s.below = 0;
+        ++hosts_hot_;
+      }
+    } else {
+      s.above = 0;
+    }
+    return;
+  }
+  // Hot: track the peak, wait for a qualifying cool-down run.
+  if (pressure > s.peak) {
+    s.peak = pressure;
+    s.peak_tick = tick;
+    s.peak_be = pods_be;
+    s.peak_ls = pods_ls;
+    s.peak_lsr = pods_lsr;
+  }
+  if (pressure < config_.clear_threshold) {
+    ++s.below;
+    if (s.below >= config_.min_clear_ticks) {
+      Emit(host, s, /*clear_tick=*/tick - (config_.min_clear_ticks - 1),
+           /*open=*/false);
+      s = HostState{};
+      --hosts_hot_;
+    }
+  } else {
+    s.below = 0;
+  }
+}
+
+void HotspotDetector::Finalize(Tick last_tick) {
+  for (size_t h = 0; h < states_.size(); ++h) {
+    HostState& s = states_[h];
+    if (s.hot) {
+      Emit(static_cast<HostId>(h), s, /*clear_tick=*/last_tick + 1,
+           /*open=*/true);
+      s = HostState{};
+      --hosts_hot_;
+    }
+  }
+}
+
+}  // namespace optum::obs

@@ -1,0 +1,155 @@
+// Streaming per-host hotspot detection (observability layer, DESIGN.md §13).
+//
+// A HotspotDetector watches each host's smoothed pressure signal
+// (src/obs/pressure.h) and turns threshold crossings into discrete hotspot
+// *episodes* using hysteresis in both value and time:
+//
+//           p >= onset for min_onset_ticks          p < clear for
+//   idle ──────────────────────────────────▶ hot ──────────────────▶ idle
+//                                                  min_clear_ticks    │
+//                                                                     ▼
+//                                                          emit HotspotEvent
+//
+// The dual threshold (onset > clear) plus the dwell requirements make the
+// detector chatter-free: a signal oscillating anywhere inside the
+// [clear, onset) band never starts or ends an episode, and single-tick
+// spikes or dips are ignored — the failure mode the Alibaba anomaly study
+// (PAPERS.md, Ren et al.) shows dominates naive threshold alerting.
+//
+// Episodes are emitted on close (and on Finalize for still-open ones) as
+// bit-deterministic optum.hotspot.v1 JSONL events carrying the host, onset
+// tick, duration, peak pressure, and the resident pod-class mix at the peak.
+// Observe runs on a serial path only (simulator tick loop / service round
+// loop) in host-id order, so the byte stream is identical across thread and
+// shard-thread counts — the same contract as SpanLog.
+#ifndef OPTUM_SRC_OBS_HOTSPOT_H_
+#define OPTUM_SRC_OBS_HOTSPOT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace optum::obs {
+
+struct HotspotConfig {
+  // Episode starts after pressure >= onset_threshold for min_onset_ticks
+  // consecutive ticks; it ends after pressure < clear_threshold for
+  // min_clear_ticks consecutive ticks. Requires onset > clear (the
+  // hysteresis band) and both dwells >= 1.
+  //
+  // The default onset sits just under demand == capacity: a well-packed
+  // healthy cluster plateaus in the high-0.8s (BE-heavy hosts the Eq. 6
+  // gate deliberately fills), so alerting there would page on the
+  // scheduler's own steady state. Anomalous colocations blow through 1.0
+  // because host demand is not capacity-clamped.
+  double onset_threshold = 0.95;
+  double clear_threshold = 0.80;
+  Tick min_onset_ticks = 3;
+  Tick min_clear_ticks = 3;
+};
+
+// One closed (or force-closed) hotspot episode.
+struct HotspotEvent {
+  HostId host = kInvalidHostId;
+  Tick onset_tick = 0;  // first tick of the qualifying onset run
+  Tick clear_tick = 0;  // first tick of the qualifying cool-down run;
+                        // last observed tick + 1 when force-closed open
+  double peak_pressure = 0.0;
+  Tick peak_tick = 0;  // earliest tick attaining the peak
+  // Resident schedulable pods at the peak tick.
+  int32_t pods_be = 0;
+  int32_t pods_ls = 0;
+  int32_t pods_lsr = 0;
+  bool open = false;  // true iff emitted by Finalize with the host still hot
+
+  Tick duration_ticks() const { return clear_tick - onset_tick; }
+};
+
+// JSONL sink for hotspot events: one header line carrying the
+// optum.hotspot.v1 schema tag, then one line per episode. Same buffered
+// std::to_chars rendering and serial-path contract as SpanLog.
+class HotspotLog {
+ public:
+  explicit HotspotLog(const std::string& path);
+  ~HotspotLog();
+
+  HotspotLog(const HotspotLog&) = delete;
+  HotspotLog& operator=(const HotspotLog&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  int64_t events_written() const { return events_written_; }
+
+  void Append(const HotspotEvent& event);
+  void Flush();
+
+  // Exact line formats (no trailing newline), pinned by the golden schema
+  // test. Deterministic: integers and shortest-round-trip doubles via
+  // std::to_chars, tick timestamps only.
+  static std::string Render(const HotspotEvent& event);
+  static std::string RenderHeader();
+
+ private:
+  static void RenderTo(std::string* out, const HotspotEvent& event);
+
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  int64_t events_written_ = 0;
+};
+
+class HotspotDetector {
+ public:
+  HotspotDetector(size_t num_hosts, HotspotConfig config);
+
+  // Optional JSONL sink; episodes also accumulate in events() either way.
+  // nullptr detaches.
+  void set_log(HotspotLog* log) { log_ = log; }
+
+  // Feeds one host's smoothed pressure for `tick` along with its resident
+  // schedulable pod counts. Serial path only; per host, ticks must be fed
+  // in increasing order, and within a tick hosts in id order (what every
+  // caller's host loop does) so emitted events are deterministically
+  // ordered by (close time, host).
+  void Observe(HostId host, Tick tick, double pressure, int32_t pods_be,
+               int32_t pods_ls, int32_t pods_lsr);
+
+  // Force-closes episodes still hot after the last observed tick
+  // (clear_tick = last_tick + 1, open = true), in host-id order.
+  void Finalize(Tick last_tick);
+
+  // Closed + force-closed episodes, in emission order.
+  const std::vector<HotspotEvent>& events() const { return events_; }
+  int64_t events_emitted() const { return static_cast<int64_t>(events_.size()); }
+
+  // Hosts currently in the hot state.
+  int64_t hosts_hot() const { return hosts_hot_; }
+
+  const HotspotConfig& config() const { return config_; }
+
+ private:
+  struct HostState {
+    bool hot = false;
+    Tick above = 0;  // consecutive ticks >= onset (pending-onset run)
+    Tick below = 0;  // consecutive ticks < clear while hot
+    Tick onset_tick = 0;
+    double peak = 0.0;
+    Tick peak_tick = 0;
+    int32_t peak_be = 0;
+    int32_t peak_ls = 0;
+    int32_t peak_lsr = 0;
+  };
+
+  void Emit(HostId host, const HostState& state, Tick clear_tick, bool open);
+
+  HotspotConfig config_;
+  std::vector<HostState> states_;
+  std::vector<HotspotEvent> events_;
+  int64_t hosts_hot_ = 0;
+  HotspotLog* log_ = nullptr;
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_HOTSPOT_H_

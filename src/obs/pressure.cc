@@ -1,0 +1,148 @@
+#include "src/obs/pressure.h"
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+
+namespace optum::obs {
+
+double RawPressure(const PressureConfig& config, const HostPressureInput& input) {
+  const double capacity_term =
+      input.cpu_util > config.mem_weight * input.mem_util
+          ? input.cpu_util
+          : config.mem_weight * input.mem_util;
+  return capacity_term + config.interference_weight * input.interference;
+}
+
+PressureTracker::PressureTracker(size_t num_hosts, PressureConfig config)
+    : config_(config), signals_(num_hosts), seen_(num_hosts, 0) {
+  OPTUM_CHECK_GT(config_.ewma_alpha, 0.0);
+  OPTUM_CHECK_LE(config_.ewma_alpha, 1.0);
+}
+
+double PressureTracker::Observe(HostId host, const HostPressureInput& input) {
+  const size_t h = static_cast<size_t>(host);
+  PressureSignal& s = signals_[h];
+  s.raw = RawPressure(config_, input);
+  if (seen_[h] == 0) {
+    seen_[h] = 1;
+    s.smoothed = s.raw;
+  } else {
+    s.smoothed = config_.ewma_alpha * s.raw +
+                 (1.0 - config_.ewma_alpha) * s.smoothed;
+  }
+  return s.smoothed;
+}
+
+HostPressureMonitor::HostPressureMonitor(size_t num_hosts, Options options)
+    : options_(options),
+      tracker_(num_hosts, options.pressure),
+      detector_(num_hosts, options.hotspot),
+      slo_shards_(options.num_slo_shards == 0 ? 1 : options.num_slo_shards) {
+  OPTUM_CHECK_GT(options_.seconds_per_tick, 0.0);
+}
+
+void HostPressureMonitor::AttachMetrics(MetricRegistry* registry,
+                                        const std::string& prefix) {
+  if (registry == nullptr) {
+    g_mean_ = nullptr;
+    g_max_ = nullptr;
+    g_hot_hosts_ = nullptr;
+    g_hotspot_events_ = nullptr;
+    for (Gauge*& g : g_violation_seconds_) {
+      g = nullptr;
+    }
+    g_observed_seconds_ = nullptr;
+    return;
+  }
+  g_mean_ = registry->gauge(prefix + ".pressure.mean");
+  g_max_ = registry->gauge(prefix + ".pressure.max");
+  g_hot_hosts_ = registry->gauge(prefix + ".pressure.hot_hosts");
+  g_hotspot_events_ = registry->gauge(prefix + ".pressure.hotspot_events");
+  static constexpr SloClass kRendered[3] = {SloClass::kBe, SloClass::kLs,
+                                            SloClass::kLsr};
+  for (size_t i = 0; i < 3; ++i) {
+    g_violation_seconds_[i] = registry->gauge(
+        prefix + ".slo.violation_seconds_" + ToString(kRendered[i]));
+  }
+  g_observed_seconds_ = registry->gauge(prefix + ".slo.observed_seconds");
+}
+
+void HostPressureMonitor::BeginTick(Tick tick) {
+  OPTUM_CHECK(!in_tick_);
+  OPTUM_CHECK_GT(tick, tick_);
+  tick_ = tick;
+  in_tick_ = true;
+  any_tick_ = true;
+  tick_sum_ = 0.0;
+  tick_max_ = 0.0;
+  tick_hosts_ = 0;
+}
+
+void HostPressureMonitor::ObserveHost(HostId host,
+                                      const HostPressureInput& input) {
+  const double smoothed = tracker_.Observe(host, input);
+  detector_.Observe(host, tick_, smoothed, input.pods_be, input.pods_ls,
+                    input.pods_lsr);
+  const bool violated = smoothed >= options_.pressure.slo_threshold;
+  SloAccumulator& slo =
+      slo_shards_[static_cast<size_t>(host) % slo_shards_.size()];
+  if (input.pods_be > 0) {
+    slo.Observe(SloClass::kBe, input.pods_be, violated);
+  }
+  if (input.pods_ls > 0) {
+    slo.Observe(SloClass::kLs, input.pods_ls, violated);
+  }
+  if (input.pods_lsr > 0) {
+    slo.Observe(SloClass::kLsr, input.pods_lsr, violated);
+  }
+  tick_sum_ += smoothed;
+  if (smoothed > tick_max_) {
+    tick_max_ = smoothed;
+  }
+  ++tick_hosts_;
+}
+
+void HostPressureMonitor::EndTick() {
+  OPTUM_CHECK(in_tick_);
+  in_tick_ = false;
+  last_mean_ = tick_hosts_ > 0 ? tick_sum_ / static_cast<double>(tick_hosts_)
+                               : 0.0;
+  last_max_ = tick_max_;
+  if (g_mean_ == nullptr) {
+    return;
+  }
+  g_mean_->Set(last_mean_);
+  g_max_->Set(last_max_);
+  g_hot_hosts_->Set(static_cast<double>(detector_.hosts_hot()));
+  g_hotspot_events_->Set(static_cast<double>(detector_.events_emitted()));
+  const SloAccumulator merged = MergedSlo();
+  static constexpr SloClass kRendered[3] = {SloClass::kBe, SloClass::kLs,
+                                            SloClass::kLsr};
+  for (size_t i = 0; i < 3; ++i) {
+    g_violation_seconds_[i]->Set(
+        static_cast<double>(merged.violation_ticks(kRendered[i])) *
+        options_.seconds_per_tick);
+  }
+  g_observed_seconds_->Set(static_cast<double>(merged.total_observed_ticks()) *
+                           options_.seconds_per_tick);
+}
+
+void HostPressureMonitor::Finalize() {
+  if (any_tick_) {
+    detector_.Finalize(tick_);
+  }
+}
+
+SloAccumulator HostPressureMonitor::MergedSlo() const {
+  SloAccumulator merged;
+  for (const SloAccumulator& shard : slo_shards_) {
+    merged.Merge(shard);
+  }
+  return merged;
+}
+
+bool HostPressureMonitor::WriteSloJson(const std::string& path) const {
+  return MergedSlo().WriteJsonFile(path, options_.seconds_per_tick);
+}
+
+}  // namespace optum::obs

@@ -1,0 +1,177 @@
+// Per-host pressure sensing (observability layer, DESIGN.md §13).
+//
+// The pressure signal is the sensor half of the C-Koordinator closed loop
+// (PAPERS.md): a scalar per host per tick that rises when the host runs
+// short of capacity or its latency-sensitive pods are predicted to suffer
+// interference. Raw pressure combines
+//
+//   raw = max(cpu_util, mem_weight * mem_util)
+//         + interference_weight * interference
+//
+// where cpu/mem utilization come from the caller's state (demand/capacity
+// in the simulator, Eq. 6 predicted-usage/capacity in the placement
+// service — request sums oversubscribe ~2.5x by design and would read as
+// permanently saturated) and
+// `interference` is the mean predicted RI per resident LS/LSR pod from the
+// ERO-table-backed interference predictor (paper Eq. 9-10) — the caller
+// supplies it because this layer links only optum_common. Raw pressure is
+// EWMA-smoothed per host so single-tick spikes neither trip the hotspot
+// detector nor charge SLO-violation time.
+//
+// HostPressureMonitor bundles the tracker with a HotspotDetector and
+// sharded SloAccumulators behind a three-call-per-tick API
+// (BeginTick / ObserveHost* / EndTick), publishes <prefix>.pressure.* and
+// <prefix>.slo.* gauges (free TimeSeriesRecorder columns), and keeps every
+// emission on the caller's serial path so all outputs are bit-identical
+// across thread and shard-thread counts.
+#ifndef OPTUM_SRC_OBS_PRESSURE_H_
+#define OPTUM_SRC_OBS_PRESSURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/hotspot.h"
+#include "src/obs/slo.h"
+
+namespace optum::obs {
+
+class Gauge;
+class MetricRegistry;
+
+struct PressureConfig {
+  // EWMA weight of the newest raw sample (1.0 = no smoothing).
+  double ewma_alpha = 0.3;
+  // Memory utilization counts this fraction of an equal CPU utilization
+  // toward pressure (CPU is the contended resource in the trace, §3.1).
+  double mem_weight = 0.7;
+  // Scale of the predicted-interference term.
+  double interference_weight = 0.5;
+  // Smoothed pressure at or above this charges the host's resident pods
+  // with SLO-violation ticks.
+  double slo_threshold = 0.8;
+};
+
+// What a caller extracts from one host on one tick.
+struct HostPressureInput {
+  double cpu_util = 0.0;
+  double mem_util = 0.0;
+  // Mean predicted interference per resident LS/LSR pod (0 when none).
+  double interference = 0.0;
+  // Resident schedulable pods by class.
+  int32_t pods_be = 0;
+  int32_t pods_ls = 0;
+  int32_t pods_lsr = 0;
+};
+
+struct PressureSignal {
+  double raw = 0.0;
+  double smoothed = 0.0;
+};
+
+// Raw (pre-smoothing) pressure of one input; exposed for tests.
+double RawPressure(const PressureConfig& config, const HostPressureInput& input);
+
+// Per-host EWMA state. Observe is serial-path-only; the first observation
+// seeds the EWMA with the raw value.
+class PressureTracker {
+ public:
+  PressureTracker(size_t num_hosts, PressureConfig config);
+
+  // Returns the updated smoothed pressure.
+  double Observe(HostId host, const HostPressureInput& input);
+
+  const PressureSignal& signal(HostId host) const {
+    return signals_[static_cast<size_t>(host)];
+  }
+  size_t num_hosts() const { return signals_.size(); }
+  const PressureConfig& config() const { return config_; }
+
+ private:
+  PressureConfig config_;
+  std::vector<PressureSignal> signals_;
+  std::vector<uint8_t> seen_;
+};
+
+// Tracker + detector + sharded SLO accounting behind one per-tick API.
+class HostPressureMonitor {
+ public:
+  struct Options {
+    PressureConfig pressure;
+    HotspotConfig hotspot;
+    // SLO shard of a host is id % num_slo_shards; shards merge on export
+    // (order-invariant). Callers typically match their own shard count so
+    // per-shard accounting lines up with scheduler ownership.
+    size_t num_slo_shards = 1;
+    // Model-time length of one tick, for the rendered violation-seconds
+    // (the simulator passes kSecondsPerTick; the serve layer passes
+    // round_seconds — one round == one tick there).
+    double seconds_per_tick = kSecondsPerTick;
+  };
+
+  HostPressureMonitor(size_t num_hosts, Options options);
+
+  // JSONL sink for hotspot episodes (nullptr detaches).
+  void set_hotspot_log(HotspotLog* log) { detector_.set_log(log); }
+
+  // Publishes gauges under `<prefix>.pressure.*` / `<prefix>.slo.*`
+  // ("sim" / "serve"), updated once per EndTick at lane 0 (the caller's
+  // serial loop). nullptr detaches.
+  void AttachMetrics(MetricRegistry* registry, const std::string& prefix);
+
+  // Per-tick protocol, all on the caller's serial path: BeginTick(t), then
+  // ObserveHost for every host in id order, then EndTick. Ticks must be
+  // strictly increasing.
+  void BeginTick(Tick tick);
+  void ObserveHost(HostId host, const HostPressureInput& input);
+  void EndTick();
+
+  // Force-closes open hotspot episodes after the last observed tick.
+  void Finalize();
+
+  const PressureTracker& tracker() const { return tracker_; }
+  const HotspotDetector& detector() const { return detector_; }
+
+  size_t num_slo_shards() const { return slo_shards_.size(); }
+  const SloAccumulator& slo_shard(size_t shard) const {
+    return slo_shards_[shard];
+  }
+  SloAccumulator MergedSlo() const;
+  // Writes the merged optum.slo.v1 document.
+  bool WriteSloJson(const std::string& path) const;
+
+  double seconds_per_tick() const { return options_.seconds_per_tick; }
+  const Options& options() const { return options_; }
+  Tick last_tick() const { return tick_; }
+  // Aggregates of the most recently completed tick.
+  double last_mean_pressure() const { return last_mean_; }
+  double last_max_pressure() const { return last_max_; }
+
+ private:
+  Options options_;
+  PressureTracker tracker_;
+  HotspotDetector detector_;
+  std::vector<SloAccumulator> slo_shards_;
+
+  Tick tick_ = -1;
+  bool in_tick_ = false;
+  bool any_tick_ = false;
+  double tick_sum_ = 0.0;
+  double tick_max_ = 0.0;
+  int64_t tick_hosts_ = 0;
+  double last_mean_ = 0.0;
+  double last_max_ = 0.0;
+
+  // Nullable gauge sinks (single branch when detached).
+  Gauge* g_mean_ = nullptr;
+  Gauge* g_max_ = nullptr;
+  Gauge* g_hot_hosts_ = nullptr;
+  Gauge* g_hotspot_events_ = nullptr;
+  Gauge* g_violation_seconds_[3] = {};  // BE, LS, LSR
+  Gauge* g_observed_seconds_ = nullptr;
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_PRESSURE_H_

@@ -36,6 +36,15 @@ inline constexpr const char* kSeriesSchema = "optum.series.v1";
 // header line carrying this tag, then one row per service configuration.
 inline constexpr const char* kLatencySchema = "optum.latency.v1";
 
+// HotspotLog — JSONL hotspot-episode stream from the HotspotDetector
+// (`serve_bench --hotspot-log`, `runsim --hotspot-log`): header line
+// carrying this tag, then one line per closed episode.
+inline constexpr const char* kHotspotSchema = "optum.hotspot.v1";
+
+// SloAccumulator::RenderJson — per-class SLO-violation-seconds document
+// (`serve_bench --slo-json`, `runsim --slo-json`), merged across shards.
+inline constexpr const char* kSloSchema = "optum.slo.v1";
+
 struct SchemaInfo {
   const char* tag;
   const char* producer;
@@ -50,6 +59,8 @@ inline constexpr SchemaInfo kSchemas[] = {
     {kSpansSchema, "SpanLog / runsim --span-log"},
     {kSeriesSchema, "TimeSeriesRecorder / runsim --series-json"},
     {kLatencySchema, "serve::RenderLatencyRow / serve_bench"},
+    {kHotspotSchema, "HotspotLog / serve_bench --hotspot-log"},
+    {kSloSchema, "SloAccumulator::RenderJson / serve_bench --slo-json"},
 };
 
 }  // namespace optum::obs

@@ -1,0 +1,108 @@
+#include "src/obs/slo.h"
+
+#include <charconv>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
+
+namespace optum::obs {
+namespace {
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+// Shortest round-trip double via to_chars: deterministic and locale-free.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+void SloAccumulator::Observe(SloClass slo, int64_t pod_ticks, bool violated) {
+  OPTUM_CHECK_GE(pod_ticks, 0);
+  const size_t c = static_cast<size_t>(slo);
+  observed_[c] += pod_ticks;
+  if (violated) {
+    violation_[c] += pod_ticks;
+  }
+}
+
+int64_t SloAccumulator::total_observed_ticks() const {
+  int64_t total = 0;
+  for (int64_t v : observed_) {
+    total += v;
+  }
+  return total;
+}
+
+int64_t SloAccumulator::total_violation_ticks() const {
+  int64_t total = 0;
+  for (int64_t v : violation_) {
+    total += v;
+  }
+  return total;
+}
+
+void SloAccumulator::Merge(const SloAccumulator& other) {
+  for (size_t c = 0; c < kNumSloClasses; ++c) {
+    observed_[c] += other.observed_[c];
+    violation_[c] += other.violation_[c];
+  }
+}
+
+bool SloAccumulator::operator==(const SloAccumulator& other) const {
+  for (size_t c = 0; c < kNumSloClasses; ++c) {
+    if (observed_[c] != other.observed_[c] ||
+        violation_[c] != other.violation_[c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SloAccumulator::RenderJson(double seconds_per_tick) const {
+  std::string out = R"({"schema":")";
+  out += kSloSchema;
+  out += R"(","seconds_per_tick":)";
+  AppendDouble(&out, seconds_per_tick);
+  out += R"(,"classes":[)";
+  bool first = true;
+  for (size_t c = 0; c < kNumSloClasses; ++c) {
+    const SloClass slo = static_cast<SloClass>(c);
+    const bool schedulable = slo == SloClass::kBe || slo == SloClass::kLs ||
+                             slo == SloClass::kLsr;
+    if (!schedulable && observed_[c] == 0) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += R"({"class":")";
+    out += ToString(slo);
+    out += R"(","observed_ticks":)";
+    AppendInt(&out, observed_[c]);
+    out += R"(,"violation_ticks":)";
+    AppendInt(&out, violation_[c]);
+    out += R"(,"observed_seconds":)";
+    AppendDouble(&out, static_cast<double>(observed_[c]) * seconds_per_tick);
+    out += R"(,"violation_seconds":)";
+    AppendDouble(&out, static_cast<double>(violation_[c]) * seconds_per_tick);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+bool SloAccumulator::WriteJsonFile(const std::string& path,
+                                   double seconds_per_tick) const {
+  return WriteJsonDocument(path, RenderJson(seconds_per_tick));
+}
+
+}  // namespace optum::obs

@@ -1,0 +1,66 @@
+// Per-class SLO-violation accounting (observability layer, DESIGN.md §13).
+//
+// An SloAccumulator tallies, per SLO class, how many pod-ticks were observed
+// and how many of them were spent on a host whose smoothed pressure signal
+// exceeded the violation threshold (src/obs/pressure.h decides "violated";
+// this module only counts). Counts are plain int64 tick totals, so the merge
+// is commutative/associative integer addition — the same contract as the
+// serve layer's LatencyHistogram: shard accumulators merge in any order and
+// the result (and its rendered optum.slo.v1 document) is bit-identical.
+// Seconds are derived at render time (ticks * seconds_per_tick), never
+// stored, so accumulation stays exact.
+//
+// Concurrency contract: Observe runs on a serial path only (the simulator
+// tick loop or the placement service's round loop). Shard-parallel callers
+// keep one accumulator per shard and merge on export.
+#ifndef OPTUM_SRC_OBS_SLO_H_
+#define OPTUM_SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace optum::obs {
+
+class SloAccumulator {
+ public:
+  // Accounts `pod_ticks` observed pod-ticks of class `slo`, all of them
+  // violated or all compliant (callers observe one host-tick at a time, so
+  // the host's violation state applies to every resident pod uniformly).
+  void Observe(SloClass slo, int64_t pod_ticks, bool violated);
+
+  int64_t observed_ticks(SloClass slo) const {
+    return observed_[static_cast<size_t>(slo)];
+  }
+  int64_t violation_ticks(SloClass slo) const {
+    return violation_[static_cast<size_t>(slo)];
+  }
+  // Conservation identity: compliant + violation == observed, per class.
+  int64_t compliant_ticks(SloClass slo) const {
+    return observed_ticks(slo) - violation_ticks(slo);
+  }
+
+  int64_t total_observed_ticks() const;
+  int64_t total_violation_ticks() const;
+
+  // Commutative/associative shard merge (integer addition per class).
+  void Merge(const SloAccumulator& other);
+
+  bool operator==(const SloAccumulator& other) const;
+
+  // One optum.slo.v1 document (single line, no trailing newline), pinned by
+  // the golden schema test. Deterministic: integers and shortest-round-trip
+  // doubles via std::to_chars. Classes render in enum order; BE/LS/LSR
+  // always appear, other classes only when observed.
+  std::string RenderJson(double seconds_per_tick) const;
+  bool WriteJsonFile(const std::string& path, double seconds_per_tick) const;
+
+ private:
+  int64_t observed_[kNumSloClasses] = {};
+  int64_t violation_[kNumSloClasses] = {};
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_SLO_H_

@@ -1,5 +1,6 @@
 #include "src/serve/arrival_driver.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
@@ -41,6 +42,10 @@ ArrivalDriver::ArrivalDriver(const Workload& workload, ArrivalConfig config)
                   "ArrivalDriver needs at least one BE/LS/LSR application");
   OPTUM_CHECK_GT(config_.offered_pods_per_sec, 0.0);
   OPTUM_CHECK_GT(config_.round_seconds, 0.0);
+  if (config_.burst_enabled()) {
+    OPTUM_CHECK_MSG(config_.burst_duration_rounds <= config_.burst_interval_rounds,
+                    "ArrivalDriver: storm duration must fit its window");
+  }
   // Normalize the diurnal modulation empirically so offered_pods_per_sec is
   // the mean rate regardless of the pattern's exact shape.
   double sum = 0.0;
@@ -50,13 +55,32 @@ ArrivalDriver::ArrivalDriver(const Workload& workload, ArrivalConfig config)
   pattern_mean_ = sum / static_cast<double>(kTicksPerDay);
 }
 
-double ArrivalDriver::RoundRate(int64_t round) const {
-  if (config_.process == ArrivalProcess::kPoisson) {
-    return config_.offered_pods_per_sec;
+bool ArrivalDriver::InBurst(int64_t round) const {
+  if (!config_.burst_enabled() || round < 0) {
+    return false;
   }
-  const Tick tick = static_cast<Tick>(
-      static_cast<double>(round) * config_.round_seconds / kSecondsPerTick);
-  return config_.offered_pods_per_sec * pattern_.At(tick) / pattern_mean_;
+  const int64_t window = round / config_.burst_interval_rounds;
+  // One deterministic draw per window: the storm's start offset within it.
+  Rng window_rng(config_.burst_seed +
+                 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(window) + 1));
+  const int64_t offset = static_cast<int64_t>(window_rng.NextBelow(
+      static_cast<uint64_t>(config_.burst_interval_rounds -
+                            config_.burst_duration_rounds + 1)));
+  const int64_t position = round - window * config_.burst_interval_rounds;
+  return position >= offset && position < offset + config_.burst_duration_rounds;
+}
+
+double ArrivalDriver::RoundRate(int64_t round) const {
+  double rate = config_.offered_pods_per_sec;
+  if (config_.process == ArrivalProcess::kDiurnal) {
+    const Tick tick = static_cast<Tick>(
+        static_cast<double>(round) * config_.round_seconds / kSecondsPerTick);
+    rate *= pattern_.At(tick) / pattern_mean_;
+  }
+  if (InBurst(round)) {
+    rate *= config_.burst_amplitude;
+  }
+  return rate;
 }
 
 size_t ArrivalDriver::EmitRound(int64_t round, std::vector<PodSpec>* out) {
@@ -69,6 +93,46 @@ size_t ArrivalDriver::EmitRound(int64_t round, std::vector<PodSpec>* out) {
     ++next_id_;
   }
   return static_cast<size_t>(count);
+}
+
+int64_t AppendStormOverlay(const ArrivalConfig& config, Tick horizon,
+                           double cpu_scale, Workload* workload) {
+  OPTUM_CHECK_MSG(config.burst_enabled(),
+                  "AppendStormOverlay needs an enabled burst config");
+  OPTUM_CHECK_GT(cpu_scale, 0.0);
+  ArrivalDriver driver(*workload, config);
+  // Behavior draws get their own stream so the overlay's pod mix is a pure
+  // function of the burst config, independent of the base workload's seed.
+  Rng behavior_rng(config.burst_seed ^ 0x6c62272e07bb0142ULL);
+  PodId next_id = 0;
+  for (const PodSpec& pod : workload->pods) {
+    next_id = std::max(next_id, pod.id + 1);
+  }
+  std::vector<PodSpec> round;
+  int64_t appended = 0;
+  for (Tick t = 0; t < horizon; ++t) {
+    round.clear();
+    driver.EmitRound(t, &round);
+    if (!driver.InBurst(t)) {
+      continue;  // overlay semantics: extra arrivals in storm windows only
+    }
+    for (PodSpec pod : round) {
+      pod.id = next_id++;
+      pod.behavior = SamplePodBehavior(workload->apps[static_cast<size_t>(pod.app)],
+                                       behavior_rng);
+      // The anomaly: actual CPU demand beyond what the profile (and thus
+      // the trained usage predictor) expects. Requests are untouched.
+      pod.behavior.cpu_scale *= cpu_scale;
+      pod.long_running = pod.slo != SloClass::kBe;
+      workload->pods.push_back(pod);
+      ++appended;
+    }
+  }
+  std::stable_sort(workload->pods.begin(), workload->pods.end(),
+                   [](const PodSpec& a, const PodSpec& b) {
+                     return a.submit_tick < b.submit_tick;
+                   });
+  return appended;
 }
 
 }  // namespace optum::serve

@@ -51,6 +51,25 @@ struct ArrivalConfig {
   // Trough-to-peak ratio of the diurnal modulation (generator default 0.4).
   double diurnal_floor = 0.4;
   uint64_t seed = 17;
+
+  // Anomaly-storm overlay (correlated arrival spikes, the hotspot-inducing
+  // scenario of the Ren et al. anomaly study in PAPERS.md). Every
+  // burst_interval_rounds-wide window contains exactly one storm of
+  // burst_duration_rounds rounds during which the base rate is multiplied
+  // by burst_amplitude; the storm's offset inside its window is a hash of
+  // (burst_seed, window index), so storm placement is a pure function of
+  // the round — RoundRate stays side-effect-free and equal configs replay
+  // identical storm schedules. Disabled unless amplitude > 0 and both
+  // duration and interval are positive (duration <= interval required).
+  double burst_amplitude = 0.0;
+  int64_t burst_duration_rounds = 0;
+  int64_t burst_interval_rounds = 0;
+  uint64_t burst_seed = 1031;
+
+  bool burst_enabled() const {
+    return burst_amplitude > 0.0 && burst_duration_rounds > 0 &&
+           burst_interval_rounds > 0;
+  }
 };
 
 class ArrivalDriver {
@@ -67,8 +86,13 @@ class ArrivalDriver {
   size_t EmitRound(int64_t round, std::vector<PodSpec>* out);
 
   // Expected arrivals per second during `round` (the stepwise rate the
-  // Poisson draw uses).
+  // Poisson draw uses), including the storm overlay when one is active.
   double RoundRate(int64_t round) const;
+
+  // True when the burst overlay is enabled and `round` falls inside its
+  // window's storm. Pure function of (config, round); exposed for tests and
+  // telemetry.
+  bool InBurst(int64_t round) const;
 
   int64_t pods_emitted() const { return next_id_; }
   const ArrivalConfig& config() const { return config_; }
@@ -87,6 +111,23 @@ class ArrivalDriver {
 // of renewals before the cumulative gap exceeds lambda. O(lambda) time,
 // stable for large lambda. Exposed for tests.
 int64_t PoissonDraw(Rng& rng, double lambda);
+
+// Injects the anomaly-storm overlay into a generated simulator workload:
+// appends extra pod arrivals (one driver round per tick) during storm
+// windows only, at burst_amplitude x offered_pods_per_sec, with fresh dense
+// ids continuing the workload's sequence and behaviors drawn from the burst
+// seed. `cpu_scale` inflates each storm pod's CPU demand behavior beyond
+// its application profile — the anomaly the Ren et al. study observes
+// (crash loops, hot partitions): requests and the trained usage model stay
+// calm-shaped, so the Eq. 6 gate admits the pods and the colocated hosts'
+// demand, not their requests, is what spikes. With cpu_scale = 1 the
+// overlay is a pure arrival surge, which an admission-gated scheduler
+// absorbs into queueing delay instead of host pressure. Pods stay sorted by
+// submit_tick. Returns the number of pods added. Requires
+// config.burst_enabled(); this is the `runsim --burst-*` path — the
+// open-loop service instead feeds the driver round-by-round.
+int64_t AppendStormOverlay(const ArrivalConfig& config, Tick horizon,
+                           double cpu_scale, Workload* workload);
 
 }  // namespace optum::serve
 

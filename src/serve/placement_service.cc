@@ -150,6 +150,52 @@ void PlacementService::RunRound(bool with_arrivals) {
 
   // 3. Departures scheduled for this round or earlier.
   ProcessDepartures();
+
+  // 4. Pressure sensing + series sampling on the settled end-of-round state
+  // (serial; all sinks honor their serial-path contracts).
+  SamplePressure();
+  if (series_ != nullptr) {
+    series_->Sample(static_cast<Tick>(round_));
+  }
+}
+
+void PlacementService::SamplePressure() {
+  if (pressure_ == nullptr) {
+    return;
+  }
+  // Utilization basis: the Eq. 6 predicted-usage model, not raw request
+  // sums — requests oversubscribe capacity ~2.5x by design (overcommit is
+  // the point of the paper), so request_sum/capacity reads as permanently
+  // saturated. Predicted usage is the measure the feasibility gate bounds,
+  // which makes its ceiling (~1.0, drifting slightly above as colocation
+  // context shifts) the natural pressure scale.
+  const core::OptumScheduler& shard0 = coordinator_.shard(0);
+  const core::InterferencePredictor& predictor = shard0.interference_predictor();
+  const core::ResourceUsagePredictor& usage = shard0.usage_predictor();
+  pressure_->BeginTick(static_cast<Tick>(round_));
+  for (const Host& host : cluster_->hosts()) {
+    obs::HostPressureInput in;
+    const Resources predicted = usage.PredictHost(host, /*incoming=*/nullptr);
+    in.cpu_util = host.capacity.cpu > 0.0 ? predicted.cpu / host.capacity.cpu
+                                          : 0.0;
+    in.mem_util = host.capacity.mem > 0.0 ? predicted.mem / host.capacity.mem
+                                          : 0.0;
+    int32_t counts[kNumSloClasses];
+    CountPodsBySlo(host, counts);
+    in.pods_be = counts[static_cast<size_t>(SloClass::kBe)];
+    in.pods_ls = counts[static_cast<size_t>(SloClass::kLs)];
+    in.pods_lsr = counts[static_cast<size_t>(SloClass::kLsr)];
+    const int32_t ls_pods = in.pods_ls + in.pods_lsr;
+    if (ls_pods > 0) {
+      in.interference =
+          predictor.ResidentInterference(host, in.cpu_util, in.mem_util,
+                                         /*weight_ls=*/1.0, /*weight_be=*/0.0,
+                                         /*lane=*/0) /
+          static_cast<double>(ls_pods);
+    }
+    pressure_->ObserveHost(host.id, in);
+  }
+  pressure_->EndTick();
 }
 
 void PlacementService::RecordPlacement(const core::ScheduleProposal& winner) {

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "src/core/distributed.h"
+#include "src/obs/pressure.h"
+#include "src/obs/timeseries.h"
 #include "src/serve/admission_queue.h"
 #include "src/serve/arrival_driver.h"
 #include "src/serve/latency.h"
@@ -127,12 +129,31 @@ class PlacementService {
   // happen on the serial round loop, honoring the SpanLog contract.
   void set_span_log(obs::SpanLog* log);
 
+  // Host-pressure monitor (DESIGN.md §13; nullptr detaches). At the end of
+  // every round the service feeds each host — in id order, on the serial
+  // round loop — its request-based utilization, the shard-0 predictor's
+  // resident-interference estimate (mean RI per LS/LSR pod, lane 0; key-pure
+  // caches keep it bit-identical across shard_num_threads), and the resident
+  // class counts. serve.pressure.* / serve.slo.* gauges come from
+  // HostPressureMonitor::AttachMetrics; the caller owns the monitor and
+  // calls Finalize() on it after the last round.
+  void set_pressure_monitor(obs::HostPressureMonitor* monitor) {
+    pressure_ = monitor;
+  }
+
+  // Optional streaming gauge series, sampled once per round after the
+  // pressure gauges update (requires AttachMetrics; nullptr detaches).
+  void set_series(obs::TimeSeriesRecorder* series) { series_ = series; }
+
   core::DistributedCoordinator& coordinator() { return coordinator_; }
+
+  const ArrivalDriver& driver() const { return driver_; }
 
  private:
   void RunRound(bool with_arrivals);
   void RecordPlacement(const core::ScheduleProposal& winner);
   void ProcessDepartures();
+  void SamplePressure();
 
   const Workload& workload_;
   ClusterState* cluster_;
@@ -164,6 +185,8 @@ class PlacementService {
   std::vector<const PodSpec*> spec_scratch_;
 
   obs::SpanLog* span_log_ = nullptr;
+  obs::HostPressureMonitor* pressure_ = nullptr;
+  obs::TimeSeriesRecorder* series_ = nullptr;
   obs::Counter* arrivals_counter_ = nullptr;
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;

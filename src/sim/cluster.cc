@@ -80,6 +80,12 @@ bool Host::HasSloWorkload() const {
   return false;
 }
 
+void CountPodsBySlo(const Host& host, int32_t out[kNumSloClasses]) {
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    out[c] = host.slo_pods[c];
+  }
+}
+
 bool AffinityAllows(const PodSpec& pod, const Host& host) {
   if (pod.max_pods_per_host <= 0) {
     return true;
@@ -156,6 +162,7 @@ PodRuntime* ClusterState::Place(const PodSpec& spec, const AppProfile* app, Host
   h.limit_sum += spec.limit;
   ++h.change_epoch;
   BumpAppCount(h.app_counts, spec.app, spec.slo);
+  ++h.slo_pods[static_cast<size_t>(spec.slo)];
   if (spec.slo == SloClass::kBe) {
     h.be_request_cpu += spec.request.cpu;
     if (++h.be_pod_count == 1) {
@@ -181,6 +188,8 @@ void ClusterState::Remove(PodRuntime* pod) {
   h.limit_sum = h.limit_sum.Max(kZeroResources);
   ++h.change_epoch;
   DropAppCount(h.app_counts, pod->spec.app);
+  OPTUM_CHECK_GT(h.slo_pods[static_cast<size_t>(pod->spec.slo)], 0);
+  --h.slo_pods[static_cast<size_t>(pod->spec.slo)];
   if (pod->spec.slo == SloClass::kBe) {
     h.be_request_cpu = std::max(0.0, h.be_request_cpu - pod->spec.request.cpu);
     if (--h.be_pod_count == 0) {

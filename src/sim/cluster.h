@@ -93,6 +93,11 @@ struct Host {
   // instead of rebuilding a flat map per candidate.
   std::vector<HostAppCount> app_counts;
 
+  // Resident pod counts by SLO class, maintained incrementally alongside
+  // app_counts. The pressure sweep reads this for every host every sampled
+  // tick, so it must be a plain load, not a histogram walk.
+  int32_t slo_pods[kNumSloClasses] = {};
+
   // Evictable best-effort mass: sum of CPU requests and count of BE pods,
   // maintained incrementally so LSR preemption never scans pod lists.
   double be_request_cpu = 0.0;
@@ -127,6 +132,11 @@ struct Host {
   // explicit SLO requirements, §2.2).
   bool HasSloWorkload() const;
 };
+
+// Resident pod counts by SLO class — a copy of the incrementally maintained
+// Host::slo_pods array (O(1), no histogram walk). The pressure sensor's host
+// loop uses this to fill HostPressureInput.
+void CountPodsBySlo(const Host& host, int32_t out[kNumSloClasses]);
 
 // Anti-affinity check: true when placing `pod` on `host` would not exceed
 // the pod's same-application per-host limit. Every scheduler (and the

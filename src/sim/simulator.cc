@@ -555,6 +555,29 @@ void Simulator::SampleMetrics() {
   sim_metrics_.violations->Set(static_cast<double>(result_.violation_host_ticks));
 }
 
+void Simulator::SamplePressure() {
+  obs::HostPressureMonitor* monitor = config_.pressure;
+  monitor->BeginTick(now_);
+  for (const Host& host : cluster_.hosts()) {
+    obs::HostPressureInput in;
+    in.cpu_util = host.CpuDemandRatio();
+    in.mem_util = host.MemRatio();
+    int32_t counts[kNumSloClasses];
+    CountPodsBySlo(host, counts);
+    in.pods_be = counts[static_cast<size_t>(SloClass::kBe)];
+    in.pods_ls = counts[static_cast<size_t>(SloClass::kLs)];
+    in.pods_lsr = counts[static_cast<size_t>(SloClass::kLsr)];
+    const int32_t ls_pods = in.pods_ls + in.pods_lsr;
+    if (ls_pods > 0 && config_.pressure_interference) {
+      in.interference =
+          config_.pressure_interference(host, in.cpu_util, in.mem_util) /
+          static_cast<double>(ls_pods);
+    }
+    monitor->ObserveHost(host.id, in);
+  }
+  monitor->EndTick();
+}
+
 SimResult Simulator::Run() {
   OPTUM_CHECK_MSG(!ran_, "Simulator::Run may only be called once");
   ran_ = true;
@@ -572,6 +595,9 @@ SimResult Simulator::Run() {
     if (config_.metrics != nullptr) {
       SampleMetrics();
     }
+    if (config_.pressure != nullptr) {
+      SamplePressure();
+    }
     if (config_.series != nullptr) {
       config_.series->Sample(now_);
     }
@@ -580,6 +606,9 @@ SimResult Simulator::Run() {
     }
   }
   FinalizeAtHorizon();
+  if (config_.pressure != nullptr) {
+    config_.pressure->Finalize();
+  }
   if (config_.span_log != nullptr) {
     config_.span_log->Flush();
   }

@@ -12,6 +12,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/obs/pressure.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
@@ -76,6 +77,23 @@ struct SimConfig {
   // sim.* gauges update. Requires `metrics` (the recorder snapshots that
   // registry's gauges); the constructor enforces this.
   obs::TimeSeriesRecorder* series = nullptr;
+
+  // Optional host-pressure monitor (DESIGN.md §13). When set, every tick
+  // feeds each host's demand-based utilization, the optional
+  // predicted-interference term below, and its resident class counts
+  // through the monitor on the serial tick path (hosts in id order), then
+  // force-closes open hotspot episodes at the horizon. The caller owns the
+  // monitor and its sinks; attach sim.pressure.*/sim.slo.* gauges via
+  // HostPressureMonitor::AttachMetrics before the run.
+  obs::HostPressureMonitor* pressure = nullptr;
+
+  // Optional interference term for the pressure signal: total predicted RI
+  // of the pods resident on `host` at the given utilization (e.g.
+  // InterferencePredictor::ResidentInterference from the policy's
+  // predictor). Called per host per tick on the serial path; the monitor
+  // normalizes by the LS/LSR pod count. Unset ⇒ pressure is capacity-only.
+  std::function<double(const Host&, double cpu_util, double mem_util)>
+      pressure_interference;
 };
 
 // A pod that experienced scheduling delay, with the (final) blocking reason.
@@ -161,6 +179,10 @@ class Simulator {
   // config_.metrics is set (the streaming series recorder, if any, samples
   // them right after).
   void SampleMetrics();
+
+  // Feeds the host-pressure monitor; called once per tick, serially, when
+  // config_.pressure is set.
+  void SamplePressure();
 
   // O(1) membership maintenance for running_ via PodRuntime::running_index.
   void AddRunning(PodRuntime* pod);

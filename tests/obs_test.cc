@@ -181,13 +181,15 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
     EXPECT_NE(s.producer, nullptr);
     tags.emplace_back(s.tag);
   }
-  ASSERT_EQ(tags.size(), 6u);
+  ASSERT_EQ(tags.size(), 8u);
   EXPECT_NE(std::find(tags.begin(), tags.end(), kMetricsSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kRunsimSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSummarySchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSpansSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSeriesSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kLatencySchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kHotspotSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kSloSchema), tags.end());
   for (const std::string& tag : tags) {
     EXPECT_EQ(tag.rfind("optum.", 0), 0u) << tag;
     // Every tag ends in an explicit version: ".v<digit>".

@@ -13,11 +13,14 @@
 #include "src/core/offline_profiler.h"
 #include "src/core/optum_scheduler.h"
 #include "src/obs/decision_log.h"
+#include "src/obs/hotspot.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/pressure.h"
 #include "src/obs/schema.h"
 #include "src/sched/baselines.h"
 #include "src/sched/medea.h"
+#include "src/serve/arrival_driver.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
@@ -47,6 +50,14 @@ void PrintUsage() {
       "  --span-log F     JSONL pod-lifecycle spans (any scheduler)\n"
       "  --series-json F  JSONL per-tick gauge time series, streamed\n"
       "  --series-ring N  series ring-buffer capacity (default 256)\n"
+      "  --hotspot-log F  JSONL host-hotspot episodes (optum.hotspot.v1)\n"
+      "  --slo-json F     per-class SLO-violation seconds (optum.slo.v1)\n"
+      "  --burst-amplitude A  anomaly-storm overlay: rate multiplier (off at 0)\n"
+      "  --burst-duration D   storm length in ticks\n"
+      "  --burst-interval I   one storm per I-tick window (D <= I)\n"
+      "  --burst-offered P    overlay base rate, pods/sec (default hosts/300)\n"
+      "  --burst-cpu-scale X  storm pods' CPU-demand anomaly factor (default 3)\n"
+      "  --burst-seed S       storm placement + pod-mix seed (default 1031)\n"
       "  --json           machine-readable run summary on stdout\n"
       "  --json-out F     write the --json summary to F instead of stdout\n");
 }
@@ -66,6 +77,8 @@ int main(int argc, char** argv) {
   const std::string decision_log_path = flags.GetString("decision-log", "");
   const std::string span_log_path = flags.GetString("span-log", "");
   const std::string series_json = flags.GetString("series-json", "");
+  const std::string hotspot_log_path = flags.GetString("hotspot-log", "");
+  const std::string slo_json_path = flags.GetString("slo-json", "");
 
   WorkloadConfig config;
   config.num_hosts = static_cast<int>(flags.GetInt("hosts", 64));
@@ -73,11 +86,37 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.initial_ls_request_load = flags.GetDouble("ls-load", 0.8);
   config.be_target_request_load = flags.GetDouble("be-load", 0.25);
-  const Workload workload = WorkloadGenerator(config).Generate();
+  Workload workload = WorkloadGenerator(config).Generate();
+
+  // Anomaly-storm overlay (DESIGN.md §13): correlated extra arrivals the
+  // hotspot detector is meant to find. Injected into the arrival stream up
+  // front so every scheduler sees the identical storm schedule.
+  serve::ArrivalConfig burst;
+  burst.burst_amplitude = flags.GetDouble("burst-amplitude", 0.0);
+  burst.burst_duration_rounds = flags.GetInt("burst-duration", 0);
+  burst.burst_interval_rounds = flags.GetInt("burst-interval", 0);
+  burst.burst_seed = static_cast<uint64_t>(flags.GetInt("burst-seed", 1031));
+  int64_t storm_pods = 0;
+  if (burst.burst_enabled()) {
+    burst.offered_pods_per_sec = flags.GetDouble(
+        "burst-offered", static_cast<double>(config.num_hosts) / 300.0);
+    burst.round_seconds = kSecondsPerTick;
+    storm_pods = serve::AppendStormOverlay(
+        burst, config.horizon, flags.GetDouble("burst-cpu-scale", 3.0),
+        &workload);
+  }
+
   if (!json_out) {
     std::printf("workload: %zu apps, %zu pods, %d hosts, %lld ticks\n",
                 workload.apps.size(), workload.pods.size(), config.num_hosts,
                 static_cast<long long>(config.horizon));
+    if (storm_pods > 0) {
+      std::printf("storm overlay: %lld extra pods (amplitude %.1f, %lld-tick "
+                  "storms every %lld ticks)\n",
+                  static_cast<long long>(storm_pods), burst.burst_amplitude,
+                  static_cast<long long>(burst.burst_duration_rounds),
+                  static_cast<long long>(burst.burst_interval_rounds));
+    }
   }
 
   SimConfig sim_config;
@@ -129,10 +168,43 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::DecisionLog> decision_log;
   std::unique_ptr<obs::SpanLog> span_log;
   std::unique_ptr<obs::TimeSeriesRecorder> series;
+  std::unique_ptr<obs::HotspotLog> hotspot_log;
+  std::unique_ptr<obs::HostPressureMonitor> monitor;
   if (!metrics_json.empty() || !series_json.empty()) {
     sim_config.metrics = &registry;
     if (optum) {
       optum->AttachMetrics(&registry);
+    }
+  }
+
+  // Host-pressure sensing (DESIGN.md §13): the monitor rides the simulator
+  // tick; under Optum the pressure signal folds in the predicted resident
+  // interference from the ERO-backed predictor, otherwise it is
+  // capacity-only.
+  if (!hotspot_log_path.empty() || !slo_json_path.empty()) {
+    monitor = std::make_unique<obs::HostPressureMonitor>(
+        static_cast<size_t>(config.num_hosts),
+        obs::HostPressureMonitor::Options{});
+    if (!hotspot_log_path.empty()) {
+      hotspot_log = std::make_unique<obs::HotspotLog>(hotspot_log_path);
+      if (!hotspot_log->ok()) {
+        return 1;  // OpenJsonSink already reported the failure
+      }
+      monitor->set_hotspot_log(hotspot_log.get());
+    }
+    if (sim_config.metrics != nullptr) {
+      monitor->AttachMetrics(&registry, "sim");
+    }
+    sim_config.pressure = monitor.get();
+    if (optum) {
+      core::OptumScheduler* opt = optum.get();
+      sim_config.pressure_interference = [opt](const Host& host,
+                                               double cpu_util,
+                                               double mem_util) {
+        return opt->interference_predictor().ResidentInterference(
+            host, cpu_util, mem_util, /*weight_ls=*/1.0, /*weight_be=*/0.0,
+            /*lane=*/0);
+      };
     }
   }
   if (!decision_log_path.empty()) {
@@ -232,6 +304,22 @@ int main(int argc, char** argv) {
     std::printf("series: %lld samples in %s (ring %zu)\n",
                 static_cast<long long>(series->samples_written()),
                 series_json.c_str(), series->ring_capacity());
+  }
+  if (hotspot_log != nullptr) {
+    hotspot_log->Flush();
+    if (!json_out) {
+      std::printf("hotspot log: %lld episodes in %s\n",
+                  static_cast<long long>(monitor->detector().events_emitted()),
+                  hotspot_log_path.c_str());
+    }
+  }
+  if (monitor != nullptr && !slo_json_path.empty()) {
+    if (!monitor->WriteSloJson(slo_json_path)) {
+      return 1;  // WriteJsonDocument already reported the failure
+    }
+    if (!json_out) {
+      std::printf("slo accounting written to %s\n", slo_json_path.c_str());
+    }
   }
 
   const std::string trace_out = flags.GetString("trace-out", "");

@@ -6,6 +6,16 @@
 //               [--rounds R] [--round-seconds S] [--process poisson|diurnal]
 //               [--queue-capacity N] [--max-per-round N] [--residency ROUNDS]
 //               [--span-log PATH] [--out PATH]
+//               [--burst-amplitude A --burst-duration D --burst-interval I]
+//               [--pressure] [--hotspot-log PATH] [--slo-json PATH]
+//               [--series-json PATH] [--hot-onset P] [--hot-clear P]
+//               [--hot-dwell T] [--slo-threshold P]
+//
+// The burst flags overlay deterministic anomaly storms on the arrival
+// process (DESIGN.md §13); the pressure flags attach the host-pressure
+// sensor — hotspot episodes stream to --hotspot-log as optum.hotspot.v1,
+// per-class violation seconds land in --slo-json as optum.slo.v1, and
+// tools/slo_report joins them with the latency row.
 //
 // With --out the document goes to PATH (one header line, one row line);
 // otherwise rows print to stdout after a human-readable summary. Everything
@@ -19,8 +29,11 @@
 
 #include "bench/bench_common.h"
 #include "src/common/flags.h"
+#include "src/obs/hotspot.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/pressure.h"
 #include "src/obs/span_log.h"
+#include "src/obs/timeseries.h"
 #include "src/serve/placement_service.h"
 
 namespace optum {
@@ -51,7 +64,19 @@ int Main(int argc, char** argv) {
   config.max_schedule_per_round =
       static_cast<size_t>(flags.GetInt("max-per-round", 512));
   config.mean_residency_rounds = flags.GetDouble("residency", 0.0);
+  config.arrival.burst_amplitude = flags.GetDouble("burst-amplitude", 0.0);
+  config.arrival.burst_duration_rounds = flags.GetInt("burst-duration", 0);
+  config.arrival.burst_interval_rounds = flags.GetInt("burst-interval", 0);
+  config.arrival.burst_seed =
+      static_cast<uint64_t>(flags.GetInt("burst-seed", 1031));
   const int64_t rounds = flags.GetInt("rounds", 60);
+
+  const std::string hotspot_path = flags.GetString("hotspot-log", "");
+  const std::string slo_path = flags.GetString("slo-json", "");
+  const std::string series_path = flags.GetString("series-json", "");
+  const bool pressure_on = flags.GetBool("pressure", false) ||
+                           !hotspot_path.empty() || !slo_path.empty() ||
+                           !series_path.empty();
 
   std::printf("training profiles from the 64-host reference run...\n");
   const Workload reference =
@@ -75,14 +100,67 @@ int Main(int argc, char** argv) {
     service.set_span_log(span_log.get());
   }
 
+  // Pressure sensor + its sinks (DESIGN.md §13). Gauges go through the
+  // registry so the optional series recorder picks them up as columns.
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::HotspotLog> hotspot_log;
+  std::unique_ptr<obs::HostPressureMonitor> monitor;
+  std::unique_ptr<obs::TimeSeriesRecorder> series;
+  if (pressure_on) {
+    obs::HostPressureMonitor::Options opts;
+    const obs::HotspotConfig hotspot_defaults;
+    opts.hotspot.onset_threshold =
+        flags.GetDouble("hot-onset", hotspot_defaults.onset_threshold);
+    opts.hotspot.clear_threshold =
+        flags.GetDouble("hot-clear", hotspot_defaults.clear_threshold);
+    opts.hotspot.min_onset_ticks = flags.GetInt("hot-dwell", 3);
+    opts.hotspot.min_clear_ticks = flags.GetInt("hot-dwell", 3);
+    opts.pressure.slo_threshold = flags.GetDouble("slo-threshold", 0.8);
+    opts.num_slo_shards = config.distributed.num_schedulers;
+    opts.seconds_per_tick = config.arrival.round_seconds;
+    monitor = std::make_unique<obs::HostPressureMonitor>(
+        static_cast<size_t>(hosts), opts);
+    if (!hotspot_path.empty()) {
+      hotspot_log = std::make_unique<obs::HotspotLog>(hotspot_path);
+      if (!hotspot_log->ok()) {
+        return 1;  // OpenJsonSink already reported the failure
+      }
+      monitor->set_hotspot_log(hotspot_log.get());
+    }
+    service.AttachMetrics(&registry);
+    monitor->AttachMetrics(&registry, "serve");
+    service.set_pressure_monitor(monitor.get());
+    if (!series_path.empty()) {
+      series = std::make_unique<obs::TimeSeriesRecorder>(&registry, series_path);
+      if (!series->ok()) {
+        return 1;
+      }
+      service.set_series(series.get());
+    }
+  }
+
   std::printf("serving %lld rounds at %.1f pods/s (%s, %zu shards)...\n",
               static_cast<long long>(rounds),
               config.arrival.offered_pods_per_sec, process.c_str(),
               config.distributed.num_schedulers);
   service.RunRounds(rounds);
   const int64_t drain_rounds = service.Drain();
+  if (monitor != nullptr) {
+    monitor->Finalize();
+  }
   if (span_log != nullptr) {
     span_log->Flush();
+  }
+  if (hotspot_log != nullptr) {
+    hotspot_log->Flush();
+  }
+  if (series != nullptr) {
+    series->Flush();
+  }
+  if (monitor != nullptr && !slo_path.empty()) {
+    if (!monitor->WriteSloJson(slo_path)) {
+      return 1;
+    }
   }
 
   const serve::LatencyRow row = service.MakeLatencyRow();
@@ -98,6 +176,25 @@ int Main(int argc, char** argv) {
   table.AddRow({"latency_s_p99", FormatDouble(row.latency_s_p99, 3)});
   table.AddRow({"latency_s_p999", FormatDouble(row.latency_s_p999, 3)});
   table.AddRow({"latency_s_max", FormatDouble(row.latency_s_max, 3)});
+  if (monitor != nullptr) {
+    const obs::SloAccumulator slo = monitor->MergedSlo();
+    table.AddRow({"hotspot_episodes",
+                  std::to_string(monitor->detector().events_emitted())});
+    table.AddRow({"pressure_mean",
+                  FormatDouble(monitor->last_mean_pressure(), 4)});
+    table.AddRow({"pressure_max",
+                  FormatDouble(monitor->last_max_pressure(), 4)});
+    table.AddRow(
+        {"slo_violation_s_ls",
+         FormatDouble(static_cast<double>(slo.violation_ticks(SloClass::kLs)) *
+                          monitor->seconds_per_tick(),
+                      1)});
+    table.AddRow(
+        {"slo_violation_s_be",
+         FormatDouble(static_cast<double>(slo.violation_ticks(SloClass::kBe)) *
+                          monitor->seconds_per_tick(),
+                      1)});
+  }
   table.Print();
 
   const std::string document =
