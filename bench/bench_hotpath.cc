@@ -89,11 +89,11 @@ double MeasureScoring(const core::OptumProfiles& profiles,
   config.use_incremental_cache = cached;
   config.num_threads = num_threads;
   core::OptumScheduler scheduler(profiles, config);
-  if (registry != nullptr) {
-    scheduler.AttachMetrics(registry);
-  }
-  scheduler.set_decision_log(decision_log);
-  scheduler.set_span_log(span_log);
+  obs::Sinks sinks;
+  sinks.metrics = registry;
+  sinks.decision_log = decision_log;
+  sinks.span_log = span_log;
+  scheduler.AttachSinks(sinks);
 
   // A simulator tick schedules a few dozen pods, so sampling the series once
   // per kSeriesPeriod placements reproduces the per-tick cadence runsim uses.
@@ -312,8 +312,10 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
       obs::HotspotLog hotspot_log("/dev/null");
       obs::HostPressureMonitor monitor(static_cast<size_t>(num_hosts),
                                        obs::HostPressureMonitor::Options{});
-      monitor.set_hotspot_log(&hotspot_log);
-      monitor.AttachMetrics(&registry, "bench");
+      obs::Sinks pressure_sinks;
+      pressure_sinks.hotspot_log = &hotspot_log;
+      pressure_sinks.metrics = &registry;
+      monitor.AttachSinks(pressure_sinks, "bench");
       row.pods_per_sec_pressure = std::max(
           row.pods_per_sec_pressure,
           MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
@@ -533,13 +535,16 @@ ForestBench RunForestBench() {
 
 struct ServeRow {
   serve::LatencyRow row;           // deterministic model-time telemetry
+  size_t pipeline_depth = 1;       // identity key: 1 = serial round loop
   int64_t drain_rounds = 0;
   double pods_per_sec_placed = 0.0;  // wall clock (the only noisy field)
 };
 
 // Open-loop placement service at paper scale (§4.4 fleet of parallel
 // schedulers against a 6,000-host cluster): offered load × shard count
-// sweep. Everything in the latency row is model-time round arithmetic and
+// sweep, plus pipelined rows (pipeline_depth 2, DESIGN.md §12) at the
+// 4-shard points — same latency rows bit-for-bit, higher placements/s.
+// Everything in the latency row is model-time round arithmetic and
 // therefore bit-deterministic; only pods_per_sec_placed is wall clock, so
 // it is the one serve metric the bench_diff threshold actually gates.
 std::vector<ServeRow> RunServeBench(const core::OptumProfiles& profiles,
@@ -551,8 +556,13 @@ std::vector<ServeRow> RunServeBench(const core::OptumProfiles& profiles,
   std::vector<ServeRow> rows;
   for (const size_t shards : {size_t{2}, size_t{4}}) {
     for (const double offered : {1000.0, 3000.0}) {
-      std::printf("serve %d hosts, %zu shards, %.0f pods/s offered...\n",
-                  kHosts, shards, offered);
+    for (const size_t depth : {size_t{1}, size_t{2}}) {
+      // Pipelined rows only where the speedup gate looks: the 4-shard fleet.
+      if (depth > 1 && shards != 4) {
+        continue;
+      }
+      std::printf("serve %d hosts, %zu shards, %.0f pods/s offered, depth %zu...\n",
+                  kHosts, shards, offered, depth);
       ClusterState cluster(kHosts, kUnitResources, /*history_window=*/64);
       // Prefill ids start far above anything the arrival driver will emit
       // (driver ids are dense from 0).
@@ -575,6 +585,7 @@ std::vector<ServeRow> RunServeBench(const core::OptumProfiles& profiles,
       config.max_schedule_per_round = 1500;
       config.max_requeues = 4;
       config.mean_residency_rounds = 60.0;
+      config.pipeline_depth = depth;
       serve::PlacementService service(workload, profiles, &cluster, config);
       const Clock::time_point start = Clock::now();
       service.RunRounds(kRounds);
@@ -582,9 +593,11 @@ std::vector<ServeRow> RunServeBench(const core::OptumProfiles& profiles,
       out.drain_rounds = service.Drain();
       const double wall = SecondsSince(start);
       out.row = service.MakeLatencyRow();
+      out.pipeline_depth = depth;
       out.pods_per_sec_placed =
           wall > 0.0 ? static_cast<double>(service.counters().placed) / wall : 0.0;
       rows.push_back(out);
+    }
     }
   }
   return rows;
@@ -704,6 +717,7 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
     const serve::LatencyRow& r = serve[i].row;
     std::fprintf(f,
                  "    {\"hosts\": %d, \"shards\": %zu, "
+                 "\"pipeline_depth\": %zu, "
                  "\"offered_pods_per_sec\": %.1f, \"process\": \"%s\", "
                  "\"rounds\": %lld, \"round_seconds\": %.3g,\n"
                  "     \"arrivals\": %lld, \"admitted\": %lld, "
@@ -712,7 +726,8 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  "     \"latency_s_p50\": %.6g, \"latency_s_p99\": %.6g, "
                  "\"latency_s_p999\": %.6g, \"latency_s_max\": %.6g, "
                  "\"latency_s_mean\": %.6g, \"pods_per_sec_placed\": %.1f}%s\n",
-                 r.hosts, r.shards, r.offered_pods_per_sec, r.process,
+                 r.hosts, r.shards, serve[i].pipeline_depth,
+                 r.offered_pods_per_sec, r.process,
                  static_cast<long long>(r.rounds), r.round_seconds,
                  static_cast<long long>(r.arrivals),
                  static_cast<long long>(r.admitted),
@@ -894,10 +909,12 @@ int Main(int argc, char** argv) {
   table.Print();
 
   if (!serve.empty()) {
-    TablePrinter serve_table({"shards", "offered/s", "placed", "rejected",
-                              "p50 s", "p99 s", "p999 s", "placed/s"});
+    TablePrinter serve_table({"shards", "depth", "offered/s", "placed",
+                              "rejected", "p50 s", "p99 s", "p999 s",
+                              "placed/s"});
     for (const ServeRow& r : serve) {
       serve_table.AddRow({std::to_string(r.row.shards),
+                          std::to_string(r.pipeline_depth),
                           FormatDouble(r.row.offered_pods_per_sec, 0),
                           std::to_string(r.row.placed),
                           std::to_string(r.row.rejected_full),

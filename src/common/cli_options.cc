@@ -1,0 +1,53 @@
+#include "src/common/cli_options.h"
+
+namespace optum::cli {
+
+ObsOptions ParseObsOptions(const FlagParser& flags) {
+  ObsOptions o;
+  o.metrics_json = flags.GetString("metrics-json", "");
+  o.span_log = flags.GetString("span-log", "");
+  o.series_json = flags.GetString("series-json", "");
+  o.series_ring = static_cast<size_t>(flags.GetInt("series-ring", 256));
+  o.hotspot_log = flags.GetString("hotspot-log", "");
+  o.slo_json = flags.GetString("slo-json", "");
+  return o;
+}
+
+BurstOptions ParseBurstOptions(const FlagParser& flags) {
+  BurstOptions b;
+  b.amplitude = flags.GetDouble("burst-amplitude", 0.0);
+  b.duration_rounds = flags.GetInt("burst-duration", 0);
+  b.interval_rounds = flags.GetInt("burst-interval", 0);
+  b.seed = GetSeed(flags, "burst-seed", 1031);
+  b.offered_pods_per_sec = flags.GetDouble("burst-offered", 0.0);
+  b.cpu_scale = flags.GetDouble("burst-cpu-scale", 3.0);
+  return b;
+}
+
+uint64_t GetSeed(const FlagParser& flags, const std::string& name,
+                 uint64_t def) {
+  return static_cast<uint64_t>(
+      flags.GetInt(name, static_cast<int64_t>(def)));
+}
+
+const char* ObsOptionsHelp() {
+  return
+      "  --metrics-json F export final counters/gauges/histograms to F\n"
+      "  --span-log F     JSONL pod-lifecycle spans\n"
+      "  --series-json F  JSONL per-tick gauge time series, streamed\n"
+      "  --series-ring N  series ring-buffer capacity (default 256)\n"
+      "  --hotspot-log F  JSONL host-hotspot episodes (optum.hotspot.v1)\n"
+      "  --slo-json F     per-class SLO-violation seconds (optum.slo.v1)\n";
+}
+
+const char* BurstOptionsHelp() {
+  return
+      "  --burst-amplitude A  anomaly-storm overlay: rate multiplier (off at 0)\n"
+      "  --burst-duration D   storm length in ticks (rounds in serve_bench)\n"
+      "  --burst-interval I   one storm per I-tick window (D <= I)\n"
+      "  --burst-seed S       storm placement + pod-mix seed (default 1031)\n"
+      "  --burst-offered P    overlay base rate, pods/sec (runsim only)\n"
+      "  --burst-cpu-scale X  storm pods' CPU-anomaly factor (runsim only)\n";
+}
+
+}  // namespace optum::cli

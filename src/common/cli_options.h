@@ -1,0 +1,67 @@
+// Shared command-line option blocks for the CLI tools. runsim and
+// serve_bench expose the same observability-sink flags (--metrics-json,
+// --span-log, --series-json, --hotspot-log, --slo-json) and the same
+// anomaly-storm overlay flags (--burst-*); each tool used to parse and
+// document them separately, and the two help texts drifted. This header is
+// the single source for both the parsing and the usage lines. The structs
+// are plain values — this layer depends only on FlagParser, so the tools
+// map fields into SimConfig / ServeConfig / ArrivalConfig themselves.
+#ifndef OPTUM_SRC_COMMON_CLI_OPTIONS_H_
+#define OPTUM_SRC_COMMON_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/flags.h"
+
+namespace optum::cli {
+
+// Observability outputs (DESIGN.md §9–§13). An empty path means that sink
+// stays off; the tool owns opening the files and wiring obs::Sinks.
+struct ObsOptions {
+  std::string metrics_json;  // --metrics-json: final counters/gauges/histograms
+  std::string span_log;      // --span-log: JSONL pod-lifecycle spans
+  std::string series_json;   // --series-json: streamed per-tick gauge series
+  size_t series_ring = 256;  // --series-ring: recorder ring capacity
+  std::string hotspot_log;   // --hotspot-log: optum.hotspot.v1 episodes
+  std::string slo_json;      // --slo-json: optum.slo.v1 violation seconds
+
+  // A metric registry is needed when counters are exported or the series
+  // recorder samples gauges.
+  bool wants_metrics() const {
+    return !metrics_json.empty() || !series_json.empty();
+  }
+  // The host-pressure monitor is needed to produce either pressure output.
+  bool wants_pressure() const {
+    return !hotspot_log.empty() || !slo_json.empty();
+  }
+};
+
+// Anomaly-storm overlay on the arrival process (DESIGN.md §13). Field
+// names mirror serve::ArrivalConfig's burst_* members.
+struct BurstOptions {
+  double amplitude = 0.0;       // --burst-amplitude: rate multiplier (off at 0)
+  int64_t duration_rounds = 0;  // --burst-duration: storm length, ticks/rounds
+  int64_t interval_rounds = 0;  // --burst-interval: one storm per window
+  uint64_t seed = 1031;         // --burst-seed: storm placement + pod mix
+  // Overlay shaping used by runsim's synthetic storm stream; serve_bench
+  // ignores these (its storms modulate the service's own arrival process).
+  double offered_pods_per_sec = 0.0;  // --burst-offered (0 = tool default)
+  double cpu_scale = 3.0;             // --burst-cpu-scale
+};
+
+ObsOptions ParseObsOptions(const FlagParser& flags);
+BurstOptions ParseBurstOptions(const FlagParser& flags);
+
+// Unsigned seed accessor (FlagParser stores integers signed).
+uint64_t GetSeed(const FlagParser& flags, const std::string& name,
+                 uint64_t def);
+
+// Usage-text blocks matching the tools' two-column help layout, one flag
+// per line, newline-terminated. Print with "%s".
+const char* ObsOptionsHelp();
+const char* BurstOptionsHelp();
+
+}  // namespace optum::cli
+
+#endif  // OPTUM_SRC_COMMON_CLI_OPTIONS_H_

@@ -12,8 +12,10 @@ namespace optum::core {
 DistributedCoordinator::DistributedCoordinator(const OptumProfiles& profiles,
                                                DistributedConfig config)
     : pool_(std::max<size_t>(1, config.num_schedulers)),
-      max_attempts_per_pod_(std::max<size_t>(1, config.max_attempts_per_pod)) {
+      max_attempts_per_pod_(std::max<size_t>(1, config.max_attempts_per_pod)),
+      pipeline_depth_(std::max<size_t>(1, config.pipeline_depth)) {
   OPTUM_CHECK_GE(config.num_schedulers, 1u);
+  pipelines_.resize(config.num_schedulers);
   shards_.reserve(config.num_schedulers);
   for (size_t i = 0; i < config.num_schedulers; ++i) {
     OptumConfig shard_config = config.scheduler_config;
@@ -30,7 +32,10 @@ DistributedCoordinator::DistributedCoordinator(const OptumProfiles& profiles,
 
 DistributedCoordinator::~DistributedCoordinator() = default;
 
-void DistributedCoordinator::AttachMetrics(obs::MetricRegistry* registry) {
+void DistributedCoordinator::AttachSinks(const obs::Sinks& sinks) {
+  sinks_ = sinks;
+  span_log_ = sinks.span_log;
+  obs::MetricRegistry* registry = sinks.metrics;
   if (registry == nullptr) {
     rounds_counter_ = nullptr;
     commits_counter_ = nullptr;
@@ -44,7 +49,9 @@ void DistributedCoordinator::AttachMetrics(obs::MetricRegistry* registry) {
   // Shard s scores on its own coordinator-pool task; giving it registry
   // lane s keeps concurrent shard updates on distinct metric shards. The
   // coordinator's own counters (lane 0) are only touched in the serial
-  // resolution phase, never while shards are deciding.
+  // resolution phase, never while shards are deciding. Shards receive the
+  // metrics sink only — span/decision logs must not be written from
+  // parallel shard tasks (see AttachSinks contract in the header).
   registry->set_num_lanes(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->AttachMetrics(registry, /*lane_base=*/s,
@@ -92,7 +99,15 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
 
     // Phase 1 (parallel): each shard decides for the pod at the head of
     // its own queue, all against the same cluster snapshot — the moment a
-    // conflict can occur in a fleet of parallel schedulers.
+    // conflict can occur in a fleet of parallel schedulers. With pipelining
+    // the shard first settles its head — finalizing a speculative score if
+    // one is staged (revalidating only epoch-moved candidates), falling back
+    // to a fresh PlaceScored otherwise — then tops up speculation for the
+    // next pipeline_depth-1 pods still queued, against this same frozen
+    // snapshot. Each attempt draws from the shard's sampling stream exactly
+    // once, in queue order (= pop order), so the draw sequence — and with it
+    // every candidate set, score, and decision — matches the serial loop
+    // bit for bit.
     struct ShardDecision {
       bool active = false;
       PendingEntry entry;
@@ -108,8 +123,32 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
       decisions[s].entry = queues[s].front();
       queues[s].pop_front();
       pool_.Submit([&, s] {
-        decisions[s].decision =
-            shards_[s]->PlaceScored(*decisions[s].entry.pod, cluster, &decisions[s].score);
+        OptumScheduler& shard = *shards_[s];
+        ShardPipeline& pipe = pipelines_[s];
+        ShardDecision& d = decisions[s];
+        if (!pipe.specs.empty()) {
+          // Head was speculated in an earlier round (specs[0] ↔ old queue
+          // front, the pod just popped).
+          OptumScheduler::SpeculativeScore spec = std::move(pipe.specs.front());
+          pipe.specs.pop_front();
+          d.decision = shard.FinalizeSpeculative(*d.entry.pod, cluster, &spec, &d.score);
+          spec.Clear();
+          pipe.free.push_back(std::move(spec));
+        } else {
+          d.decision = shard.PlaceScored(*d.entry.pod, cluster, &d.score);
+        }
+        if (pipeline_depth_ > 1 && shard.speculation_supported()) {
+          while (pipe.specs.size() + 1 < pipeline_depth_ &&
+                 pipe.specs.size() < queues[s].size()) {
+            OptumScheduler::SpeculativeScore spec;
+            if (!pipe.free.empty()) {
+              spec = std::move(pipe.free.back());
+              pipe.free.pop_back();
+            }
+            shard.BeginSpeculative(*queues[s][pipe.specs.size()].pod, cluster, &spec);
+            pipe.specs.push_back(std::move(spec));
+          }
+        }
       });
     }
     pool_.Wait();

@@ -13,6 +13,7 @@
 #ifndef OPTUM_SRC_CORE_DISTRIBUTED_H_
 #define OPTUM_SRC_CORE_DISTRIBUTED_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -35,6 +36,16 @@ struct DistributedConfig {
   // bit-identical across thread counts (OptumConfig::num_threads contract),
   // so this only changes wall-clock, never placements.
   size_t shard_num_threads = 0;
+  // Conflict-round pipelining (DESIGN.md §12): with depth D > 1, each shard
+  // keeps up to D-1 future head pods speculatively sampled and scored
+  // against an epoch-snapshotted host view, and each round merely
+  // revalidates the candidates whose hosts the intervening commits touched
+  // (epoch-stamped evaluation memo) instead of rescoring from scratch.
+  // Placements, scores, spans, and rounds are bit-identical for every
+  // depth (OptumScheduler speculation contract); depth 1 is the classic
+  // score-then-resolve loop. Shards with a decision log attached decline
+  // speculation and fall back to in-round scoring on their own.
+  size_t pipeline_depth = 1;
   // Configuration template for each shard scheduler; the seed is salted
   // per shard so the shards sample different host subsets.
   OptumConfig scheduler_config;
@@ -70,31 +81,61 @@ class DistributedCoordinator {
   size_t num_schedulers() const { return shards_.size(); }
   OptumScheduler& shard(size_t i) { return *shards_[i]; }
 
-  // Attaches the observability registry: the coordinator publishes
-  // dist.rounds / dist.commits / dist.conflicts counters and times each
-  // conflict-resolution round into dist.round_seconds; every shard
-  // scheduler attaches at its own registry lane (shard s uses lane s, the
-  // lane its decisions run on), under prefix "optum.shard<s>". Shards score
-  // serially within themselves (num_threads = 0), so lane = shard index
-  // keeps all parallel updates on distinct shards.
-  void AttachMetrics(obs::MetricRegistry* registry);
+  // Unified sink attach (obs::Sinks contract). Adopts:
+  //   * sinks.metrics — the coordinator publishes dist.rounds /
+  //     dist.commits / dist.conflicts counters and times each
+  //     conflict-resolution round into dist.round_seconds; every shard
+  //     scheduler attaches (metrics only) at its own registry lane (shard s
+  //     uses lane s, the lane its decisions run on), under prefix
+  //     "optum.shard<s>" — distinct lanes keep concurrent shard updates on
+  //     distinct metric shards.
+  //   * sinks.span_log — pod-lifecycle spans. Only the serial
+  //     conflict-resolution phase appends — placed spans for committed
+  //     winners (in commit order) and conflict_retried spans for proposals
+  //     that lost their host (in shard order) — never the parallel shard
+  //     decisions, so the file is deterministic for a given batch.
+  // Other fields are ignored; shard-level span/decision logs are
+  // deliberately NOT forwarded (shards decide on parallel pool tasks —
+  // interleaved emission would be nondeterministic). Attach those via
+  // shard(i) directly, after this call, only when the caller serializes the
+  // shards itself.
+  void AttachSinks(const obs::Sinks& sinks);
 
-  // Attaches the pod-lifecycle span log (nullptr detaches). Only the serial
-  // conflict-resolution phase appends — placed spans for committed winners
-  // (in commit order) and conflict_retried spans for proposals that lost
-  // their host (in shard order) — never the parallel shard decisions, so
-  // the file is deterministic for a given batch. Shards keep their own span
-  // logs detached; attach per-shard logs via shard(i).set_span_log only
-  // when a caller serializes the shards itself.
-  void set_span_log(obs::SpanLog* log) { span_log_ = log; }
+  // Deprecated: metrics-only attach; thin forwarder updating just the
+  // metrics slot of the Sinks surface.
+  void AttachMetrics(obs::MetricRegistry* registry) {
+    obs::Sinks sinks = sinks_;
+    sinks.metrics = registry;
+    AttachSinks(sinks);
+  }
+
+  // Deprecated: span-log-only attach (nullptr detaches); thin forwarder
+  // updating just the span-log slot.
+  void set_span_log(obs::SpanLog* log) {
+    sinks_.span_log = log;
+    span_log_ = log;
+  }
 
  private:
   std::vector<std::unique_ptr<OptumScheduler>> shards_;
   DeploymentModule deployment_;
   ThreadPool pool_;
   size_t max_attempts_per_pod_;
+  size_t pipeline_depth_;
+
+  // Per-shard speculation pipeline (pipeline_depth > 1): specs[j] holds the
+  // speculative score for the j-th pod still waiting in that shard's batch
+  // queue, in queue order ("speculation prefix" invariant — requeues append
+  // to the back of the queue, so the prefix never needs repair). `free`
+  // recycles SpeculativeScore buffers so steady state allocates nothing.
+  struct ShardPipeline {
+    std::deque<OptumScheduler::SpeculativeScore> specs;
+    std::vector<OptumScheduler::SpeculativeScore> free;
+  };
+  std::vector<ShardPipeline> pipelines_;
 
   // Nullable observability sinks (single branch when detached).
+  obs::Sinks sinks_;
   obs::Counter* rounds_counter_ = nullptr;
   obs::Counter* commits_counter_ = nullptr;
   obs::Counter* conflicts_counter_ = nullptr;

@@ -123,53 +123,66 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
     }
   }
 
+  return ReduceAndLog(pod, cluster, candidates_, scored_, best_score,
+                      /*emit_decision_log=*/true);
+}
+
+PlacementDecision OptumScheduler::ReduceAndLog(
+    const PodSpec& pod, const ClusterState& cluster,
+    const std::vector<HostId>& candidates,
+    const std::vector<HostEvaluation>& evals, double* best_score,
+    bool emit_decision_log) {
   // Serial reduction in candidate order: ties break toward the earlier
   // sampled candidate regardless of which lane scored which index.
-  size_t best = candidates_.size();
+  size_t best = candidates.size();
   int64_t feasible = 0;
   bool any_cpu = false, any_mem = false;
-  for (size_t i = 0; i < candidates_.size(); ++i) {
-    if (scored_[i].feasible) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (evals[i].feasible) {
       ++feasible;
-      if (best == candidates_.size() || scored_[i].score > scored_[best].score) {
+      if (best == candidates.size() || evals[i].score > evals[best].score) {
         best = i;
       }
     } else {
-      any_cpu |= scored_[i].cpu_blocked;
-      any_mem |= scored_[i].mem_blocked;
+      any_cpu |= evals[i].cpu_blocked;
+      any_mem |= evals[i].mem_blocked;
     }
   }
   PlacementDecision decision;
-  if (best == candidates_.size()) {
+  if (best == candidates.size()) {
     decision = PlacementDecision::Reject(ClassifyShortfall(any_cpu, any_mem));
     if (rejections_counter_ != nullptr) {
       rejections_counter_->Inc(metrics_lane_base_);
     }
   } else {
-    *best_score = scored_[best].score;
-    decision = PlacementDecision::Accept(candidates_[best]);
+    *best_score = evals[best].score;
+    decision = PlacementDecision::Accept(candidates[best]);
     if (placements_counter_ != nullptr) {
       placements_counter_->Inc(metrics_lane_base_);
     }
   }
   if (span_log_ != nullptr) {
-    // Serial path: the scored_ reduction above is complete, so both spans
-    // are pure functions of the (thread-count-invariant) candidate scores.
+    // Serial path: the reduction above is complete, so both spans are pure
+    // functions of the (thread-count-invariant) candidate scores.
     span_log_->Append({.tick = cluster.now(),
                        .pod = pod.id,
                        .phase = obs::SpanPhase::kSampled,
-                       .count = static_cast<int64_t>(candidates_.size())});
+                       .count = static_cast<int64_t>(candidates.size())});
     obs::SpanEvent scored_span{.tick = cluster.now(),
                                .pod = pod.id,
                                .phase = obs::SpanPhase::kScored,
                                .count = feasible};
-    if (best != candidates_.size()) {
+    if (best != candidates.size()) {
       scored_span.has_score = true;
-      scored_span.score = scored_[best].score;
+      scored_span.score = evals[best].score;
     }
     span_log_->Append(scored_span);
   }
-  if (decision_log_ != nullptr) {
+  // LogDecision reads the candidates_/scored_ members, so the decision log
+  // is only emitted from PlaceScored, where `candidates`/`evals` ARE those
+  // members; speculative finalization never runs with a decision log
+  // attached (speculation_supported() gates it).
+  if (emit_decision_log && decision_log_ != nullptr) {
     LogDecision(pod, cluster, decision);
   }
   return decision;
@@ -177,6 +190,17 @@ PlacementDecision OptumScheduler::PlaceScored(const PodSpec& pod,
 
 void OptumScheduler::AttachMetrics(obs::MetricRegistry* registry, size_t lane_base,
                                    const std::string& prefix) {
+  obs::Sinks sinks = sinks_;
+  sinks.metrics = registry;
+  AttachSinks(sinks, lane_base, prefix);
+}
+
+void OptumScheduler::AttachSinks(const obs::Sinks& sinks, size_t lane_base,
+                                 const std::string& prefix) {
+  sinks_ = sinks;
+  span_log_ = sinks.span_log;
+  decision_log_ = sinks.decision_log;
+  obs::MetricRegistry* registry = sinks.metrics;
   metrics_ = registry;
   metrics_lane_base_ = lane_base;
   if (registry == nullptr) {
@@ -286,6 +310,185 @@ void OptumScheduler::ReplaceProfiles(OptumProfiles profiles) {
   // table's version counter may collide with the old one), so every cached
   // host baseline is stale.
   usage_predictor_.InvalidateAll();
+  // Retire every evaluation-memo entry at once: memoized scores depend on
+  // the profile set, and the fresh ERO version may collide with the old.
+  ++memo_generation_;
+}
+
+void OptumScheduler::EnsureMemo(size_t num_hosts) {
+  if (!memo_.empty()) {
+    return;
+  }
+  // ~64 slots per host keeps the direct-mapped collision rate low across
+  // the population of applications scoring each host (the live key set is
+  // hosts × apps, and a single hot collision pair thrashes both keys for
+  // as long as they stay hot); clamped so tiny clusters still get a useful
+  // table and huge ones stay bounded (512Ki entries ≈ 48 MiB — the probe
+  // loop prefetches ahead, so capacity buys hit rate without paying the
+  // extra LLC latency on the critical path).
+  const size_t want = std::clamp<size_t>(num_hosts * 64, size_t{1} << 12,
+                                         size_t{1} << 19);
+  size_t slots = 1;
+  while (slots < want) {
+    slots <<= 1;
+  }
+  memo_.assign(slots, MemoEntry{});
+  memo_mask_ = slots - 1;
+}
+
+OptumScheduler::MemoEntry* OptumScheduler::MemoSlot(HostId host, AppId app) {
+  // Direct-mapped: one multiplicative-hash probe, stale entries overwritten
+  // in place. Collisions only cost a recompute, never a wrong answer (the
+  // entry stores its full key).
+  uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(app)) << 32) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(host));
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return &memo_[static_cast<size_t>(x) & memo_mask_];
+}
+
+void OptumScheduler::ScoreThroughMemo(const PodSpec& pod,
+                                      const ClusterState& cluster,
+                                      const std::vector<HostId>& candidates,
+                                      const std::vector<uint8_t>* skip,
+                                      std::vector<uint64_t>* epochs,
+                                      std::vector<HostEvaluation>* evals) {
+  const size_t n = candidates.size();
+  epochs->resize(n);
+  evals->resize(n);
+  const uint64_t ero_version = profiles_->ero.version();
+
+  // Serial probe pass: collect the indices the memo cannot answer. Each
+  // probe touches two cold lines — a random slot of the multi-MiB memo and
+  // the candidate's Host header for the epoch check — so issue both
+  // prefetches a few iterations ahead; the probe itself is only a handful
+  // of compares and the LLC round-trips would otherwise dominate the hit
+  // path.
+  // Distance tuned for a hit-dominated loop: iterations are ~20 ns of
+  // compares, so 16 ahead covers a full DRAM round-trip on the big table.
+  constexpr size_t kProbeAhead = 16;
+  memo_miss_scratch_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbeAhead < n) {
+      const HostId ahead = candidates[i + kProbeAhead];
+      __builtin_prefetch(MemoSlot(ahead, pod.app));
+      __builtin_prefetch(&cluster.host(ahead));
+    }
+    if (skip != nullptr && (*skip)[i] != 0) {
+      continue;  // caller-validated entry, epoch/eval already current
+    }
+    const HostId id = candidates[i];
+    const Host& host = cluster.host(id);
+    (*epochs)[i] = host.change_epoch;
+    const MemoEntry* slot = MemoSlot(id, pod.app);
+    if (slot->host == id && slot->epoch == host.change_epoch &&
+        slot->generation == memo_generation_ &&
+        slot->ero_version == ero_version && slot->app == pod.app &&
+        slot->slo == pod.slo &&
+        slot->max_pods_per_host == pod.max_pods_per_host &&
+        slot->req_cpu == pod.request.cpu && slot->req_mem == pod.request.mem) {
+      ++memo_hits_;
+      // Reconstruct the reduced evaluation; the Eq. 11 breakdown is absent
+      // from the memo by design (see MemoEntry) and unused on this path.
+      HostEvaluation& eval = (*evals)[i];
+      eval = HostEvaluation{};
+      eval.feasible = slot->feasible;
+      eval.cpu_blocked = slot->cpu_blocked;
+      eval.mem_blocked = slot->mem_blocked;
+      eval.score = slot->score;
+    } else {
+      ++memo_misses_;
+      memo_miss_scratch_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Evaluate the misses — through the scoring pool when the shard has one
+  // and the batch justifies it. Results are lane-invariant (EvaluateHost is
+  // a pure function of its key; PR 2's caches are lane-pure), so the memo
+  // stays bit-identical to uncached evaluation either way.
+  auto eval_miss = [&](size_t lane, size_t k) {
+    const size_t i = memo_miss_scratch_[k];
+    (*evals)[i] = EvaluateHost(pod, cluster.host(candidates[i]), lane);
+  };
+  if (pool_ != nullptr && memo_miss_scratch_.size() >= 2 * pool_->num_threads()) {
+    pool_->ParallelForLane(memo_miss_scratch_.size(), eval_miss);
+  } else {
+    for (size_t k = 0; k < memo_miss_scratch_.size(); ++k) {
+      eval_miss(0, k);
+    }
+  }
+
+  // Serial publish pass: install the fresh evaluations.
+  for (const uint32_t k : memo_miss_scratch_) {
+    const HostId id = candidates[k];
+    MemoEntry* slot = MemoSlot(id, pod.app);
+    slot->host = id;
+    slot->epoch = (*epochs)[k];
+    slot->ero_version = ero_version;
+    slot->generation = memo_generation_;
+    slot->app = pod.app;
+    slot->slo = pod.slo;
+    slot->max_pods_per_host = pod.max_pods_per_host;
+    slot->req_cpu = pod.request.cpu;
+    slot->req_mem = pod.request.mem;
+    const HostEvaluation& eval = (*evals)[k];
+    slot->feasible = eval.feasible;
+    slot->cpu_blocked = eval.cpu_blocked;
+    slot->mem_blocked = eval.mem_blocked;
+    slot->score = eval.score;
+  }
+}
+
+void OptumScheduler::BeginSpeculative(const PodSpec& pod,
+                                      const ClusterState& cluster,
+                                      SpeculativeScore* out) {
+  OPTUM_CHECK_MSG(speculation_supported(),
+                  "speculative scoring is unavailable with a decision log attached");
+  out->pod = pod.id;
+  {
+    // Exactly the PlaceScored sampling step: one draw from the serial rng_
+    // stream, so speculate-then-finalize and plain PlaceScored see identical
+    // candidate sequences.
+    obs::ScopedTimer timer(sample_timer_, metrics_lane_base_);
+    SampleHostsInto(cluster, config_.sample_fraction, config_.min_candidates, rng_,
+                    &sample_scratch_, &out->candidates);
+  }
+  usage_predictor_.ReserveHosts(cluster.num_hosts());
+  EnsureMemo(cluster.num_hosts());
+  obs::ScopedTimer timer(score_timer_, metrics_lane_base_);
+  ScoreThroughMemo(pod, cluster, out->candidates, /*skip=*/nullptr,
+                   &out->epochs, &out->evals);
+}
+
+PlacementDecision OptumScheduler::FinalizeSpeculative(const PodSpec& pod,
+                                                      const ClusterState& cluster,
+                                                      SpeculativeScore* spec,
+                                                      double* best_score) {
+  OPTUM_CHECK_MSG(speculation_supported(),
+                  "speculative scoring is unavailable with a decision log attached");
+  OPTUM_CHECK_EQ(spec->pod, pod.id);
+  const size_t n = spec->candidates.size();
+  // Revalidate the epoch snapshot: a candidate whose change_epoch still
+  // matches was untouched by every commit since BeginSpeculative (only
+  // commits mutate hosts during a batch), so its evaluation stands.
+  memo_skip_scratch_.assign(n, 1);
+  bool any_stale = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 16 < n) {
+      __builtin_prefetch(&cluster.host(spec->candidates[i + 16]));
+    }
+    if (cluster.host(spec->candidates[i]).change_epoch != spec->epochs[i]) {
+      memo_skip_scratch_[i] = 0;
+      any_stale = true;
+    }
+  }
+  if (any_stale) {
+    obs::ScopedTimer timer(score_timer_, metrics_lane_base_);
+    ScoreThroughMemo(pod, cluster, spec->candidates, &memo_skip_scratch_,
+                     &spec->epochs, &spec->evals);
+  }
+  return ReduceAndLog(pod, cluster, spec->candidates, spec->evals, best_score,
+                      /*emit_decision_log=*/false);
 }
 
 void OptumScheduler::ObserveColocation(const ClusterState& cluster, Tick now) {

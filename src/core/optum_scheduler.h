@@ -123,6 +123,65 @@ class OptumScheduler : public PlacementPolicy {
   HostEvaluation EvaluateHost(const PodSpec& pod, const Host& host,
                               size_t lane = 0) const;
 
+  // --- Speculative scoring (pipelined §4.4 rounds, DESIGN.md §12) ---
+  //
+  // The pipelined DistributedCoordinator scores a future conflict round's
+  // head pod *before* the current round's winners commit. That is sound
+  // because the two halves of PlaceScored have different dependencies:
+  // candidate sampling depends only on (num_hosts, this scheduler's serial
+  // sampling stream) — never on host contents — and each candidate's
+  // evaluation is a pure function of (pod spec, host contents), with host
+  // contents versioned by Host::change_epoch. BeginSpeculative therefore
+  // draws the sample in exactly the order PlaceScored would have and stamps
+  // every candidate with its change_epoch — an epoch-snapshotted view of
+  // the host subset this decision reads. FinalizeSpeculative later
+  // re-scores only the candidates whose epoch moved (hosts the intervening
+  // commits touched), runs the standard serial reduction, and emits the
+  // same spans/decision records PlaceScored would emit — so the returned
+  // decision is bit-identical to calling PlaceScored at finalize time.
+  struct SpeculativeScore {
+    PodId pod = kInvalidPodId;
+    std::vector<HostId> candidates;
+    std::vector<uint64_t> epochs;  // change_epoch at speculation time
+    std::vector<HostEvaluation> evals;
+
+    void Clear() {
+      pod = kInvalidPodId;
+      candidates.clear();
+      epochs.clear();
+      evals.clear();
+    }
+  };
+
+  // Samples and scores `pod` against the current cluster state into *out
+  // (reusing its buffers). Advances the sampling stream exactly once, like
+  // PlaceScored; emits no spans or decision records. Requires
+  // speculation_supported().
+  void BeginSpeculative(const PodSpec& pod, const ClusterState& cluster,
+                        SpeculativeScore* out);
+
+  // Validates *spec against the current cluster state (re-scoring epoch-
+  // moved candidates), reduces, emits spans, and returns the decision —
+  // bit-identical to PlaceScored(pod, cluster, best_score) called now.
+  // `pod` must be the spec's pod.
+  PlacementDecision FinalizeSpeculative(const PodSpec& pod,
+                                        const ClusterState& cluster,
+                                        SpeculativeScore* spec,
+                                        double* best_score);
+
+  // Speculation defers span emission to finalize time, which reproduces the
+  // serial span stream exactly — but the decision log additionally tags
+  // per-candidate cache-miss deltas that memoized evaluation would skew, so
+  // a scheduler with a decision log attached declines to speculate (the
+  // coordinator falls back to in-round PlaceScored, which stays
+  // bit-identical and fully logged).
+  bool speculation_supported() const { return decision_log_ == nullptr; }
+
+  // Epoch-stamped evaluation memo statistics (speculative paths only; the
+  // serial PlaceScored path never consults the memo).
+  uint64_t eval_memo_hits() const { return memo_hits_; }
+  uint64_t eval_memo_misses() const { return memo_misses_; }
+
   // Scores a single candidate host (Eq. 11); exposed for tests/benches.
   // Returns false when the host is infeasible for the pod.
   bool ScoreHost(const PodSpec& pod, const Host& host, double* score) const;
@@ -135,7 +194,18 @@ class OptumScheduler : public PlacementPolicy {
   // because the profiles object itself is reused.
   void ReplaceProfiles(OptumProfiles profiles);
 
-  // Attaches the observability registry (nullptr detaches). Creates the
+  // Unified sink attach (obs::Sinks contract): wires sinks.metrics (as
+  // AttachMetrics below), sinks.span_log, and sinks.decision_log in one
+  // call; fields left nullptr detach. The overload without lane/prefix
+  // attaches at lane_base 0 under "optum".
+  void AttachSinks(const obs::Sinks& sinks) override {
+    AttachSinks(sinks, /*lane_base=*/0, /*prefix=*/"optum");
+  }
+  void AttachSinks(const obs::Sinks& sinks, size_t lane_base,
+                   const std::string& prefix);
+
+  // Deprecated: metrics-only attach, kept as a thin forwarder into the
+  // Sinks surface (updates just the metrics slot). Creates the
   // scheduler's metrics under `prefix`:
   //   <prefix>.sample_seconds / .score_seconds   phase histograms
   //   <prefix>.forest_eval_seconds               slope-cache-miss latency
@@ -151,17 +221,25 @@ class OptumScheduler : public PlacementPolicy {
   void AttachMetrics(obs::MetricRegistry* registry, size_t lane_base = 0,
                      const std::string& prefix = "optum");
 
-  // Attaches the per-placement JSONL decision log (nullptr detaches). The
-  // log is written on the serial reduction path of PlaceScored; distinct
-  // schedulers must use distinct logs.
-  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  // Deprecated: per-placement JSONL decision log attach (nullptr detaches);
+  // thin forwarder updating only the decision-log slot. The log is written
+  // on the serial reduction path of PlaceScored; distinct schedulers must
+  // use distinct logs.
+  void set_decision_log(obs::DecisionLog* log) {
+    sinks_.decision_log = log;
+    decision_log_ = log;
+  }
 
-  // Attaches the pod-lifecycle span log (nullptr detaches). PlaceScored
-  // emits a sampled span (count = candidates drawn) and a scored span
-  // (count = feasible candidates, score = best Eq. 11 score when any) per
-  // pod, both on the serial reduction path — span output is bit-identical
-  // for every num_threads. Distinct schedulers must use distinct logs.
-  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
+  // Deprecated: span-log attach (nullptr detaches); thin forwarder updating
+  // only the span-log slot. PlaceScored (and FinalizeSpeculative) emits a
+  // sampled span (count = candidates drawn) and a scored span (count =
+  // feasible candidates, score = best Eq. 11 score when any) per pod, both
+  // on the serial reduction path — span output is bit-identical for every
+  // num_threads. Distinct schedulers must use distinct logs.
+  void set_span_log(obs::SpanLog* log) override {
+    sinks_.span_log = log;
+    span_log_ = log;
+  }
 
   const InterferencePredictor& interference_predictor() const {
     return interference_predictor_;
@@ -180,6 +258,62 @@ class OptumScheduler : public PlacementPolicy {
   void LogDecision(const PodSpec& pod, const ClusterState& cluster,
                    const PlacementDecision& decision);
 
+  // --- Epoch-stamped evaluation memo (speculative paths only) ---
+  //
+  // Same-application pods carry identical specs apart from id/submit time,
+  // and EvaluateHost reads neither — so within one service round many
+  // (pod, host) evaluations are exact repeats of earlier ones against an
+  // unchanged host. The memo is a flat direct-mapped table keyed on every
+  // field the evaluation actually depends on: (host id, change_epoch, app,
+  // slo, request, per-host affinity limit). A hit returns the stored
+  // HostEvaluation, which is bit-identical to recomputing (EvaluateHost is
+  // a pure function of the key; PR 2's lane-pure caches guarantee lane
+  // independence). Entries whose host epoch moved simply stop matching and
+  // are overwritten in place — the table needs no invalidation sweep.
+  // Profile swaps (ReplaceProfiles / online ERO refresh) bump the
+  // generation stamp, which retires every entry at once.
+  // One cache line per entry: the probe loop is DRAM-latency-bound on the
+  // multi-MiB table, so an entry that spans two lines doubles the traffic.
+  // The memoized evaluation is reduced to the fields ReduceAndLog consumes
+  // (feasibility flags + score); the Eq. 11 term breakdown exists only for
+  // the decision log, and a decision log disables speculation entirely
+  // (speculation_supported()), so no memo-served evaluation ever reaches it.
+  struct alignas(64) MemoEntry {
+    uint64_t epoch = 0;
+    uint64_t ero_version = 0;
+    double req_cpu = 0.0;
+    double req_mem = 0.0;
+    double score = 0.0;
+    HostId host = -1;  // -1 = empty slot
+    AppId app = kInvalidAppId;
+    uint32_t generation = 0;
+    int32_t max_pods_per_host = 0;
+    SloClass slo = SloClass::kUnknown;
+    bool feasible = false;
+    bool cpu_blocked = false;
+    bool mem_blocked = false;
+  };
+  static_assert(sizeof(MemoEntry) == 64, "memo entry must stay one line");
+
+  // Scores candidates[i] for every i in [0, candidates.size()) into
+  // evals/epochs through the memo, skipping indices where `skip` is set
+  // (already valid). Memo probing and insertion run on the calling thread;
+  // only the misses' EvaluateHost calls fan out to the scoring pool.
+  void ScoreThroughMemo(const PodSpec& pod, const ClusterState& cluster,
+                        const std::vector<HostId>& candidates,
+                        const std::vector<uint8_t>* skip,
+                        std::vector<uint64_t>* epochs,
+                        std::vector<HostEvaluation>* evals);
+
+  // Reduction + span emission shared by PlaceScored and FinalizeSpeculative.
+  PlacementDecision ReduceAndLog(const PodSpec& pod, const ClusterState& cluster,
+                                 const std::vector<HostId>& candidates,
+                                 const std::vector<HostEvaluation>& evals,
+                                 double* best_score, bool emit_decision_log);
+
+  MemoEntry* MemoSlot(HostId host, AppId app);
+  void EnsureMemo(size_t num_hosts);
+
   std::unique_ptr<OptumProfiles> profiles_;
   OptumConfig config_;
   ResourceUsagePredictor usage_predictor_;
@@ -194,6 +328,16 @@ class OptumScheduler : public PlacementPolicy {
   std::vector<HostId> sample_scratch_;
   std::vector<HostId> candidates_;
   std::vector<HostEvaluation> scored_;
+
+  // Evaluation memo (lazily sized on first speculative call) + scratch for
+  // the miss indices of one ScoreThroughMemo pass.
+  std::vector<MemoEntry> memo_;
+  size_t memo_mask_ = 0;
+  uint32_t memo_generation_ = 1;
+  uint64_t memo_hits_ = 0;
+  uint64_t memo_misses_ = 0;
+  std::vector<uint32_t> memo_miss_scratch_;
+  std::vector<uint8_t> memo_skip_scratch_;
 
   // Observability sinks — all nullable; disabled instrumentation costs one
   // branch per site (DESIGN.md §9).

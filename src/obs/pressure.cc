@@ -41,7 +41,7 @@ HostPressureMonitor::HostPressureMonitor(size_t num_hosts, Options options)
   OPTUM_CHECK_GT(options_.seconds_per_tick, 0.0);
 }
 
-void HostPressureMonitor::AttachMetrics(MetricRegistry* registry,
+void HostPressureMonitor::WireMetrics(MetricRegistry* registry,
                                         const std::string& prefix) {
   if (registry == nullptr) {
     g_mean_ = nullptr;

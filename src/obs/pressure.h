@@ -33,6 +33,7 @@
 
 #include "src/common/types.h"
 #include "src/obs/hotspot.h"
+#include "src/obs/sinks.h"
 #include "src/obs/slo.h"
 
 namespace optum::obs {
@@ -112,13 +113,30 @@ class HostPressureMonitor {
 
   HostPressureMonitor(size_t num_hosts, Options options);
 
-  // JSONL sink for hotspot episodes (nullptr detaches).
-  void set_hotspot_log(HotspotLog* log) { detector_.set_log(log); }
+  // Unified sink attach (obs::Sinks contract). Adopts sinks.metrics —
+  // gauges under `<prefix>.pressure.*` / `<prefix>.slo.*` ("sim"/"serve"),
+  // updated once per EndTick at lane 0, the caller's serial loop — and
+  // sinks.hotspot_log (JSONL hotspot episodes). Other fields are ignored;
+  // fields left nullptr detach.
+  void AttachSinks(const Sinks& sinks, const std::string& prefix) {
+    sinks_ = sinks;
+    detector_.set_log(sinks.hotspot_log);
+    WireMetrics(sinks.metrics, prefix);
+  }
 
-  // Publishes gauges under `<prefix>.pressure.*` / `<prefix>.slo.*`
-  // ("sim" / "serve"), updated once per EndTick at lane 0 (the caller's
-  // serial loop). nullptr detaches.
-  void AttachMetrics(MetricRegistry* registry, const std::string& prefix);
+  // Deprecated: hotspot-log-only attach (nullptr detaches); thin forwarder
+  // updating just that slot of the Sinks surface.
+  void set_hotspot_log(HotspotLog* log) {
+    sinks_.hotspot_log = log;
+    detector_.set_log(log);
+  }
+
+  // Deprecated: metrics-only attach (nullptr detaches); thin forwarder
+  // updating just the metrics slot.
+  void AttachMetrics(MetricRegistry* registry, const std::string& prefix) {
+    sinks_.metrics = registry;
+    WireMetrics(registry, prefix);
+  }
 
   // Per-tick protocol, all on the caller's serial path: BeginTick(t), then
   // ObserveHost for every host in id order, then EndTick. Ticks must be
@@ -149,10 +167,14 @@ class HostPressureMonitor {
   double last_max_pressure() const { return last_max_; }
 
  private:
+  // Gauge wiring shared by AttachSinks and the deprecated AttachMetrics.
+  void WireMetrics(MetricRegistry* registry, const std::string& prefix);
+
   Options options_;
   PressureTracker tracker_;
   HotspotDetector detector_;
   std::vector<SloAccumulator> slo_shards_;
+  Sinks sinks_;
 
   Tick tick_ = -1;
   bool in_tick_ = false;

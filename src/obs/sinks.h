@@ -1,0 +1,54 @@
+// Unified observability sink bundle (DESIGN.md §9/§11/§13).
+//
+// Every instrumented component used to grow its own ad-hoc attach surface —
+// set_span_log here, AttachMetrics there, set_hotspot_log somewhere else —
+// and callers had to know which component wanted which setter in which
+// order. obs::Sinks collapses that into one value: a bundle of nullable
+// sink pointers attached once per component via its AttachSinks() method.
+// A component reads only the fields it understands and ignores the rest, so
+// one Sinks value can be handed down a whole component tree (service →
+// coordinator → shard schedulers) without the caller enumerating surfaces.
+//
+// Contract:
+//   * All pointers are non-owning and nullable; nullptr means "detached".
+//     The caller owns every sink and must keep it alive until the component
+//     is destroyed or re-attached.
+//   * AttachSinks() replaces the component's full sink set — fields left
+//     nullptr detach that sink. Attach once, up front; the legacy per-sink
+//     setters (set_span_log, AttachMetrics, ...) survive as thin deprecated
+//     forwarders that update just their one field.
+//   * Sinks never feed back into decisions: attaching any combination of
+//     sinks must not change placements, rows, or any other output.
+#ifndef OPTUM_SRC_OBS_SINKS_H_
+#define OPTUM_SRC_OBS_SINKS_H_
+
+namespace optum::obs {
+
+class MetricRegistry;
+class SpanLog;
+class DecisionLog;
+class HotspotLog;
+class TimeSeriesRecorder;
+
+struct Sinks {
+  // Lane-sharded counters/gauges/histograms (DESIGN.md §9).
+  MetricRegistry* metrics = nullptr;
+  // Pod-lifecycle span log, optum.spans.v1 (DESIGN.md §11).
+  SpanLog* span_log = nullptr;
+  // Per-placement Eq. 11 decision log, JSONL (DESIGN.md §9).
+  DecisionLog* decision_log = nullptr;
+  // Hotspot-episode log, optum.hotspot.v1 (DESIGN.md §13).
+  HotspotLog* hotspot_log = nullptr;
+  // Streaming gauge time series, optum.series.v1 (DESIGN.md §11); requires
+  // `metrics` on components that sample it.
+  TimeSeriesRecorder* series = nullptr;
+
+  bool any() const {
+    return metrics != nullptr || span_log != nullptr || decision_log != nullptr ||
+           hotspot_log != nullptr || series != nullptr;
+  }
+};
+
+}  // namespace optum::obs
+
+#endif  // OPTUM_SRC_OBS_SINKS_H_

@@ -38,10 +38,13 @@ class AlibabaBaseline : public PlacementPolicy {
   explicit AlibabaBaseline(BaselineOptions options = {});
   PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
                           const ClusterState& cluster) override;
-  // Emits sampled/scored lifecycle spans per Place() call (DESIGN.md §11);
-  // Place() runs serially, so emission is in-line. score = best alignment
-  // score when a host was chosen.
-  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
+  // Adopts sinks.span_log: emits sampled/scored lifecycle spans per Place()
+  // call (DESIGN.md §11); Place() runs serially, so emission is in-line.
+  // score = best alignment score when a host was chosen.
+  void AttachSinks(const obs::Sinks& sinks) override {
+    PlacementPolicy::AttachSinks(sinks);
+    span_log_ = sinks.span_log;
+  }
   std::string name() const override { return "Alibaba"; }
 
  private:
@@ -61,9 +64,12 @@ class PredictorBestFit : public PlacementPolicy {
 
   PlacementDecision Place(const PodSpec& pod, const AppProfile& app,
                           const ClusterState& cluster) override;
-  // As AlibabaBaseline::set_span_log; score = negated best-fit headroom of
+  // As AlibabaBaseline::AttachSinks; score = negated best-fit headroom of
   // the chosen host (larger is tighter fit).
-  void set_span_log(obs::SpanLog* log) override { span_log_ = log; }
+  void AttachSinks(const obs::Sinks& sinks) override {
+    PlacementPolicy::AttachSinks(sinks);
+    span_log_ = sinks.span_log;
+  }
   std::string name() const override { return name_; }
 
  private:

@@ -27,9 +27,13 @@ std::vector<HostId> SampleHosts(const ClusterState& cluster, double fraction,
                                 size_t min_count, Rng& rng);
 
 // As SampleHosts, but writes the sample into `out` and keeps the full host-id
-// permutation working set in `scratch`, so a scheduler calling it per pod
-// allocates nothing in steady state. Identical draws from `rng` and an
-// identical resulting sample to the allocating overload.
+// identity array in `scratch`, so a scheduler calling it per pod allocates
+// nothing in steady state and pays O(sample) per call, not O(hosts): the
+// partial Fisher-Yates swaps are undone before returning, leaving `scratch`
+// as 0..n-1 for the next call instead of rebuilding it. Identical draws from
+// `rng` and an identical resulting sample to the allocating overload. Treat
+// `scratch` as opaque between calls — hand-written contents are overwritten
+// only when the cluster size changes.
 void SampleHostsInto(const ClusterState& cluster, double fraction, size_t min_count,
                      Rng& rng, std::vector<HostId>* scratch, std::vector<HostId>* out);
 

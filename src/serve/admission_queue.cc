@@ -13,49 +13,75 @@ AdmissionQueue::AdmissionQueue(size_t capacity_per_shard, size_t num_shards)
 }
 
 bool AdmissionQueue::Offer(ServePod* pod) {
-  ++stats_.offered;
-  auto& shard = shards_[ShardOf(*pod)];
-  if (shard.size() >= capacity_per_shard_) {
-    ++stats_.rejected_full;
-    return false;
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[ShardOf(*pod)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.queue.size() >= capacity_per_shard_) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.queue.push_back(pod);
   }
-  shard.push_back(pod);
-  ++stats_.admitted;
-  NotePeak();
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  NotePeak(depth_.fetch_add(1, std::memory_order_relaxed) + 1);
   return true;
 }
 
 void AdmissionQueue::Requeue(ServePod* pod) {
-  shards_[ShardOf(*pod)].push_back(pod);
-  ++stats_.requeued;
-  NotePeak();
+  Shard& shard = shards_[ShardOf(*pod)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.queue.push_back(pod);
+  }
+  requeued_.fetch_add(1, std::memory_order_relaxed);
+  NotePeak(depth_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 size_t AdmissionQueue::PopBatch(size_t max_pods, std::vector<ServePod*>* out) {
   size_t popped = 0;
+  // `empty()` is a racy read under concurrent Offer, but only in the safe
+  // direction: a pod offered mid-drain is picked up next call.
   while (popped < max_pods && !empty()) {
-    auto& shard = shards_[cursor_];
+    Shard& shard = shards_[cursor_];
     cursor_ = (cursor_ + 1) % shards_.size();
-    if (shard.empty()) {
-      continue;
+    ServePod* pod = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.queue.empty()) {
+        continue;
+      }
+      pod = shard.queue.front();
+      shard.queue.pop_front();
     }
-    out->push_back(shard.front());
-    shard.pop_front();
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    out->push_back(pod);
     ++popped;
   }
   return popped;
 }
 
-size_t AdmissionQueue::depth() const {
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard.size();
-  }
-  return total;
+size_t AdmissionQueue::shard_depth(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].queue.size();
 }
 
-void AdmissionQueue::NotePeak() {
-  stats_.peak_depth = std::max(stats_.peak_depth, depth());
+AdmissionStats AdmissionQueue::stats() const {
+  AdmissionStats s;
+  s.offered = offered_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.requeued = requeued_.load(std::memory_order_relaxed);
+  s.peak_depth = peak_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AdmissionQueue::NotePeak(size_t depth_now) {
+  size_t peak = peak_depth_.load(std::memory_order_relaxed);
+  while (depth_now > peak &&
+         !peak_depth_.compare_exchange_weak(peak, depth_now,
+                                            std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace optum::serve

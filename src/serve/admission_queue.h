@@ -12,12 +12,24 @@
 //
 // The queue stores raw ServePod pointers; PlacementService owns the pods
 // (append-only deque, so addresses are stable for the service's lifetime).
-// Everything here runs on the service's serial round loop — no locking.
+//
+// Threading: Offer()/Requeue() may be called from the service's ingest
+// thread concurrently with depth()/stats() readers — each sub-queue is
+// guarded by its own mutex and every statistic is an atomic, so concurrent
+// offers are never lost or double-counted. PopBatch() keeps a single
+// consumer: it is safe against concurrent Offer() but must not race another
+// PopBatch() (the rotation cursor is consumer-owned). The service's
+// hand-off barrier additionally serializes producer and consumer phases,
+// which is what keeps admitted/rejected counts and peak depth
+// bit-deterministic — the locks guarantee safety for any interleaving, the
+// barrier pins down the one interleaving the deterministic rows need.
 #ifndef OPTUM_SRC_SERVE_ADMISSION_QUEUE_H_
 #define OPTUM_SRC_SERVE_ADMISSION_QUEUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "src/trace/app_model.h"
@@ -39,6 +51,9 @@ struct ServePod {
   PodRuntime* runtime = nullptr;
 };
 
+// Point-in-time snapshot of the queue's counters (plain values, safe to
+// copy around; taken with relaxed loads — exact once producer and consumer
+// are quiesced, e.g. at a round barrier or after a run).
 struct AdmissionStats {
   int64_t offered = 0;        // Offer() calls
   int64_t admitted = 0;       // accepted into a sub-queue
@@ -53,37 +68,52 @@ class AdmissionQueue {
 
   // Admits the pod into its shard's sub-queue (shard = pod id modulo shard
   // count — deterministic, so replays shard identically). Returns false and
-  // counts a rejection when that sub-queue is full.
+  // counts a rejection when that sub-queue is full. Thread-safe.
   bool Offer(ServePod* pod);
 
   // Re-enqueues a pod whose placement attempt failed (rejection or lost
   // conflict). Retries are already-admitted work, so they bypass the
   // capacity check — backpressure applies at the front door only; the
-  // service bounds retries with its requeue budget instead.
+  // service bounds retries with its requeue budget instead. Thread-safe.
   void Requeue(ServePod* pod);
 
   // Pops up to max_pods, round-robin one pod per non-empty shard per step,
   // appending to *out. Returns the number popped. The rotation cursor
   // persists across calls so no shard is structurally favored.
+  // Single-consumer: safe against concurrent Offer(), not against a second
+  // PopBatch().
   size_t PopBatch(size_t max_pods, std::vector<ServePod*>* out);
 
-  size_t depth() const;
-  size_t shard_depth(size_t shard) const { return shards_[shard].size(); }
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  size_t shard_depth(size_t shard) const;
   size_t num_shards() const { return shards_.size(); }
   size_t capacity_per_shard() const { return capacity_per_shard_; }
   bool empty() const { return depth() == 0; }
-  const AdmissionStats& stats() const { return stats_; }
+  AdmissionStats stats() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<ServePod*> queue;
+  };
+
   size_t ShardOf(const ServePod& pod) const {
     return static_cast<size_t>(pod.spec.id) % shards_.size();
   }
-  void NotePeak();
+  void NotePeak(size_t depth_now);
 
-  std::vector<std::deque<ServePod*>> shards_;
+  // Constructed once to the shard count and never resized (Shard holds a
+  // mutex, so the vector must not reallocate).
+  std::vector<Shard> shards_;
   size_t capacity_per_shard_;
-  size_t cursor_ = 0;
-  AdmissionStats stats_;
+  size_t cursor_ = 0;  // PopBatch rotation; consumer-owned
+
+  std::atomic<size_t> depth_{0};
+  std::atomic<int64_t> offered_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> rejected_full_{0};
+  std::atomic<int64_t> requeued_{0};
+  std::atomic<size_t> peak_depth_{0};
 };
 
 }  // namespace optum::serve

@@ -17,20 +17,29 @@
 //   1. arrivals  — the open-loop driver emits this round's pods; each is
 //      offered to the bounded admission queue (rejection = backpressure,
 //      counted, never blocks the driver — that is what keeps the loop open).
+//      With ServeConfig::ingest_threads == 1 the emission runs on a
+//      producer thread during the previous round and is applied at a
+//      hand-off barrier here — same offers, same spans, same counters.
 //   2. schedule  — up to max_schedule_per_round pods pop round-robin across
 //      queue shards and go through one DistributedCoordinator batch
 //      (parallel shard decisions, serial conflict resolution). Winners
 //      commit into the cluster and record their latency; losers requeue
-//      until their cross-round requeue budget runs out, then drop.
+//      until their cross-round requeue budget runs out, then drop. With
+//      ServeConfig::pipeline_depth > 1 each shard additionally keeps its
+//      next head pods speculatively scored against an epoch-snapshotted
+//      host view (DESIGN.md §12) — bit-identical decisions, fewer fresh
+//      evaluations per round.
 //   3. departures — pods whose exponential residency expired free their
 //      hosts. Residency is drawn from a per-pod-id-seeded stream, so depart
 //      rounds are identical regardless of placement order or shard count.
 #ifndef OPTUM_SRC_SERVE_PLACEMENT_SERVICE_H_
 #define OPTUM_SRC_SERVE_PLACEMENT_SERVICE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -49,6 +58,20 @@ struct ServeConfig {
   // Shard fleet: distributed.num_schedulers is also the admission-queue
   // shard count, so queue partitioning matches scheduler ownership.
   core::DistributedConfig distributed;
+  // Conflict-round pipelining depth (DESIGN.md §12): with depth D > 1 each
+  // coordinator shard keeps up to D-1 future head pods speculatively scored
+  // against an epoch-snapshotted host view while the serial resolver
+  // commits the current round. Rows, placed sets, and SLO counters are
+  // bit-identical for every depth; depth 1 is the classic serial loop.
+  // Forwarded into distributed.pipeline_depth (the larger of the two wins).
+  size_t pipeline_depth = 1;
+  // Ingest threads: 1 moves arrival generation onto a producer thread that
+  // pre-builds the next round's pods while the current round schedules, and
+  // applies them (pod registration, submitted spans, queue offers) at a
+  // hand-off barrier — so backpressure decisions and every exported row
+  // stay bit-identical to inline ingest (0). The Poisson arrival stream is
+  // a single serial rng, so at most one ingest thread is supported.
+  size_t ingest_threads = 0;
   // Bounded ingest: Offer() rejects once a shard's sub-queue holds this many.
   size_t queue_capacity_per_shard = 4096;
   // Service-rate cap: pods handed to the coordinator per round. Offered
@@ -96,7 +119,7 @@ class PlacementService {
   int64_t Drain();
 
   const ServeCounters& counters() const { return counters_; }
-  const AdmissionStats& admission_stats() const { return queue_.stats(); }
+  AdmissionStats admission_stats() const { return queue_.stats(); }
   int64_t round() const { return round_; }
   size_t queue_depth() const { return queue_.depth(); }
 
@@ -118,15 +141,34 @@ class PlacementService {
   // One optum.latency.v1 row describing the run so far.
   LatencyRow MakeLatencyRow() const;
 
-  // Publishes serve.* counters (arrivals/admitted/rejected/placed/dropped/
-  // departed, lane 0 — the round loop is serial) and attaches the
-  // coordinator's dist.* + per-shard metrics. nullptr detaches.
-  void AttachMetrics(obs::MetricRegistry* registry);
+  // Unified sink attach (obs::Sinks contract). Adopts:
+  //   * sinks.metrics — serve.* counters (arrivals/admitted/rejected/
+  //     placed/dropped/departed, lane 0 — the round loop is serial) plus
+  //     the coordinator's dist.* and per-shard metrics.
+  //   * sinks.span_log — the service appends submitted spans for arrivals
+  //     and finished spans for departures; the coordinator appends placed
+  //     (with wait_ticks in rounds) and conflict_retried. With ingest
+  //     threads, submitted spans are appended by the producer strictly
+  //     while the round loop is parked at the hand-off barrier, honoring
+  //     the SpanLog serial contract.
+  //   * sinks.series — streaming gauge series, sampled once per round after
+  //     the pressure gauges update (requires sinks.metrics).
+  // Other fields are ignored here (attach a decision log per shard via
+  // coordinator().shard(i) — which also disables that shard's speculation —
+  // and a hotspot log via the pressure monitor). Fields left nullptr
+  // detach.
+  void AttachSinks(const obs::Sinks& sinks);
 
-  // Span log (nullptr detaches): the service appends submitted spans for
-  // arrivals and finished spans for departures; the coordinator appends
-  // placed (with wait_ticks in rounds) and conflict_retried. All appends
-  // happen on the serial round loop, honoring the SpanLog contract.
+  // Deprecated: metrics-only attach; thin forwarder updating just the
+  // metrics slot of the Sinks surface.
+  void AttachMetrics(obs::MetricRegistry* registry) {
+    obs::Sinks sinks = sinks_;
+    sinks.metrics = registry;
+    AttachSinks(sinks);
+  }
+
+  // Deprecated: span-log-only attach (nullptr detaches); thin forwarder
+  // updating just the span-log slot.
   void set_span_log(obs::SpanLog* log);
 
   // Host-pressure monitor (DESIGN.md §13; nullptr detaches). At the end of
@@ -141,9 +183,12 @@ class PlacementService {
     pressure_ = monitor;
   }
 
-  // Optional streaming gauge series, sampled once per round after the
-  // pressure gauges update (requires AttachMetrics; nullptr detaches).
-  void set_series(obs::TimeSeriesRecorder* series) { series_ = series; }
+  // Deprecated: series-only attach (nullptr detaches); thin forwarder
+  // updating just the series slot of the Sinks surface.
+  void set_series(obs::TimeSeriesRecorder* series) {
+    sinks_.series = series;
+    series_ = series;
+  }
 
   core::DistributedCoordinator& coordinator() { return coordinator_; }
 
@@ -154,6 +199,14 @@ class PlacementService {
   void RecordPlacement(const core::ScheduleProposal& winner);
   void ProcessDepartures();
   void SamplePressure();
+  // Registers one round's arrivals: pod storage, submitted spans, queue
+  // offers, counters. Called inline (ingest_threads == 0) or by the ingest
+  // producer while the round loop is parked at the barrier.
+  void ApplyArrivals(int64_t round, const std::vector<PodSpec>& specs);
+  // Producer body for rounds [first, last]: pre-generates round r+1's
+  // arrivals while the consumer schedules round r, applies them once the
+  // consumer opens round r+1's barrier, then signals readiness.
+  void IngestLoop(int64_t first, int64_t last);
 
   const Workload& workload_;
   ClusterState* cluster_;
@@ -184,6 +237,20 @@ class PlacementService {
   std::vector<ServePod*> batch_scratch_;
   std::vector<const PodSpec*> spec_scratch_;
 
+  // Ingest hand-off state (ingest_threads == 1). The consumer publishes
+  // `allow` (arrivals for rounds <= allow may be applied) and waits for
+  // `ready` (arrivals through this round are applied); the producer applies
+  // a round's arrivals only inside that window, while the consumer is
+  // parked — so all shared mutation is barrier-serialized and every
+  // counter, span, and backpressure decision lands exactly as inline
+  // ingest would order it.
+  bool ingest_active_ = false;  // consumer-owned
+  std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  int64_t ingest_allow_ = -1;  // guarded by ingest_mu_
+  int64_t ingest_ready_ = -1;  // guarded by ingest_mu_
+
+  obs::Sinks sinks_;
   obs::SpanLog* span_log_ = nullptr;
   obs::HostPressureMonitor* pressure_ = nullptr;
   obs::TimeSeriesRecorder* series_ = nullptr;

@@ -6,11 +6,8 @@
 
 #include <string>
 
+#include "src/obs/sinks.h"
 #include "src/sim/cluster.h"
-
-namespace optum::obs {
-class SpanLog;
-}  // namespace optum::obs
 
 namespace optum {
 
@@ -54,12 +51,30 @@ class PlacementPolicy {
     (void)cluster;
   }
 
-  // Optional pod-lifecycle span log (DESIGN.md §11): policies that support
-  // tracing emit sampled/scored transitions from their serial paths into
-  // `log` (nullptr detaches). Default is a no-op so stateless baselines
-  // need not care. Pass the same log the simulator uses so one file holds
-  // the full submitted→placed chain.
-  virtual void set_span_log(obs::SpanLog* log) { (void)log; }
+  // Unified observability attach point (obs::Sinks contract): policies that
+  // support instrumentation adopt the sinks they understand — e.g. emit
+  // sampled/scored span transitions from their serial paths into
+  // sinks.span_log — and ignore the rest. Default is a no-op so stateless
+  // baselines need not care. Pass the same span log the simulator uses so
+  // one file holds the full submitted→placed chain. Overrides call the base
+  // first so `sinks_` always reflects the last attach.
+  virtual void AttachSinks(const obs::Sinks& sinks) { sinks_ = sinks; }
+
+  // Deprecated: pre-Sinks attach surface, kept as a thin forwarder so
+  // out-of-tree policies and callers compile. Updates only the span-log
+  // slot; new code should attach everything at once via AttachSinks.
+  virtual void set_span_log(obs::SpanLog* log) {
+    obs::Sinks sinks = sinks_;
+    sinks.span_log = log;
+    AttachSinks(sinks);
+  }
+
+ protected:
+  // Last-attached sinks, maintained by derived AttachSinks overrides that
+  // call this base (or by the deprecated forwarder above).
+  obs::Sinks sinks_;
+
+ public:
 
   virtual std::string name() const = 0;
 };

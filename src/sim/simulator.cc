@@ -57,12 +57,12 @@ Simulator::Simulator(const Workload& workload, SimConfig config, PlacementPolicy
   if (config_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
-  OPTUM_CHECK_MSG(config_.series == nullptr || config_.metrics != nullptr,
+  OPTUM_CHECK_MSG(config_.sinks.series == nullptr || config_.sinks.metrics != nullptr,
                   "SimConfig::series requires SimConfig::metrics");
   wait_by_pod_.resize(workload.pods.size());
   tick_scratch_.resize(static_cast<size_t>(workload.config.num_hosts));
-  if (config_.metrics != nullptr) {
-    obs::MetricRegistry* m = config_.metrics;
+  if (config_.sinks.metrics != nullptr) {
+    obs::MetricRegistry* m = config_.sinks.metrics;
     sim_metrics_.tick_timer = m->histogram("sim.tick_seconds");
     sim_metrics_.cpu_util = m->gauge("sim.avg_cpu_util_nonidle");
     sim_metrics_.mem_util = m->gauge("sim.avg_mem_util_nonidle");
@@ -112,8 +112,8 @@ void Simulator::EnqueueArrivals() {
     const int prio = SchedulingPriority(spec->slo);
     pending_[prio].push_back(PendingPod{spec, now_});
     ++next_arrival_;
-    if (config_.span_log != nullptr) {
-      config_.span_log->Append(
+    if (config_.sinks.span_log != nullptr) {
+      config_.sinks.span_log->Append(
           {.tick = now_, .pod = spec->id, .phase = obs::SpanPhase::kSubmitted});
     }
   }
@@ -132,8 +132,8 @@ void Simulator::CommitPlacement(const PodSpec& spec, const AppProfile& app, Host
   AddRunning(pod);
   ++result_.scheduled_pods;
   policy_.OnPodPlaced(*pod, cluster_);
-  if (config_.span_log != nullptr) {
-    config_.span_log->Append({.tick = now_,
+  if (config_.sinks.span_log != nullptr) {
+    config_.sinks.span_log->Append({.tick = now_,
                               .pod = spec.id,
                               .phase = obs::SpanPhase::kPlaced,
                               .host = host,
@@ -190,8 +190,8 @@ bool Simulator::TryPreemptForLsr(const PodSpec& pod, const AppProfile& app) {
     }
     ++result_.preemptions;
     policy_.OnPodFinished(*victim, cluster_);
-    if (config_.span_log != nullptr) {
-      config_.span_log->Append({.tick = now_,
+    if (config_.sinks.span_log != nullptr) {
+      config_.sinks.span_log->Append({.tick = now_,
                                 .pod = victim->spec.id,
                                 .phase = obs::SpanPhase::kEvicted,
                                 .host = victim->host,
@@ -232,8 +232,8 @@ void Simulator::SchedulePending() {
         continue;
       }
       NoteWaitReason(spec, decision.reason);
-      if (config_.span_log != nullptr) {
-        config_.span_log->Append({.tick = now_,
+      if (config_.sinks.span_log != nullptr) {
+        config_.sinks.span_log->Append({.tick = now_,
                                   .pod = spec.id,
                                   .phase = obs::SpanPhase::kQueued,
                                   .reason = ToString(decision.reason)});
@@ -299,8 +299,8 @@ void Simulator::UpdateUsageAndPerformance() {
       ++result_.oom_kills;
       demand -= Resources{victim->cpu_demand, victim->mem_usage};
       policy_.OnPodFinished(*victim, cluster_);
-      if (config_.span_log != nullptr) {
-        config_.span_log->Append({.tick = now_,
+      if (config_.sinks.span_log != nullptr) {
+        config_.sinks.span_log->Append({.tick = now_,
                                   .pod = victim->spec.id,
                                   .phase = obs::SpanPhase::kEvicted,
                                   .host = victim->host,
@@ -389,8 +389,8 @@ void Simulator::FinishPod(PodRuntime* pod, Tick finish_tick) {
   result_.trace.lifecycles.push_back(rec);
 
   policy_.OnPodFinished(*pod, cluster_);
-  if (config_.span_log != nullptr) {
-    config_.span_log->Append({.tick = finish_tick,
+  if (config_.sinks.span_log != nullptr) {
+    config_.sinks.span_log->Append({.tick = finish_tick,
                               .pod = pod->spec.id,
                               .phase = obs::SpanPhase::kFinished,
                               .host = pod->host});
@@ -592,14 +592,14 @@ SimResult Simulator::Run() {
       HandleCompletions();
       RecordRunningState();
     }
-    if (config_.metrics != nullptr) {
+    if (config_.sinks.metrics != nullptr) {
       SampleMetrics();
     }
     if (config_.pressure != nullptr) {
       SamplePressure();
     }
-    if (config_.series != nullptr) {
-      config_.series->Sample(now_);
+    if (config_.sinks.series != nullptr) {
+      config_.sinks.series->Sample(now_);
     }
     if (config_.on_tick_end) {
       config_.on_tick_end(cluster_, now_);
@@ -609,11 +609,11 @@ SimResult Simulator::Run() {
   if (config_.pressure != nullptr) {
     config_.pressure->Finalize();
   }
-  if (config_.span_log != nullptr) {
-    config_.span_log->Flush();
+  if (config_.sinks.span_log != nullptr) {
+    config_.sinks.span_log->Flush();
   }
-  if (config_.series != nullptr) {
-    config_.series->Flush();
+  if (config_.sinks.series != nullptr) {
+    config_.sinks.series->Flush();
   }
   return std::move(result_);
 }

@@ -13,6 +13,7 @@
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/pressure.h"
+#include "src/obs/sinks.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
@@ -58,25 +59,25 @@ struct SimConfig {
   // performance updates. Benches use it to snapshot predictor inputs.
   std::function<void(const ClusterState&, Tick)> on_tick_end;
 
-  // Optional observability registry (DESIGN.md §9). When set, every tick
-  // updates the sim.* gauges (cluster CPU/mem utilization, pending-queue
-  // depth, running pods, cumulative violations/OOM kills/preemptions) and
-  // records the tick's wall time into the sim.tick_seconds histogram.
-  // Metrics never feed back into scheduling, so results are identical with
-  // or without.
-  obs::MetricRegistry* metrics = nullptr;
-
-  // Optional pod-lifecycle span log (DESIGN.md §11). The simulator emits
-  // submitted/queued/placed/finished/evicted transitions from its serial
-  // phases; sampled/scored come from the placement policy (pass the same
-  // log to PlacementPolicy::set_span_log). Span output carries only tick
-  // timestamps, so the file is bit-identical for every num_threads.
-  obs::SpanLog* span_log = nullptr;
-
-  // Optional streaming gauge time series, sampled once per tick after the
-  // sim.* gauges update. Requires `metrics` (the recorder snapshots that
-  // registry's gauges); the constructor enforces this.
-  obs::TimeSeriesRecorder* series = nullptr;
+  // Observability sinks (obs::Sinks contract), all optional:
+  //   * sinks.metrics — every tick updates the sim.* gauges (cluster
+  //     CPU/mem utilization, pending-queue depth, running pods, cumulative
+  //     violations/OOM kills/preemptions) and records the tick's wall time
+  //     into the sim.tick_seconds histogram (DESIGN.md §9). Metrics never
+  //     feed back into scheduling, so results are identical with or
+  //     without.
+  //   * sinks.span_log — pod-lifecycle spans (DESIGN.md §11): the simulator
+  //     emits submitted/queued/placed/finished/evicted transitions from its
+  //     serial phases; sampled/scored come from the placement policy (pass
+  //     the same Sinks to PlacementPolicy::AttachSinks). Span output
+  //     carries only tick timestamps, so the file is bit-identical for
+  //     every num_threads.
+  //   * sinks.series — streaming gauge time series, sampled once per tick
+  //     after the sim.* gauges update. Requires sinks.metrics (the recorder
+  //     snapshots that registry's gauges); the constructor enforces this.
+  // sinks.decision_log / sinks.hotspot_log are ignored here — attach them
+  // to the scheduler and the pressure monitor respectively.
+  obs::Sinks sinks;
 
   // Optional host-pressure monitor (DESIGN.md §13). When set, every tick
   // feeds each host's demand-based utilization, the optional

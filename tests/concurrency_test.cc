@@ -96,11 +96,11 @@ StreamResult StreamPlacements(const OptumProfiles& profiles,
   config.num_threads = num_threads;
   config.score_mode = score_mode;
   OptumScheduler scheduler(profiles, config);
-  if (registry != nullptr) {
-    scheduler.AttachMetrics(registry);
-  }
-  scheduler.set_decision_log(decision_log);
-  scheduler.set_span_log(span_log);
+  obs::Sinks sinks;
+  sinks.metrics = registry;
+  sinks.decision_log = decision_log;
+  sinks.span_log = span_log;
+  scheduler.AttachSinks(sinks);
 
   StreamResult result;
   size_t evict_cursor = 0;

@@ -261,7 +261,9 @@ TEST(DistributedTest, AttachMetricsCountsRoundsCommitsAndConflicts) {
   config.scheduler_config.min_candidates = 8;
   DistributedCoordinator coordinator(profiles, config);
   obs::MetricRegistry registry;
-  coordinator.AttachMetrics(&registry);
+  obs::Sinks metric_sinks;
+  metric_sinks.metrics = &registry;
+  coordinator.AttachSinks(metric_sinks);
   EXPECT_GE(registry.num_lanes(), 4u);
   const DistributedOutcome outcome =
       coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
@@ -317,7 +319,9 @@ TEST(DistributedTest, SpanLogTracesCommitsAndConflicts) {
     obs::SpanLog span_log(path);
     ASSERT_TRUE(span_log.ok());
     span_log.AttachMetrics(&registry);
-    coordinator.set_span_log(&span_log);
+    obs::Sinks sinks;
+    sinks.span_log = &span_log;
+    coordinator.AttachSinks(sinks);
     outcome =
         coordinator.ScheduleBatch(batch, cluster, [&](const ScheduleProposal& w) {
           cluster.Place(pods[static_cast<size_t>(w.pod)], &app, w.host, 0);

@@ -466,7 +466,9 @@ StormRun RunStorm(size_t threads) {
   {
     HotspotLog log(path);
     EXPECT_TRUE(log.ok());
-    monitor.set_hotspot_log(&log);
+    obs::Sinks sinks;
+    sinks.hotspot_log = &log;
+    monitor.AttachSinks(sinks, "serve");
     service.set_pressure_monitor(&monitor);
     service.RunRounds(40);
     service.Drain();

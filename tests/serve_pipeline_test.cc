@@ -1,0 +1,402 @@
+// Pipelined serve rounds (DESIGN.md §12): the two-stage round loop —
+// speculative shard scoring against an epoch-snapshotted host view plus the
+// multi-threaded ingest hand-off — must be a pure wall-clock optimization.
+// These tests pin the contract: optum.latency.v1 rows, placed-pod sets,
+// admission accounting, serve counters, and SLO-violation accounting are
+// bit-identical across every {pipeline_depth} × {shard_num_threads} ×
+// {ingest_threads} combination; the admission queue survives genuinely
+// concurrent offers; and a speculative score finalized after cluster
+// mutation equals a fresh PlaceScored. Labeled `concurrency` so the suite
+// also runs under TSan / ASan+UBSan via tools/sanitize_runner.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/offline_profiler.h"
+#include "src/core/optum_scheduler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/pressure.h"
+#include "src/obs/span_log.h"
+#include "src/sched/baselines.h"
+#include "src/serve/placement_service.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload_generator.h"
+
+namespace optum {
+namespace {
+
+using core::OptumProfiles;
+using core::OptumScheduler;
+
+Workload MakeWorkload(int hosts, Tick horizon, uint64_t seed) {
+  WorkloadConfig config;
+  config.num_hosts = hosts;
+  config.horizon = horizon;
+  config.seed = seed;
+  return WorkloadGenerator(config).Generate();
+}
+
+// Shared world: profiles trained once, reused by every test below.
+struct ServeWorld {
+  Workload workload;
+  OptumProfiles profiles;
+};
+
+const ServeWorld& World() {
+  static const ServeWorld* world = [] {
+    auto* w = new ServeWorld;
+    w->workload = MakeWorkload(64, 3 * kTicksPerHour, 23);
+    SimConfig sim_config;
+    sim_config.pod_usage_period = 5;
+    sim_config.max_attempts_per_tick = 1500;
+    AlibabaBaseline reference;
+    const SimResult ref = Simulator(w->workload, sim_config, reference).Run();
+    core::OfflineProfilerConfig prof;
+    prof.max_train_samples = 600;
+    w->profiles = core::OfflineProfiler(prof).BuildProfiles(ref.trace);
+    return w;
+  }();
+  return *world;
+}
+
+// Everything a pipelined run can observably produce.
+struct RunResult {
+  std::string row;              // RenderLatencyRow — the exported JSONL row
+  std::vector<PodId> placed;    // placed-pod set, ascending
+  std::string slo_json;         // merged optum.slo.v1 document
+  serve::AdmissionStats stats;
+  serve::ServeCounters counters;
+  uint64_t memo_hits = 0;       // summed over shards
+};
+
+// One service run in a mild-overload regime with departures, so requeues,
+// waits, epoch churn, and SLO violations all occur — the paths speculation
+// has to get right.
+RunResult RunPipelined(size_t pipeline_depth, size_t shard_threads,
+                       size_t ingest_threads) {
+  const ServeWorld& world = World();
+  serve::ServeConfig config;
+  config.arrival.offered_pods_per_sec = 120.0;
+  config.arrival.round_seconds = 1.0;
+  config.distributed.num_schedulers = 2;
+  config.distributed.max_attempts_per_pod = 8;
+  config.distributed.shard_num_threads = shard_threads;
+  config.queue_capacity_per_shard = 1024;
+  config.max_schedule_per_round = 48;  // mild overload: nonzero waits
+  config.max_requeues = 8;
+  config.mean_residency_rounds = 12.0;  // departures churn host epochs
+  config.keep_exact_latencies = true;
+  config.pipeline_depth = pipeline_depth;
+  config.ingest_threads = ingest_threads;
+
+  obs::HostPressureMonitor::Options mopts;
+  mopts.num_slo_shards = config.distributed.num_schedulers;
+  mopts.seconds_per_tick = config.arrival.round_seconds;
+  mopts.pressure.slo_threshold = 0.5;  // low bar so violation time accrues
+  obs::HostPressureMonitor monitor(300, mopts);
+
+  ClusterState cluster(300, kUnitResources, /*history_window=*/64);
+  serve::PlacementService service(world.workload, world.profiles, &cluster,
+                                  config);
+  service.set_pressure_monitor(&monitor);
+  service.RunRounds(10);
+  service.Drain();
+  monitor.Finalize();
+
+  RunResult out;
+  out.row = serve::RenderLatencyRow(service.MakeLatencyRow());
+  out.placed = service.PlacedPodIds();
+  out.slo_json = monitor.MergedSlo().RenderJson(monitor.seconds_per_tick());
+  out.stats = service.admission_stats();
+  out.counters = service.counters();
+  for (size_t s = 0; s < service.coordinator().num_schedulers(); ++s) {
+    out.memo_hits += service.coordinator().shard(s).eval_memo_hits();
+  }
+  return out;
+}
+
+// The tentpole invariant: the serial depth-1 single-threaded inline-ingest
+// loop and every pipelined/threaded variant export the same bytes.
+TEST(PipelinedServeTest, RowsPlacedSetsAndSloBitIdenticalAcrossMatrix) {
+  const RunResult base = RunPipelined(/*pipeline_depth=*/1,
+                                      /*shard_threads=*/0,
+                                      /*ingest_threads=*/0);
+  EXPECT_GT(base.counters.placed, 0);
+  EXPECT_GT(base.counters.departed, 0);
+  EXPECT_GT(base.counters.conflicts, 0);
+  EXPECT_EQ(base.memo_hits, 0u);  // depth 1 never touches the memo
+
+  uint64_t pipelined_memo_hits = 0;
+  constexpr size_t kThreads[] = {0, 1, 2, 8};
+  for (const size_t depth : {size_t{1}, size_t{2}, size_t{3}}) {
+    for (size_t t = 0; t < 4; ++t) {
+      const size_t threads = kThreads[t];
+      const size_t ingest = t % 2;  // alternate inline / producer ingest
+      if (depth == 1 && threads == 0 && ingest == 0) {
+        continue;  // the baseline itself
+      }
+      const RunResult r = RunPipelined(depth, threads, ingest);
+      const std::string label = "depth=" + std::to_string(depth) +
+                                " threads=" + std::to_string(threads) +
+                                " ingest=" + std::to_string(ingest);
+      EXPECT_EQ(r.row, base.row) << label;
+      EXPECT_EQ(r.placed, base.placed) << label;
+      EXPECT_EQ(r.slo_json, base.slo_json) << label;
+      EXPECT_EQ(r.stats.offered, base.stats.offered) << label;
+      EXPECT_EQ(r.stats.admitted, base.stats.admitted) << label;
+      EXPECT_EQ(r.stats.rejected_full, base.stats.rejected_full) << label;
+      EXPECT_EQ(r.stats.requeued, base.stats.requeued) << label;
+      EXPECT_EQ(r.stats.peak_depth, base.stats.peak_depth) << label;
+      EXPECT_EQ(r.counters.rounds, base.counters.rounds) << label;
+      EXPECT_EQ(r.counters.arrivals, base.counters.arrivals) << label;
+      EXPECT_EQ(r.counters.placed, base.counters.placed) << label;
+      EXPECT_EQ(r.counters.dropped, base.counters.dropped) << label;
+      EXPECT_EQ(r.counters.departed, base.counters.departed) << label;
+      EXPECT_EQ(r.counters.conflicts, base.counters.conflicts) << label;
+      EXPECT_EQ(r.counters.schedule_rounds, base.counters.schedule_rounds)
+          << label;
+      if (depth > 1) {
+        pipelined_memo_hits += r.memo_hits;
+      }
+    }
+  }
+  // The pipeline must actually be working, not silently degrading to the
+  // serial path: speculative rounds reuse memoized evaluations.
+  EXPECT_GT(pipelined_memo_hits, 0u);
+}
+
+// A shard with a decision log attached declines to speculate (per-candidate
+// cache-miss tagging would be skewed by the memo) but must stay
+// bit-identical through the coordinator's PlaceScored fallback.
+TEST(PipelinedServeTest, DecisionLogShardFallsBackBitIdentically) {
+  const RunResult base = RunPipelined(1, 0, 0);
+
+  const ServeWorld& world = World();
+  serve::ServeConfig config;
+  config.arrival.offered_pods_per_sec = 120.0;
+  config.arrival.round_seconds = 1.0;
+  config.distributed.num_schedulers = 2;
+  config.distributed.max_attempts_per_pod = 8;
+  config.queue_capacity_per_shard = 1024;
+  config.max_schedule_per_round = 48;
+  config.max_requeues = 8;
+  config.mean_residency_rounds = 12.0;
+  config.keep_exact_latencies = true;
+  config.pipeline_depth = 2;
+  obs::HostPressureMonitor::Options mopts;
+  mopts.num_slo_shards = config.distributed.num_schedulers;
+  mopts.seconds_per_tick = config.arrival.round_seconds;
+  mopts.pressure.slo_threshold = 0.5;
+  obs::HostPressureMonitor monitor(300, mopts);
+  ClusterState cluster(300, kUnitResources, /*history_window=*/64);
+  serve::PlacementService service(world.workload, world.profiles, &cluster,
+                                  config);
+  service.set_pressure_monitor(&monitor);
+  obs::DecisionLog decision_log("/dev/null");
+  ASSERT_TRUE(decision_log.ok());
+  service.coordinator().shard(0).set_decision_log(&decision_log);
+  EXPECT_FALSE(service.coordinator().shard(0).speculation_supported());
+  service.RunRounds(10);
+  service.Drain();
+  monitor.Finalize();
+  EXPECT_EQ(serve::RenderLatencyRow(service.MakeLatencyRow()), base.row);
+  EXPECT_EQ(service.PlacedPodIds(), base.placed);
+  EXPECT_EQ(monitor.MergedSlo().RenderJson(monitor.seconds_per_tick()),
+            base.slo_json);
+  EXPECT_EQ(service.coordinator().shard(0).eval_memo_hits(), 0u);
+  EXPECT_GT(decision_log.records_written(), 0);
+}
+
+// BeginSpeculative → cluster mutation → FinalizeSpeculative must equal a
+// fresh PlaceScored issued at finalize time, including when the mutation
+// invalidates candidates the speculation already scored.
+TEST(SpeculativeSchedulerTest, FinalizeMatchesFreshPlaceScoredAfterMutation) {
+  const ServeWorld& world = World();
+  const std::vector<const AppProfile*> catalog =
+      SchedulableApps(world.workload);
+  ASSERT_FALSE(catalog.empty());
+
+  core::OptumConfig config;
+  config.sample_fraction = 0.25;
+  config.min_candidates = 16;
+  OptumScheduler speculative(world.profiles, config);
+  OptumScheduler fresh(world.profiles, config);
+  ASSERT_TRUE(speculative.speculation_supported());
+
+  // A small app rotation so (app, host) pairs recur against unchanged host
+  // epochs — the condition under which the direct-mapped memo can hit.
+  const size_t num_apps = catalog.size() < 3 ? catalog.size() : size_t{3};
+
+  constexpr int kHosts = 64;
+  ClusterState cluster(kHosts, kUnitResources, /*history_window=*/64);
+  PodId next_id = 0;
+  std::vector<PodRuntime*> live;
+  for (int h = 0; h < kHosts; ++h) {
+    for (int k = 0; k < 4; ++k) {
+      const AppProfile& app =
+          *catalog[static_cast<size_t>(next_id) % num_apps];
+      live.push_back(cluster.Place(MakePodSpec(next_id, app), &app, h, 0));
+      ++next_id;
+    }
+  }
+
+  OptumScheduler::SpeculativeScore spec;
+  int agreements = 0;
+  for (int i = 0; i < 120; ++i) {
+    const AppProfile& app = *catalog[static_cast<size_t>(next_id) % num_apps];
+    const PodSpec pod = MakePodSpec(next_id, app);
+    ++next_id;
+
+    speculative.BeginSpeculative(pod, cluster, &spec);
+
+    // Mutate the cluster between speculation and finalize: place one filler
+    // pod and evict one old pod, bumping the touched hosts' change epochs.
+    const AppProfile& filler_app =
+        *catalog[static_cast<size_t>(next_id) % num_apps];
+    const PodSpec filler = MakePodSpec(next_id, filler_app);
+    ++next_id;
+    live.push_back(
+        cluster.Place(filler, &filler_app, static_cast<HostId>(i % kHosts), 0));
+    if (i % 3 == 0 && !live.empty()) {
+      cluster.Remove(live.front());
+      live.erase(live.begin());
+    }
+
+    // Both schedulers share one sampling-stream history (one draw per pod),
+    // so the fresh scheduler sees the identical candidate sample — and the
+    // post-mutation cluster, exactly what FinalizeSpeculative must match.
+    double fresh_score = 0.0;
+    const PlacementDecision fresh_decision =
+        fresh.PlaceScored(pod, cluster, &fresh_score);
+    double spec_score = 0.0;
+    const PlacementDecision spec_decision =
+        speculative.FinalizeSpeculative(pod, cluster, &spec, &spec_score);
+
+    EXPECT_EQ(spec_decision.host, fresh_decision.host) << "pod " << pod.id;
+    EXPECT_EQ(spec_decision.reason, fresh_decision.reason) << "pod " << pod.id;
+    EXPECT_EQ(spec_score, fresh_score) << "pod " << pod.id;
+    if (spec_decision.host != kInvalidHostId) {
+      live.push_back(cluster.Place(pod, &app, spec_decision.host, 0));
+      ++agreements;
+    }
+    spec.Clear();
+  }
+  EXPECT_GT(agreements, 0);
+  // Repeated apps against unmoved hosts hit the epoch-stamped memo.
+  EXPECT_GT(speculative.eval_memo_hits(), 0u);
+}
+
+// The queue's counters were plain ints once; under concurrent Offer they
+// must neither lose increments nor admit past capacity.
+TEST(AdmissionQueueConcurrencyTest, ConcurrentOffersAccountExactly) {
+  constexpr size_t kShards = 4;
+  constexpr size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  serve::AdmissionQueue queue(kCapacity, kShards);
+
+  std::deque<serve::ServePod> pods;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    serve::ServePod pod;
+    pod.spec.id = i;
+    pods.push_back(pod);
+  }
+
+  std::atomic<int64_t> admitted{0};
+  std::atomic<int64_t> rejected{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::ServePod* pod = &pods[static_cast<size_t>(t * kPerThread + i)];
+        if (queue.Offer(pod)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  const serve::AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.offered, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(stats.admitted, admitted.load());
+  EXPECT_EQ(stats.rejected_full, rejected.load());
+  EXPECT_EQ(stats.admitted + stats.rejected_full, stats.offered);
+  EXPECT_EQ(queue.depth(), static_cast<size_t>(admitted.load()));
+  EXPECT_LE(queue.depth(), kShards * kCapacity);
+  EXPECT_GE(stats.peak_depth, queue.depth());
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_LE(queue.shard_depth(s), kCapacity) << "shard " << s;
+  }
+
+  // Single-consumer drain sees exactly the admitted pods.
+  std::vector<serve::ServePod*> batch;
+  size_t drained = 0;
+  while (queue.PopBatch(128, &batch) > 0) {
+    drained += batch.size();
+    batch.clear();
+  }
+  EXPECT_EQ(drained, static_cast<size_t>(admitted.load()));
+  EXPECT_TRUE(queue.empty());
+}
+
+// The deprecated single-slot setters are forwarders into the obs::Sinks
+// surface: updating one slot must not detach another.
+TEST(SinksForwarderTest, SlotForwardersComposeWithAttachSinks) {
+  const ServeWorld& world = World();
+  const std::vector<const AppProfile*> catalog =
+      SchedulableApps(world.workload);
+  ASSERT_FALSE(catalog.empty());
+
+  core::OptumConfig config;
+  config.sample_fraction = 0.5;
+  OptumScheduler scheduler(world.profiles, config);
+  ClusterState cluster(32, kUnitResources, /*history_window=*/64);
+
+  const std::string span_path =
+      ::testing::TempDir() + "/forwarder_spans.jsonl";
+  obs::SpanLog span_log(span_path);
+  ASSERT_TRUE(span_log.ok());
+  obs::MetricRegistry registry;
+
+  // span log first, metrics second: the AttachMetrics forwarder must keep
+  // the span-log slot attached (and vice versa for the decision log).
+  scheduler.set_span_log(&span_log);
+  scheduler.AttachMetrics(&registry);
+  obs::DecisionLog decision_log("/dev/null");
+  ASSERT_TRUE(decision_log.ok());
+  scheduler.set_decision_log(&decision_log);
+
+  PodId id = 0;
+  int placed = 0;
+  for (int i = 0; i < 16; ++i) {
+    const AppProfile& app = *catalog[static_cast<size_t>(id) % catalog.size()];
+    const PodSpec pod = MakePodSpec(id, app);
+    ++id;
+    double score = 0.0;
+    const PlacementDecision decision = scheduler.PlaceScored(pod, cluster, &score);
+    if (decision.host != kInvalidHostId) {
+      cluster.Place(pod, &app, decision.host, 0);
+      ++placed;
+    }
+  }
+  span_log.Flush();
+  ASSERT_GT(placed, 0);
+  EXPECT_GT(span_log.records_written(), 0);         // span slot survived
+  EXPECT_GT(decision_log.records_written(), 0);     // decision slot live
+  EXPECT_EQ(registry.counter("optum.placements")->Value(),
+            static_cast<uint64_t>(placed));         // metrics slot live
+  std::remove(span_path.c_str());
+}
+
+}  // namespace
+}  // namespace optum

@@ -362,8 +362,10 @@ TEST(PlacementServiceTest, DeparturesFreeCapacityAndEmitFinishedSpans) {
   ClusterState cluster(200, kUnitResources, /*history_window=*/64);
   serve::PlacementService service(world.workload, world.profiles, &cluster,
                                   config);
-  service.set_span_log(&span_log);
-  service.AttachMetrics(&registry);
+  obs::Sinks sinks;
+  sinks.span_log = &span_log;
+  sinks.metrics = &registry;
+  service.AttachSinks(sinks);
   service.RunRounds(40);
   service.Drain();
   span_log.Flush();

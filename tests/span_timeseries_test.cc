@@ -221,13 +221,15 @@ TEST(SpanIntegrationTest, SimulatorEmitsFullLifecycleChain) {
   TimeSeriesRecorder series(&registry, series_path, /*ring_capacity=*/32);
   ASSERT_TRUE(series.ok());
 
+  Sinks sinks;
+  sinks.metrics = &registry;
+  sinks.span_log = &span_log;
+  sinks.series = &series;
   AlibabaBaseline policy;
-  policy.set_span_log(&span_log);
+  policy.AttachSinks(sinks);
   SimConfig sim_config;
   sim_config.pod_usage_period = 5;
-  sim_config.metrics = &registry;
-  sim_config.span_log = &span_log;
-  sim_config.series = &series;
+  sim_config.sinks = sinks;
   const SimResult result = Simulator(workload, sim_config, policy).Run();
   ASSERT_GT(result.scheduled_pods, 0);
   span_log.Flush();

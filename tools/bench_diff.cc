@@ -74,7 +74,7 @@ constexpr const char* kIdentityKeys[] = {"hosts",   "pods",  "threads",
                                          "batch",   "ticks", "candidates_per_pod",
                                          "trees",   "rows",  "features",
                                          "shards",  "offered_pods_per_sec",
-                                         "rounds"};
+                                         "rounds",  "pipeline_depth"};
 
 std::string RowSignature(const JsonValue& row) {
   std::string sig;

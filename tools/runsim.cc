@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/common/cli_options.h"
 #include "src/common/flags.h"
 #include "src/core/offline_profiler.h"
 #include "src/core/optum_scheduler.h"
@@ -45,21 +46,11 @@ void PrintUsage() {
       "  --sample X       Optum host sampling fraction (default 0.05)\n"
       "  --triple-ero     enable triple-wise ERO profiling (Optum)\n"
       "  --trace-out DIR  write the run's trace bundle as CSVs\n"
-      "  --metrics-json F export final counters/gauges/histograms to F\n"
       "  --decision-log F JSONL per-placement decision traces (Optum only)\n"
-      "  --span-log F     JSONL pod-lifecycle spans (any scheduler)\n"
-      "  --series-json F  JSONL per-tick gauge time series, streamed\n"
-      "  --series-ring N  series ring-buffer capacity (default 256)\n"
-      "  --hotspot-log F  JSONL host-hotspot episodes (optum.hotspot.v1)\n"
-      "  --slo-json F     per-class SLO-violation seconds (optum.slo.v1)\n"
-      "  --burst-amplitude A  anomaly-storm overlay: rate multiplier (off at 0)\n"
-      "  --burst-duration D   storm length in ticks\n"
-      "  --burst-interval I   one storm per I-tick window (D <= I)\n"
-      "  --burst-offered P    overlay base rate, pods/sec (default hosts/300)\n"
-      "  --burst-cpu-scale X  storm pods' CPU-demand anomaly factor (default 3)\n"
-      "  --burst-seed S       storm placement + pod-mix seed (default 1031)\n"
+      "%s%s"
       "  --json           machine-readable run summary on stdout\n"
-      "  --json-out F     write the --json summary to F instead of stdout\n");
+      "  --json-out F     write the --json summary to F instead of stdout\n",
+      cli::ObsOptionsHelp(), cli::BurstOptionsHelp());
 }
 
 }  // namespace
@@ -73,17 +64,14 @@ int main(int argc, char** argv) {
 
   const std::string json_out_path = flags.GetString("json-out", "");
   const bool json_out = flags.GetBool("json", false) || !json_out_path.empty();
-  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const cli::ObsOptions obs_opts = cli::ParseObsOptions(flags);
+  const cli::BurstOptions burst_opts = cli::ParseBurstOptions(flags);
   const std::string decision_log_path = flags.GetString("decision-log", "");
-  const std::string span_log_path = flags.GetString("span-log", "");
-  const std::string series_json = flags.GetString("series-json", "");
-  const std::string hotspot_log_path = flags.GetString("hotspot-log", "");
-  const std::string slo_json_path = flags.GetString("slo-json", "");
 
   WorkloadConfig config;
   config.num_hosts = static_cast<int>(flags.GetInt("hosts", 64));
   config.horizon = flags.GetInt("hours", 6) * kTicksPerHour;
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.seed = cli::GetSeed(flags, "seed", 42);
   config.initial_ls_request_load = flags.GetDouble("ls-load", 0.8);
   config.be_target_request_load = flags.GetDouble("be-load", 0.25);
   Workload workload = WorkloadGenerator(config).Generate();
@@ -92,18 +80,19 @@ int main(int argc, char** argv) {
   // hotspot detector is meant to find. Injected into the arrival stream up
   // front so every scheduler sees the identical storm schedule.
   serve::ArrivalConfig burst;
-  burst.burst_amplitude = flags.GetDouble("burst-amplitude", 0.0);
-  burst.burst_duration_rounds = flags.GetInt("burst-duration", 0);
-  burst.burst_interval_rounds = flags.GetInt("burst-interval", 0);
-  burst.burst_seed = static_cast<uint64_t>(flags.GetInt("burst-seed", 1031));
+  burst.burst_amplitude = burst_opts.amplitude;
+  burst.burst_duration_rounds = burst_opts.duration_rounds;
+  burst.burst_interval_rounds = burst_opts.interval_rounds;
+  burst.burst_seed = burst_opts.seed;
   int64_t storm_pods = 0;
   if (burst.burst_enabled()) {
-    burst.offered_pods_per_sec = flags.GetDouble(
-        "burst-offered", static_cast<double>(config.num_hosts) / 300.0);
+    burst.offered_pods_per_sec =
+        burst_opts.offered_pods_per_sec > 0.0
+            ? burst_opts.offered_pods_per_sec
+            : static_cast<double>(config.num_hosts) / 300.0;
     burst.round_seconds = kSecondsPerTick;
-    storm_pods = serve::AppendStormOverlay(
-        burst, config.horizon, flags.GetDouble("burst-cpu-scale", 3.0),
-        &workload);
+    storm_pods = serve::AppendStormOverlay(burst, config.horizon,
+                                           burst_opts.cpu_scale, &workload);
   }
 
   if (!json_out) {
@@ -161,40 +150,68 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Observability wiring (DESIGN.md §9): the registry collects per-tick
-  // sim.* gauges for any scheduler; the Optum scheduler additionally
-  // publishes its hot-path timers, counters, and predictor-cache gauges.
+  // Observability wiring (DESIGN.md §9): open every requested sink file,
+  // collect them into one obs::Sinks surface, and attach that surface to
+  // the simulator config, the active policy, and the pressure monitor. The
+  // registry collects per-tick sim.* gauges for any scheduler; the Optum
+  // scheduler additionally publishes its hot-path timers, counters, and
+  // predictor-cache gauges.
   obs::MetricRegistry registry;
+  obs::Sinks sinks;
   std::unique_ptr<obs::DecisionLog> decision_log;
   std::unique_ptr<obs::SpanLog> span_log;
   std::unique_ptr<obs::TimeSeriesRecorder> series;
   std::unique_ptr<obs::HotspotLog> hotspot_log;
   std::unique_ptr<obs::HostPressureMonitor> monitor;
-  if (!metrics_json.empty() || !series_json.empty()) {
-    sim_config.metrics = &registry;
-    if (optum) {
-      optum->AttachMetrics(&registry);
+  if (obs_opts.wants_metrics()) {
+    sinks.metrics = &registry;
+  }
+  if (!decision_log_path.empty()) {
+    if (!optum) {
+      std::fprintf(stderr, "--decision-log requires --scheduler optum\n");
+      return 2;
     }
+    decision_log = std::make_unique<obs::DecisionLog>(decision_log_path);
+    if (!decision_log->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    sinks.decision_log = decision_log.get();
+  }
+  if (!obs_opts.span_log.empty()) {
+    span_log = std::make_unique<obs::SpanLog>(obs_opts.span_log);
+    if (!span_log->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    if (sinks.metrics != nullptr) {
+      span_log->AttachMetrics(&registry);
+    }
+    sinks.span_log = span_log.get();
+  }
+  if (!obs_opts.series_json.empty()) {
+    series = std::make_unique<obs::TimeSeriesRecorder>(
+        &registry, obs_opts.series_json, obs_opts.series_ring);
+    if (!series->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    sinks.series = series.get();
+  }
+  if (!obs_opts.hotspot_log.empty()) {
+    hotspot_log = std::make_unique<obs::HotspotLog>(obs_opts.hotspot_log);
+    if (!hotspot_log->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    sinks.hotspot_log = hotspot_log.get();
   }
 
   // Host-pressure sensing (DESIGN.md §13): the monitor rides the simulator
   // tick; under Optum the pressure signal folds in the predicted resident
   // interference from the ERO-backed predictor, otherwise it is
   // capacity-only.
-  if (!hotspot_log_path.empty() || !slo_json_path.empty()) {
+  if (obs_opts.wants_pressure()) {
     monitor = std::make_unique<obs::HostPressureMonitor>(
         static_cast<size_t>(config.num_hosts),
         obs::HostPressureMonitor::Options{});
-    if (!hotspot_log_path.empty()) {
-      hotspot_log = std::make_unique<obs::HotspotLog>(hotspot_log_path);
-      if (!hotspot_log->ok()) {
-        return 1;  // OpenJsonSink already reported the failure
-      }
-      monitor->set_hotspot_log(hotspot_log.get());
-    }
-    if (sim_config.metrics != nullptr) {
-      monitor->AttachMetrics(&registry, "sim");
-    }
+    monitor->AttachSinks(sinks, "sim");
     sim_config.pressure = monitor.get();
     if (optum) {
       core::OptumScheduler* opt = optum.get();
@@ -207,39 +224,10 @@ int main(int argc, char** argv) {
       };
     }
   }
-  if (!decision_log_path.empty()) {
-    if (!optum) {
-      std::fprintf(stderr, "--decision-log requires --scheduler optum\n");
-      return 2;
-    }
-    decision_log = std::make_unique<obs::DecisionLog>(decision_log_path);
-    if (!decision_log->ok()) {
-      return 1;  // OpenJsonSink already reported the failure
-    }
-    optum->set_decision_log(decision_log.get());
-  }
 
   PlacementPolicy& active = optum ? *optum : *policy;
-
-  if (!span_log_path.empty()) {
-    span_log = std::make_unique<obs::SpanLog>(span_log_path);
-    if (!span_log->ok()) {
-      return 1;  // OpenJsonSink already reported the failure
-    }
-    if (sim_config.metrics != nullptr) {
-      span_log->AttachMetrics(&registry);
-    }
-    sim_config.span_log = span_log.get();
-    active.set_span_log(span_log.get());
-  }
-  if (!series_json.empty()) {
-    const size_t ring = static_cast<size_t>(flags.GetInt("series-ring", 256));
-    series = std::make_unique<obs::TimeSeriesRecorder>(&registry, series_json, ring);
-    if (!series->ok()) {
-      return 1;  // OpenJsonSink already reported the failure
-    }
-    sim_config.series = series.get();
-  }
+  sim_config.sinks = sinks;
+  active.AttachSinks(sinks);
   const SimResult result = Simulator(workload, sim_config, active).Run();
 
   const TraceSummary trace_summary = Summarize(result.trace);
@@ -282,12 +270,12 @@ int main(int argc, char** argv) {
     std::printf("\n%s", RenderSummary(trace_summary).c_str());
   }
 
-  if (!metrics_json.empty()) {
-    if (!registry.WriteJsonFile(metrics_json)) {
+  if (!obs_opts.metrics_json.empty()) {
+    if (!registry.WriteJsonFile(obs_opts.metrics_json)) {
       return 1;  // WriteJsonDocument already reported the failure
     }
     if (!json_out) {
-      std::printf("\nmetrics written to %s\n", metrics_json.c_str());
+      std::printf("\nmetrics written to %s\n", obs_opts.metrics_json.c_str());
     }
   }
   if (decision_log != nullptr && !json_out) {
@@ -298,27 +286,27 @@ int main(int argc, char** argv) {
   if (span_log != nullptr && !json_out) {
     std::printf("span log: %lld records in %s\n",
                 static_cast<long long>(span_log->records_written()),
-                span_log_path.c_str());
+                obs_opts.span_log.c_str());
   }
   if (series != nullptr && !json_out) {
     std::printf("series: %lld samples in %s (ring %zu)\n",
                 static_cast<long long>(series->samples_written()),
-                series_json.c_str(), series->ring_capacity());
+                obs_opts.series_json.c_str(), series->ring_capacity());
   }
   if (hotspot_log != nullptr) {
     hotspot_log->Flush();
     if (!json_out) {
       std::printf("hotspot log: %lld episodes in %s\n",
                   static_cast<long long>(monitor->detector().events_emitted()),
-                  hotspot_log_path.c_str());
+                  obs_opts.hotspot_log.c_str());
     }
   }
-  if (monitor != nullptr && !slo_json_path.empty()) {
-    if (!monitor->WriteSloJson(slo_json_path)) {
+  if (monitor != nullptr && !obs_opts.slo_json.empty()) {
+    if (!monitor->WriteSloJson(obs_opts.slo_json)) {
       return 1;  // WriteJsonDocument already reported the failure
     }
     if (!json_out) {
-      std::printf("slo accounting written to %s\n", slo_json_path.c_str());
+      std::printf("slo accounting written to %s\n", obs_opts.slo_json.c_str());
     }
   }
 

@@ -5,11 +5,19 @@
 //   serve_bench [--hosts N] [--shards K] [--offered PODS_PER_SEC]
 //               [--rounds R] [--round-seconds S] [--process poisson|diurnal]
 //               [--queue-capacity N] [--max-per-round N] [--residency ROUNDS]
-//               [--span-log PATH] [--out PATH]
+//               [--pipeline-depth D] [--ingest-threads T]
+//               [--span-log PATH] [--metrics-json PATH] [--out PATH]
 //               [--burst-amplitude A --burst-duration D --burst-interval I]
 //               [--pressure] [--hotspot-log PATH] [--slo-json PATH]
 //               [--series-json PATH] [--hot-onset P] [--hot-clear P]
 //               [--hot-dwell T] [--slo-threshold P]
+//
+// --pipeline-depth D > 1 turns on conflict-round pipelining: each
+// coordinator shard keeps its next head pods speculatively scored against
+// an epoch-snapshotted host view while the serial resolver commits the
+// current round. --ingest-threads 1 moves arrival generation onto a
+// producer thread behind a hand-off barrier. Both knobs change wall-clock
+// throughput only — every exported row is bit-identical to the serial loop.
 //
 // The burst flags overlay deterministic anomaly storms on the arrival
 // process (DESIGN.md §13); the pressure flags attach the host-pressure
@@ -22,16 +30,19 @@
 // in a row is deterministic model-time arithmetic — re-running with the
 // same flags reproduces it byte-for-byte; only the printed wall-clock
 // throughput varies across machines.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/cli_options.h"
 #include "src/common/flags.h"
 #include "src/obs/hotspot.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/pressure.h"
+#include "src/obs/sinks.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
 #include "src/serve/placement_service.h"
@@ -47,6 +58,8 @@ int Main(int argc, char** argv) {
   }
   const int hosts = static_cast<int>(flags.GetInt("hosts", 1000));
   const std::string process = flags.GetString("process", "poisson");
+  const cli::ObsOptions obs_opts = cli::ParseObsOptions(flags);
+  const cli::BurstOptions burst_opts = cli::ParseBurstOptions(flags);
 
   serve::ServeConfig config;
   config.arrival.offered_pods_per_sec = flags.GetDouble("offered", 500.0);
@@ -64,19 +77,19 @@ int Main(int argc, char** argv) {
   config.max_schedule_per_round =
       static_cast<size_t>(flags.GetInt("max-per-round", 512));
   config.mean_residency_rounds = flags.GetDouble("residency", 0.0);
-  config.arrival.burst_amplitude = flags.GetDouble("burst-amplitude", 0.0);
-  config.arrival.burst_duration_rounds = flags.GetInt("burst-duration", 0);
-  config.arrival.burst_interval_rounds = flags.GetInt("burst-interval", 0);
-  config.arrival.burst_seed =
-      static_cast<uint64_t>(flags.GetInt("burst-seed", 1031));
+  config.pipeline_depth =
+      static_cast<size_t>(flags.GetInt("pipeline-depth", 1));
+  config.ingest_threads =
+      static_cast<size_t>(flags.GetInt("ingest-threads", 0));
+  config.arrival.burst_amplitude = burst_opts.amplitude;
+  config.arrival.burst_duration_rounds = burst_opts.duration_rounds;
+  config.arrival.burst_interval_rounds = burst_opts.interval_rounds;
+  config.arrival.burst_seed = burst_opts.seed;
   const int64_t rounds = flags.GetInt("rounds", 60);
 
-  const std::string hotspot_path = flags.GetString("hotspot-log", "");
-  const std::string slo_path = flags.GetString("slo-json", "");
-  const std::string series_path = flags.GetString("series-json", "");
   const bool pressure_on = flags.GetBool("pressure", false) ||
-                           !hotspot_path.empty() || !slo_path.empty() ||
-                           !series_path.empty();
+                           obs_opts.wants_pressure() ||
+                           !obs_opts.series_json.empty();
 
   std::printf("training profiles from the 64-host reference run...\n");
   const Workload reference =
@@ -87,25 +100,64 @@ int Main(int argc, char** argv) {
       bench::BuildProfiles(reference_sim.Run().trace);
 
   ClusterState cluster(hosts, kUnitResources, /*history_window=*/64);
+  // --prefill K seeds every host with K long-lived pods before serving, the
+  // same occupancy regime as the committed bench section (ids start far
+  // above the arrival driver's dense-from-0 range).
+  const int prefill = static_cast<int>(flags.GetInt("prefill", 0));
+  if (prefill > 0) {
+    const std::vector<const AppProfile*> catalog = SchedulableApps(reference);
+    PodId prefill_id = 1'000'000'000;
+    for (int h = 0; h < hosts; ++h) {
+      for (int k = 0; k < prefill; ++k) {
+        const AppProfile& app =
+            *catalog[static_cast<size_t>(prefill_id) % catalog.size()];
+        cluster.Place(MakePodSpec(prefill_id, app), &app, h, 0);
+        ++prefill_id;
+      }
+    }
+  }
   serve::PlacementService service(reference, profiles, &cluster, config);
 
+  // One obs::Sinks surface for everything the bench attaches: open the
+  // requested sink files, then hand the same struct to the service
+  // (metrics, spans, series) and the pressure monitor (metrics, hotspot
+  // log) — each adopts the fields it understands.
+  obs::MetricRegistry registry;
+  obs::Sinks sinks;
+  if (pressure_on || obs_opts.wants_metrics()) {
+    sinks.metrics = &registry;
+  }
   std::unique_ptr<obs::SpanLog> span_log;
-  const std::string span_path = flags.GetString("span-log", "");
-  if (!span_path.empty()) {
-    span_log = std::make_unique<obs::SpanLog>(span_path);
+  if (!obs_opts.span_log.empty()) {
+    span_log = std::make_unique<obs::SpanLog>(obs_opts.span_log);
     if (!span_log->ok()) {
-      std::fprintf(stderr, "serve_bench: cannot open %s\n", span_path.c_str());
+      std::fprintf(stderr, "serve_bench: cannot open %s\n",
+                   obs_opts.span_log.c_str());
       return 2;
     }
-    service.set_span_log(span_log.get());
+    sinks.span_log = span_log.get();
+  }
+  std::unique_ptr<obs::HotspotLog> hotspot_log;
+  if (!obs_opts.hotspot_log.empty()) {
+    hotspot_log = std::make_unique<obs::HotspotLog>(obs_opts.hotspot_log);
+    if (!hotspot_log->ok()) {
+      return 1;  // OpenJsonSink already reported the failure
+    }
+    sinks.hotspot_log = hotspot_log.get();
+  }
+  std::unique_ptr<obs::TimeSeriesRecorder> series;
+  if (!obs_opts.series_json.empty()) {
+    series = std::make_unique<obs::TimeSeriesRecorder>(
+        &registry, obs_opts.series_json, obs_opts.series_ring);
+    if (!series->ok()) {
+      return 1;
+    }
+    sinks.series = series.get();
   }
 
-  // Pressure sensor + its sinks (DESIGN.md §13). Gauges go through the
-  // registry so the optional series recorder picks them up as columns.
-  obs::MetricRegistry registry;
-  std::unique_ptr<obs::HotspotLog> hotspot_log;
+  // Pressure sensor (DESIGN.md §13). Gauges go through the registry so the
+  // optional series recorder picks them up as columns.
   std::unique_ptr<obs::HostPressureMonitor> monitor;
-  std::unique_ptr<obs::TimeSeriesRecorder> series;
   if (pressure_on) {
     obs::HostPressureMonitor::Options opts;
     const obs::HotspotConfig hotspot_defaults;
@@ -120,31 +172,25 @@ int Main(int argc, char** argv) {
     opts.seconds_per_tick = config.arrival.round_seconds;
     monitor = std::make_unique<obs::HostPressureMonitor>(
         static_cast<size_t>(hosts), opts);
-    if (!hotspot_path.empty()) {
-      hotspot_log = std::make_unique<obs::HotspotLog>(hotspot_path);
-      if (!hotspot_log->ok()) {
-        return 1;  // OpenJsonSink already reported the failure
-      }
-      monitor->set_hotspot_log(hotspot_log.get());
-    }
-    service.AttachMetrics(&registry);
-    monitor->AttachMetrics(&registry, "serve");
+    monitor->AttachSinks(sinks, "serve");
     service.set_pressure_monitor(monitor.get());
-    if (!series_path.empty()) {
-      series = std::make_unique<obs::TimeSeriesRecorder>(&registry, series_path);
-      if (!series->ok()) {
-        return 1;
-      }
-      service.set_series(series.get());
-    }
   }
+  service.AttachSinks(sinks);
 
-  std::printf("serving %lld rounds at %.1f pods/s (%s, %zu shards)...\n",
-              static_cast<long long>(rounds),
-              config.arrival.offered_pods_per_sec, process.c_str(),
-              config.distributed.num_schedulers);
+  std::printf(
+      "serving %lld rounds at %.1f pods/s (%s, %zu shards, depth %zu, "
+      "%zu ingest threads)...\n",
+      static_cast<long long>(rounds), config.arrival.offered_pods_per_sec,
+      process.c_str(), config.distributed.num_schedulers,
+      config.pipeline_depth, config.ingest_threads);
+  const std::chrono::steady_clock::time_point serve_start =
+      std::chrono::steady_clock::now();
   service.RunRounds(rounds);
   const int64_t drain_rounds = service.Drain();
+  const double serve_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
   if (monitor != nullptr) {
     monitor->Finalize();
   }
@@ -157,8 +203,13 @@ int Main(int argc, char** argv) {
   if (series != nullptr) {
     series->Flush();
   }
-  if (monitor != nullptr && !slo_path.empty()) {
-    if (!monitor->WriteSloJson(slo_path)) {
+  if (monitor != nullptr && !obs_opts.slo_json.empty()) {
+    if (!monitor->WriteSloJson(obs_opts.slo_json)) {
+      return 1;
+    }
+  }
+  if (!obs_opts.metrics_json.empty()) {
+    if (!registry.WriteJsonFile(obs_opts.metrics_json)) {
       return 1;
     }
   }
@@ -172,10 +223,34 @@ int Main(int argc, char** argv) {
   table.AddRow({"dropped", std::to_string(row.dropped)});
   table.AddRow({"conflicts", std::to_string(row.conflicts)});
   table.AddRow({"drain_rounds", std::to_string(drain_rounds)});
+  // Wall clock of the serve phase — the one machine-dependent line here.
+  table.AddRow({"serve_wall_s", FormatDouble(serve_wall_s, 3)});
+  table.AddRow(
+      {"placed_per_wall_s",
+       FormatDouble(serve_wall_s > 0.0
+                        ? static_cast<double>(row.placed) / serve_wall_s
+                        : 0.0,
+                    1)});
   table.AddRow({"latency_s_p50", FormatDouble(row.latency_s_p50, 3)});
   table.AddRow({"latency_s_p99", FormatDouble(row.latency_s_p99, 3)});
   table.AddRow({"latency_s_p999", FormatDouble(row.latency_s_p999, 3)});
   table.AddRow({"latency_s_max", FormatDouble(row.latency_s_max, 3)});
+  if (config.pipeline_depth > 1) {
+    uint64_t memo_hits = 0;
+    uint64_t memo_misses = 0;
+    for (size_t s = 0; s < service.coordinator().num_schedulers(); ++s) {
+      memo_hits += service.coordinator().shard(s).eval_memo_hits();
+      memo_misses += service.coordinator().shard(s).eval_memo_misses();
+    }
+    const uint64_t total = memo_hits + memo_misses;
+    table.AddRow({"eval_memo_hits", std::to_string(memo_hits)});
+    table.AddRow(
+        {"eval_memo_hit_rate",
+         FormatDouble(total > 0 ? static_cast<double>(memo_hits) /
+                                      static_cast<double>(total)
+                                : 0.0,
+                      3)});
+  }
   if (monitor != nullptr) {
     const obs::SloAccumulator slo = monitor->MergedSlo();
     table.AddRow({"hotspot_episodes",
