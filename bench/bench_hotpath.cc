@@ -37,6 +37,7 @@
 #include "src/obs/hotspot.h"
 #include "src/obs/metrics.h"
 #include "src/obs/pressure.h"
+#include "src/obs/profiler.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/cluster.h"
@@ -72,6 +73,7 @@ double MeasureScoring(const core::OptumProfiles& profiles,
                       obs::SpanLog* span_log = nullptr,
                       obs::TimeSeriesRecorder* series = nullptr,
                       obs::HostPressureMonitor* pressure = nullptr,
+                      obs::RoundProfiler* profiler = nullptr,
                       core::InterferencePredictor::CacheStats* stats_out = nullptr) {
   ClusterState cluster(num_hosts, kUnitResources, /*history_window=*/64);
   PodId next_id = 0;
@@ -109,7 +111,17 @@ double MeasureScoring(const core::OptumProfiles& profiles,
       const PodSpec spec = MakePodSpec(next_id, app);
       ++next_id;
       double score = 0.0;
-      const PlacementDecision decision = scheduler.PlaceScored(spec, cluster, &score);
+      PlacementDecision decision;
+      {
+        // Round-profiler cadence: in this loop one placement IS the round's
+        // barrier work, so each PlaceScored runs under the settle phase and
+        // EndRound closes at the bottom of the iteration — the worst case
+        // for profiler overhead (a serve round amortizes one EndRound over
+        // dozens of placements).
+        obs::RoundProfiler::Scope settle(
+            profiler, obs::ProfilePhase::kFinalizeRevalidate, 0);
+        decision = scheduler.PlaceScored(spec, cluster, &score);
+      }
       if (decision.placed()) {
         live.push_back(cluster.Place(spec, &app, decision.host, 0));
         if (span_log != nullptr) {
@@ -165,6 +177,9 @@ double MeasureScoring(const core::OptumProfiles& profiles,
         live[evict_cursor] = live.back();
         live.pop_back();
       }
+      if (profiler != nullptr) {
+        profiler->EndRound();
+      }
     }
   };
 
@@ -217,12 +232,16 @@ struct ObsRow {
   double pods_per_sec_decision_log = 0.0; // metrics + per-placement JSONL
   double pods_per_sec_spans = 0.0;        // metrics + span log + series ring
   double pods_per_sec_pressure = 0.0;     // metrics + pressure/hotspot/SLO sensor
+  double pods_per_sec_profile = 0.0;      // metrics + round profiler + JSONL log
   double metrics_on_overhead_pct = 0.0;
   double decision_log_overhead_pct = 0.0;
   double spans_overhead_pct = 0.0;             // vs metrics off, like the others
   double spans_incremental_pct = 0.0;          // vs metrics on (the ≤2% budget)
   double pressure_overhead_pct = 0.0;          // vs metrics off
   double pressure_incremental_pct = 0.0;       // vs metrics on (the ≤2% budget)
+  double profile_overhead_pct = 0.0;           // vs metrics off
+  double profile_incremental_pct = 0.0;        // vs metrics on (the ≤2% budget)
+  int64_t profile_windows = 0;
   int64_t span_records = 0;
   int64_t series_samples = 0;
   int64_t hotspot_events = 0;
@@ -272,7 +291,7 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
                          /*cached=*/true, /*num_threads=*/0, &registry,
                          /*decision_log=*/nullptr, /*span_log=*/nullptr,
                          /*series=*/nullptr, /*pressure=*/nullptr,
-                         &row.cache_stats));
+                         /*profiler=*/nullptr, &row.cache_stats));
     }
     {
       obs::MetricRegistry registry;
@@ -326,6 +345,27 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
       row.hotspot_events = monitor.detector().events_emitted();
       row.pressure_ticks = monitor.last_tick() + 1;
     }
+    {
+      // Round profiler on top of the registry: the phase-profiling
+      // configuration (`serve_bench --profile-json`, DESIGN.md §14). Worst
+      // case by construction — every placement runs a settle scope (two
+      // clock reads) and its own EndRound (the serial merge + critical-path
+      // pass), where a serve round amortizes one EndRound over dozens of
+      // placements. The budget is the same ≤2% vs metrics-on that spans and
+      // pressure hold.
+      obs::MetricRegistry registry;
+      obs::ProfileLog profile_log("/dev/null");
+      obs::RoundProfiler profiler;  // default 64-round windows
+      profiler.set_log(&profile_log);
+      row.pods_per_sec_profile = std::max(
+          row.pods_per_sec_profile,
+          MeasureScoring(profiles, catalog, num_hosts, kPrefillPerHost, warmup, stream,
+                         /*cached=*/true, /*num_threads=*/0, &registry,
+                         /*decision_log=*/nullptr, /*span_log=*/nullptr,
+                         /*series=*/nullptr, /*pressure=*/nullptr, &profiler));
+      profiler.Finalize();
+      row.profile_windows = profiler.windows_flushed();
+    }
   }
   const auto overhead_pct = [&](double with, double base) {
     return base > 0.0 ? (1.0 - with / base) * 100.0 : 0.0;
@@ -342,6 +382,10 @@ ObsRow RunObsBench(const core::OptumProfiles& profiles,
       overhead_pct(row.pods_per_sec_pressure, row.pods_per_sec_metrics_off);
   row.pressure_incremental_pct =
       overhead_pct(row.pods_per_sec_pressure, row.pods_per_sec_metrics_on);
+  row.profile_overhead_pct =
+      overhead_pct(row.pods_per_sec_profile, row.pods_per_sec_metrics_off);
+  row.profile_incremental_pct =
+      overhead_pct(row.pods_per_sec_profile, row.pods_per_sec_metrics_on);
   return row;
 }
 
@@ -689,6 +733,9 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  "     \"pressure\": {\"pods_per_sec\": %.1f, \"overhead_pct\": %.2f, "
                  "\"incremental_vs_metrics_on_pct\": %.2f, "
                  "\"hotspot_events\": %lld, \"ticks_sampled\": %lld},\n"
+                 "     \"profile\": {\"pods_per_sec\": %.1f, \"overhead_pct\": %.2f, "
+                 "\"incremental_vs_metrics_on_pct\": %.2f, "
+                 "\"windows\": %lld},\n"
                  "     \"pred_cache_hit_rate\": %.4f, \"raw_cache_hit_rate\": %.4f, "
                  "\"slope_cache_hit_rate\": %.4f, \"forest_evals\": %llu, "
                  "\"pred_cache_hits\": %llu, \"pred_cache_misses\": %llu, "
@@ -704,6 +751,9 @@ bool WriteJson(const std::string& path, const std::vector<ScoringRow>& scoring,
                  r.pressure_incremental_pct,
                  static_cast<long long>(r.hotspot_events),
                  static_cast<long long>(r.pressure_ticks),
+                 r.pods_per_sec_profile, r.profile_overhead_pct,
+                 r.profile_incremental_pct,
+                 static_cast<long long>(r.profile_windows),
                  rate(s.predict_hits, s.predict_misses), rate(s.raw_hits, s.raw_misses),
                  rate(s.slope_hits, s.slope_misses),
                  static_cast<unsigned long long>(s.forest_evals()),
@@ -864,7 +914,7 @@ int Main(int argc, char** argv) {
   if (run_scoring) {
     std::printf(
         "scoring 1000 hosts (metrics off, on, on+decision-log, on+spans, "
-        "on+pressure)...\n");
+        "on+pressure, on+profile)...\n");
     obs.push_back(RunObsBench(profiles, catalog, /*num_hosts=*/1000, /*stream=*/4000));
   }
 

@@ -10,6 +10,8 @@ ObsOptions ParseObsOptions(const FlagParser& flags) {
   o.series_ring = static_cast<size_t>(flags.GetInt("series-ring", 256));
   o.hotspot_log = flags.GetString("hotspot-log", "");
   o.slo_json = flags.GetString("slo-json", "");
+  o.profile_json = flags.GetString("profile-json", "");
+  o.profile_collapsed = flags.GetString("profile-collapsed", "");
   return o;
 }
 
@@ -37,7 +39,9 @@ const char* ObsOptionsHelp() {
       "  --series-json F  JSONL per-tick gauge time series, streamed\n"
       "  --series-ring N  series ring-buffer capacity (default 256)\n"
       "  --hotspot-log F  JSONL host-hotspot episodes (optum.hotspot.v1)\n"
-      "  --slo-json F     per-class SLO-violation seconds (optum.slo.v1)\n";
+      "  --slo-json F     per-class SLO-violation seconds (optum.slo.v1)\n"
+      "  --profile-json F JSONL phase/critical-path profile (optum.profile.v1)\n"
+      "  --profile-collapsed F  collapsed stacks for flamegraph tooling\n";
 }
 
 const char* BurstOptionsHelp() {

@@ -25,6 +25,13 @@ struct ObsOptions {
   size_t series_ring = 256;  // --series-ring: recorder ring capacity
   std::string hotspot_log;   // --hotspot-log: optum.hotspot.v1 episodes
   std::string slo_json;      // --slo-json: optum.slo.v1 violation seconds
+  std::string profile_json;  // --profile-json: optum.profile.v1 phase profile
+  std::string profile_collapsed;  // --profile-collapsed: flamegraph folded stacks
+
+  // The round profiler is needed to produce either profile output.
+  bool wants_profile() const {
+    return !profile_json.empty() || !profile_collapsed.empty();
+  }
 
   // A metric registry is needed when counters are exported or the series
   // recorder samples gauges.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/common/check.h"
+#include "src/obs/profiler.h"
 #include "src/obs/timer.h"
 
 namespace optum::core {
@@ -35,27 +36,35 @@ DistributedCoordinator::~DistributedCoordinator() = default;
 void DistributedCoordinator::AttachSinks(const obs::Sinks& sinks) {
   sinks_ = sinks;
   span_log_ = sinks.span_log;
-  obs::MetricRegistry* registry = sinks.metrics;
-  if (registry == nullptr) {
-    rounds_counter_ = nullptr;
-    commits_counter_ = nullptr;
-    conflicts_counter_ = nullptr;
-    round_timer_ = nullptr;
-    for (auto& shard : shards_) {
-      shard->AttachMetrics(nullptr);
-    }
-    return;
+  profiler_ = sinks.profile;
+  if (profiler_ != nullptr) {
+    // One profiler lane per shard: each shard task records its barrier
+    // phases into its own lane; the serial phases use lane 0.
+    profiler_->set_num_lanes(shards_.size());
   }
+  obs::MetricRegistry* registry = sinks.metrics;
   // Shard s scores on its own coordinator-pool task; giving it registry
   // lane s keeps concurrent shard updates on distinct metric shards. The
   // coordinator's own counters (lane 0) are only touched in the serial
   // resolution phase, never while shards are deciding. Shards receive the
   // metrics sink only — span/decision logs must not be written from
-  // parallel shard tasks (see AttachSinks contract in the header).
-  registry->set_num_lanes(shards_.size());
+  // parallel shard tasks (see AttachSinks contract in the header), so any
+  // sinks a caller attached via shard(i) directly are preserved as-is.
+  if (registry != nullptr) {
+    registry->set_num_lanes(shards_.size());
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    shards_[s]->AttachMetrics(registry, /*lane_base=*/s,
-                              "optum.shard" + std::to_string(s));
+    obs::Sinks shard_sinks = shards_[s]->attached_sinks();
+    shard_sinks.metrics = registry;
+    shards_[s]->AttachSinks(shard_sinks, /*lane_base=*/s,
+                            "optum.shard" + std::to_string(s));
+  }
+  if (registry == nullptr) {
+    rounds_counter_ = nullptr;
+    commits_counter_ = nullptr;
+    conflicts_counter_ = nullptr;
+    round_timer_ = nullptr;
+    return;
   }
   rounds_counter_ = registry->counter("dist.rounds");
   commits_counter_ = registry->counter("dist.commits");
@@ -115,6 +124,13 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
       double score = 0.0;
     };
     std::vector<ShardDecision> decisions(num_shards);
+    // Barrier wall for the profiler's critical-path rule: measured serially
+    // around Submit..Wait so it is the true round-bounding time even when
+    // shard tasks time-slice on few cores (DESIGN.md §14).
+    std::chrono::steady_clock::time_point barrier_start;
+    if (profiler_ != nullptr) {
+      barrier_start = std::chrono::steady_clock::now();
+    }
     for (size_t s = 0; s < num_shards; ++s) {
       if (queues[s].empty()) {
         continue;
@@ -126,17 +142,29 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
         OptumScheduler& shard = *shards_[s];
         ShardPipeline& pipe = pipelines_[s];
         ShardDecision& d = decisions[s];
-        if (!pipe.specs.empty()) {
-          // Head was speculated in an earlier round (specs[0] ↔ old queue
-          // front, the pod just popped).
-          OptumScheduler::SpeculativeScore spec = std::move(pipe.specs.front());
-          pipe.specs.pop_front();
-          d.decision = shard.FinalizeSpeculative(*d.entry.pod, cluster, &spec, &d.score);
-          spec.Clear();
-          pipe.free.push_back(std::move(spec));
-        } else {
-          d.decision = shard.PlaceScored(*d.entry.pod, cluster, &d.score);
+        {
+          // Head settle: finalize a staged speculation or score fresh. Both
+          // paths run under the same phase scope so the scope count (pods
+          // settled) is identical for every pipeline_depth.
+          obs::RoundProfiler::Scope settle(
+              profiler_, obs::ProfilePhase::kFinalizeRevalidate, s);
+          if (!pipe.specs.empty()) {
+            // Head was speculated in an earlier round (specs[0] ↔ old queue
+            // front, the pod just popped).
+            OptumScheduler::SpeculativeScore spec = std::move(pipe.specs.front());
+            pipe.specs.pop_front();
+            d.decision = shard.FinalizeSpeculative(*d.entry.pod, cluster, &spec, &d.score);
+            spec.Clear();
+            pipe.free.push_back(std::move(spec));
+          } else {
+            d.decision = shard.PlaceScored(*d.entry.pod, cluster, &d.score);
+          }
         }
+        // Speculative top-up: always scoped — empty work at depth 1 or on
+        // speculation-declining shards — so the scope count (active
+        // shard-rounds) is depth-invariant too.
+        obs::RoundProfiler::Scope spec_scope(profiler_,
+                                             obs::ProfilePhase::kSpecScore, s);
         if (pipeline_depth_ > 1 && shard.speculation_supported()) {
           while (pipe.specs.size() + 1 < pipeline_depth_ &&
                  pipe.specs.size() < queues[s].size()) {
@@ -152,15 +180,32 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
       });
     }
     pool_.Wait();
+    int64_t barrier_ns = 0;
+    if (profiler_ != nullptr) {
+      barrier_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - barrier_start)
+                       .count();
+    }
 
     // Phase 2 (sequential): conflict resolution, commits, re-dispatch.
     std::vector<ScheduleProposal> proposals;
-    for (const ShardDecision& d : decisions) {
-      if (d.active && d.decision.placed()) {
-        proposals.push_back(ScheduleProposal{d.entry.pod->id, d.decision.host, d.score});
+    const DeploymentOutcome resolved = [&] {
+      obs::RoundProfiler::Scope resolve_scope(profiler_,
+                                              obs::ProfilePhase::kResolve, 0);
+      for (const ShardDecision& d : decisions) {
+        if (d.active && d.decision.placed()) {
+          proposals.push_back(
+              ScheduleProposal{d.entry.pod->id, d.decision.host, d.score});
+        }
       }
+      return deployment_.Resolve(std::move(proposals));
+    }();
+    // Commit phase timed explicitly (not RAII) so the record lands before
+    // EndRound closes the round at the bottom of this iteration.
+    std::chrono::steady_clock::time_point commit_start;
+    if (profiler_ != nullptr) {
+      commit_start = std::chrono::steady_clock::now();
     }
-    const DeploymentOutcome resolved = deployment_.Resolve(std::move(proposals));
     for (const ScheduleProposal& winner : resolved.committed) {
       commit(winner);
       outcome.placed.push_back(winner);
@@ -218,6 +263,13 @@ DistributedOutcome DistributedCoordinator::ScheduleBatch(
         }
         requeue(s, d.entry, WaitReason::kOther);  // lost the conflict
       }
+    }
+    if (profiler_ != nullptr) {
+      profiler_->RecordNs(obs::ProfilePhase::kCommit, 0,
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - commit_start)
+                              .count());
+      profiler_->EndRound(barrier_ns);
     }
   }
   return outcome;

@@ -94,27 +94,19 @@ class DistributedCoordinator {
   //     winners (in commit order) and conflict_retried spans for proposals
   //     that lost their host (in shard order) — never the parallel shard
   //     decisions, so the file is deterministic for a given batch.
+  //   * sinks.profile — phase-level round profiler (DESIGN.md §14). Each
+  //     shard task times its head settle (finalize_revalidate) and
+  //     speculative top-up (spec_score) into its own profiler lane; the
+  //     serial phase times resolve/commit into lane 0, measures the barrier
+  //     wall, and closes the round via EndRound. Both scopes run on every
+  //     active shard-round regardless of pipeline_depth, so scope counts
+  //     stay bit-identical across the depth × thread matrix.
   // Other fields are ignored; shard-level span/decision logs are
   // deliberately NOT forwarded (shards decide on parallel pool tasks —
   // interleaved emission would be nondeterministic). Attach those via
   // shard(i) directly, after this call, only when the caller serializes the
   // shards itself.
   void AttachSinks(const obs::Sinks& sinks);
-
-  // Deprecated: metrics-only attach; thin forwarder updating just the
-  // metrics slot of the Sinks surface.
-  void AttachMetrics(obs::MetricRegistry* registry) {
-    obs::Sinks sinks = sinks_;
-    sinks.metrics = registry;
-    AttachSinks(sinks);
-  }
-
-  // Deprecated: span-log-only attach (nullptr detaches); thin forwarder
-  // updating just the span-log slot.
-  void set_span_log(obs::SpanLog* log) {
-    sinks_.span_log = log;
-    span_log_ = log;
-  }
 
  private:
   std::vector<std::unique_ptr<OptumScheduler>> shards_;
@@ -141,6 +133,7 @@ class DistributedCoordinator {
   obs::Counter* conflicts_counter_ = nullptr;
   obs::Histogram* round_timer_ = nullptr;
   obs::SpanLog* span_log_ = nullptr;
+  obs::RoundProfiler* profiler_ = nullptr;
 };
 
 }  // namespace optum::core

@@ -188,13 +188,6 @@ PlacementDecision OptumScheduler::ReduceAndLog(
   return decision;
 }
 
-void OptumScheduler::AttachMetrics(obs::MetricRegistry* registry, size_t lane_base,
-                                   const std::string& prefix) {
-  obs::Sinks sinks = sinks_;
-  sinks.metrics = registry;
-  AttachSinks(sinks, lane_base, prefix);
-}
-
 void OptumScheduler::AttachSinks(const obs::Sinks& sinks, size_t lane_base,
                                  const std::string& prefix) {
   sinks_ = sinks;

@@ -194,52 +194,39 @@ class OptumScheduler : public PlacementPolicy {
   // because the profiles object itself is reused.
   void ReplaceProfiles(OptumProfiles profiles);
 
-  // Unified sink attach (obs::Sinks contract): wires sinks.metrics (as
-  // AttachMetrics below), sinks.span_log, and sinks.decision_log in one
-  // call; fields left nullptr detach. The overload without lane/prefix
-  // attaches at lane_base 0 under "optum".
+  // Unified sink attach (obs::Sinks contract): wires sinks.metrics,
+  // sinks.span_log, and sinks.decision_log in one call; fields left nullptr
+  // detach. The overload without lane/prefix attaches at lane_base 0 under
+  // "optum".
+  //
+  //   * sinks.metrics — creates the scheduler's metrics under `prefix`:
+  //       <prefix>.sample_seconds / .score_seconds   phase histograms
+  //       <prefix>.forest_eval_seconds               slope-cache-miss latency
+  //       <prefix>.placements / .rejections          counters
+  //       <prefix>.pred_cache_* / .slope_cache_* / .forest_evals
+  //           gauges refreshed by a registered collector from the
+  //           predictor's lane-merged CacheStats at every sample/export
+  //     `lane_base` is the registry shard this scheduler's serial-path
+  //     updates use; schedulers running concurrently (distributed shards)
+  //     must use distinct bases. A scheduler with its own scoring pool
+  //     requires lane_base == 0 and grows the registry to its pool's lane
+  //     count.
+  //   * sinks.span_log — PlaceScored (and FinalizeSpeculative) emits a
+  //     sampled span (count = candidates drawn) and a scored span (count =
+  //     feasible candidates, score = best Eq. 11 score when any) per pod,
+  //     both on the serial reduction path — span output is bit-identical
+  //     for every num_threads. Distinct schedulers must use distinct logs.
+  //   * sinks.decision_log — per-placement Eq. 11 JSONL records, written on
+  //     the serial reduction path of PlaceScored; a scheduler with a
+  //     decision log attached declines speculation (see
+  //     speculation_supported()). Distinct schedulers must use distinct
+  //     logs.
+  // Placements are unaffected: sinks never feed back into scoring.
   void AttachSinks(const obs::Sinks& sinks) override {
     AttachSinks(sinks, /*lane_base=*/0, /*prefix=*/"optum");
   }
   void AttachSinks(const obs::Sinks& sinks, size_t lane_base,
                    const std::string& prefix);
-
-  // Deprecated: metrics-only attach, kept as a thin forwarder into the
-  // Sinks surface (updates just the metrics slot). Creates the
-  // scheduler's metrics under `prefix`:
-  //   <prefix>.sample_seconds / .score_seconds   phase histograms
-  //   <prefix>.forest_eval_seconds               slope-cache-miss latency
-  //   <prefix>.placements / .rejections          counters
-  //   <prefix>.pred_cache_* / .slope_cache_* / .forest_evals
-  //       gauges refreshed by a registered collector from the predictor's
-  //       lane-merged CacheStats at every sample/export
-  // `lane_base` is the registry shard this scheduler's serial-path updates
-  // use; schedulers running concurrently (distributed shards) must use
-  // distinct bases. A scheduler with its own scoring pool requires
-  // lane_base == 0 and grows the registry to its pool's lane count.
-  // Placements are unaffected: metrics never feed back into scoring.
-  void AttachMetrics(obs::MetricRegistry* registry, size_t lane_base = 0,
-                     const std::string& prefix = "optum");
-
-  // Deprecated: per-placement JSONL decision log attach (nullptr detaches);
-  // thin forwarder updating only the decision-log slot. The log is written
-  // on the serial reduction path of PlaceScored; distinct schedulers must
-  // use distinct logs.
-  void set_decision_log(obs::DecisionLog* log) {
-    sinks_.decision_log = log;
-    decision_log_ = log;
-  }
-
-  // Deprecated: span-log attach (nullptr detaches); thin forwarder updating
-  // only the span-log slot. PlaceScored (and FinalizeSpeculative) emits a
-  // sampled span (count = candidates drawn) and a scored span (count =
-  // feasible candidates, score = best Eq. 11 score when any) per pod, both
-  // on the serial reduction path — span output is bit-identical for every
-  // num_threads. Distinct schedulers must use distinct logs.
-  void set_span_log(obs::SpanLog* log) override {
-    sinks_.span_log = log;
-    span_log_ = log;
-  }
 
   const InterferencePredictor& interference_predictor() const {
     return interference_predictor_;

@@ -236,4 +236,64 @@ bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
   return Parser(text, error).Parse(out);
 }
 
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string ForEachJsonlRow(const std::string& path, const char* schema,
+                            const std::function<void(const JsonValue&)>& row,
+                            JsonlReadStats* stats) {
+  std::string text;
+  if (!ReadWholeFile(path, &text)) {
+    return "cannot open " + path;
+  }
+  size_t start = 0;
+  bool saw_header = false;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    while (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      continue;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!ParseJson(line, &doc, &error)) {
+      return path + ": " + error;
+    }
+    if (!saw_header) {
+      const JsonValue* tag = doc.Find("schema");
+      if (tag == nullptr || !tag->is_string() || tag->string_value != schema) {
+        return path + " is not an " + schema + " stream";
+      }
+      saw_header = true;
+      continue;
+    }
+    if (stats != nullptr) {
+      ++stats->data_rows;
+    }
+    row(doc);
+  }
+  if (!saw_header) {
+    return path + " is empty";
+  }
+  return std::string();
+}
+
 }  // namespace optum::obs

@@ -9,6 +9,7 @@
 #define OPTUM_SRC_OBS_JSON_READER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -58,6 +59,26 @@ struct JsonValue {
 // into `out`. On failure returns false and describes the problem in `error`
 // (with a byte offset). `out` is unspecified on failure.
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+// Slurps `path` into `out` (appended). Returns false only when the file
+// cannot be opened; the caller owns the error message.
+bool ReadWholeFile(const std::string& path, std::string* out);
+
+// Row accounting for ForEachJsonlRow, so callers can make "header but no
+// data" an error (or not — a hotspot stream with zero episodes is valid).
+struct JsonlReadStats {
+  int64_t data_rows = 0;
+};
+
+// Walks a header'd JSONL export: verifies that the first non-empty line's
+// "schema" member equals `schema`, then hands every later non-empty line to
+// `row`. The final line is processed even without a trailing newline — a
+// truncated tail is a parse error, never a silent drop. Returns "" on
+// success, otherwise a one-line message (no trailing newline) naming the
+// path, ready for `fprintf(stderr, "tool: %s\n", ...)`.
+std::string ForEachJsonlRow(const std::string& path, const char* schema,
+                            const std::function<void(const JsonValue&)>& row,
+                            JsonlReadStats* stats = nullptr);
 
 }  // namespace optum::obs
 

@@ -124,20 +124,6 @@ class HostPressureMonitor {
     WireMetrics(sinks.metrics, prefix);
   }
 
-  // Deprecated: hotspot-log-only attach (nullptr detaches); thin forwarder
-  // updating just that slot of the Sinks surface.
-  void set_hotspot_log(HotspotLog* log) {
-    sinks_.hotspot_log = log;
-    detector_.set_log(log);
-  }
-
-  // Deprecated: metrics-only attach (nullptr detaches); thin forwarder
-  // updating just the metrics slot.
-  void AttachMetrics(MetricRegistry* registry, const std::string& prefix) {
-    sinks_.metrics = registry;
-    WireMetrics(registry, prefix);
-  }
-
   // Per-tick protocol, all on the caller's serial path: BeginTick(t), then
   // ObserveHost for every host in id order, then EndTick. Ticks must be
   // strictly increasing.
@@ -167,7 +153,7 @@ class HostPressureMonitor {
   double last_max_pressure() const { return last_max_; }
 
  private:
-  // Gauge wiring shared by AttachSinks and the deprecated AttachMetrics.
+  // Gauge wiring for AttachSinks.
   void WireMetrics(MetricRegistry* registry, const std::string& prefix);
 
   Options options_;

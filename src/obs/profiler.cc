@@ -1,0 +1,396 @@
+#include "src/obs/profiler.h"
+
+#include <charconv>
+
+#include "src/common/check.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/schema.h"
+
+namespace optum::obs {
+namespace {
+
+// Flush threshold, matching SpanLog/HotspotLog: amortizes fwrite without
+// risking much of the stream on a crash.
+constexpr size_t kFlushBytes = 64 * 1024;
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+constexpr const char* kPhaseNames[kNumProfilePhases] = {
+    "ingest_wait", "spec_score",     "finalize_revalidate", "resolve",
+    "commit",      "pressure_sweep", "idle",
+};
+
+}  // namespace
+
+const char* ProfilePhaseName(ProfilePhase phase) {
+  const size_t i = static_cast<size_t>(phase);
+  OPTUM_CHECK_LT(i, kNumProfilePhases);
+  return kPhaseNames[i];
+}
+
+ProfileLog::ProfileLog(const std::string& path) : file_(OpenJsonSink(path)) {
+  buffer_.reserve(kFlushBytes + 512);
+  if (file_ != nullptr) {
+    buffer_ += RenderHeader();
+    buffer_.push_back('\n');
+  }
+}
+
+ProfileLog::~ProfileLog() {
+  if (file_ != nullptr) {
+    Flush();
+    std::fclose(file_);
+  }
+}
+
+std::string ProfileLog::RenderHeader() {
+  std::string out = R"({"schema":")";
+  out += kProfileSchema;
+  out += R"(","clock":"ns"})";
+  return out;
+}
+
+std::string ProfileLog::Render(const ProfileWindowRow& row) {
+  std::string out = R"({"window":)";
+  AppendInt(&out, row.window);
+  out += R"(,"rounds":)";
+  AppendInt(&out, row.rounds);
+  out += R"(,"shards":)";
+  AppendInt(&out, row.shards);
+  out += R"(,"barrier_ns":)";
+  AppendInt(&out, row.barrier_ns);
+  out.push_back('}');
+  return out;
+}
+
+std::string ProfileLog::Render(const ProfilePhaseRow& row) {
+  std::string out = R"({"window":)";
+  AppendInt(&out, row.window);
+  out += R"(,"shard":)";
+  AppendInt(&out, row.shard);
+  out += R"(,"phase":")";
+  out += ProfilePhaseName(row.phase);
+  out += R"(","count":)";
+  AppendInt(&out, row.count);
+  out += R"(,"total_ns":)";
+  AppendInt(&out, row.total_ns);
+  out += R"(,"max_ns":)";
+  AppendInt(&out, row.max_ns);
+  out.push_back('}');
+  return out;
+}
+
+std::string ProfileLog::Render(const ProfileCriticalPathRow& row) {
+  std::string out = R"({"window":)";
+  AppendInt(&out, row.window);
+  out += R"(,"cp_shard":)";
+  AppendInt(&out, row.shard);
+  out += R"(,"cp_phase":")";
+  out += ProfilePhaseName(row.phase);
+  out += R"(","rounds_bound":)";
+  AppendInt(&out, row.rounds_bound);
+  out += R"(,"bound_ns":)";
+  AppendInt(&out, row.bound_ns);
+  out += R"(,"idle_ns":)";
+  AppendInt(&out, row.idle_ns);
+  out.push_back('}');
+  return out;
+}
+
+void ProfileLog::AppendLine(const std::string& line) {
+  if (file_ == nullptr) {
+    return;
+  }
+  buffer_ += line;
+  buffer_.push_back('\n');
+  ++rows_written_;
+  if (buffer_.size() >= kFlushBytes) {
+    Flush();
+  }
+}
+
+void ProfileLog::Append(const ProfileWindowRow& row) { AppendLine(Render(row)); }
+void ProfileLog::Append(const ProfilePhaseRow& row) { AppendLine(Render(row)); }
+void ProfileLog::Append(const ProfileCriticalPathRow& row) {
+  AppendLine(Render(row));
+}
+
+void ProfileLog::Flush() {
+  if (file_ == nullptr || buffer_.empty()) {
+    return;
+  }
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  buffer_.clear();
+}
+
+RoundProfiler::RoundProfiler(Options options) : options_(options), lanes_(1) {
+  OPTUM_CHECK_GE(options_.window_rounds, size_t{1});
+}
+
+void RoundProfiler::set_num_lanes(size_t n) {
+  if (n > lanes_.size()) {
+    lanes_.resize(n);
+  }
+}
+
+void RoundProfiler::RecordNs(ProfilePhase phase, size_t lane, int64_t ns) {
+  OPTUM_CHECK_LT(lane, lanes_.size());
+  if (ns < 0) {
+    ns = 0;  // steady_clock is monotonic, but never let a slew go negative
+  }
+  LaneSlot& slot = lanes_[lane];
+  const size_t p = static_cast<size_t>(phase);
+  slot.round_ns[p] += ns;
+  slot.round_count[p] += 1;
+  if (ns > slot.win_max_ns[p]) {
+    slot.win_max_ns[p] = ns;
+  }
+}
+
+void RoundProfiler::EndRound(int64_t barrier_ns) {
+  // Pass 1: per-lane barrier busy, the round's bounding lane (largest busy,
+  // ties to the lowest lane), and whether any lane was active this round.
+  int64_t max_busy = 0;
+  size_t bound_lane = lanes_.size();
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const LaneSlot& slot = lanes_[i];
+    int64_t busy = 0;
+    int64_t records = 0;
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      if (IsBarrierPhase(static_cast<ProfilePhase>(p))) {
+        busy += slot.round_ns[p];
+        records += slot.round_count[p];
+      }
+    }
+    if (records > 0 && (bound_lane == lanes_.size() || busy > max_busy)) {
+      max_busy = busy;
+      bound_lane = i;
+    }
+  }
+
+  if (bound_lane != lanes_.size()) {
+    // A measured barrier wall can only be >= the largest lane busy; clamp
+    // up so idle never goes negative (and substitute it entirely when the
+    // caller passed 0).
+    if (barrier_ns < max_busy) {
+      barrier_ns = max_busy;
+    }
+    win_barrier_ns_ += barrier_ns;
+
+    // Bounding phase: the bounding lane's largest barrier phase, ties to
+    // the lower enum value.
+    const LaneSlot& bound_slot = lanes_[bound_lane];
+    size_t bound_phase = static_cast<size_t>(ProfilePhase::kSpecScore);
+    int64_t bound_phase_ns = -1;
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      if (IsBarrierPhase(static_cast<ProfilePhase>(p)) &&
+          bound_slot.round_ns[p] > bound_phase_ns) {
+        bound_phase_ns = bound_slot.round_ns[p];
+        bound_phase = p;
+      }
+    }
+
+    // Pass 2: charge idle = barrier - busy to every active lane, and the
+    // other lanes' idle to the bounding (shard, phase).
+    int64_t others_idle = 0;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      LaneSlot& slot = lanes_[i];
+      int64_t busy = 0;
+      int64_t records = 0;
+      for (size_t p = 0; p < kNumProfilePhases; ++p) {
+        if (IsBarrierPhase(static_cast<ProfilePhase>(p))) {
+          busy += slot.round_ns[p];
+          records += slot.round_count[p];
+        }
+      }
+      if (records == 0) {
+        continue;  // lane idle-by-design this round, not a stall
+      }
+      int64_t idle = barrier_ns - busy;
+      if (idle < 0) {
+        idle = 0;
+      }
+      const size_t pi = static_cast<size_t>(ProfilePhase::kIdle);
+      slot.win_count[pi] += 1;
+      slot.win_total_ns[pi] += idle;
+      if (idle > slot.win_max_ns[pi]) {
+        slot.win_max_ns[pi] = idle;
+      }
+      if (i != bound_lane) {
+        others_idle += idle;
+      }
+    }
+    LaneSlot& bound_mut = lanes_[bound_lane];
+    bound_mut.cp_rounds[bound_phase] += 1;
+    bound_mut.cp_bound_ns[bound_phase] += barrier_ns;
+    bound_mut.cp_idle_ns[bound_phase] += others_idle;
+  }
+
+  MergeScratch();
+  ++win_rounds_;
+  ++rounds_profiled_;
+  if (win_rounds_ >= static_cast<int64_t>(options_.window_rounds)) {
+    FlushWindow();
+  }
+}
+
+void RoundProfiler::MergeScratch() {
+  for (LaneSlot& slot : lanes_) {
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      slot.win_count[p] += slot.round_count[p];
+      slot.win_total_ns[p] += slot.round_ns[p];
+      slot.round_count[p] = 0;
+      slot.round_ns[p] = 0;
+    }
+  }
+}
+
+void RoundProfiler::FlushWindow() {
+  bool any = win_rounds_ > 0;
+  for (const LaneSlot& slot : lanes_) {
+    for (size_t p = 0; p < kNumProfilePhases && !any; ++p) {
+      any = slot.win_count[p] > 0;
+    }
+  }
+  if (!any) {
+    return;
+  }
+
+  ProfileWindowRow window_row;
+  window_row.window = window_;
+  window_row.rounds = win_rounds_;
+  window_row.shards = static_cast<int64_t>(lanes_.size());
+  window_row.barrier_ns = win_barrier_ns_;
+  if (log_ != nullptr) {
+    log_->Append(window_row);
+  }
+  counts_projection_ += "window ";
+  AppendInt(&counts_projection_, window_row.window);
+  counts_projection_ += " rounds ";
+  AppendInt(&counts_projection_, window_row.rounds);
+  counts_projection_ += " shards ";
+  AppendInt(&counts_projection_, window_row.shards);
+  counts_projection_.push_back('\n');
+
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    LaneSlot& slot = lanes_[i];
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      if (slot.win_count[p] == 0) {
+        continue;
+      }
+      ProfilePhaseRow row;
+      row.window = window_;
+      row.shard = static_cast<int64_t>(i);
+      row.phase = static_cast<ProfilePhase>(p);
+      row.count = slot.win_count[p];
+      row.total_ns = slot.win_total_ns[p];
+      row.max_ns = slot.win_max_ns[p];
+      if (log_ != nullptr) {
+        log_->Append(row);
+      }
+      counts_projection_ += "window ";
+      AppendInt(&counts_projection_, row.window);
+      counts_projection_ += " shard ";
+      AppendInt(&counts_projection_, row.shard);
+      counts_projection_ += " phase ";
+      counts_projection_ += ProfilePhaseName(row.phase);
+      counts_projection_ += " count ";
+      AppendInt(&counts_projection_, row.count);
+      counts_projection_.push_back('\n');
+
+      slot.all_count[p] += slot.win_count[p];
+      slot.all_total_ns[p] += slot.win_total_ns[p];
+      slot.win_count[p] = 0;
+      slot.win_total_ns[p] = 0;
+      slot.win_max_ns[p] = 0;
+    }
+  }
+
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    LaneSlot& slot = lanes_[i];
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      if (slot.cp_rounds[p] == 0) {
+        continue;
+      }
+      ProfileCriticalPathRow row;
+      row.window = window_;
+      row.shard = static_cast<int64_t>(i);
+      row.phase = static_cast<ProfilePhase>(p);
+      row.rounds_bound = slot.cp_rounds[p];
+      row.bound_ns = slot.cp_bound_ns[p];
+      row.idle_ns = slot.cp_idle_ns[p];
+      if (log_ != nullptr) {
+        log_->Append(row);
+      }
+      slot.cp_rounds[p] = 0;
+      slot.cp_bound_ns[p] = 0;
+      slot.cp_idle_ns[p] = 0;
+    }
+  }
+
+  barrier_ns_flushed_ += win_barrier_ns_;
+  win_barrier_ns_ = 0;
+  win_rounds_ = 0;
+  ++window_;
+  ++windows_flushed_;
+}
+
+void RoundProfiler::Finalize() {
+  MergeScratch();
+  FlushWindow();
+  if (log_ != nullptr) {
+    log_->Flush();
+  }
+}
+
+bool RoundProfiler::WriteCollapsed(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  std::string out;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const LaneSlot& slot = lanes_[i];
+    for (size_t p = 0; p < kNumProfilePhases; ++p) {
+      if (slot.all_total_ns[p] <= 0) {
+        continue;
+      }
+      out += "round;shard";
+      AppendInt(&out, static_cast<int64_t>(i));
+      out.push_back(';');
+      out += kPhaseNames[p];
+      out.push_back(' ');
+      AppendInt(&out, slot.all_total_ns[p]);
+      out.push_back('\n');
+    }
+  }
+  const bool ok =
+      std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  std::fclose(file);
+  return ok;
+}
+
+int64_t RoundProfiler::total_ns(ProfilePhase phase) const {
+  const size_t p = static_cast<size_t>(phase);
+  int64_t total = 0;
+  for (const LaneSlot& slot : lanes_) {
+    total += slot.all_total_ns[p];
+  }
+  return total;
+}
+
+int64_t RoundProfiler::count(ProfilePhase phase) const {
+  const size_t p = static_cast<size_t>(phase);
+  int64_t total = 0;
+  for (const LaneSlot& slot : lanes_) {
+    total += slot.all_count[p];
+  }
+  return total;
+}
+
+}  // namespace optum::obs

@@ -45,6 +45,12 @@ inline constexpr const char* kHotspotSchema = "optum.hotspot.v1";
 // (`serve_bench --slo-json`, `runsim --slo-json`), merged across shards.
 inline constexpr const char* kSloSchema = "optum.slo.v1";
 
+// ProfileLog — JSONL phase-profile stream from the RoundProfiler
+// (`serve_bench --profile-json`, `runsim --profile-json`): header line
+// carrying this tag, then per-window summary / per-shard phase /
+// critical-path rows (DESIGN.md §14).
+inline constexpr const char* kProfileSchema = "optum.profile.v1";
+
 struct SchemaInfo {
   const char* tag;
   const char* producer;
@@ -61,6 +67,7 @@ inline constexpr SchemaInfo kSchemas[] = {
     {kLatencySchema, "serve::RenderLatencyRow / serve_bench"},
     {kHotspotSchema, "HotspotLog / serve_bench --hotspot-log"},
     {kSloSchema, "SloAccumulator::RenderJson / serve_bench --slo-json"},
+    {kProfileSchema, "ProfileLog / serve_bench --profile-json"},
 };
 
 }  // namespace optum::obs

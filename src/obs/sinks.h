@@ -14,9 +14,8 @@
 //     The caller owns every sink and must keep it alive until the component
 //     is destroyed or re-attached.
 //   * AttachSinks() replaces the component's full sink set — fields left
-//     nullptr detach that sink. Attach once, up front; the legacy per-sink
-//     setters (set_span_log, AttachMetrics, ...) survive as thin deprecated
-//     forwarders that update just their one field.
+//     nullptr detach that sink. To change one slot on an already-attached
+//     component, copy its attached_sinks(), edit the field, and re-attach.
 //   * Sinks never feed back into decisions: attaching any combination of
 //     sinks must not change placements, rows, or any other output.
 #ifndef OPTUM_SRC_OBS_SINKS_H_
@@ -29,6 +28,7 @@ class SpanLog;
 class DecisionLog;
 class HotspotLog;
 class TimeSeriesRecorder;
+class RoundProfiler;
 
 struct Sinks {
   // Lane-sharded counters/gauges/histograms (DESIGN.md §9).
@@ -42,10 +42,12 @@ struct Sinks {
   // Streaming gauge time series, optum.series.v1 (DESIGN.md §11); requires
   // `metrics` on components that sample it.
   TimeSeriesRecorder* series = nullptr;
+  // Phase-level round profiler, optum.profile.v1 (DESIGN.md §14).
+  RoundProfiler* profile = nullptr;
 
   bool any() const {
     return metrics != nullptr || span_log != nullptr || decision_log != nullptr ||
-           hotspot_log != nullptr || series != nullptr;
+           hotspot_log != nullptr || series != nullptr || profile != nullptr;
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/span_log.h"
 
 namespace optum::serve {
@@ -57,16 +58,11 @@ PlacementService::PlacementService(const Workload& workload,
   }
 }
 
-void PlacementService::set_span_log(obs::SpanLog* log) {
-  sinks_.span_log = log;
-  span_log_ = log;
-  coordinator_.set_span_log(log);
-}
-
 void PlacementService::AttachSinks(const obs::Sinks& sinks) {
   sinks_ = sinks;
   span_log_ = sinks.span_log;
   series_ = sinks.series;
+  profiler_ = sinks.profile;
   // The coordinator adopts metrics + span_log and ignores the rest
   // (shard-level logs are attached via shard(i) directly, per its
   // contract).
@@ -169,6 +165,11 @@ void PlacementService::RunRound(bool with_arrivals) {
   // round; open the barrier so the producer applies them, then wait for the
   // hand-off — the application itself runs exclusively while we are parked.
   if (with_arrivals) {
+    // One ingest_wait scope per arrivals round, covering both the hand-off
+    // barrier wait and the inline emit path — the scope count is invariant
+    // across ingest_threads; only the measured ns differ.
+    obs::RoundProfiler::Scope ingest_scope(profiler_,
+                                           obs::ProfilePhase::kIngestWait, 0);
     if (ingest_active_) {
       {
         std::lock_guard<std::mutex> lock(ingest_mu_);
@@ -215,14 +216,23 @@ void PlacementService::RunRound(bool with_arrivals) {
     }
   }
 
-  // 3. Departures scheduled for this round or earlier.
-  ProcessDepartures();
+  // 3. Departures scheduled for this round or earlier (profiled as part of
+  // the commit phase: both mutate cluster residency on the serial path).
+  {
+    obs::RoundProfiler::Scope depart_scope(profiler_,
+                                           obs::ProfilePhase::kCommit, 0);
+    ProcessDepartures();
+  }
 
   // 4. Pressure sensing + series sampling on the settled end-of-round state
   // (serial; all sinks honor their serial-path contracts).
-  SamplePressure();
-  if (series_ != nullptr) {
-    series_->Sample(static_cast<Tick>(round_));
+  {
+    obs::RoundProfiler::Scope sweep_scope(profiler_,
+                                          obs::ProfilePhase::kPressureSweep, 0);
+    SamplePressure();
+    if (series_ != nullptr) {
+      series_->Sample(static_cast<Tick>(round_));
+    }
   }
 }
 

@@ -153,41 +153,30 @@ class PlacementService {
   //     the SpanLog serial contract.
   //   * sinks.series — streaming gauge series, sampled once per round after
   //     the pressure gauges update (requires sinks.metrics).
+  //   * sinks.profile — phase-level round profiler (DESIGN.md §14). The
+  //     round loop times arrivals (ingest_wait — the whole step, inline
+  //     emit or hand-off barrier wait alike, so the scope count is one per
+  //     arrivals round regardless of ingest_threads), departures (folded
+  //     into commit), and the pressure/series sweep (pressure_sweep), all
+  //     at lane 0; the coordinator times the barrier phases per shard lane
+  //     and closes each conflict round. The caller owns the profiler and
+  //     calls Finalize() on it after the last round.
   // Other fields are ignored here (attach a decision log per shard via
   // coordinator().shard(i) — which also disables that shard's speculation —
   // and a hotspot log via the pressure monitor). Fields left nullptr
   // detach.
   void AttachSinks(const obs::Sinks& sinks);
 
-  // Deprecated: metrics-only attach; thin forwarder updating just the
-  // metrics slot of the Sinks surface.
-  void AttachMetrics(obs::MetricRegistry* registry) {
-    obs::Sinks sinks = sinks_;
-    sinks.metrics = registry;
-    AttachSinks(sinks);
-  }
-
-  // Deprecated: span-log-only attach (nullptr detaches); thin forwarder
-  // updating just the span-log slot.
-  void set_span_log(obs::SpanLog* log);
-
   // Host-pressure monitor (DESIGN.md §13; nullptr detaches). At the end of
   // every round the service feeds each host — in id order, on the serial
   // round loop — its request-based utilization, the shard-0 predictor's
   // resident-interference estimate (mean RI per LS/LSR pod, lane 0; key-pure
   // caches keep it bit-identical across shard_num_threads), and the resident
-  // class counts. serve.pressure.* / serve.slo.* gauges come from
-  // HostPressureMonitor::AttachMetrics; the caller owns the monitor and
-  // calls Finalize() on it after the last round.
+  // class counts. serve.pressure.* / serve.slo.* gauges come from the
+  // monitor's AttachSinks; the caller owns the monitor and calls Finalize()
+  // on it after the last round.
   void set_pressure_monitor(obs::HostPressureMonitor* monitor) {
     pressure_ = monitor;
-  }
-
-  // Deprecated: series-only attach (nullptr detaches); thin forwarder
-  // updating just the series slot of the Sinks surface.
-  void set_series(obs::TimeSeriesRecorder* series) {
-    sinks_.series = series;
-    series_ = series;
   }
 
   core::DistributedCoordinator& coordinator() { return coordinator_; }
@@ -254,6 +243,7 @@ class PlacementService {
   obs::SpanLog* span_log_ = nullptr;
   obs::HostPressureMonitor* pressure_ = nullptr;
   obs::TimeSeriesRecorder* series_ = nullptr;
+  obs::RoundProfiler* profiler_ = nullptr;
   obs::Counter* arrivals_counter_ = nullptr;
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;

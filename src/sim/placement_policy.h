@@ -60,18 +60,13 @@ class PlacementPolicy {
   // first so `sinks_` always reflects the last attach.
   virtual void AttachSinks(const obs::Sinks& sinks) { sinks_ = sinks; }
 
-  // Deprecated: pre-Sinks attach surface, kept as a thin forwarder so
-  // out-of-tree policies and callers compile. Updates only the span-log
-  // slot; new code should attach everything at once via AttachSinks.
-  virtual void set_span_log(obs::SpanLog* log) {
-    obs::Sinks sinks = sinks_;
-    sinks.span_log = log;
-    AttachSinks(sinks);
-  }
+  // Last-attached sinks. To change one slot, copy this, edit the field,
+  // and re-attach the whole bundle.
+  const obs::Sinks& attached_sinks() const { return sinks_; }
 
  protected:
   // Last-attached sinks, maintained by derived AttachSinks overrides that
-  // call this base (or by the deprecated forwarder above).
+  // call this base.
   obs::Sinks sinks_;
 
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/profiler.h"
 #include "src/obs/timer.h"
 
 namespace optum {
@@ -582,27 +583,49 @@ SimResult Simulator::Run() {
   OPTUM_CHECK_MSG(!ran_, "Simulator::Run may only be called once");
   ran_ = true;
   const Tick horizon = workload_.config.horizon;
+  // Tick-phase profiling (DESIGN.md §14): arrivals → ingest_wait, scheduling
+  // → spec_score (the sim has no speculation split — all scoring is "fresh"),
+  // usage/performance → resolve, completions + state capture → commit, the
+  // pressure/series sweep → pressure_sweep. One lane, one EndRound per tick
+  // (barrier_ns 0 ⇒ the scheduling busy time substitutes for the wall).
+  obs::RoundProfiler* profiler = config_.sinks.profile;
   for (now_ = 0; now_ < horizon; ++now_) {
     cluster_.set_now(now_);
     {
       obs::ScopedTimer tick_timer(sim_metrics_.tick_timer);
-      EnqueueArrivals();
-      SchedulePending();
-      UpdateUsageAndPerformance();
+      {
+        obs::RoundProfiler::Scope s(profiler, obs::ProfilePhase::kIngestWait, 0);
+        EnqueueArrivals();
+      }
+      {
+        obs::RoundProfiler::Scope s(profiler, obs::ProfilePhase::kSpecScore, 0);
+        SchedulePending();
+      }
+      {
+        obs::RoundProfiler::Scope s(profiler, obs::ProfilePhase::kResolve, 0);
+        UpdateUsageAndPerformance();
+      }
+      obs::RoundProfiler::Scope s(profiler, obs::ProfilePhase::kCommit, 0);
       HandleCompletions();
       RecordRunningState();
     }
     if (config_.sinks.metrics != nullptr) {
       SampleMetrics();
     }
-    if (config_.pressure != nullptr) {
-      SamplePressure();
-    }
-    if (config_.sinks.series != nullptr) {
-      config_.sinks.series->Sample(now_);
+    {
+      obs::RoundProfiler::Scope s(profiler, obs::ProfilePhase::kPressureSweep, 0);
+      if (config_.pressure != nullptr) {
+        SamplePressure();
+      }
+      if (config_.sinks.series != nullptr) {
+        config_.sinks.series->Sample(now_);
+      }
     }
     if (config_.on_tick_end) {
       config_.on_tick_end(cluster_, now_);
+    }
+    if (profiler != nullptr) {
+      profiler->EndRound();
     }
   }
   FinalizeAtHorizon();
@@ -614,6 +637,9 @@ SimResult Simulator::Run() {
   }
   if (config_.sinks.series != nullptr) {
     config_.sinks.series->Flush();
+  }
+  if (profiler != nullptr) {
+    profiler->Finalize();
   }
   return std::move(result_);
 }

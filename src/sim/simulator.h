@@ -84,8 +84,8 @@ struct SimConfig {
   // predicted-interference term below, and its resident class counts
   // through the monitor on the serial tick path (hosts in id order), then
   // force-closes open hotspot episodes at the horizon. The caller owns the
-  // monitor and its sinks; attach sim.pressure.*/sim.slo.* gauges via
-  // HostPressureMonitor::AttachMetrics before the run.
+  // monitor and its sinks; attach sim.pressure.*/sim.slo.* gauges via the
+  // monitor's AttachSinks before the run.
   obs::HostPressureMonitor* pressure = nullptr;
 
   // Optional interference term for the pressure signal: total predicted RI

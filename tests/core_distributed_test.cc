@@ -242,7 +242,7 @@ TEST(DistributedTest, ParallelShardsResolveConflicts) {
 // agree with the outcome it returns, and every shard's per-lane scheduler
 // counters must merge into one batch-wide total (shard s writes at registry
 // lane s, so the merged sums only hold once the batch has quiesced).
-TEST(DistributedTest, AttachMetricsCountsRoundsCommitsAndConflicts) {
+TEST(DistributedTest, MetricSinksCountRoundsCommitsAndConflicts) {
   const OptumProfiles profiles = SimpleProfiles();
   const AppProfile app = MakeApp(0, SloClass::kBe, {0.05, 0.02});
   std::vector<PodSpec> pods;

@@ -7,16 +7,24 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/obs/decision_log.h"
+#include "src/obs/hotspot.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/schema.h"
+#include "src/obs/slo.h"
+#include "src/obs/span_log.h"
 #include "src/obs/timer.h"
+#include "src/obs/timeseries.h"
+#include "src/serve/latency.h"
+#include "src/trace/trace_stats.h"
 
 namespace optum::obs {
 namespace {
@@ -181,7 +189,7 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
     EXPECT_NE(s.producer, nullptr);
     tags.emplace_back(s.tag);
   }
-  ASSERT_EQ(tags.size(), 8u);
+  ASSERT_EQ(tags.size(), 9u);
   EXPECT_NE(std::find(tags.begin(), tags.end(), kMetricsSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kRunsimSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSummarySchema), tags.end());
@@ -190,6 +198,7 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
   EXPECT_NE(std::find(tags.begin(), tags.end(), kLatencySchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kHotspotSchema), tags.end());
   EXPECT_NE(std::find(tags.begin(), tags.end(), kSloSchema), tags.end());
+  EXPECT_NE(std::find(tags.begin(), tags.end(), kProfileSchema), tags.end());
   for (const std::string& tag : tags) {
     EXPECT_EQ(tag.rfind("optum.", 0), 0u) << tag;
     // Every tag ends in an explicit version: ".v<digit>".
@@ -198,6 +207,33 @@ TEST(SchemaTableTest, ListsEveryTagExactlyOnce) {
     EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(tag.back()))) << tag;
     EXPECT_EQ(std::count(tags.begin(), tags.end(), tag), 1) << tag;
   }
+}
+
+// Registry discipline: every schema in kSchemas[] must have a golden render
+// here, produced by the real exporter, that carries the tag. Adding a tenth
+// schema without registering its renderer fails this test — the map is the
+// checklist, not a convention.
+TEST(SchemaTableTest, EveryTagHasAGoldenRender) {
+  std::map<std::string, std::string> goldens;
+  goldens[kMetricsSchema] = MetricRegistry().ToJson();
+  // optum.runsim.v1 is rendered inline by the runsim tool (no library
+  // renderer); its shape is pinned by tooling_test's --json run.
+  goldens[kRunsimSchema] = R"({"schema":"optum.runsim.v1")";
+  goldens[kSummarySchema] = ::optum::RenderSummaryJson(::optum::TraceSummary());
+  goldens[kSpansSchema] = SpanLog::RenderHeader();
+  goldens[kSeriesSchema] = TimeSeriesRecorder::RenderHeader(1);
+  goldens[kLatencySchema] = serve::RenderLatencyHeader();
+  goldens[kHotspotSchema] = HotspotLog::RenderHeader();
+  goldens[kSloSchema] = SloAccumulator().RenderJson(1.0);
+  goldens[kProfileSchema] = ProfileLog::RenderHeader();
+  for (const SchemaInfo& s : kSchemas) {
+    const auto it = goldens.find(s.tag);
+    ASSERT_NE(it, goldens.end()) << "no golden render registered for " << s.tag;
+    EXPECT_NE(it->second.find(std::string("\"schema\":\"") + s.tag + "\""),
+              std::string::npos)
+        << s.tag << " render does not carry its schema tag: " << it->second;
+  }
+  EXPECT_EQ(goldens.size(), std::size(kSchemas));
 }
 
 TEST(MetricRegistryTest, CollectGaugesAppendsNamesCreatedMidRun) {

@@ -199,7 +199,9 @@ TEST(PipelinedServeTest, DecisionLogShardFallsBackBitIdentically) {
   service.set_pressure_monitor(&monitor);
   obs::DecisionLog decision_log("/dev/null");
   ASSERT_TRUE(decision_log.ok());
-  service.coordinator().shard(0).set_decision_log(&decision_log);
+  obs::Sinks shard_sinks;
+  shard_sinks.decision_log = &decision_log;
+  service.coordinator().shard(0).AttachSinks(shard_sinks);
   EXPECT_FALSE(service.coordinator().shard(0).speculation_supported());
   service.RunRounds(10);
   service.Drain();
@@ -349,9 +351,9 @@ TEST(AdmissionQueueConcurrencyTest, ConcurrentOffersAccountExactly) {
   EXPECT_TRUE(queue.empty());
 }
 
-// The deprecated single-slot setters are forwarders into the obs::Sinks
-// surface: updating one slot must not detach another.
-TEST(SinksForwarderTest, SlotForwardersComposeWithAttachSinks) {
+// AttachSinks semantics: one call attaches every slot at once and all stay
+// live together; re-attaching with a field nulled detaches just that sink.
+TEST(SinksAttachTest, FullBundleAttachesAndNulledFieldDetaches) {
   const ServeWorld& world = World();
   const std::vector<const AppProfile*> catalog =
       SchedulableApps(world.workload);
@@ -368,33 +370,50 @@ TEST(SinksForwarderTest, SlotForwardersComposeWithAttachSinks) {
   ASSERT_TRUE(span_log.ok());
   obs::MetricRegistry registry;
 
-  // span log first, metrics second: the AttachMetrics forwarder must keep
-  // the span-log slot attached (and vice versa for the decision log).
-  scheduler.set_span_log(&span_log);
-  scheduler.AttachMetrics(&registry);
   obs::DecisionLog decision_log("/dev/null");
   ASSERT_TRUE(decision_log.ok());
-  scheduler.set_decision_log(&decision_log);
+  obs::Sinks sinks;
+  sinks.span_log = &span_log;
+  sinks.metrics = &registry;
+  sinks.decision_log = &decision_log;
+  scheduler.AttachSinks(sinks);
+  EXPECT_EQ(scheduler.attached_sinks().span_log, &span_log);
 
   PodId id = 0;
   int placed = 0;
-  for (int i = 0; i < 16; ++i) {
-    const AppProfile& app = *catalog[static_cast<size_t>(id) % catalog.size()];
-    const PodSpec pod = MakePodSpec(id, app);
-    ++id;
-    double score = 0.0;
-    const PlacementDecision decision = scheduler.PlaceScored(pod, cluster, &score);
-    if (decision.host != kInvalidHostId) {
-      cluster.Place(pod, &app, decision.host, 0);
-      ++placed;
+  auto place_some = [&] {
+    for (int i = 0; i < 16; ++i) {
+      const AppProfile& app = *catalog[static_cast<size_t>(id) % catalog.size()];
+      const PodSpec pod = MakePodSpec(id, app);
+      ++id;
+      double score = 0.0;
+      const PlacementDecision decision = scheduler.PlaceScored(pod, cluster, &score);
+      if (decision.host != kInvalidHostId) {
+        cluster.Place(pod, &app, decision.host, 0);
+        ++placed;
+      }
     }
-  }
+  };
+  place_some();
   span_log.Flush();
   ASSERT_GT(placed, 0);
-  EXPECT_GT(span_log.records_written(), 0);         // span slot survived
+  EXPECT_GT(span_log.records_written(), 0);         // span slot live
   EXPECT_GT(decision_log.records_written(), 0);     // decision slot live
   EXPECT_EQ(registry.counter("optum.placements")->Value(),
             static_cast<uint64_t>(placed));         // metrics slot live
+
+  // Re-attach with the span log nulled: that sink detaches, the rest stay.
+  const int64_t spans_before = span_log.records_written();
+  const int64_t decisions_before = decision_log.records_written();
+  obs::Sinks without_spans = scheduler.attached_sinks();
+  without_spans.span_log = nullptr;
+  scheduler.AttachSinks(without_spans);
+  place_some();
+  span_log.Flush();
+  EXPECT_EQ(span_log.records_written(), spans_before);   // detached
+  EXPECT_GT(decision_log.records_written(), decisions_before);  // still live
+  EXPECT_EQ(registry.counter("optum.placements")->Value(),
+            static_cast<uint64_t>(placed));
   std::remove(span_path.c_str());
 }
 

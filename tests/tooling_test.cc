@@ -1,8 +1,14 @@
-// Tests for the tooling layer: command-line flag parsing and the trace
-// analysis helpers used by tools/trace_summary and tools/runsim.
+// Tests for the tooling layer: command-line flag parsing, the trace
+// analysis helpers used by tools/trace_summary and tools/runsim, and the
+// shared JSONL reader behind slo_report / series_plot / profile_report.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "src/common/flags.h"
+#include "src/obs/json_reader.h"
 #include "src/sched/baselines.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_stats.h"
@@ -10,6 +16,111 @@
 
 namespace optum {
 namespace {
+
+// --- ForEachJsonlRow -----------------------------------------------------------
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(ForEachJsonlRowTest, MissingFileIsAnError) {
+  const std::string err = obs::ForEachJsonlRow(
+      "/nonexistent/rows.jsonl", "optum.series.v1",
+      [](const obs::JsonValue&) { FAIL() << "row on missing file"; });
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST(ForEachJsonlRowTest, EmptyFileIsAnError) {
+  const std::string path = WriteTempFile("jsonl_empty.jsonl", "");
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.series.v1",
+      [](const obs::JsonValue&) { FAIL() << "row on empty file"; });
+  std::remove(path.c_str());
+  EXPECT_NE(err.find("is empty"), std::string::npos) << err;
+}
+
+TEST(ForEachJsonlRowTest, SchemaMismatchIsAnError) {
+  const std::string path = WriteTempFile(
+      "jsonl_wrong_schema.jsonl", "{\"schema\":\"optum.spans.v1\"}\n");
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.series.v1",
+      [](const obs::JsonValue&) { FAIL() << "row on wrong schema"; });
+  std::remove(path.c_str());
+  EXPECT_NE(err.find("is not an optum.series.v1 stream"), std::string::npos)
+      << err;
+}
+
+TEST(ForEachJsonlRowTest, HeaderOnlyStreamSucceedsWithZeroRows) {
+  // Zero data rows is the caller's call: a hotspot stream with no episodes
+  // is a valid export, so the reader reports it via stats instead of
+  // failing.
+  const std::string path = WriteTempFile(
+      "jsonl_header_only.jsonl", "{\"schema\":\"optum.hotspot.v1\"}\n");
+  obs::JsonlReadStats stats;
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.hotspot.v1",
+      [](const obs::JsonValue&) { FAIL() << "row on header-only file"; },
+      &stats);
+  std::remove(path.c_str());
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(stats.data_rows, 0);
+}
+
+TEST(ForEachJsonlRowTest, FinalLineWithoutNewlineIsProcessed) {
+  // A complete last line missing its '\n' (writer killed between the line
+  // and the newline) must still reach the callback — never a silent drop.
+  const std::string path = WriteTempFile(
+      "jsonl_no_trailing_newline.jsonl",
+      "{\"schema\":\"optum.series.v1\"}\n{\"tick\":0}\n{\"tick\":1}");
+  obs::JsonlReadStats stats;
+  std::vector<int64_t> ticks;
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.series.v1",
+      [&](const obs::JsonValue& row) {
+        ticks.push_back(row.Find("tick")->AsInt());
+      },
+      &stats);
+  std::remove(path.c_str());
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(stats.data_rows, 2);
+  EXPECT_EQ(ticks, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ForEachJsonlRowTest, TruncatedFinalLineIsAParseError) {
+  const std::string path = WriteTempFile(
+      "jsonl_truncated.jsonl",
+      "{\"schema\":\"optum.series.v1\"}\n{\"tick\":0}\n{\"tick\":1,\"gau");
+  obs::JsonlReadStats stats;
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.series.v1", [](const obs::JsonValue&) {}, &stats);
+  std::remove(path.c_str());
+  EXPECT_FALSE(err.empty());
+  EXPECT_NE(err.find(path), std::string::npos) << err;
+  EXPECT_EQ(stats.data_rows, 1);  // the good row before the truncation
+}
+
+TEST(ForEachJsonlRowTest, BlankAndCrlfLinesAreTolerated) {
+  const std::string path = WriteTempFile(
+      "jsonl_crlf.jsonl",
+      "{\"schema\":\"optum.series.v1\"}\r\n\r\n{\"tick\":5}\r\n\n");
+  obs::JsonlReadStats stats;
+  int64_t last_tick = -1;
+  const std::string err = obs::ForEachJsonlRow(
+      path, "optum.series.v1",
+      [&](const obs::JsonValue& row) {
+        last_tick = row.Find("tick")->AsInt();
+      },
+      &stats);
+  std::remove(path.c_str());
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(stats.data_rows, 1);
+  EXPECT_EQ(last_tick, 5);
+}
 
 // --- FlagParser ----------------------------------------------------------------
 

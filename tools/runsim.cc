@@ -18,6 +18,7 @@
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/pressure.h"
+#include "src/obs/profiler.h"
 #include "src/obs/schema.h"
 #include "src/sched/baselines.h"
 #include "src/sched/medea.h"
@@ -163,8 +164,21 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::TimeSeriesRecorder> series;
   std::unique_ptr<obs::HotspotLog> hotspot_log;
   std::unique_ptr<obs::HostPressureMonitor> monitor;
+  std::unique_ptr<obs::ProfileLog> profile_log;
+  std::unique_ptr<obs::RoundProfiler> profiler;
   if (obs_opts.wants_metrics()) {
     sinks.metrics = &registry;
+  }
+  if (obs_opts.wants_profile()) {
+    profiler = std::make_unique<obs::RoundProfiler>();
+    if (!obs_opts.profile_json.empty()) {
+      profile_log = std::make_unique<obs::ProfileLog>(obs_opts.profile_json);
+      if (!profile_log->ok()) {
+        return 1;  // OpenJsonSink already reported the failure
+      }
+      profiler->set_log(profile_log.get());
+    }
+    sinks.profile = profiler.get();
   }
   if (!decision_log_path.empty()) {
     if (!optum) {
@@ -307,6 +321,22 @@ int main(int argc, char** argv) {
     }
     if (!json_out) {
       std::printf("slo accounting written to %s\n", obs_opts.slo_json.c_str());
+    }
+  }
+  if (profiler != nullptr) {
+    // The simulator already called Finalize() at the horizon; repeated
+    // finalization is a no-op, so this also covers early-exit paths.
+    profiler->Finalize();
+    if (!obs_opts.profile_collapsed.empty() &&
+        !profiler->WriteCollapsed(obs_opts.profile_collapsed)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   obs_opts.profile_collapsed.c_str());
+      return 1;
+    }
+    if (!json_out) {
+      std::printf("profile: %lld windows over %lld ticks\n",
+                  static_cast<long long>(profiler->windows_flushed()),
+                  static_cast<long long>(profiler->rounds_profiled()));
     }
   }
 

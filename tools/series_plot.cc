@@ -41,77 +41,46 @@ constexpr size_t kMaxOverlay = sizeof(kGlyphs) / sizeof(kGlyphs[0]);
 
 // Loads the requested columns from the JSONL stream in one pass; `columns`
 // collects every gauge name seen (with sample counts) for the no-column
-// listing.
+// listing. ForEachJsonlRow processes the final line even without a trailing
+// newline, so a truncated export is a loud parse error rather than a
+// silently shortened series.
 bool LoadSeries(const std::string& path, std::vector<Series>* series,
                 std::vector<std::pair<std::string, int64_t>>* columns) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "series_plot: cannot open %s\n", path.c_str());
+  optum::obs::JsonlReadStats stats;
+  const std::string err = optum::obs::ForEachJsonlRow(
+      path, optum::obs::kSeriesSchema,
+      [&](const JsonValue& doc) {
+        const JsonValue* tick = doc.Find("tick");
+        const JsonValue* gauges = doc.Find("gauges");
+        if (tick == nullptr || gauges == nullptr || !gauges->is_object()) {
+          return;
+        }
+        for (const auto& [name, value] : gauges->members) {
+          auto it = std::find_if(columns->begin(), columns->end(),
+                                 [&](const auto& c) { return c.first == name; });
+          if (it == columns->end()) {
+            columns->emplace_back(name, 1);
+          } else {
+            ++it->second;
+          }
+          if (!value.is_number()) {
+            continue;
+          }
+          for (Series& s : *series) {
+            if (name == s.column) {
+              s.ticks.push_back(tick->AsInt());
+              s.values.push_back(value.number);
+            }
+          }
+        }
+      },
+      &stats);
+  if (!err.empty()) {
+    std::fprintf(stderr, "series_plot: %s\n", err.c_str());
     return false;
   }
-  std::string line;
-  bool saw_header = false;
-  char buf[1 << 16];
-  std::string pending;
-  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
-    pending += buf;
-    if (pending.empty() || pending.back() != '\n') {
-      continue;  // long line split across fgets calls
-    }
-    line.swap(pending);
-    pending.clear();
-    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-      line.pop_back();
-    }
-    if (line.empty()) {
-      continue;
-    }
-    JsonValue doc;
-    std::string error;
-    if (!optum::obs::ParseJson(line, &doc, &error)) {
-      std::fprintf(stderr, "series_plot: %s: %s\n", path.c_str(), error.c_str());
-      std::fclose(f);
-      return false;
-    }
-    if (!saw_header) {
-      const JsonValue* schema = doc.Find("schema");
-      if (schema == nullptr || !schema->is_string() ||
-          schema->string_value != optum::obs::kSeriesSchema) {
-        std::fprintf(stderr, "series_plot: %s is not an %s stream\n",
-                     path.c_str(), optum::obs::kSeriesSchema);
-        std::fclose(f);
-        return false;
-      }
-      saw_header = true;
-      continue;
-    }
-    const JsonValue* tick = doc.Find("tick");
-    const JsonValue* gauges = doc.Find("gauges");
-    if (tick == nullptr || gauges == nullptr || !gauges->is_object()) {
-      continue;
-    }
-    for (const auto& [name, value] : gauges->members) {
-      auto it = std::find_if(columns->begin(), columns->end(),
-                             [&](const auto& c) { return c.first == name; });
-      if (it == columns->end()) {
-        columns->emplace_back(name, 1);
-      } else {
-        ++it->second;
-      }
-      if (!value.is_number()) {
-        continue;
-      }
-      for (Series& s : *series) {
-        if (name == s.column) {
-          s.ticks.push_back(tick->AsInt());
-          s.values.push_back(value.number);
-        }
-      }
-    }
-  }
-  std::fclose(f);
-  if (!saw_header) {
-    std::fprintf(stderr, "series_plot: %s is empty\n", path.c_str());
+  if (stats.data_rows == 0) {
+    std::fprintf(stderr, "series_plot: no series rows in %s\n", path.c_str());
     return false;
   }
   return true;

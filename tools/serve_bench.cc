@@ -11,6 +11,13 @@
 //               [--pressure] [--hotspot-log PATH] [--slo-json PATH]
 //               [--series-json PATH] [--hot-onset P] [--hot-clear P]
 //               [--hot-dwell T] [--slo-threshold P]
+//               [--profile-json PATH] [--profile-collapsed PATH]
+//               [--profile-window ROUNDS]
+//
+// --profile-json attaches the phase-level round profiler (DESIGN.md §14)
+// and streams optum.profile.v1 windows; join them with tools/profile_report.
+// --profile-collapsed additionally writes folded stacks for flamegraph
+// tooling. Profile *counts* are deterministic; the ns fields are wall-clock.
 //
 // --pipeline-depth D > 1 turns on conflict-round pipelining: each
 // coordinator shard keeps its next head pods speculatively scored against
@@ -42,6 +49,7 @@
 #include "src/obs/hotspot.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/pressure.h"
+#include "src/obs/profiler.h"
 #include "src/obs/sinks.h"
 #include "src/obs/span_log.h"
 #include "src/obs/timeseries.h"
@@ -154,6 +162,22 @@ int Main(int argc, char** argv) {
     }
     sinks.series = series.get();
   }
+  std::unique_ptr<obs::ProfileLog> profile_log;
+  std::unique_ptr<obs::RoundProfiler> profiler;
+  if (obs_opts.wants_profile()) {
+    obs::RoundProfiler::Options popts;
+    popts.window_rounds =
+        static_cast<size_t>(flags.GetInt("profile-window", 64));
+    profiler = std::make_unique<obs::RoundProfiler>(popts);
+    if (!obs_opts.profile_json.empty()) {
+      profile_log = std::make_unique<obs::ProfileLog>(obs_opts.profile_json);
+      if (!profile_log->ok()) {
+        return 1;  // OpenJsonSink already reported the failure
+      }
+      profiler->set_log(profile_log.get());
+    }
+    sinks.profile = profiler.get();
+  }
 
   // Pressure sensor (DESIGN.md §13). Gauges go through the registry so the
   // optional series recorder picks them up as columns.
@@ -193,6 +217,15 @@ int Main(int argc, char** argv) {
           .count();
   if (monitor != nullptr) {
     monitor->Finalize();
+  }
+  if (profiler != nullptr) {
+    profiler->Finalize();
+    if (!obs_opts.profile_collapsed.empty() &&
+        !profiler->WriteCollapsed(obs_opts.profile_collapsed)) {
+      std::fprintf(stderr, "serve_bench: cannot write %s\n",
+                   obs_opts.profile_collapsed.c_str());
+      return 1;
+    }
   }
   if (span_log != nullptr) {
     span_log->Flush();
@@ -250,6 +283,12 @@ int Main(int argc, char** argv) {
                                       static_cast<double>(total)
                                 : 0.0,
                       3)});
+  }
+  if (profiler != nullptr) {
+    table.AddRow({"profile_windows",
+                  std::to_string(profiler->windows_flushed())});
+    table.AddRow({"profile_rounds",
+                  std::to_string(profiler->rounds_profiled())});
   }
   if (monitor != nullptr) {
     const obs::SloAccumulator slo = monitor->MergedSlo();

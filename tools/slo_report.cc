@@ -24,70 +24,6 @@ using optum::obs::JsonValue;
 
 namespace {
 
-bool ReadWholeFile(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "slo_report: cannot open %s\n", path.c_str());
-    return false;
-  }
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out->append(buf, n);
-  }
-  std::fclose(f);
-  return true;
-}
-
-// Parses a header'd JSONL file: verifies the first line's schema tag, then
-// hands every subsequent non-empty line to `row`. Returns false on I/O,
-// parse, or schema mismatch.
-bool ForEachJsonlRow(const std::string& path, const char* schema,
-                     const std::function<void(const JsonValue&)>& row) {
-  std::string text;
-  if (!ReadWholeFile(path, &text)) {
-    return false;
-  }
-  size_t start = 0;
-  bool saw_header = false;
-  while (start < text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string::npos) {
-      end = text.size();
-    }
-    std::string_view line(text.data() + start, end - start);
-    start = end + 1;
-    while (!line.empty() && (line.back() == '\r')) {
-      line.remove_suffix(1);
-    }
-    if (line.empty()) {
-      continue;
-    }
-    JsonValue doc;
-    std::string error;
-    if (!optum::obs::ParseJson(line, &doc, &error)) {
-      std::fprintf(stderr, "slo_report: %s: %s\n", path.c_str(), error.c_str());
-      return false;
-    }
-    if (!saw_header) {
-      const JsonValue* tag = doc.Find("schema");
-      if (tag == nullptr || !tag->is_string() || tag->string_value != schema) {
-        std::fprintf(stderr, "slo_report: %s is not an %s stream\n",
-                     path.c_str(), schema);
-        return false;
-      }
-      saw_header = true;
-      continue;
-    }
-    row(doc);
-  }
-  if (!saw_header) {
-    std::fprintf(stderr, "slo_report: %s is empty\n", path.c_str());
-    return false;
-  }
-  return true;
-}
-
 struct HostHotness {
   int64_t host = -1;
   int64_t episodes = 0;
@@ -113,7 +49,8 @@ int main(int argc, char** argv) {
 
   // --- optum.slo.v1: per-class violation table ---
   std::string slo_text;
-  if (!ReadWholeFile(slo_path, &slo_text)) {
+  if (!optum::obs::ReadWholeFile(slo_path, &slo_text)) {
+    std::fprintf(stderr, "slo_report: cannot open %s\n", slo_path.c_str());
     return 1;
   }
   JsonValue slo_doc;
@@ -130,9 +67,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const JsonValue* classes = slo_doc.Find("classes");
-  if (classes == nullptr || !classes->is_array()) {
-    std::fprintf(stderr, "slo_report: %s has no classes array\n",
-                 slo_path.c_str());
+  if (classes == nullptr || !classes->is_array() || classes->items.empty()) {
+    std::fprintf(stderr, "slo_report: %s has no classes\n", slo_path.c_str());
     return 1;
   }
   std::printf("SLO violation accounting (%s)\n", slo_path.c_str());
@@ -168,7 +104,8 @@ int main(int argc, char** argv) {
     std::map<int64_t, HostHotness> by_host;
     int64_t episodes = 0, open_episodes = 0, total_hot_ticks = 0;
     double peak = 0.0;
-    const bool ok = ForEachJsonlRow(
+    // Zero data rows is a valid hotspot stream: a calm run has no episodes.
+    const std::string err = optum::obs::ForEachJsonlRow(
         hotspots_path, optum::obs::kHotspotSchema, [&](const JsonValue& row) {
           const int64_t host =
               row.Find("host") != nullptr ? row.Find("host")->AsInt() : -1;
@@ -190,7 +127,8 @@ int main(int argc, char** argv) {
           h.hot_ticks += duration;
           h.peak_pressure = std::max(h.peak_pressure, p);
         });
-    if (!ok) {
+    if (!err.empty()) {
+      std::fprintf(stderr, "slo_report: %s\n", err.c_str());
       return 1;
     }
     std::printf("\nhotspots (%s)\n", hotspots_path.c_str());
@@ -227,8 +165,10 @@ int main(int argc, char** argv) {
   // --- optum.latency.v1: echo the run's placement-latency percentiles ---
   if (!latency_path.empty()) {
     std::printf("\nplacement latency (%s)\n", latency_path.c_str());
-    const bool ok = ForEachJsonlRow(
-        latency_path, optum::obs::kLatencySchema, [&](const JsonValue& row) {
+    optum::obs::JsonlReadStats stats;
+    const std::string err = optum::obs::ForEachJsonlRow(
+        latency_path, optum::obs::kLatencySchema,
+        [&](const JsonValue& row) {
           auto num = [&row](const char* key) {
             const JsonValue* v = row.Find(key);
             return v != nullptr ? v->AsNumber() : 0.0;
@@ -238,8 +178,15 @@ int main(int argc, char** argv) {
                       num("hosts"), num("offered_pods_per_sec"), num("placed"),
                       num("latency_s_p50"), num("latency_s_p99"),
                       num("latency_s_p999"));
-        });
-    if (!ok) {
+        },
+        &stats);
+    if (!err.empty()) {
+      std::fprintf(stderr, "slo_report: %s\n", err.c_str());
+      return 1;
+    }
+    if (stats.data_rows == 0) {
+      std::fprintf(stderr, "slo_report: no latency rows in %s\n",
+                   latency_path.c_str());
       return 1;
     }
   }
@@ -247,8 +194,10 @@ int main(int argc, char** argv) {
   // --- optum.series.v1: pressure-column summary ---
   if (!series_path.empty()) {
     std::map<std::string, std::pair<double, double>> pressure_cols;  // last, max
-    const bool ok = ForEachJsonlRow(
-        series_path, optum::obs::kSeriesSchema, [&](const JsonValue& row) {
+    optum::obs::JsonlReadStats stats;
+    const std::string err = optum::obs::ForEachJsonlRow(
+        series_path, optum::obs::kSeriesSchema,
+        [&](const JsonValue& row) {
           const JsonValue* gauges = row.Find("gauges");
           if (gauges == nullptr || !gauges->is_object()) {
             return;
@@ -262,8 +211,15 @@ int main(int argc, char** argv) {
             last = value.number;
             max = std::max(max, value.number);
           }
-        });
-    if (!ok) {
+        },
+        &stats);
+    if (!err.empty()) {
+      std::fprintf(stderr, "slo_report: %s\n", err.c_str());
+      return 1;
+    }
+    if (stats.data_rows == 0) {
+      std::fprintf(stderr, "slo_report: no series rows in %s\n",
+                   series_path.c_str());
       return 1;
     }
     if (!pressure_cols.empty()) {
